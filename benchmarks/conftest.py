@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures: the Section 6 workload, built once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.policies import fortune_corpus
+from repro.corpus.preferences import jrc_suite
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 29-policy synthetic Fortune-1000 corpus (Section 6.2)."""
+    return fortune_corpus()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The five JRC-style preferences (Figure 19)."""
+    return jrc_suite()
+
+
+@pytest.fixture(scope="session")
+def grid_samples(corpus, suite):
+    """The full matching grid (E4/E5), computed once per session."""
+    from repro.bench.harness import run_matching_grid
+
+    return run_matching_grid(corpus, suite)

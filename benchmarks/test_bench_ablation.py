@@ -1,0 +1,81 @@
+"""E7 — ablations behind the headline result.
+
+1. Section 6.3.2's profiling claim: "Before matching a preference against
+   a policy, the APPEL engine first augments every data element in the
+   policy with the corresponding categories predefined in the P3P base
+   schema ... this augmentation accounts for most of the difference in
+   performance."  We time the native engine with and without its
+   per-match document preparation.
+
+2. Schema ablation: how much the Section 5.4 optimizations (Figure 14
+   vs the generic Figure 8 schema) buy for the SQL path.
+
+3. Translation-cache ablation: the "preferences as SQL" deployment.
+"""
+
+from __future__ import annotations
+
+from repro.appel.engine import AppelEngine
+from repro.bench.harness import ablation_experiment
+from repro.bench.reporting import format_ablation
+from repro.engines import GenericSqlMatchEngine, SqlMatchEngine
+
+
+class TestE7NativeEngineAblation:
+    def test_ablation_table(self, benchmark, corpus, suite):
+        result = benchmark.pedantic(
+            ablation_experiment, args=(corpus[:10], suite),
+            rounds=1, iterations=1,
+        )
+        print()
+        print(format_ablation(result))
+
+        # The profiling claim: per-match preparation (render + parse +
+        # schema-document augmentation) dominates the native engine.
+        assert result.augmentation_share > 0.5
+        # Augmentation alone (vs no-augment) is the biggest single factor.
+        assert result.native_full.average > \
+            2 * result.native_no_augment.average
+        # Schema ablation: Figure 14 beats Figure 8.
+        assert result.sql_optimized.average < result.sql_generic.average
+
+    def test_prepare_full(self, benchmark, corpus):
+        """Document preparation with augmentation (per-match cost)."""
+        engine = AppelEngine(augment=True)
+        benchmark(engine.prepare, corpus[9])
+
+    def test_prepare_without_augmentation(self, benchmark, corpus):
+        engine = AppelEngine(augment=False)
+        benchmark(engine.prepare, corpus[9])
+
+    def test_match_on_prepared_document(self, benchmark, corpus, suite):
+        """Pure rule evaluation once preparation is amortized away."""
+        engine = AppelEngine()
+        prepared = engine.prepare(corpus[9])
+        benchmark(engine.evaluate_prepared, prepared, suite["High"])
+
+
+class TestE7SchemaAblation:
+    def test_optimized_schema_match(self, benchmark, corpus, suite):
+        engine = SqlMatchEngine()
+        handle = engine.install(corpus[9])
+        engine.warm_up(handle, suite["High"])
+        benchmark(engine.match, handle, suite["High"])
+
+    def test_generic_schema_match(self, benchmark, corpus, suite):
+        engine = GenericSqlMatchEngine()
+        handle = engine.install(corpus[9])
+        engine.warm_up(handle, suite["High"])
+        benchmark(engine.match, handle, suite["High"])
+
+    def test_generic_schema_agrees_with_optimized(self, corpus, suite):
+        optimized = SqlMatchEngine()
+        generic = GenericSqlMatchEngine()
+        for policy in corpus[:6]:
+            h1 = optimized.install(policy)
+            h2 = generic.install(policy)
+            for preference in suite.values():
+                a = optimized.match(h1, preference)
+                b = generic.match(h2, preference)
+                assert (a.behavior, a.rule_index) == \
+                    (b.behavior, b.rule_index)

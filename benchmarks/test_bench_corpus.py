@@ -1,0 +1,59 @@
+"""E1 / E2 — workload statistics (Section 6.2 dataset, Figure 19 table).
+
+Regenerates and prints both workload tables, asserts the calibration
+targets, and benchmarks the generators themselves (corpus generation is
+part of every experiment's setup cost).
+"""
+
+from __future__ import annotations
+
+from repro.appel.analysis import ruleset_stats
+from repro.bench.reporting import (
+    format_dataset_stats,
+    format_preference_stats,
+)
+from repro.corpus.policies import corpus_statistics, fortune_corpus
+from repro.corpus.preferences import jrc_suite
+
+
+class TestE1DatasetStats:
+    def test_corpus_generation(self, benchmark, corpus):
+        """Benchmark generating the 29-policy corpus from scratch."""
+        policies = benchmark(fortune_corpus)
+        stats = corpus_statistics(policies)
+
+        print()
+        print(format_dataset_stats(stats))
+
+        # Section 6.2 calibration targets.
+        assert stats.policy_count == 29
+        assert stats.total_statements == 54
+        assert 1.0 <= stats.min_kb <= 2.5
+        assert 9.0 <= stats.max_kb <= 14.0
+        assert 2.5 <= stats.avg_kb <= 5.5
+
+    def test_corpus_statistics_cost(self, benchmark, corpus):
+        """Statistics require serializing all 29 policies."""
+        stats = benchmark(corpus_statistics, corpus)
+        assert stats.policy_count == 29
+
+
+class TestE2PreferenceStats:
+    def test_suite_generation(self, benchmark):
+        """Benchmark building the five-level suite."""
+        suite = benchmark(jrc_suite)
+
+        rows = [
+            (level, ruleset_stats(rs).rule_count,
+             ruleset_stats(rs).size_kb)
+            for level, rs in suite.items()
+        ]
+        print()
+        print(format_preference_stats(rows))
+
+        # Figure 19's rule counts, exactly.
+        assert [rules for _, rules, _ in rows] == [10, 7, 4, 2, 1]
+        # Sizes decrease monotonically from Very High to Very Low apart
+        # from the Medium/High inversion tolerance.
+        sizes = {level: size for level, _, size in rows}
+        assert sizes["Very High"] > sizes["Low"] > sizes["Very Low"]

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Client-centric vs server-centric vs hybrid, on the same browsing session.
+
+Reproduces the trade-offs of Section 4.2 quantitatively:
+
+* all three architectures reach identical decisions;
+* the client-centric agent downloads the policy and re-processes it
+  (including category augmentation) on every check — the Figure 20 gap;
+* the hybrid keeps the reference file client-side but checks in SQL.
+
+Also prints a miniature Figure 20 over the synthetic corpus.
+
+Run:  python examples/architecture_comparison.py
+"""
+
+import statistics
+import time
+
+from repro import PolicyServer, parse_policy
+from repro.bench.harness import figure20, run_matching_grid
+from repro.bench.reporting import format_figure20
+from repro.corpus.policies import fortune_corpus
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import VOLGA_POLICY_XML, VOLGA_REFERENCE_XML
+from repro.p3p.reference import parse_reference_file
+from repro.server import ClientAgent, HybridAgent, Site
+
+HOST = "volga.example.com"
+PAGES = [f"/aisle/{i}" for i in range(20)]
+
+
+def build_world():
+    policy = parse_policy(VOLGA_POLICY_XML)
+    server = PolicyServer()
+    server.install_policy(policy, site=HOST)
+    server.install_reference_file(VOLGA_REFERENCE_XML, HOST)
+    site = Site(host=HOST,
+                reference_file=parse_reference_file(VOLGA_REFERENCE_XML),
+                policies={"volga": policy})
+    return server, site
+
+
+def browse_with_client(site, preference):
+    agent = ClientAgent(preference)
+    times, decisions = [], []
+    for page in PAGES:
+        result = agent.check(site, page)
+        times.append(result.elapsed_seconds)
+        decisions.append(result.behavior)
+    return times, decisions, site.total_fetches
+
+
+def browse_with_server(server, preference):
+    times, decisions = [], []
+    for page in PAGES:
+        result = server.check(HOST, page, preference)
+        times.append(result.elapsed_seconds)
+        decisions.append(result.behavior)
+    return times, decisions
+
+
+def browse_with_hybrid(server, site, preference):
+    agent = HybridAgent(preference, server)
+    times, decisions = [], []
+    for page in PAGES:
+        result = agent.check(site, page)
+        times.append(result.elapsed_seconds)
+        decisions.append(result.behavior)
+    return times, decisions
+
+
+def main() -> None:
+    suite = jrc_suite()
+    preference = suite["High"]
+
+    server, site = build_world()
+    client_times, client_decisions, fetches = browse_with_client(
+        site, preference)
+
+    server, site = build_world()
+    server_times, server_decisions = browse_with_server(server, preference)
+
+    hybrid_server, site = build_world()
+    hybrid_times, hybrid_decisions = browse_with_hybrid(
+        hybrid_server, site, preference)
+
+    assert client_decisions == server_decisions == hybrid_decisions
+    print(f"Browsing session: {len(PAGES)} pages at {HOST}, "
+          f"preference level High")
+    print(f"  decisions identical across architectures: "
+          f"{set(client_decisions)}")
+    print(f"  client-centric : {statistics.fmean(client_times)*1000:7.2f} "
+          f"ms/check, {fetches} document fetches")
+    print(f"  server-centric : {statistics.fmean(server_times)*1000:7.2f} "
+          f"ms/check, 0 document fetches")
+    print(f"  hybrid         : {statistics.fmean(hybrid_times)*1000:7.2f} "
+          f"ms/check, 1 reference-file fetch")
+
+    print("\nMiniature Figure 20 over the 29-policy corpus "
+          "(this takes a few seconds)...")
+    start = time.perf_counter()
+    samples = run_matching_grid(fortune_corpus(), suite, repeat=1)
+    print(format_figure20(figure20(samples)))
+    print(f"(grid of {len(samples)} matches in "
+          f"{time.perf_counter() - start:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""A server-centric P3P deployment for a multi-site hosting provider.
+
+Demonstrates the operational advantages Section 4.2 claims for the
+proposed architecture:
+
+* one database serves many sites' policies and reference files;
+* thin clients just send APPEL — translation and matching happen in SQL;
+* the server's check log gives site owners **conflict analytics** the
+  client-centric architecture cannot provide;
+* a policy revision is a versioned database update, and its effect on the
+  user population is immediately measurable.
+
+Run:  python examples/bookstore_server.py
+"""
+
+from dataclasses import replace
+
+from repro import PolicyServer, parse_policy
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import VOLGA_POLICY_XML, VOLGA_REFERENCE_XML
+from repro.p3p.model import PurposeValue
+from repro.server import blocking_rules, policy_conflicts, uncovered_uris
+
+SITES = {
+    "volga.example.com": VOLGA_POLICY_XML,
+    # A site that telemarkets without consent — privacy-conscious users
+    # will block it.
+    "pushy.example.com": VOLGA_POLICY_XML.replace(
+        '<individual-decision required="opt-in"/>',
+        "<telemarketing/>",
+    ).replace('name="volga"', 'name="pushy"'),
+}
+
+#: Simulated user population: how many users run each preference level.
+POPULATION = {
+    "Very High": 5,
+    "High": 10,
+    "Medium": 25,
+    "Low": 40,
+    "Very Low": 20,
+}
+
+
+def build_server() -> PolicyServer:
+    server = PolicyServer()
+    for host, policy_xml in SITES.items():
+        policy = parse_policy(policy_xml)
+        server.install_policy(policy, site=host)
+        server.install_reference_file(
+            VOLGA_REFERENCE_XML
+            .replace("volga.example.com", host)
+            .replace("#volga", f"#{policy.name}"),
+            host,
+        )
+    return server
+
+
+def simulate_traffic(server: PolicyServer) -> None:
+    suite = jrc_suite()
+    for host in SITES:
+        for level, users in POPULATION.items():
+            preference = suite[level]
+            for user in range(users):
+                server.check(host, f"/shop/item{user % 7}", preference)
+        # A few requests to the ungoverned legacy area.
+        server.check(host, "/legacy/archive", suite["Low"])
+
+
+def print_owner_dashboard(server: PolicyServer) -> None:
+    print(f"\n{server.check_count()} checks logged; "
+          f"{server.cache_size()} cached preference translations")
+    print("\nPer-policy conflict report (what client-centric P3P "
+          "cannot tell a site owner):")
+    for report in policy_conflicts(server.db):
+        print(f"  policy {report.policy_name!r}: {report.checks} checks, "
+              f"{report.blocks} blocks ({report.block_rate:.0%}), "
+              f"{report.distinct_preferences} distinct preferences")
+        for rule in blocking_rules(server.db, report.policy_id):
+            print(f"    blocked by preference rule #{rule.rule_index} "
+                  f"x{rule.fires}")
+    gaps = uncovered_uris(server.db, limit=3)
+    if gaps:
+        print("\nURIs with no covering policy (deployment gaps):")
+        for uri, hits in gaps:
+            print(f"  {uri}  ({hits} requests)")
+
+
+def revise_policy(server: PolicyServer) -> None:
+    """The pushy site reacts to its block rate: telemarketing becomes
+    opt-in, installed as version 2."""
+    print("\n--- pushy.example.com revises its policy "
+          "(telemarketing -> opt-in) ---")
+    old = server.versions.active_policy("pushy")
+    fixed_statements = tuple(
+        replace(
+            statement,
+            purposes=tuple(
+                PurposeValue(p.name, "opt-in")
+                if p.name == "telemarketing" else p
+                for p in statement.purposes
+            ),
+        )
+        for statement in old.statements
+    )
+    server.install_policy(replace(old, opturi="http://pushy.example.com/opt",
+                                  statements=fixed_statements),
+                          site="pushy.example.com")
+    server.install_reference_file(
+        VOLGA_REFERENCE_XML
+        .replace("volga.example.com", "pushy.example.com")
+        .replace("#volga", "#pushy"),
+        "pushy.example.com",
+    )
+    versions = server.versions.history("pushy")
+    print("  version history:",
+          [(v.version, "active" if v.active else "superseded")
+           for v in versions])
+
+    suite = jrc_suite()
+    before_after = {}
+    for level in ("Very High", "High", "Medium"):
+        result = server.check("pushy.example.com", "/shop/item0",
+                              suite[level])
+        before_after[level] = result.behavior
+    print("  decisions against version 2:", before_after)
+
+
+def main() -> None:
+    server = build_server()
+    simulate_traffic(server)
+    print_owner_dashboard(server)
+    revise_policy(server)
+    print("\nOK: server-centric deployment with analytics and versioning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compact P3P policies and the IE6-style cookie gate (paper Section 3.2).
+
+Internet Explorer 6 "allows the website to place a cookie only if the site
+provides a compact version of the applicable P3P privacy policy, and that
+policy is compatible with the user's preference".  This script encodes the
+synthetic corpus into compact policies (`P3P: CP="..."` header tokens),
+runs an IE6-style acceptance rule over them, and compares the coarse
+token-level decision with the full APPEL check — showing where the lossy
+compact encoding is stricter than the real policy warrants.
+
+Run:  python examples/cookie_compact_policies.py
+"""
+
+from repro import AppelEngine
+from repro.corpus.policies import fortune_corpus
+from repro.corpus.preferences import high_preference
+from repro.p3p.compact import (
+    CookiePreference,
+    decode_compact,
+    encode_compact,
+)
+
+
+def main() -> None:
+    corpus = fortune_corpus()
+    gate = CookiePreference(
+        blocked_purposes=frozenset({"telemarketing", "other-purpose",
+                                    "individual-decision"}),
+        blocked_recipients=frozenset({"unrelated", "public"}),
+    )
+    engine = AppelEngine()
+    full_preference = high_preference()
+
+    print(f"{'site':22s} {'compact tokens':>14s} {'cookie?':>8s} "
+          f"{'full check':>11s}")
+    accepted = rejected = disagreements = 0
+    for policy in corpus:
+        compact_text = encode_compact(policy)
+        compact = decode_compact(compact_text)
+        cookie_ok = gate.accepts(compact)
+        full = engine.evaluate(policy, full_preference).behavior
+        full_ok = full != "block"
+
+        if cookie_ok:
+            accepted += 1
+        else:
+            rejected += 1
+        if cookie_ok != full_ok:
+            disagreements += 1
+        marker = "" if cookie_ok == full_ok else "  <-- differs"
+        print(f"{policy.name:22s} {len(compact_text.split()):14d} "
+              f"{'yes' if cookie_ok else 'NO':>8s} "
+              f"{'allow' if full_ok else 'BLOCK':>11s}{marker}")
+
+    print(f"\ncookies accepted: {accepted}, rejected: {rejected}")
+    print(f"token-level vs full-policy disagreements: {disagreements} "
+          "(the information compact policies lose)")
+
+    example = corpus[0]
+    print(f"\nExample header for {example.name}:")
+    print(f'  P3P: CP="{encode_compact(example)}"')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The deployment tools of Section 3.3, as a library workflow.
+
+The paper surveys the tooling ecosystem: P3PEdit and the Tivoli wizard
+generate *policies* from questionnaires; the JRC APPEL editor builds
+*preferences* from predefined rules.  This script plays a hosting
+provider's onboarding flow:
+
+1. a site owner answers the policy wizard's questions,
+2. a user composes a preference from named rule templates,
+3. the server checks them against each other (with an explanation trace),
+4. the owner revises the policy and reviews the structured diff.
+
+Run:  python examples/preference_studio.py
+"""
+
+from dataclasses import replace
+
+from repro.appel import compose_preference, template_keys
+from repro.appel.explain import ExplainingEngine
+from repro.p3p import PolicyAnswers, build_policy, serialize_policy
+from repro.p3p.diff import diff_policies
+from repro.p3p.model import PurposeValue
+
+
+def main() -> None:
+    # -- 1. The site owner's questionnaire ------------------------------
+    answers = PolicyAnswers(
+        company_name="Northwind Books",
+        homepage="http://books.example.com",
+        collects_payment_data=True,
+        does_marketing=True,
+        marketing_needs_consent=False,   # oops — no opt-in offered
+        does_analytics=True,
+    )
+    policy = build_policy(answers)
+    print(f"Wizard produced policy {policy.name!r} with "
+          f"{policy.statement_count()} statements "
+          f"({len(serialize_policy(policy)) / 1024:.1f} KB of XML)")
+
+    # -- 2. The user's preference, from templates ------------------------
+    print("\nAvailable rule templates:", ", ".join(template_keys()))
+    preference = compose_preference(
+        ["no-uncontrolled-marketing", "no-third-parties",
+         "require-disputes"],
+        description="cautious shopper",
+    )
+    print(f"Composed preference with {preference.rule_count()} rules")
+
+    # -- 3. Check, with explanation --------------------------------------
+    engine = ExplainingEngine()
+    explanation = engine.explain(policy, preference)
+    print(f"\nDecision: {explanation.behavior!r} "
+          f"(rule {explanation.rule_index})")
+    print(explanation.rules[explanation.rule_index].render())
+
+    # -- 4. Revise and diff -----------------------------------------------
+    print("\nThe owner adds opt-in to marketing and re-publishes...")
+    fixed_statements = tuple(
+        replace(statement, purposes=tuple(
+            PurposeValue(p.name, "opt-in")
+            if p.name in ("contact", "individual-decision") else p
+            for p in statement.purposes))
+        for statement in policy.statements
+    )
+    revised = replace(policy,
+                      opturi="http://books.example.com/opt.html",
+                      statements=fixed_statements)
+
+    diff = diff_policies(policy, revised)
+    print("What changed:")
+    print(diff.render())
+    print(f"tightens privacy: {diff.tightens_privacy()}")
+
+    outcome = engine.explain(revised, preference)
+    print(f"\nDecision against the revision: {outcome.behavior!r}")
+    assert outcome.behavior == "request"
+    print("OK: the cautious shopper now accepts Northwind Books.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""repro — server-centric P3P on database technology.
+
+A full reproduction of *Implementing P3P Using Database Technology*
+(Agrawal, Kiernan, Srikant, Xu — ICDE 2003): P3P policy and APPEL
+preference libraries, relational shredding (generic and optimized
+schemas), APPEL->SQL and APPEL->XQuery translation, a mini XQuery engine
+with an XTABLE-style SQL compiler, the four matching engines the paper
+compares, the server/client/hybrid deployment architectures, and a
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import PolicyServer, parse_policy, parse_ruleset
+
+    server = PolicyServer()
+    server.install_policy(parse_policy(policy_xml), site="shop.example.com")
+    server.install_reference_file(reference_xml, site="shop.example.com")
+    result = server.check("shop.example.com", "/checkout",
+                          parse_ruleset(appel_xml))
+    print(result.behavior)   # "request" or "block"
+"""
+
+from repro.appel import (
+    AppelEngine,
+    Expression,
+    Rule,
+    Ruleset,
+    expression,
+    parse_ruleset,
+    rule,
+    ruleset,
+    ruleset_stats,
+    serialize_ruleset,
+    validate_ruleset,
+)
+from repro.engines import (
+    GenericSqlMatchEngine,
+    MatchEngine,
+    MatchOutcome,
+    NativeAppelMatchEngine,
+    SqlMatchEngine,
+    XQueryNativeMatchEngine,
+    XTableMatchEngine,
+    all_engines,
+    standard_engines,
+)
+from repro.errors import (
+    AppelParseError,
+    PolicyParseError,
+    PolicyValidationError,
+    ReproError,
+    StorageError,
+    TranslationError,
+    TranslationTooComplexError,
+    VocabularyError,
+    XQuerySyntaxError,
+)
+from repro.p3p import (
+    CookiePreference,
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    ReferenceFile,
+    Statement,
+    decode_compact,
+    encode_compact,
+    parse_policy,
+    parse_reference_file,
+    serialize_policy,
+    validate_policy,
+)
+from repro.server import (
+    CheckResult,
+    ClientAgent,
+    HybridAgent,
+    PolicyServer,
+    Site,
+)
+from repro.storage import (
+    Database,
+    GenericPolicyStore,
+    PolicyStore,
+    ReferenceStore,
+    VersionedPolicyStore,
+    reconstruct_policy,
+)
+from repro.translate import (
+    GenericSqlTranslator,
+    OptimizedSqlTranslator,
+    XQueryTranslator,
+    applicable_policy_literal,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # P3P
+    "Policy", "Statement", "PurposeValue", "RecipientValue", "DataItem",
+    "parse_policy", "serialize_policy", "validate_policy",
+    "ReferenceFile", "parse_reference_file",
+    "encode_compact", "decode_compact", "CookiePreference",
+    # APPEL
+    "Ruleset", "Rule", "Expression", "ruleset", "rule", "expression",
+    "parse_ruleset", "serialize_ruleset", "ruleset_stats",
+    "validate_ruleset", "AppelEngine",
+    # storage
+    "Database", "PolicyStore", "GenericPolicyStore", "ReferenceStore",
+    "VersionedPolicyStore", "reconstruct_policy",
+    # translation
+    "OptimizedSqlTranslator", "GenericSqlTranslator", "XQueryTranslator",
+    "applicable_policy_literal",
+    # engines
+    "MatchEngine", "MatchOutcome", "NativeAppelMatchEngine",
+    "SqlMatchEngine", "GenericSqlMatchEngine", "XQueryNativeMatchEngine",
+    "XTableMatchEngine", "standard_engines", "all_engines",
+    # server
+    "PolicyServer", "CheckResult", "Site", "ClientAgent", "HybridAgent",
+    # errors
+    "ReproError", "PolicyParseError", "PolicyValidationError",
+    "AppelParseError", "VocabularyError", "StorageError",
+    "TranslationError", "TranslationTooComplexError", "XQuerySyntaxError",
+]

@@ -1,0 +1,68 @@
+"""APPEL preference library: model, XML parse/serialize, static analysis,
+and the native matching engine (the paper's client-centric baseline)."""
+
+from repro.appel.analysis import (
+    RulesetProblem,
+    RulesetStats,
+    ruleset_stats,
+    validate_ruleset,
+)
+from repro.appel.engine import (
+    AppelEngine,
+    EvaluationResult,
+    PreparedPolicy,
+    SchemaDocumentResolver,
+    augment_document,
+)
+from repro.appel.explain import (
+    ExplainingEngine,
+    ExpressionTrace,
+    MatchExplanation,
+    RuleTrace,
+)
+from repro.appel.model import (
+    Expression,
+    Rule,
+    Ruleset,
+    expression,
+    rule,
+    ruleset,
+)
+from repro.appel.parser import parse_rule, parse_ruleset
+from repro.appel.templates import (
+    TEMPLATES,
+    RuleTemplate,
+    compose_preference,
+    template_keys,
+)
+from repro.appel.serializer import ruleset_to_element, serialize_ruleset
+
+__all__ = [
+    "Expression",
+    "Rule",
+    "Ruleset",
+    "expression",
+    "rule",
+    "ruleset",
+    "parse_ruleset",
+    "parse_rule",
+    "serialize_ruleset",
+    "ruleset_to_element",
+    "AppelEngine",
+    "EvaluationResult",
+    "PreparedPolicy",
+    "SchemaDocumentResolver",
+    "augment_document",
+    "ExplainingEngine",
+    "MatchExplanation",
+    "RuleTrace",
+    "ExpressionTrace",
+    "ruleset_stats",
+    "validate_ruleset",
+    "RulesetStats",
+    "RulesetProblem",
+    "TEMPLATES",
+    "RuleTemplate",
+    "compose_preference",
+    "template_keys",
+]

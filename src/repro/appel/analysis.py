@@ -1,0 +1,156 @@
+"""Static analysis of APPEL rulesets: statistics and sanity checks.
+
+:func:`ruleset_stats` provides the numbers reported in the paper's
+Figure 19 (rule count, serialized size in KB) plus structural metrics used
+by the benchmark reports; :func:`validate_ruleset` flags patterns that can
+never match the P3P vocabulary (misspelled element names, impossible
+attribute values), which is the ruleset-side analogue of policy validation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.appel.model import Expression, Ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.vocab import schema as p3p_schema
+from repro.vocab import terms
+
+
+@dataclass(frozen=True)
+class RulesetStats:
+    """Summary statistics for one ruleset (the Figure 19 row shape)."""
+
+    rule_count: int
+    size_bytes: int
+    expression_count: int
+    max_depth: int
+    connective_census: tuple[tuple[str, int], ...]
+    behaviors: tuple[str, ...]
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1024.0
+
+
+def ruleset_stats(ruleset: Ruleset) -> RulesetStats:
+    """Compute the statistics reported for each preference in Figure 19."""
+    serialized = serialize_ruleset(ruleset)
+    expression_count = 0
+    max_depth = 0
+    census: Counter[str] = Counter()
+
+    def visit(expr: Expression, depth: int) -> None:
+        nonlocal expression_count, max_depth
+        expression_count += 1
+        max_depth = max(max_depth, depth)
+        if expr.subexpressions:
+            census[expr.connective] += 1
+        for sub in expr.subexpressions:
+            visit(sub, depth + 1)
+
+    for rule in ruleset.rules:
+        for expr in rule.expressions:
+            visit(expr, 1)
+
+    return RulesetStats(
+        rule_count=ruleset.rule_count(),
+        size_bytes=len(serialized.encode("utf-8")),
+        expression_count=expression_count,
+        max_depth=max_depth,
+        connective_census=tuple(sorted(census.items())),
+        behaviors=ruleset.behaviors(),
+    )
+
+
+@dataclass(frozen=True)
+class RulesetProblem:
+    """One finding from ruleset validation."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.location}: {self.message}"
+
+
+def validate_ruleset(ruleset: Ruleset) -> list[RulesetProblem]:
+    """Check *ruleset* for patterns that cannot match any P3P policy."""
+    problems: list[RulesetProblem] = []
+
+    if not ruleset.has_catch_all():
+        problems.append(
+            RulesetProblem(
+                "warning", "ruleset",
+                "no catch-all rule: some policies will match no rule",
+            )
+        )
+
+    for rule_index, rule in enumerate(ruleset.rules):
+        location = f"rule[{rule_index}]"
+        if rule.behavior not in terms.BEHAVIOR_SET:
+            problems.append(
+                RulesetProblem(
+                    "warning", location,
+                    f"non-standard behavior {rule.behavior!r}",
+                )
+            )
+        for expr in rule.expressions:
+            problems.extend(_validate_expression(expr, location))
+        if rule.is_catch_all() and rule_index != len(ruleset.rules) - 1:
+            problems.append(
+                RulesetProblem(
+                    "warning", location,
+                    "catch-all rule is not last: later rules are dead",
+                )
+            )
+    return problems
+
+
+def _validate_expression(expr: Expression,
+                         location: str) -> list[RulesetProblem]:
+    problems: list[RulesetProblem] = []
+    here = f"{location}/{expr.name}"
+
+    spec = p3p_schema.CATALOG.get(expr.name)
+    if spec is None:
+        problems.append(
+            RulesetProblem(
+                "error", here,
+                f"pattern element {expr.name!r} is not in the P3P "
+                "vocabulary: this expression can never match",
+            )
+        )
+    else:
+        for name, value in expr.attributes:
+            attr_spec = spec.attribute(name)
+            if attr_spec is None:
+                problems.append(
+                    RulesetProblem(
+                        "error", here,
+                        f"element {expr.name!r} has no attribute {name!r}",
+                    )
+                )
+            elif attr_spec.values is not None and value not in attr_spec.values:
+                problems.append(
+                    RulesetProblem(
+                        "error", here,
+                        f"attribute {name!r} can never equal {value!r}",
+                    )
+                )
+        allowed_children = frozenset(spec.children)
+        for sub in expr.subexpressions:
+            if (sub.name in p3p_schema.CATALOG
+                    and sub.name not in allowed_children):
+                problems.append(
+                    RulesetProblem(
+                        "error", here,
+                        f"{sub.name!r} can never occur under {expr.name!r}",
+                    )
+                )
+
+    for sub in expr.subexpressions:
+        problems.extend(_validate_expression(sub, here))
+    return problems

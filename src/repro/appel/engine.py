@@ -1,0 +1,306 @@
+"""The native APPEL engine — the client-centric baseline of the paper.
+
+This engine mirrors the structure of the public-domain JRC APPEL engine the
+paper benchmarks against (Section 6.1): it is *document oriented*.  For
+every match it
+
+1. renders the policy to an XML document (a client receives documents, not
+   parsed models),
+2. parses it,
+3. **augments every DATA element with the categories predefined in the P3P
+   base data schema** — the step the paper's profiling found to dominate
+   the native engine's cost (Section 6.3.2), and
+4. evaluates the ruleset's rules in order against the augmented document,
+   returning the behavior of the first rule that fires.
+
+The server-centric SQL implementation performs step 3 once at shred time,
+which is precisely the asymmetry behind the paper's headline speedup.
+
+:class:`PreparedPolicy` captures steps 1–3 so ablation benchmarks (E7) can
+measure how much of the per-match cost they account for.
+"""
+
+from __future__ import annotations
+
+import time
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from repro import xmlutil
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.errors import AppelEvaluationError
+from repro.p3p.model import Policy
+from repro.p3p.serializer import serialize_policy
+from repro.vocab import basedata
+from repro.vocab import schema as p3p_schema
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of matching a ruleset against a policy.
+
+    ``behavior`` is None when no rule fired (the APPEL draft requires
+    rulesets to end with a catch-all, so None indicates a non-conforming
+    ruleset rather than a decision).
+    """
+
+    behavior: str | None
+    rule_index: int | None
+    prepare_seconds: float = 0.0
+    match_seconds: float = 0.0
+
+    @property
+    def fired(self) -> bool:
+        return self.rule_index is not None
+
+
+@dataclass(frozen=True)
+class PreparedPolicy:
+    """A policy document that has already been parsed and augmented."""
+
+    root: ET.Element
+    categories_added: int
+
+
+class SchemaDocumentResolver:
+    """Category resolution the way a document-oriented client does it.
+
+    The JRC engine resolved categories by processing the published base
+    data schema *document* rather than a pre-built index: it parses the
+    DATASCHEMA XML and, for each DATA reference, scans the DATA-STRUCT
+    elements whose names fall in the referenced subtree, collecting their
+    category assignments.  Instantiating one resolver corresponds to one
+    schema-processing pass — the per-match cost the paper's profiling
+    found dominant (Section 6.3.2).
+    """
+
+    def __init__(self, schema_xml: str | None = None):
+        if schema_xml is None:
+            schema_xml = basedata.base_schema_document()
+        self._root = xmlutil.parse_string(schema_xml)
+
+    def categories_for(self, ref: str) -> frozenset[str]:
+        """Union of categories over the subtree the reference names."""
+        name = ref[1:] if ref.startswith("#") else ref
+        prefix = name + "."
+        collected: set[str] = set()
+        for struct in self._root:
+            struct_name = struct.get("name", "")
+            if struct_name != name and not struct_name.startswith(prefix):
+                continue
+            categories_el = xmlutil.find_child(struct, "CATEGORIES")
+            if categories_el is not None:
+                collected.update(
+                    xmlutil.local_name(child.tag)
+                    for child in categories_el
+                )
+        return frozenset(collected)
+
+    def knows(self, ref: str) -> bool:
+        name = ref[1:] if ref.startswith("#") else ref
+        return any(struct.get("name") == name for struct in self._root)
+
+
+def augment_document(root: ET.Element,
+                     resolver: SchemaDocumentResolver | None = None,
+                     registry=None) -> int:
+    """Add data-schema categories to every DATA element under *root*.
+
+    Returns the number of category elements added.  Unresolvable refs are
+    left untouched; variable-category refs only have their inline
+    categories.
+
+    Without a *resolver*, base-schema categories come from the in-memory
+    index (the cheap path the shredder effectively uses); with one, they
+    come from scanning the schema document, the client-side cost model.
+    Both produce identical categories.  Custom-schema refs
+    (``uri#name``) resolve through *registry* when provided (a
+    :class:`~repro.vocab.dataschema.DataSchemaRegistry`).
+    """
+    added = 0
+    for data_el in _iter_named(root, "DATA"):
+        ref = xmlutil.local_attrib(data_el).get("ref")
+        if ref is None:
+            continue
+        is_custom = "#" in ref and not ref.startswith("#")
+        if is_custom:
+            if registry is None or not registry.is_known_ref(ref):
+                continue
+            fixed = registry.categories_for_ref(ref)
+        elif resolver is not None:
+            if not resolver.knows(ref):
+                continue
+            fixed = resolver.categories_for(ref)
+        else:
+            if not basedata.is_known_ref(ref):
+                continue
+            fixed = basedata.categories_for_ref(ref)
+        if not fixed:
+            continue
+        categories_el = xmlutil.find_child(data_el, "CATEGORIES")
+        if categories_el is None:
+            categories_el = ET.SubElement(data_el, "CATEGORIES")
+        existing = {
+            xmlutil.local_name(child.tag) for child in categories_el
+        }
+        for category in sorted(fixed - existing):
+            ET.SubElement(categories_el, category)
+            added += 1
+    return added
+
+
+def _iter_named(root: ET.Element, name: str) -> list[ET.Element]:
+    found: list[ET.Element] = []
+
+    def visit(element: ET.Element) -> None:
+        if xmlutil.local_name(element.tag) == name:
+            found.append(element)
+        for child in element:
+            visit(child)
+
+    visit(root)
+    return found
+
+
+class AppelEngine:
+    """Reference implementation of APPEL 1.0 rule matching.
+
+    ``augment=False`` skips the category augmentation step (used by the E7
+    ablation benchmark to reproduce the paper's profiling claim).
+    """
+
+    def __init__(self, augment: bool = True, registry=None):
+        self.augment = augment
+        self.registry = registry  # DataSchemaRegistry for custom schemas
+
+    # -- preparation -------------------------------------------------------
+
+    def prepare(self, policy: Policy) -> PreparedPolicy:
+        """Render, parse, and (optionally) augment *policy*.
+
+        Augmentation deliberately re-processes the base data schema
+        document (a fresh :class:`SchemaDocumentResolver`) — that is what
+        the client-side engine the paper profiled did on every check, and
+        what the server-centric shredder does exactly once per policy.
+        """
+        document = serialize_policy(policy, indent=False)
+        root = xmlutil.parse_string(document)
+        added = 0
+        if self.augment:
+            resolver = SchemaDocumentResolver()
+            added = augment_document(root, resolver,
+                                     registry=self.registry)
+        return PreparedPolicy(root=root, categories_added=added)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, policy: Policy, ruleset: Ruleset) -> EvaluationResult:
+        """Match *ruleset* against *policy*, document-style (per-match prep)."""
+        start = time.perf_counter()
+        prepared = self.prepare(policy)
+        prep_done = time.perf_counter()
+        result = self.evaluate_prepared(prepared, ruleset)
+        end = time.perf_counter()
+        return EvaluationResult(
+            behavior=result.behavior,
+            rule_index=result.rule_index,
+            prepare_seconds=prep_done - start,
+            match_seconds=end - prep_done,
+        )
+
+    def evaluate_prepared(self, prepared: PreparedPolicy,
+                          ruleset: Ruleset) -> EvaluationResult:
+        """Match *ruleset* against an already prepared policy document."""
+        start = time.perf_counter()
+        for index, rule in enumerate(ruleset.rules):
+            if self._rule_fires(rule, prepared.root):
+                return EvaluationResult(
+                    behavior=rule.behavior,
+                    rule_index=index,
+                    match_seconds=time.perf_counter() - start,
+                )
+        return EvaluationResult(
+            behavior=None,
+            rule_index=None,
+            match_seconds=time.perf_counter() - start,
+        )
+
+    # -- rule matching ------------------------------------------------------
+
+    def _rule_fires(self, rule: Rule, root: ET.Element) -> bool:
+        if rule.is_catch_all():
+            return True
+        # Top-level expressions match against the evidence document's root.
+        results = [
+            self._match_against_root(expr, root)
+            for expr in rule.expressions
+        ]
+        return _combine(rule.connective, results,
+                        exact_ok=self._root_exact(rule, root))
+
+    def _match_against_root(self, expr: Expression,
+                            root: ET.Element) -> bool:
+        if xmlutil.local_name(root.tag) != expr.name:
+            return False
+        return self._match(expr, root)
+
+    def _root_exact(self, rule: Rule, root: ET.Element) -> bool:
+        listed = frozenset(expr.name for expr in rule.expressions)
+        return xmlutil.local_name(root.tag) in listed
+
+    def _match(self, expr: Expression, element: ET.Element) -> bool:
+        """Does policy element *element* satisfy pattern *expr*?"""
+        if not self._attributes_match(expr, element):
+            return False
+        if not expr.subexpressions:
+            return True
+
+        results = [
+            self._some_child_matches(sub, element)
+            for sub in expr.subexpressions
+        ]
+        listed = expr.subexpression_names()
+        exact_ok = all(
+            xmlutil.local_name(child.tag) in listed for child in element
+        )
+        return _combine(expr.connective, results, exact_ok)
+
+    def _some_child_matches(self, sub: Expression,
+                            element: ET.Element) -> bool:
+        for child in element:
+            if xmlutil.local_name(child.tag) != sub.name:
+                continue
+            if self._match(sub, child):
+                return True
+        return False
+
+    def _attributes_match(self, expr: Expression,
+                          element: ET.Element) -> bool:
+        attrib = xmlutil.local_attrib(element)
+        spec = p3p_schema.CATALOG.get(xmlutil.local_name(element.tag))
+        for name, wanted in expr.attributes:
+            actual = attrib.get(name)
+            if actual is None and spec is not None:
+                attr_spec = spec.attribute(name)
+                if attr_spec is not None:
+                    actual = attr_spec.default
+            if actual != wanted:
+                return False
+        return True
+
+
+def _combine(connective: str, results: list[bool], exact_ok: bool) -> bool:
+    """Combine subexpression outcomes under an APPEL connective."""
+    if connective == "and":
+        return all(results)
+    if connective == "or":
+        return any(results)
+    if connective == "non-and":
+        return not all(results)
+    if connective == "non-or":
+        return not any(results)
+    if connective == "and-exact":
+        return all(results) and exact_ok
+    if connective == "or-exact":
+        return any(results) and exact_ok
+    raise AppelEvaluationError(f"unknown connective: {connective!r}")

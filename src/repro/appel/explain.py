@@ -1,0 +1,230 @@
+"""Explainable APPEL matching: *why* did a rule fire (or not)?
+
+The conflict analytics of the server-centric architecture (Section 4.2)
+tell a site owner *which* preference rules block their policy; this module
+answers the next question — *which policy elements* triggered the match.
+It evaluates a ruleset exactly like :class:`~repro.appel.engine.AppelEngine`
+but records a trace tree of every expression test.
+
+The trace semantics are identical to the engine's (shared test suite +
+agreement assertions), just slower; use the plain engine for matching and
+this one for debugging and reporting.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro import xmlutil
+from repro.appel.engine import AppelEngine, PreparedPolicy
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.p3p.model import Policy
+
+
+@dataclass
+class ExpressionTrace:
+    """Outcome of testing one expression at one level of the policy."""
+
+    expression: str          # e.g. 'PURPOSE[or]' or 'contact'
+    matched: bool
+    matched_against: str | None = None  # element path that satisfied it
+    attribute_failures: tuple[str, ...] = ()
+    children: list["ExpressionTrace"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        marker = "+" if self.matched else "-"
+        line = "  " * indent + f"{marker} {self.expression}"
+        if self.matched_against:
+            line += f"  (matched {self.matched_against})"
+        if self.attribute_failures:
+            line += "  [attr mismatch: " + ", ".join(
+                self.attribute_failures) + "]"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class RuleTrace:
+    """Outcome of one rule against the policy."""
+
+    rule_index: int
+    behavior: str
+    fired: bool
+    description: str | None
+    expressions: list[ExpressionTrace] = field(default_factory=list)
+
+    def render(self) -> str:
+        state = "FIRED" if self.fired else "did not fire"
+        header = f"rule {self.rule_index} ({self.behavior!r}) {state}"
+        if self.description:
+            header += f" — {self.description}"
+        lines = [header]
+        for trace in self.expressions:
+            lines.append(trace.render(1))
+        return "\n".join(lines)
+
+
+@dataclass
+class MatchExplanation:
+    """Full account of a ruleset evaluation."""
+
+    behavior: str | None
+    rule_index: int | None
+    rules: list[RuleTrace] = field(default_factory=list)
+
+    def render(self) -> str:
+        outcome = (f"outcome: {self.behavior!r} (rule {self.rule_index})"
+                   if self.rule_index is not None
+                   else "outcome: no rule fired")
+        return "\n\n".join([outcome] + [r.render() for r in self.rules])
+
+
+def _progress(trace: ExpressionTrace) -> int:
+    """How far a failing trace got (for picking the best near-miss)."""
+    score = 2 if trace.matched else 0
+    score += 1 if trace.attribute_failures else 0
+    return score + sum(_progress(child) for child in trace.children)
+
+
+class ExplainingEngine(AppelEngine):
+    """An AppelEngine that records a trace of every expression test."""
+
+    def explain(self, policy: Policy,
+                ruleset: Ruleset) -> MatchExplanation:
+        """Evaluate *ruleset* and return the full trace.
+
+        Rules after the first firing one are still traced (marked
+        not-fired by order), so site owners can see near-misses.
+        """
+        prepared = self.prepare(policy)
+        return self.explain_prepared(prepared, ruleset)
+
+    def explain_prepared(self, prepared: PreparedPolicy,
+                         ruleset: Ruleset) -> MatchExplanation:
+        explanation = MatchExplanation(behavior=None, rule_index=None)
+        for index, rule in enumerate(ruleset.rules):
+            trace = self._trace_rule(index, rule, prepared.root)
+            explanation.rules.append(trace)
+            if trace.fired and explanation.rule_index is None:
+                explanation.behavior = rule.behavior
+                explanation.rule_index = index
+        return explanation
+
+    # -- tracing ------------------------------------------------------------
+
+    def _trace_rule(self, index: int, rule: Rule,
+                    root: ET.Element) -> RuleTrace:
+        trace = RuleTrace(rule_index=index, behavior=rule.behavior,
+                          fired=False, description=rule.description)
+        if rule.is_catch_all():
+            trace.fired = True
+            trace.expressions.append(
+                ExpressionTrace(expression="<empty body>", matched=True,
+                                matched_against="any policy")
+            )
+            return trace
+
+        results = []
+        for expr in rule.expressions:
+            child = self._trace_against_root(expr, root)
+            trace.expressions.append(child)
+            results.append(child.matched)
+        from repro.appel.engine import _combine
+
+        trace.fired = _combine(rule.connective, results,
+                               self._root_exact(rule, root))
+        return trace
+
+    def _trace_against_root(self, expr: Expression,
+                            root: ET.Element) -> ExpressionTrace:
+        if xmlutil.local_name(root.tag) != expr.name:
+            return ExpressionTrace(
+                expression=self._label(expr), matched=False,
+            )
+        return self._trace(expr, root, path=expr.name)
+
+    def _trace(self, expr: Expression, element: ET.Element,
+               path: str) -> ExpressionTrace:
+        trace = ExpressionTrace(expression=self._label(expr), matched=False)
+
+        failures = self._attribute_failures(expr, element)
+        if failures:
+            trace.attribute_failures = tuple(failures)
+            return trace
+
+        if not expr.subexpressions:
+            trace.matched = True
+            trace.matched_against = path
+            return trace
+
+        results = []
+        for sub in expr.subexpressions:
+            child_trace = self._trace_children(sub, element, path)
+            trace.children.append(child_trace)
+            results.append(child_trace.matched)
+
+        listed = expr.subexpression_names()
+        exact_ok = all(
+            xmlutil.local_name(child.tag) in listed for child in element
+        )
+        from repro.appel.engine import _combine
+
+        trace.matched = _combine(expr.connective, results, exact_ok)
+        if trace.matched:
+            trace.matched_against = path
+        return trace
+
+    def _trace_children(self, sub: Expression, element: ET.Element,
+                        path: str) -> ExpressionTrace:
+        """Trace 'some child of element matches sub'.
+
+        On failure, the most *informative* failing candidate is kept: the
+        one that got furthest (most matched descendants, then most
+        attribute-level findings) — that is the near-miss a site owner
+        wants to see.
+        """
+        best: ExpressionTrace | None = None
+        position = 0
+        for child in element:
+            if xmlutil.local_name(child.tag) != sub.name:
+                continue
+            position += 1
+            candidate = self._trace(sub, child,
+                                    f"{path}/{sub.name}[{position}]")
+            if candidate.matched:
+                return candidate
+            if best is None or _progress(candidate) > _progress(best):
+                best = candidate
+        if best is not None:
+            return best
+        return ExpressionTrace(expression=self._label(sub), matched=False)
+
+    def _attribute_failures(self, expr: Expression,
+                            element: ET.Element) -> list[str]:
+        from repro.vocab import schema as p3p_schema
+
+        attrib = xmlutil.local_attrib(element)
+        spec = p3p_schema.CATALOG.get(xmlutil.local_name(element.tag))
+        failures = []
+        for name, wanted in expr.attributes:
+            actual = attrib.get(name)
+            if actual is None and spec is not None:
+                attr_spec = spec.attribute(name)
+                if attr_spec is not None:
+                    actual = attr_spec.default
+            if actual != wanted:
+                failures.append(f"{name}={wanted!r} (policy has {actual!r})")
+        return failures
+
+    @staticmethod
+    def _label(expr: Expression) -> str:
+        label = expr.name
+        if expr.attributes:
+            label += "[" + " ".join(
+                f'{n}="{v}"' for n, v in expr.attributes) + "]"
+        if expr.subexpressions:
+            label += f" <{expr.connective}>"
+        return label

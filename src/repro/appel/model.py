@@ -1,0 +1,159 @@
+"""Typed object model for APPEL 1.0 preference rulesets.
+
+An APPEL preference is an ordered list of rules (Section 2.2 of the paper).
+Each rule has a *behavior* (the action when the rule fires) and a *body*:
+a pattern of expressions mirroring the P3P policy structure.  Every
+expression carries a *connective* that combines its subexpressions:
+
+========== =============================================================
+and        all contained expressions found in the policy (default)
+or         one or more contained expressions found
+non-and    not all contained expressions found
+non-or     none of the contained expressions found
+and-exact  ``and`` + the policy contains only elements listed in the rule
+or-exact   ``or`` + the policy contains only elements listed in the rule
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AppelParseError
+from repro.vocab import terms
+
+
+@dataclass(frozen=True)
+class Expression:
+    """One pattern element of a rule body (e.g. a STATEMENT or ``<admin/>``).
+
+    ``attributes`` are the non-APPEL attributes that must match the policy
+    element (after default resolution); ``connective`` governs how
+    ``subexpressions`` are combined.
+    """
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+    connective: str = terms.CONNECTIVE_DEFAULT
+    subexpressions: tuple["Expression", ...] = ()
+
+    def __post_init__(self) -> None:
+        terms.check_connective(self.connective)
+
+    def attribute(self, name: str) -> str | None:
+        """Value the expression requires for attribute *name*, or None."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return None
+
+    def subexpression_names(self) -> frozenset[str]:
+        """Names of the direct subexpressions (used by *-exact connectives)."""
+        return frozenset(sub.name for sub in self.subexpressions)
+
+    def depth(self) -> int:
+        """Height of the expression tree (a leaf has depth 1)."""
+        if not self.subexpressions:
+            return 1
+        return 1 + max(sub.depth() for sub in self.subexpressions)
+
+    def size(self) -> int:
+        """Total number of expressions in the tree, including self."""
+        return 1 + sum(sub.size() for sub in self.subexpressions)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One APPEL rule: behavior + body pattern.
+
+    An empty body (no expressions) always fires — this is how the catch-all
+    ``<appel:RULE behavior="request"/>`` at the end of Jane's preference
+    works.  ``connective`` combines the top-level body expressions (almost
+    always a single POLICY expression).
+    """
+
+    behavior: str
+    expressions: tuple[Expression, ...] = ()
+    connective: str = terms.CONNECTIVE_DEFAULT
+    description: str | None = None
+    prompt: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.behavior:
+            raise AppelParseError("rule lacks a behavior")
+        terms.check_connective(self.connective)
+
+    def is_catch_all(self) -> bool:
+        """True if this rule fires against every policy."""
+        return not self.expressions
+
+    def size(self) -> int:
+        """Total number of expressions in the rule body."""
+        return sum(expr.size() for expr in self.expressions)
+
+
+@dataclass(frozen=True)
+class Ruleset:
+    """An ordered APPEL ruleset — a complete user preference."""
+
+    rules: tuple[Rule, ...] = ()
+    description: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise AppelParseError("ruleset contains no rules")
+
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def behaviors(self) -> tuple[str, ...]:
+        return tuple(rule.behavior for rule in self.rules)
+
+    def has_catch_all(self) -> bool:
+        """True if some rule fires unconditionally (usually the last)."""
+        return any(rule.is_catch_all() for rule in self.rules)
+
+
+def expression(name: str, *subexpressions: Expression,
+               connective: str = terms.CONNECTIVE_DEFAULT,
+               **attributes: str) -> Expression:
+    """Convenience builder for expressions.
+
+    >>> expression("PURPOSE",
+    ...            expression("admin"),
+    ...            expression("contact", required="always"),
+    ...            connective="or").connective
+    'or'
+
+    Attribute names with underscores map to dashed XML names
+    (``resolution_type`` -> ``resolution-type``).
+    """
+    attrs = tuple(
+        sorted((key.replace("_", "-"), value)
+               for key, value in attributes.items())
+    )
+    return Expression(
+        name=name,
+        attributes=attrs,
+        connective=connective,
+        subexpressions=tuple(subexpressions),
+    )
+
+
+def rule(behavior: str, *expressions_: Expression,
+         connective: str = terms.CONNECTIVE_DEFAULT,
+         description: str | None = None,
+         prompt: bool = False) -> Rule:
+    """Convenience builder for rules."""
+    return Rule(
+        behavior=behavior,
+        expressions=tuple(expressions_),
+        connective=connective,
+        description=description,
+        prompt=prompt,
+    )
+
+
+def ruleset(*rules_: Rule, description: str | None = None) -> Ruleset:
+    """Convenience builder for rulesets."""
+    return Ruleset(rules=tuple(rules_), description=description)

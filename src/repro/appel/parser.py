@@ -1,0 +1,118 @@
+"""Parse APPEL ruleset XML into the model of :mod:`repro.appel.model`.
+
+APPEL documents interleave two namespaces: RULESET/RULE (and the
+``connective`` attribute) live in the APPEL namespace, while the body
+patterns reuse the P3P namespace.  As with the policy parser, matching is
+by local name, but ``appel:connective`` is recognized wherever it appears
+and never treated as a pattern attribute.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+from repro.errors import AppelParseError, VocabularyError
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.vocab import terms
+
+_CONNECTIVE_ATTR = "connective"
+_APPEL_META_ATTRS = frozenset({"connective", "behavior", "description",
+                               "prompt", "persona", "promptmsg"})
+
+
+def parse_ruleset(source: str | ET.Element) -> Ruleset:
+    """Parse an APPEL ruleset from XML text or an element tree."""
+    if isinstance(source, ET.Element):
+        root = source
+    else:
+        try:
+            root = xmlutil.parse_string(source)
+        except ET.ParseError as exc:
+            raise AppelParseError(f"malformed APPEL XML: {exc}") from exc
+
+    ruleset_el = xmlutil.first_by_local_name(root, "RULESET")
+    if ruleset_el is None:
+        # Accept a bare RULE as a one-rule ruleset.
+        rule_el = xmlutil.first_by_local_name(root, "RULE")
+        if rule_el is None:
+            raise AppelParseError("document contains no RULESET or RULE")
+        return Ruleset(rules=(_parse_rule(rule_el),))
+
+    rules: list[Rule] = []
+    for child in ruleset_el:
+        tag = xmlutil.local_name(child.tag)
+        if tag == "RULE":
+            rules.append(_parse_rule(child))
+        elif tag == "OTHERWISE":
+            # Older drafts close a ruleset with OTHERWISE: an unconditional
+            # rule whose behavior defaults to "request".
+            behavior = xmlutil.local_attrib(child).get("behavior", "request")
+            rules.append(Rule(behavior=behavior))
+        else:
+            raise AppelParseError(f"unexpected element under RULESET: {tag!r}")
+
+    if not rules:
+        raise AppelParseError("RULESET contains no RULE elements")
+    attrib = xmlutil.local_attrib(ruleset_el)
+    return Ruleset(rules=tuple(rules), description=attrib.get("description"))
+
+
+def parse_rule(source: str | ET.Element) -> Rule:
+    """Parse a single APPEL rule."""
+    if isinstance(source, ET.Element):
+        root = source
+    else:
+        try:
+            root = xmlutil.parse_string(source)
+        except ET.ParseError as exc:
+            raise AppelParseError(f"malformed APPEL XML: {exc}") from exc
+    rule_el = xmlutil.first_by_local_name(root, "RULE")
+    if rule_el is None:
+        raise AppelParseError("document contains no RULE element")
+    return _parse_rule(rule_el)
+
+
+def _parse_rule(element: ET.Element) -> Rule:
+    attrib = xmlutil.local_attrib(element)
+    behavior = attrib.get("behavior")
+    if behavior is None:
+        raise AppelParseError("RULE lacks a behavior attribute")
+
+    connective = attrib.get(_CONNECTIVE_ATTR, terms.CONNECTIVE_DEFAULT)
+    expressions = tuple(_parse_expression(child) for child in element)
+
+    try:
+        return Rule(
+            behavior=behavior,
+            expressions=expressions,
+            connective=connective,
+            description=attrib.get("description"),
+            prompt=attrib.get("prompt") == "yes",
+        )
+    except VocabularyError as exc:
+        raise AppelParseError(str(exc)) from exc
+
+
+def _parse_expression(element: ET.Element) -> Expression:
+    attrib = xmlutil.local_attrib(element)
+    connective = attrib.get(_CONNECTIVE_ATTR, terms.CONNECTIVE_DEFAULT)
+
+    attributes = tuple(
+        sorted(
+            (key, value)
+            for key, value in attrib.items()
+            if key not in _APPEL_META_ATTRS
+        )
+    )
+    subexpressions = tuple(_parse_expression(child) for child in element)
+
+    try:
+        return Expression(
+            name=xmlutil.local_name(element.tag),
+            attributes=attributes,
+            connective=connective,
+            subexpressions=subexpressions,
+        )
+    except VocabularyError as exc:
+        raise AppelParseError(str(exc)) from exc

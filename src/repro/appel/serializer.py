@@ -1,0 +1,58 @@
+"""Serialize APPEL rulesets back to XML.
+
+The output uses explicit ``appel:`` prefixes for RULESET/RULE and the
+``connective`` attribute, and unprefixed (P3P) names for body patterns —
+the same convention as Figure 2 of the paper.  Default connectives are
+omitted, so serialize → parse is the identity on the model.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.vocab import terms
+
+_APPEL = "appel"
+
+
+def ruleset_to_element(ruleset: Ruleset) -> ET.Element:
+    """Build an ElementTree element for *ruleset*."""
+    root = ET.Element(f"{_APPEL}:RULESET")
+    root.set(f"xmlns:{_APPEL}", terms.APPEL_NS)
+    root.set("xmlns", terms.P3P_NS)
+    if ruleset.description is not None:
+        root.set("description", ruleset.description)
+    for rule in ruleset.rules:
+        root.append(_rule_to_element(rule))
+    return root
+
+
+def serialize_ruleset(ruleset: Ruleset, indent: bool = True) -> str:
+    """Serialize *ruleset* to an XML string."""
+    return xmlutil.to_string(ruleset_to_element(ruleset), indent)
+
+
+def _rule_to_element(rule: Rule) -> ET.Element:
+    element = ET.Element(f"{_APPEL}:RULE", {"behavior": rule.behavior})
+    if rule.connective != terms.CONNECTIVE_DEFAULT:
+        element.set(f"{_APPEL}:connective", rule.connective)
+    if rule.description is not None:
+        element.set("description", rule.description)
+    if rule.prompt:
+        element.set("prompt", "yes")
+    for expression in rule.expressions:
+        element.append(_expression_to_element(expression))
+    return element
+
+
+def _expression_to_element(expression: Expression) -> ET.Element:
+    element = ET.Element(expression.name)
+    if expression.connective != terms.CONNECTIVE_DEFAULT:
+        element.set(f"{_APPEL}:connective", expression.connective)
+    for name, value in expression.attributes:
+        element.set(name, value)
+    for sub in expression.subexpressions:
+        element.append(_expression_to_element(sub))
+    return element

@@ -1,0 +1,207 @@
+"""Predefined APPEL rule templates (the JRC editor model, Section 3.3).
+
+"JRC APPEL Preference Editor is a Java-based editor for preparing APPEL
+preferences.  Each APPEL RULE can be added either by choosing from a set
+of predefined RULEs, or by using an advanced mode."
+
+This module is the predefined-rules half: a catalog of named, documented
+block rules a user (or GUI) composes into a preference with
+:func:`compose_preference`.  The JRC-style suite in
+:mod:`repro.corpus.preferences` is hand-tuned for benchmark calibration;
+these templates are the product feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.appel.model import Rule, Ruleset, expression, rule
+from repro.errors import AppelParseError
+
+
+@dataclass(frozen=True)
+class RuleTemplate:
+    """One selectable rule, with the explanation a GUI would display."""
+
+    key: str
+    title: str
+    explanation: str
+    build: Callable[[], Rule]
+
+
+def _purpose_block(*values, description: str) -> Rule:
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("PURPOSE", *values,
+                                         connective="or"))),
+        description=description,
+    )
+
+
+def _no_telemarketing() -> Rule:
+    return _purpose_block(
+        expression("telemarketing"),
+        description="no telemarketing, with or without consent",
+    )
+
+
+def _no_uncontrolled_marketing() -> Rule:
+    return _purpose_block(
+        expression("contact", required="always"),
+        expression("telemarketing", required="always"),
+        description="marketing contact only with my consent",
+    )
+
+
+def _no_profiling() -> Rule:
+    return _purpose_block(
+        expression("individual-analysis"),
+        expression("individual-decision"),
+        description="no individually identified profiling",
+    )
+
+
+def _no_uncontrolled_profiling() -> Rule:
+    return _purpose_block(
+        expression("individual-analysis", required="always"),
+        expression("individual-decision", required="always"),
+        description="profiling only with my consent",
+    )
+
+
+def _no_third_parties() -> Rule:
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("RECIPIENT",
+                                         expression("other-recipient"),
+                                         expression("unrelated"),
+                                         expression("public"),
+                                         connective="or"))),
+        description="my data stays with the site and its agents",
+    )
+
+
+def _no_sensitive_data() -> Rule:
+    return rule(
+        "block",
+        expression(
+            "POLICY",
+            expression(
+                "STATEMENT",
+                expression(
+                    "DATA-GROUP",
+                    expression(
+                        "DATA",
+                        expression("CATEGORIES",
+                                   expression("health"),
+                                   expression("financial"),
+                                   expression("political"),
+                                   expression("government"),
+                                   connective="or"))))),
+        description="no health, financial, political or government data",
+    )
+
+
+def _no_indefinite_retention() -> Rule:
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("RETENTION",
+                                         expression("indefinitely")))),
+        description="no indefinite retention",
+    )
+
+
+def _require_disputes() -> Rule:
+    # "has no DISPUTES-GROUP" is a negated connective on the *parent*:
+    # POLICY[non-or over DISPUTES-GROUP] matches policies without one
+    # (a connective on a childless expression would be vacuous).
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("DISPUTES-GROUP"),
+                   connective="non-or"),
+        description="the site must offer dispute resolution",
+    )
+
+
+def _require_access() -> Rule:
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("ACCESS", expression("none"))),
+        description="the site must grant access to my data",
+    )
+
+
+#: The template catalog, in the order a GUI would list them.
+TEMPLATES: dict[str, RuleTemplate] = {
+    template.key: template
+    for template in (
+        RuleTemplate(
+            "no-telemarketing", "No telemarketing",
+            "Block sites that may call you for marketing, even with "
+            "opt-in.", _no_telemarketing),
+        RuleTemplate(
+            "no-uncontrolled-marketing", "Marketing needs my consent",
+            "Block sites that market to you without offering opt-in or "
+            "opt-out.", _no_uncontrolled_marketing),
+        RuleTemplate(
+            "no-profiling", "No profiling",
+            "Block sites that build individually identified profiles.",
+            _no_profiling),
+        RuleTemplate(
+            "no-uncontrolled-profiling", "Profiling needs my consent",
+            "Block profiling done without opt-in or opt-out.",
+            _no_uncontrolled_profiling),
+        RuleTemplate(
+            "no-third-parties", "No third parties",
+            "Block sites that share data beyond themselves and their "
+            "agents.", _no_third_parties),
+        RuleTemplate(
+            "no-sensitive-data", "No sensitive data",
+            "Block collection of health, financial, political or "
+            "government data.", _no_sensitive_data),
+        RuleTemplate(
+            "no-indefinite-retention", "No indefinite retention",
+            "Block sites that keep data forever.",
+            _no_indefinite_retention),
+        RuleTemplate(
+            "require-disputes", "Require dispute resolution",
+            "Block sites with no complaint channel.", _require_disputes),
+        RuleTemplate(
+            "require-access", "Require data access",
+            "Block sites that grant no access to your own data.",
+            _require_access),
+    )
+}
+
+
+def template_keys() -> tuple[str, ...]:
+    """All template keys in display order."""
+    return tuple(TEMPLATES)
+
+
+def compose_preference(keys: list[str],
+                       catch_all_behavior: str = "request",
+                       description: str | None = None) -> Ruleset:
+    """Build a preference from selected templates, in the given order.
+
+    A catch-all rule with *catch_all_behavior* is appended, as the APPEL
+    draft requires.  Unknown keys raise AppelParseError.
+    """
+    rules: list[Rule] = []
+    for key in keys:
+        template = TEMPLATES.get(key)
+        if template is None:
+            raise AppelParseError(f"unknown rule template: {key!r}")
+        rules.append(template.build())
+    rules.append(rule(catch_all_behavior,
+                      description="accept everything else"))
+    return Ruleset(rules=tuple(rules), description=description)

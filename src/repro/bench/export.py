@@ -1,0 +1,106 @@
+"""Machine-readable benchmark results (JSON export).
+
+Regression tracking wants numbers, not tables: ``run_all`` executes every
+experiment and returns one plain-dict structure (JSON-serializable), and
+``p3pdb bench --json out.json`` writes it.  The dict mirrors DESIGN.md's
+experiment index so downstream tooling can diff runs field by field.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any
+
+from repro.bench import harness
+
+
+def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
+    return {
+        "average_seconds": aggregate.average,
+        "max_seconds": aggregate.maximum,
+        "min_seconds": aggregate.minimum,
+        "count": aggregate.count,
+    }
+
+
+def run_all(seed: int = 2003) -> dict[str, Any]:
+    """Run E1-E7 and return one JSON-serializable results document."""
+    from repro.corpus.policies import fortune_corpus
+    from repro.corpus.preferences import jrc_suite
+
+    policies = fortune_corpus(seed)
+    suite = jrc_suite()
+
+    dataset = harness.dataset_statistics(seed)
+    preference_rows = harness.preference_statistics()
+    shredding = harness.shredding_experiment(policies)
+    samples = harness.run_matching_grid(policies, suite)
+    engine_rows = harness.figure20(samples)
+    level_rows = harness.figure21(samples)
+    warm_cold = harness.warm_cold_experiment(policies[:8], suite)
+    ablation = harness.ablation_experiment(policies[:10], suite)
+
+    return {
+        "meta": {
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "e1_dataset": {
+            "policies": dataset.policy_count,
+            "statements": dataset.total_statements,
+            "min_kb": dataset.min_kb,
+            "avg_kb": dataset.avg_kb,
+            "max_kb": dataset.max_kb,
+        },
+        "e2_preferences": [
+            {"level": level, "rules": rules, "size_kb": size_kb}
+            for level, rules, size_kb in preference_rows
+        ],
+        "e3_shredding": _aggregate(shredding.aggregate),
+        "e4_figure20": {
+            row.engine: {
+                "convert": _aggregate(row.convert),
+                "query": _aggregate(row.query),
+                "total": _aggregate(row.total),
+                "failures": row.failures,
+            }
+            for row in engine_rows
+        },
+        "e5_figure21": [
+            {
+                "level": row.level,
+                "engine": row.engine,
+                "unavailable": row.unavailable,
+                "total": _aggregate(row.total),
+            }
+            for row in level_rows
+        ],
+        "e6_warm_cold": [
+            {
+                "engine": row.engine,
+                "cold_seconds": row.cold_seconds,
+                "warm_seconds": row.warm_seconds,
+            }
+            for row in warm_cold
+        ],
+        "e7_ablation": {
+            "native_full": _aggregate(ablation.native_full),
+            "native_no_augment": _aggregate(ablation.native_no_augment),
+            "native_prepared": _aggregate(ablation.native_prepared),
+            "augmentation_share": ablation.augmentation_share,
+            "sql_optimized": _aggregate(ablation.sql_optimized),
+            "sql_generic": _aggregate(ablation.sql_generic),
+        },
+    }
+
+
+def save_results(path: str, seed: int = 2003) -> dict[str, Any]:
+    """Run everything and write the results document to *path*."""
+    results = run_all(seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return results

@@ -1,0 +1,324 @@
+"""Command-line interface: ``p3pdb`` (or ``python -m repro``).
+
+Subcommands::
+
+    p3pdb validate  POLICY.xml            # validate a P3P policy
+    p3pdb notice    POLICY.xml            # plain-language privacy notice
+    p3pdb shred     POLICY.xml [-o DB]    # shred into the optimized schema
+    p3pdb translate PREF.xml [--dialect]  # show the SQL / XQuery
+    p3pdb match     POLICY.xml PREF.xml [--engine]   # one check
+    p3pdb explain   POLICY.xml PREF.xml   # trace why rules fire
+    p3pdb corpus    [-o DIR]              # emit the synthetic workload
+    p3pdb report    [POLICY.xml ...]      # corpus analytics
+    p3pdb bench     [EXPERIMENT ...] [--markdown] [--json FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.appel.parser import parse_ruleset
+from repro.errors import ReproError
+from repro.p3p.parser import parse_policy
+from repro.p3p.serializer import serialize_policy
+from repro.p3p.validator import validate_policy
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    policy = parse_policy(_read(args.policy))
+    problems = validate_policy(policy)
+    for problem in problems:
+        print(problem)
+    errors = sum(1 for p in problems if p.severity == "error")
+    print(f"{len(problems)} problem(s), {errors} error(s)")
+    return 1 if errors else 0
+
+
+def _cmd_shred(args: argparse.Namespace) -> int:
+    from repro.storage.database import Database
+    from repro.storage.shredder import PolicyStore
+
+    policy = parse_policy(_read(args.policy))
+    store = PolicyStore(Database(args.output))
+    report = store.install_policy(policy)
+    print(f"policy_id={report.policy_id} statements={report.statements} "
+          f"data_items={report.data_items} categories={report.categories} "
+          f"seconds={report.seconds:.4f}")
+    if args.output == ":memory:":
+        print("(in-memory database discarded; pass -o FILE to keep it)")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    preference = parse_ruleset(_read(args.preference))
+    if args.dialect == "xquery":
+        from repro.translate.appel_to_xquery import XQueryTranslator
+
+        for index, rule in enumerate(
+                XQueryTranslator().translate_ruleset(preference).rules):
+            print(f"-- rule {index} (behavior: {rule.behavior})")
+            print(rule.xquery)
+            print()
+        return 0
+
+    from repro.translate.appel_to_sql import (
+        GenericSqlTranslator,
+        OptimizedSqlTranslator,
+    )
+
+    translator = (GenericSqlTranslator() if args.dialect == "sql-generic"
+                  else OptimizedSqlTranslator())
+    applicable = args.applicable_policy_sql or "SELECT 1 AS policy_id"
+    for index, rule in enumerate(
+            translator.translate_ruleset(preference, applicable).rules):
+        print(f"-- rule {index} (behavior: {rule.behavior})")
+        print(rule.sql + ";")
+        print()
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from repro.engines import (
+        GenericSqlMatchEngine,
+        NativeAppelMatchEngine,
+        SqlMatchEngine,
+        XQueryNativeMatchEngine,
+        XTableMatchEngine,
+    )
+
+    factories = {
+        "appel": NativeAppelMatchEngine,
+        "sql": SqlMatchEngine,
+        "sql-generic": GenericSqlMatchEngine,
+        "xquery": XTableMatchEngine,
+        "xquery-native": XQueryNativeMatchEngine,
+    }
+    policy = parse_policy(_read(args.policy))
+    preference = parse_ruleset(_read(args.preference))
+    engine = factories[args.engine]()
+    handle = engine.install(policy)
+    outcome = engine.match(handle, preference)
+    if outcome.failed:
+        print(f"engine={engine.name} FAILED: {outcome.error}")
+        return 2
+    print(f"engine={engine.name} behavior={outcome.behavior} "
+          f"rule={outcome.rule_index} "
+          f"convert={outcome.convert_seconds * 1000:.3f}ms "
+          f"query={outcome.query_seconds * 1000:.3f}ms")
+    return 0 if outcome.behavior != "block" else 3
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.appel.serializer import serialize_ruleset
+    from repro.corpus.policies import corpus_statistics, fortune_corpus
+    from repro.corpus.preferences import jrc_suite
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    policies = fortune_corpus(seed=args.seed)
+    for policy in policies:
+        (out / f"policy-{policy.name}.xml").write_text(
+            serialize_policy(policy), encoding="utf-8"
+        )
+    for level, preference in jrc_suite().items():
+        slug = level.lower().replace(" ", "-")
+        (out / f"preference-{slug}.xml").write_text(
+            serialize_ruleset(preference), encoding="utf-8"
+        )
+    stats = corpus_statistics(policies)
+    print(f"wrote {stats.policy_count} policies and 5 preferences to {out}")
+    print(f"sizes: {stats.min_kb:.1f}-{stats.max_kb:.1f} KB, "
+          f"avg {stats.avg_kb:.1f} KB, "
+          f"{stats.total_statements} statements")
+    return 0
+
+
+def _cmd_notice(args: argparse.Namespace) -> int:
+    from repro.p3p.notice import policy_notice
+
+    print(policy_notice(parse_policy(_read(args.policy))), end="")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.appel.explain import ExplainingEngine
+
+    policy = parse_policy(_read(args.policy))
+    preference = parse_ruleset(_read(args.preference))
+    explanation = ExplainingEngine().explain(policy, preference)
+    print(explanation.render())
+    return 0 if explanation.behavior != "block" else 3
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.corpus.analysis import (
+        acceptance_matrix,
+        consent_profile,
+        format_census,
+        vocabulary_census,
+    )
+    from repro.corpus.preferences import jrc_suite
+
+    if args.policies:
+        policies = [parse_policy(_read(path)) for path in args.policies]
+    else:
+        from repro.corpus.policies import fortune_corpus
+
+        policies = fortune_corpus(seed=args.seed)
+
+    print(f"{len(policies)} policies\n")
+    print(format_census(vocabulary_census(policies)))
+    profile = consent_profile(policies)
+    print("\nConsent profile:")
+    print(f"  offer opt-in     : {profile.policies_with_opt_in}")
+    print(f"  offer opt-out    : {profile.policies_with_opt_out}")
+    print(f"  fully mandatory  : {profile.policies_all_mandatory}")
+    print("\nPolicies blocked per preference level:")
+    for level, blocked in acceptance_matrix(policies, jrc_suite()).items():
+        print(f"  {level:10s} blocks {blocked:3d} / {len(policies)}")
+    return 0
+
+
+_BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
+                      "figure20", "figure21", "warm-cold", "ablation")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.json:
+        results = bench.save_results(args.json)
+        print(f"wrote results for {len(results) - 1} experiments "
+              f"to {args.json}")
+        return 0
+
+    wanted = args.experiments or list(_BENCH_EXPERIMENTS)
+    samples = None
+    for experiment in wanted:
+        if experiment == "dataset-stats":
+            print(bench.format_dataset_stats(bench.dataset_statistics()))
+        elif experiment == "preference-stats":
+            print(bench.format_preference_stats(
+                bench.preference_statistics()))
+        elif experiment == "shredding":
+            print(bench.format_shredding(bench.shredding_experiment()))
+        elif experiment in ("figure20", "figure21"):
+            if samples is None:
+                samples = bench.run_matching_grid()
+            if experiment == "figure20":
+                rows20 = bench.figure20(samples)
+                print(bench.markdown_figure20(rows20) if args.markdown
+                      else bench.format_figure20(rows20))
+            else:
+                rows21 = bench.figure21(samples)
+                print(bench.markdown_figure21(rows21) if args.markdown
+                      else bench.format_figure21(rows21))
+        elif experiment == "warm-cold":
+            print(bench.format_warm_cold(bench.warm_cold_experiment()))
+        elif experiment == "ablation":
+            print(bench.format_ablation(bench.ablation_experiment()))
+        else:
+            print(f"unknown experiment: {experiment}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p3pdb",
+        description="Server-centric P3P on database technology "
+                    "(ICDE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="validate a P3P policy")
+    p_validate.add_argument("policy")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_shred = sub.add_parser("shred",
+                             help="shred a policy into the optimized schema")
+    p_shred.add_argument("policy")
+    p_shred.add_argument("-o", "--output", default=":memory:",
+                         help="SQLite database file (default in-memory)")
+    p_shred.set_defaults(func=_cmd_shred)
+
+    p_translate = sub.add_parser("translate",
+                                 help="translate an APPEL preference")
+    p_translate.add_argument("preference")
+    p_translate.add_argument("--dialect", default="sql",
+                             choices=("sql", "sql-generic", "xquery"))
+    p_translate.add_argument("--applicable-policy-sql", default=None,
+                             help="override the ApplicablePolicy subquery")
+    p_translate.set_defaults(func=_cmd_translate)
+
+    p_match = sub.add_parser("match",
+                             help="match a preference against a policy")
+    p_match.add_argument("policy")
+    p_match.add_argument("preference")
+    p_match.add_argument("--engine", default="sql",
+                         choices=("appel", "sql", "sql-generic", "xquery",
+                                  "xquery-native"))
+    p_match.set_defaults(func=_cmd_match)
+
+    p_corpus = sub.add_parser("corpus",
+                              help="emit the synthetic benchmark workload")
+    p_corpus.add_argument("-o", "--output", default="corpus")
+    p_corpus.add_argument("--seed", type=int, default=2003)
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_notice = sub.add_parser("notice",
+                              help="render the plain-language privacy "
+                                   "notice a policy encodes")
+    p_notice.add_argument("policy")
+    p_notice.set_defaults(func=_cmd_notice)
+
+    p_explain = sub.add_parser("explain",
+                               help="trace why a preference fires (or "
+                                    "not) against a policy")
+    p_explain.add_argument("policy")
+    p_explain.add_argument("preference")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_report = sub.add_parser("report",
+                              help="corpus analytics (census, consent, "
+                                   "acceptance per level)")
+    p_report.add_argument("policies", nargs="*",
+                          help="policy XML files (default: the synthetic "
+                               "corpus)")
+    p_report.add_argument("--seed", type=int, default=2003)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser("bench",
+                             help="regenerate the paper's tables")
+    p_bench.add_argument("experiments", nargs="*",
+                         metavar="EXPERIMENT",
+                         help=f"one of: {', '.join(_BENCH_EXPERIMENTS)}")
+    p_bench.add_argument("--markdown", action="store_true",
+                         help="emit figure20/figure21 as markdown tables")
+    p_bench.add_argument("--json", metavar="FILE", default=None,
+                         help="run every experiment and write a JSON "
+                              "results document")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

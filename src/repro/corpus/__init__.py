@@ -1,0 +1,54 @@
+"""Workloads: the paper's running example (Volga & Jane), the synthetic
+Fortune-1000 policy corpus, and the JRC-style five-level preference suite."""
+
+from repro.corpus.policies import (
+    COMPANY_NAMES,
+    CorpusStats,
+    DEFAULT_SEED,
+    corpus_statistics,
+    fortune_corpus,
+)
+from repro.corpus.preferences import (
+    LEVELS,
+    high_preference,
+    jrc_suite,
+    low_preference,
+    medium_preference,
+    very_high_preference,
+    very_low_preference,
+)
+from repro.corpus.volga import (
+    JANE_PREFERENCE_XML,
+    JANE_SIMPLIFIED_RULE_XML,
+    VOLGA_POLICY_NO_OPTIN_XML,
+    VOLGA_POLICY_UNRELATED_XML,
+    VOLGA_POLICY_XML,
+    VOLGA_REFERENCE_XML,
+    jane_preference,
+    jane_simplified_rule,
+    volga_policy,
+)
+
+__all__ = [
+    "fortune_corpus",
+    "corpus_statistics",
+    "CorpusStats",
+    "COMPANY_NAMES",
+    "DEFAULT_SEED",
+    "jrc_suite",
+    "LEVELS",
+    "very_high_preference",
+    "high_preference",
+    "medium_preference",
+    "low_preference",
+    "very_low_preference",
+    "volga_policy",
+    "jane_preference",
+    "jane_simplified_rule",
+    "VOLGA_POLICY_XML",
+    "JANE_PREFERENCE_XML",
+    "JANE_SIMPLIFIED_RULE_XML",
+    "VOLGA_POLICY_NO_OPTIN_XML",
+    "VOLGA_POLICY_UNRELATED_XML",
+    "VOLGA_REFERENCE_XML",
+]

@@ -1,0 +1,137 @@
+"""Corpus-level analysis: what do the policies in a deployment look like?
+
+Section 6.2 of the paper characterizes its crawl with sizes and statement
+counts; a production deployment wants the same visibility plus vocabulary
+usage (which purposes/recipients/retentions appear how often, how much
+opt-in is offered, which data is collected).  These reports also drive the
+workload-calibration assertions in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.p3p.model import Policy
+
+
+@dataclass(frozen=True)
+class VocabularyCensus:
+    """Occurrence counts over a list of policies."""
+
+    purposes: tuple[tuple[str, int], ...]
+    recipients: tuple[tuple[str, int], ...]
+    retentions: tuple[tuple[str, int], ...]
+    categories: tuple[tuple[str, int], ...]  # expanded
+    data_refs: tuple[tuple[str, int], ...]
+    required_census: tuple[tuple[str, int], ...]  # always/opt-in/opt-out
+
+    def top_purposes(self, n: int = 5) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.purposes[:n])
+
+
+def vocabulary_census(policies: list[Policy]) -> VocabularyCensus:
+    """Count vocabulary usage across *policies* (expanded categories)."""
+    purposes: Counter[str] = Counter()
+    recipients: Counter[str] = Counter()
+    retentions: Counter[str] = Counter()
+    categories: Counter[str] = Counter()
+    data_refs: Counter[str] = Counter()
+    required: Counter[str] = Counter()
+
+    for policy in policies:
+        for statement in policy.statements:
+            for value in statement.purposes:
+                purposes[value.name] += 1
+                required[value.effective_required] += 1
+            for value in statement.recipients:
+                recipients[value.name] += 1
+                required[value.effective_required] += 1
+            if statement.retention is not None:
+                retentions[statement.retention] += 1
+            for item in statement.data:
+                data_refs[item.ref] += 1
+                for category in item.expanded_categories():
+                    categories[category] += 1
+
+    return VocabularyCensus(
+        purposes=tuple(purposes.most_common()),
+        recipients=tuple(recipients.most_common()),
+        retentions=tuple(retentions.most_common()),
+        categories=tuple(categories.most_common()),
+        data_refs=tuple(data_refs.most_common()),
+        required_census=tuple(required.most_common()),
+    )
+
+
+@dataclass(frozen=True)
+class ConsentProfile:
+    """How much user control a corpus offers."""
+
+    policies_with_opt_in: int
+    policies_with_opt_out: int
+    policies_all_mandatory: int
+    total: int
+
+    @property
+    def opt_in_share(self) -> float:
+        return self.policies_with_opt_in / self.total if self.total else 0.0
+
+
+def consent_profile(policies: list[Policy]) -> ConsentProfile:
+    """Classify policies by the consent choices they offer."""
+    with_opt_in = with_opt_out = all_mandatory = 0
+    for policy in policies:
+        requireds = {
+            value.effective_required
+            for statement in policy.statements
+            for value in statement.purposes + statement.recipients
+        }
+        if "opt-in" in requireds:
+            with_opt_in += 1
+        if "opt-out" in requireds:
+            with_opt_out += 1
+        if requireds <= {"always"}:
+            all_mandatory += 1
+    return ConsentProfile(
+        policies_with_opt_in=with_opt_in,
+        policies_with_opt_out=with_opt_out,
+        policies_all_mandatory=all_mandatory,
+        total=len(policies),
+    )
+
+
+def acceptance_matrix(policies: list[Policy],
+                      suite: dict[str, object]) -> dict[str, int]:
+    """How many corpus policies each preference level blocks.
+
+    This is the aggregate view a privacy advocate (or the JRC) would
+    publish: "a Very High user can browse N of these 29 sites".
+    """
+    from repro.appel.engine import AppelEngine
+
+    engine = AppelEngine()
+    blocked: dict[str, int] = {}
+    for level, ruleset in suite.items():
+        blocked[level] = sum(
+            1 for policy in policies
+            if engine.evaluate(policy, ruleset).behavior == "block"
+        )
+    return blocked
+
+
+def format_census(census: VocabularyCensus, top: int = 8) -> str:
+    """Human-readable census report."""
+    lines = ["Vocabulary census"]
+
+    def section(title: str, rows: tuple[tuple[str, int], ...]) -> None:
+        lines.append(f"  {title}:")
+        for name, count in rows[:top]:
+            lines.append(f"    {name:28s} {count:4d}")
+
+    section("purposes", census.purposes)
+    section("recipients", census.recipients)
+    section("retentions", census.retentions)
+    section("categories (expanded)", census.categories)
+    section("required attribute", census.required_census)
+    return "\n".join(lines)

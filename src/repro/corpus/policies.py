@@ -1,0 +1,335 @@
+"""Synthetic Fortune-1000-style P3P policy corpus (Section 6.2 workload).
+
+The paper crawled Fortune 1000 sites and found 29 P3P policies, "from 1.6
+to 11.9 KBytes, with the average size being 4.4 KBytes.  These policies
+contained a total of 54 statements (about 2 statements per policy on
+average)."  The original crawl is unavailable, so this module generates a
+seeded synthetic corpus calibrated to the same distribution: 29 policies,
+54 statements, and serialized sizes spanning the same range.
+
+Each policy is assembled from realistic statement *archetypes*
+(transaction processing, marketing, analytics, personalization, legal
+compliance) with prose consequences, entity contact data, and dispute
+clauses — the ingredients that give real P3P policies their bulk and their
+category fan-out.  Matching cost depends on this structure, not on the
+corporate names, which is why the substitution preserves the experiments'
+shape (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.serializer import serialize_policy
+
+#: Default seed: the paper's publication year.
+DEFAULT_SEED = 2003
+
+#: Synthetic company names (29, like the crawl's hit count).
+COMPANY_NAMES = (
+    "acme-retail", "birchway-bank", "cobalt-air", "dunmore-insurance",
+    "eastgate-media", "fairfield-tech", "granite-telecom", "harborview",
+    "ironpeak-energy", "junction-freight", "kestrel-health", "lakeshore",
+    "meridian-hotels", "northbay-foods", "oakline-motors", "pinnacle-soft",
+    "quarry-steel", "redwood-pharma", "silvercrest", "tidewater-ship",
+    "unity-mutual", "vantage-travel", "westbrook-press", "xenon-labs",
+    "yellowfield", "zephyr-apparel", "aldergate-corp", "bluestone-grid",
+    "crestline-stores",
+)
+
+# Statement plan: statements per policy, summing to 54 across 29 policies
+# (the paper's totals).  Varied sizes give the corpus its KB spread.
+STATEMENT_PLAN = (
+    1, 2, 1, 3, 2, 1, 2, 2, 1, 4,
+    2, 1, 2, 3, 1, 2, 2, 1, 2, 3,
+    1, 2, 2, 1, 2, 3, 1, 2, 2,
+)
+
+_TRANSACTION_DATA = (
+    "#user.name", "#user.home-info.postal", "#user.home-info.telecom",
+    "#user.home-info.online.email", "#user.login",
+)
+_MARKETING_DATA = (
+    "#user.home-info.online.email", "#user.name", "#user.bdate",
+    "#user.gender", "#user.home-info.postal.city",
+)
+_ANALYTICS_DATA = (
+    "#dynamic.clickstream", "#dynamic.http", "#dynamic.searchtext",
+    "#dynamic.interactionrecord", "#dynamic.clientevents",
+)
+_PROFILE_DATA = (
+    "#user.bdate", "#user.gender", "#user.employer", "#user.jobtitle",
+    "#user.business-info.postal", "#user.business-info.online.email",
+)
+
+_CONSEQUENCE_FRAGMENTS = (
+    "We collect this information to complete and support the activity "
+    "you have requested, including order fulfilment, shipping, billing "
+    "and customer service follow-up.",
+    "This information allows us to improve the design and operation of "
+    "our site, diagnose technical problems, and administer our systems "
+    "in a responsible manner.",
+    "With your consent, we use this information to bring you offers, "
+    "newsletters and product announcements that match your interests, "
+    "and you may withdraw that consent at any time.",
+    "Aggregated and pseudonymous records help us understand how visitors "
+    "use our services so that we can develop better products and a more "
+    "useful web experience for everyone.",
+    "Records may be retained where applicable law, regulation, audit or "
+    "dispute-resolution obligations require us to do so, after which "
+    "they are destroyed according to our retention schedule.",
+    "Your profile enables the personalized recommendations, saved "
+    "preferences and one-click checkout features of your account.",
+)
+
+#: Additional boilerplate sentences appended to consequences in proportion
+#: to a policy's verbosity, reproducing the prose-heavy style (and hence
+#: the document sizes) of real corporate P3P deployments.
+_BOILERPLATE_SENTENCES = (
+    "Access to the collected information inside our organization is "
+    "restricted to the employees and contractors who need it to perform "
+    "the service you requested, all of whom are bound by written "
+    "confidentiality obligations and receive annual privacy training.",
+    "We employ industry-standard administrative, technical and physical "
+    "safeguards, including encrypted transport, segregated storage and "
+    "periodic third-party security assessments, to protect the "
+    "information you entrust to us against loss, misuse and alteration.",
+    "Where we engage delivery services, payment processors or other "
+    "agents to act on our behalf, they are contractually required to "
+    "follow practices at least as protective as those described in this "
+    "statement and may not use the information for their own purposes.",
+    "If our corporate structure changes through merger, acquisition or "
+    "reorganization, any successor will be required to honor the "
+    "commitments made in the version of this policy under which your "
+    "information was originally collected.",
+    "Residents of jurisdictions with specific statutory privacy rights "
+    "may exercise those rights, including access, rectification and "
+    "deletion, by contacting our privacy office through the address "
+    "published on our disclosure page, and we will respond within the "
+    "period the applicable law prescribes.",
+    "We review this statement at least annually and whenever our "
+    "practices change; material changes are announced on our home page "
+    "thirty days before they take effect so that you can make an "
+    "informed decision about continuing to use our services.",
+)
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary of a policy corpus, in the shape of Section 6.2's numbers."""
+
+    policy_count: int
+    total_statements: int
+    min_kb: float
+    max_kb: float
+    avg_kb: float
+
+    @property
+    def statements_per_policy(self) -> float:
+        return self.total_statements / self.policy_count
+
+
+def corpus_statistics(policies: list[Policy]) -> CorpusStats:
+    """Compute the Section 6.2 dataset statistics for *policies*."""
+    sizes = [
+        len(serialize_policy(policy).encode("utf-8")) / 1024.0
+        for policy in policies
+    ]
+    return CorpusStats(
+        policy_count=len(policies),
+        total_statements=sum(p.statement_count() for p in policies),
+        min_kb=min(sizes),
+        max_kb=max(sizes),
+        avg_kb=sum(sizes) / len(sizes),
+    )
+
+
+def fortune_corpus(seed: int = DEFAULT_SEED,
+                   count: int | None = None) -> list[Policy]:
+    """Generate the synthetic 29-policy corpus (deterministic per seed)."""
+    rng = random.Random(seed)
+    names = COMPANY_NAMES if count is None else tuple(
+        COMPANY_NAMES[i % len(COMPANY_NAMES)] + (f"-{i}" if i >= 29 else "")
+        for i in range(count)
+    )
+    plan = STATEMENT_PLAN if count is None else tuple(
+        STATEMENT_PLAN[i % len(STATEMENT_PLAN)] for i in range(count)
+    )
+    return [
+        _generate_policy(name, statements, rng)
+        for name, statements in zip(names, plan)
+    ]
+
+
+def _generate_policy(name: str, statement_count: int,
+                     rng: random.Random) -> Policy:
+    domain = f"www.{name}.example.com"
+    entity = Entity(data=(
+        ("#business.name", name.replace("-", " ").title()),
+        ("#business.contact-info.postal.street",
+         f"{rng.randint(1, 999)} Market Street"),
+        ("#business.contact-info.postal.city", "San Jose"),
+        ("#business.contact-info.postal.country", "USA"),
+        ("#business.contact-info.online.email", f"privacy@{name}.example.com"),
+    ))
+
+    disputes: tuple[Disputes, ...] = ()
+    if statement_count >= 2 or rng.random() < 0.5:
+        disputes = (
+            Disputes(
+                resolution_type=rng.choice(("service", "independent")),
+                service=f"http://{domain}/complaints",
+                remedies=("correct",) + (
+                    ("money",) if rng.random() < 0.3 else ()
+                ),
+                long_description=(
+                    "If you believe we have not handled your information "
+                    "as described in this policy, contact our privacy "
+                    "office and we will investigate and correct any error."
+                ),
+            ),
+        )
+
+    builders = [_transaction_statement, _marketing_statement,
+                _analytics_statement, _personalization_statement,
+                _legal_statement]
+    rng.shuffle(builders)
+    # Larger sites write more boilerplate: verbosity scales each
+    # statement's consequence with the policy's statement count, which is
+    # what spreads serialized sizes across the paper's 1.6-11.9 KB range.
+    verbosity = {1: 1, 2: 2, 3: 4, 4: 7}.get(statement_count, 2)
+    statements = tuple(
+        _verbose(builders[i % len(builders)](rng), rng, verbosity)
+        for i in range(statement_count)
+    )
+
+    return Policy(
+        name=name,
+        discuri=f"http://{domain}/privacy.html",
+        opturi=f"http://{domain}/opt.html" if any(
+            value.required in ("opt-in", "opt-out")
+            for statement in statements
+            for value in statement.purposes + statement.recipients
+        ) else None,
+        access=rng.choice(("nonident", "contact-and-other", "ident-contact",
+                           "none", "all")),
+        entity=entity,
+        disputes=disputes,
+        statements=statements,
+    )
+
+
+def _verbose(statement: Statement, rng: random.Random,
+             verbosity: int) -> Statement:
+    """Append *verbosity* boilerplate sentences to a statement's consequence."""
+    if verbosity <= 0 or statement.consequence is None:
+        return statement
+    extra = [
+        _BOILERPLATE_SENTENCES[i % len(_BOILERPLATE_SENTENCES)]
+        for i in range(verbosity)
+    ]
+    rng.random()  # keep the stream position distinct per statement
+    from dataclasses import replace
+    return replace(
+        statement,
+        consequence=statement.consequence + " " + " ".join(extra),
+    )
+
+
+def _sample_data(rng: random.Random, pool: tuple[str, ...],
+                 low: int, high: int) -> list[DataItem]:
+    refs = rng.sample(pool, k=min(len(pool), rng.randint(low, high)))
+    return [DataItem(ref=ref) for ref in refs]
+
+
+def _consequence(rng: random.Random, *indices: int) -> str:
+    return " ".join(_CONSEQUENCE_FRAGMENTS[i] for i in indices)
+
+
+def _transaction_statement(rng: random.Random) -> Statement:
+    data = _sample_data(rng, _TRANSACTION_DATA, 3, 5)
+    data.append(DataItem(ref="#dynamic.miscdata", categories=("purchase",)))
+    return Statement(
+        purposes=(PurposeValue("current"),
+                  PurposeValue("admin"),
+                  PurposeValue("develop")),
+        recipients=(RecipientValue("ours"),
+                    RecipientValue("delivery"),
+                    RecipientValue("same")),
+        retention="stated-purpose",
+        data=tuple(data),
+        consequence=_consequence(rng, 0, 1),
+    )
+
+
+def _marketing_statement(rng: random.Random) -> Statement:
+    consent = rng.choice(("opt-in", "opt-out", "always"))
+    return Statement(
+        purposes=(PurposeValue("contact", consent),
+                  PurposeValue("telemarketing", consent)
+                  if rng.random() < 0.4 else
+                  PurposeValue("individual-decision", consent)),
+        recipients=(RecipientValue("ours"),) + (
+            (RecipientValue("unrelated", consent),)
+            if rng.random() < 0.25 else ()
+        ),
+        retention=rng.choice(("business-practices", "indefinitely")),
+        data=tuple(_sample_data(rng, _MARKETING_DATA, 2, 4)),
+        consequence=_consequence(rng, 2),
+    )
+
+
+def _analytics_statement(rng: random.Random) -> Statement:
+    data = _sample_data(rng, _ANALYTICS_DATA, 2, 4)
+    data.append(DataItem(ref="#dynamic.cookies",
+                         categories=("navigation", "state")))
+    return Statement(
+        purposes=(PurposeValue("admin"),
+                  PurposeValue("develop"),
+                  PurposeValue("pseudo-analysis",
+                               rng.choice(("always", "opt-out")))),
+        recipients=(RecipientValue("ours"),),
+        retention=rng.choice(("stated-purpose", "business-practices")),
+        data=tuple(data),
+        consequence=_consequence(rng, 1, 3),
+        non_identifiable=rng.random() < 0.2,
+    )
+
+
+def _personalization_statement(rng: random.Random) -> Statement:
+    return Statement(
+        purposes=(PurposeValue("tailoring"),
+                  PurposeValue("individual-analysis",
+                               rng.choice(("opt-in", "opt-out"))),
+                  PurposeValue("pseudo-decision")),
+        recipients=(RecipientValue("ours"),),
+        retention="business-practices",
+        data=tuple(
+            _sample_data(rng, _PROFILE_DATA, 2, 4)
+            + [DataItem(ref="#dynamic.miscdata",
+                        categories=("preference", "content"))]
+        ),
+        consequence=_consequence(rng, 5, 3),
+    )
+
+
+def _legal_statement(rng: random.Random) -> Statement:
+    return Statement(
+        purposes=(PurposeValue("current"), PurposeValue("admin"),
+                  PurposeValue("other-purpose")),
+        recipients=(RecipientValue("ours"), RecipientValue("public")
+                    if rng.random() < 0.15 else RecipientValue("same")),
+        retention="legal-requirement",
+        data=tuple(_sample_data(rng, _TRANSACTION_DATA, 2, 3)),
+        consequence=_consequence(rng, 4),
+    )

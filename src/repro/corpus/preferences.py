@@ -1,0 +1,284 @@
+"""The five-level APPEL preference suite (the paper's Figure 19 workload).
+
+The paper uses the JRC test suite: five preferences at sensitivity levels
+Very High (10 rules, 3.1 KB), High (7, 2.8), Medium (4, 2.1), Low (2, 0.9)
+and Very Low (1, 0.3).  The JRC site is long gone, so this module rebuilds
+a suite with the same rule counts and approximately the same sizes, with
+semantics modelled on AT&T Privacy Bird's documented high/medium/low
+settings (warn on marketing/profiling without consent, sharing with third
+parties, sensitive data categories, and absent dispute remedies).
+
+The Medium level deliberately contains the suite's most complex single
+rule (``*-exact`` connectives over wide value lists): its XTABLE-generated
+SQL exceeds the complexity budget, reproducing the paper's blank Medium
+cell in Figure 21 ("too complex for DB2 to execute").
+"""
+
+from __future__ import annotations
+
+from repro.appel.model import Expression, Rule, Ruleset, expression, rule, ruleset
+
+#: Level names in the order Figure 19 lists them.
+LEVELS = ("Very High", "High", "Medium", "Low", "Very Low")
+
+
+def _purpose_rule(*values: Expression, behavior: str = "block",
+                  description: str | None = None) -> Rule:
+    return rule(
+        behavior,
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("PURPOSE", *values,
+                                         connective="or"))),
+        description=description,
+    )
+
+
+def _recipient_rule(*names: str, behavior: str = "block",
+                    description: str | None = None) -> Rule:
+    return rule(
+        behavior,
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("RECIPIENT",
+                                         *[expression(n) for n in names],
+                                         connective="or"))),
+        description=description,
+    )
+
+
+def _retention_rule(*names: str, description: str | None = None) -> Rule:
+    return rule(
+        "block",
+        expression("POLICY",
+                   expression("STATEMENT",
+                              expression("RETENTION",
+                                         *[expression(n) for n in names],
+                                         connective="or"))),
+        description=description,
+    )
+
+
+def _category_rule(*names: str, description: str | None = None) -> Rule:
+    return rule(
+        "block",
+        expression(
+            "POLICY",
+            expression(
+                "STATEMENT",
+                expression(
+                    "DATA-GROUP",
+                    expression(
+                        "DATA",
+                        expression("CATEGORIES",
+                                   *[expression(n) for n in names],
+                                   connective="or"),
+                    ),
+                ),
+            ),
+        ),
+        description=description,
+    )
+
+
+def _catch_all() -> Rule:
+    return rule("request", description="accept everything else")
+
+
+def very_high_preference() -> Ruleset:
+    """10 rules: block nearly everything beyond serving the current request."""
+    return ruleset(
+        _purpose_rule(
+            expression("individual-analysis"),
+            expression("individual-decision"),
+            expression("contact"),
+            expression("telemarketing"),
+            expression("historical"),
+            expression("other-purpose"),
+            description="no profiling or marketing, even with opt-in",
+        ),
+        _purpose_rule(
+            expression("pseudo-analysis"),
+            expression("pseudo-decision"),
+            description="no pseudonymous profiling",
+        ),
+        _recipient_rule("same", "delivery", "other-recipient",
+                        "unrelated", "public",
+                        description="data stays with the site itself"),
+        _retention_rule("indefinitely", "business-practices",
+                        "legal-requirement",
+                        description="discard data when the purpose is met"),
+        _category_rule("health", "financial", "political", "government",
+                       description="never touch highly sensitive data"),
+        _category_rule("uniqueid", "purchase", "location",
+                       description="no identifying or tracking data"),
+        rule(
+            "block",
+            # non-or on POLICY: matches when no DISPUTES-GROUP child exists.
+            expression("POLICY",
+                       expression("DISPUTES-GROUP"),
+                       connective="non-or"),
+            description="block policies with no dispute resolution",
+        ),
+        rule(
+            "block",
+            expression("POLICY",
+                       expression("ACCESS",
+                                  expression("none"),
+                                  expression("nonident"),
+                                  connective="or")),
+            description="the site must grant access to my data",
+        ),
+        _category_rule("demographic", "preference", "interactive",
+                       description="no behavioural or demographic data"),
+        _catch_all(),
+        description="Very High",
+    )
+
+
+def high_preference() -> Ruleset:
+    """7 rules: block marketing/profiling without opt-in and any sharing."""
+    return ruleset(
+        _purpose_rule(
+            expression("individual-decision", required="always"),
+            expression("contact", required="always"),
+            expression("telemarketing"),
+            expression("other-purpose"),
+            description="marketing and profiling only with opt-in",
+        ),
+        _purpose_rule(
+            expression("individual-analysis", required="always"),
+            expression("pseudo-decision", required="always"),
+            description="analysis only with opt-in",
+        ),
+        _recipient_rule("other-recipient", "unrelated", "public",
+                        description="no sharing beyond agents"),
+        _category_rule("health", "financial", "political",
+                       description="no sensitive categories"),
+        _retention_rule("indefinitely",
+                        description="no indefinite retention"),
+        rule(
+            "block",
+            expression("POLICY",
+                       expression("ACCESS", expression("none"))),
+            description="the site must grant some access",
+        ),
+        _catch_all(),
+        description="High",
+    )
+
+
+def medium_preference() -> Ruleset:
+    """4 rules; contains the suite's most complex rule (*-exact heavy)."""
+    kitchen_sink = rule(
+        "block",
+        expression(
+            "POLICY",
+            expression(
+                "STATEMENT",
+                expression(
+                    "PURPOSE",
+                    *[expression(name) for name in (
+                        "admin", "develop", "tailoring",
+                        "pseudo-analysis", "pseudo-decision",
+                        "individual-analysis", "individual-decision",
+                        "contact",
+                    )],
+                    connective="or-exact",
+                ),
+                expression(
+                    "RECIPIENT",
+                    *[expression(name) for name in (
+                        "delivery", "same", "other-recipient", "unrelated",
+                    )],
+                    connective="or-exact",
+                ),
+                expression(
+                    "RETENTION",
+                    *[expression(name) for name in (
+                        "indefinitely", "business-practices",
+                        "legal-requirement",
+                    )],
+                    connective="or-exact",
+                ),
+                expression(
+                    "DATA-GROUP",
+                    expression(
+                        "DATA",
+                        expression(
+                            "CATEGORIES",
+                            *[expression(name) for name in (
+                                "physical", "online", "uniqueid",
+                                "purchase", "financial", "computer",
+                                "navigation", "demographic", "location",
+                                "health",
+                            )],
+                            connective="or-exact",
+                        ),
+                    ),
+                ),
+                connective="and-exact",
+            ),
+        ),
+        description="block statements that are nothing but secondary use",
+    )
+    return ruleset(
+        _purpose_rule(
+            expression("telemarketing", required="always"),
+            expression("contact", required="always"),
+            expression("other-purpose", required="always"),
+            description="no un-consented marketing",
+        ),
+        kitchen_sink,
+        _recipient_rule("unrelated", "public",
+                        description="no sharing with unknown parties"),
+        _catch_all(),
+        description="Medium",
+    )
+
+
+def low_preference() -> Ruleset:
+    """2 rules: only block un-consented telemarketing to third parties."""
+    return ruleset(
+        rule(
+            "block",
+            expression(
+                "POLICY",
+                expression(
+                    "STATEMENT",
+                    expression("PURPOSE",
+                               expression("telemarketing",
+                                          required="always")),
+                    expression("RECIPIENT",
+                               expression("unrelated"),
+                               expression("public"),
+                               connective="or"),
+                ),
+            ),
+            description="no un-consented telemarketing via third parties",
+        ),
+        _catch_all(),
+        description="Low",
+    )
+
+
+def very_low_preference() -> Ruleset:
+    """1 rule, mirroring the single-rule JRC Very Low preference."""
+    return ruleset(
+        rule(
+            "request",
+            description="accept all policies",
+        ),
+        description="Very Low",
+    )
+
+
+def jrc_suite() -> dict[str, Ruleset]:
+    """The full suite keyed by level name, in Figure 19 order."""
+    return {
+        "Very High": very_high_preference(),
+        "High": high_preference(),
+        "Medium": medium_preference(),
+        "Low": low_preference(),
+        "Very Low": very_low_preference(),
+    }

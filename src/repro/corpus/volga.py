@@ -1,0 +1,151 @@
+"""The paper's running example: Volga's policy and Jane's preference.
+
+Figure 1 (Volga the bookseller's P3P policy) and Figure 2 (Jane's APPEL
+preference) are reproduced verbatim, plus the simplified first rule of
+Figure 12 used in the translation examples.  Section 2.2 walks through why
+Volga's policy *conforms* to Jane's preference — the integration tests
+assert exactly that walk-through, including the perturbations the paper
+describes (dropping ``opt-in`` makes rule 1 fire).
+"""
+
+from __future__ import annotations
+
+VOLGA_POLICY_XML = """\
+<POLICY name="volga" discuri="http://volga.example.com/privacy.html"
+        opturi="http://volga.example.com/opt.html">
+  <ENTITY>
+    <DATA-GROUP>
+      <DATA ref="#business.name">Volga Books</DATA>
+    </DATA-GROUP>
+  </ENTITY>
+  <ACCESS><contact-and-other/></ACCESS>
+  <STATEMENT>
+    <CONSEQUENCE>We use this information to complete your purchase.</CONSEQUENCE>
+    <PURPOSE><current/></PURPOSE>
+    <RECIPIENT><ours/><same/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.name"/>
+      <DATA ref="#user.home-info.postal"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+  <STATEMENT>
+    <CONSEQUENCE>With your consent we email personalized recommendations.</CONSEQUENCE>
+    <PURPOSE>
+      <individual-decision required="opt-in"/>
+      <contact required="opt-in"/>
+    </PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><business-practices/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>
+"""
+
+JANE_PREFERENCE_XML = """\
+<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+               xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <PURPOSE appel:connective="or">
+          <admin/><develop/><tailoring/>
+          <pseudo-analysis/><pseudo-decision/>
+          <individual-analysis/>
+          <individual-decision required="always"/>
+          <contact required="always"/>
+          <historical/><telemarketing/>
+          <other-purpose/>
+        </PURPOSE>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <RECIPIENT appel:connective="or">
+          <delivery/><other-recipient/>
+          <unrelated/><public/>
+        </RECIPIENT>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="request"/>
+</appel:RULESET>
+"""
+
+#: Figure 12: the simplified first rule used in the translation examples.
+JANE_SIMPLIFIED_RULE_XML = """\
+<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+               xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <PURPOSE appel:connective="or">
+          <admin/>
+          <contact required="always"/>
+        </PURPOSE>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="request"/>
+</appel:RULESET>
+"""
+
+#: A variant of Volga's policy where individual-decision is NOT opt-in.
+#: Section 2.2: "if individual-decision was not specified as opt-in ...
+#: the first rule in Jane's preferences would have fired."
+VOLGA_POLICY_NO_OPTIN_XML = VOLGA_POLICY_XML.replace(
+    '<individual-decision required="opt-in"/>', "<individual-decision/>"
+)
+
+#: A variant where Volga also shares data with unrelated parties, which
+#: makes Jane's second rule fire.
+VOLGA_POLICY_UNRELATED_XML = VOLGA_POLICY_XML.replace(
+    "<RECIPIENT><ours/><same/></RECIPIENT>",
+    "<RECIPIENT><ours/><same/><unrelated/></RECIPIENT>",
+)
+
+#: Reference file mapping Volga's site to the policy, with a carve-out for
+#: a legacy area that has no policy.
+VOLGA_REFERENCE_XML = """\
+<META xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <POLICY-REFERENCES>
+    <EXPIRY max-age="86400"/>
+    <POLICY-REF about="/w3c/policy.xml#volga">
+      <INCLUDE>/*</INCLUDE>
+      <EXCLUDE>/legacy/*</EXCLUDE>
+      <COOKIE-INCLUDE>/*</COOKIE-INCLUDE>
+    </POLICY-REF>
+  </POLICY-REFERENCES>
+</META>
+"""
+
+
+def volga_policy():
+    """Parse and return Volga's policy (Figure 1)."""
+    from repro.p3p.parser import parse_policy
+
+    return parse_policy(VOLGA_POLICY_XML)
+
+
+def jane_preference():
+    """Parse and return Jane's preference ruleset (Figure 2)."""
+    from repro.appel.parser import parse_ruleset
+
+    return parse_ruleset(JANE_PREFERENCE_XML)
+
+
+def jane_simplified_rule():
+    """Parse and return the Figure 12 simplified ruleset."""
+    from repro.appel.parser import parse_ruleset
+
+    return parse_ruleset(JANE_SIMPLIFIED_RULE_XML)

@@ -1,0 +1,36 @@
+"""Enforcement: the paper's future-work direction (Section 7), built on
+the shredded policy tables as Section 4.2 anticipates — a Privacy
+Constraint Validator for data accesses, a consent registry for
+opt-in/opt-out, and a retention auditor."""
+
+from repro.enforce.consent import (
+    PURPOSE,
+    RECIPIENT,
+    ConsentRecord,
+    ConsentRegistry,
+)
+from repro.enforce.retention import (
+    DEFAULT_HORIZONS,
+    RetentionAuditor,
+    RetentionFinding,
+)
+from repro.enforce.validator import (
+    AccessDecision,
+    AccessRequest,
+    PrivacyValidator,
+    ref_covers,
+)
+
+__all__ = [
+    "ConsentRegistry",
+    "ConsentRecord",
+    "PURPOSE",
+    "RECIPIENT",
+    "PrivacyValidator",
+    "AccessRequest",
+    "AccessDecision",
+    "ref_covers",
+    "RetentionAuditor",
+    "RetentionFinding",
+    "DEFAULT_HORIZONS",
+]

@@ -1,0 +1,123 @@
+"""User consent registry for opt-in / opt-out purposes and recipients.
+
+P3P's ``required`` attribute (Section 2.1 of the paper) defines three
+consent regimes: ``always`` (implied by using the site), ``opt-in`` (the
+user must explicitly grant), and ``opt-out`` (granted until the user
+revokes).  Enforcement needs to know where each user stands, so the
+registry stores explicit grant/revoke events per (user, policy, kind,
+value) in the same database as the shredded policies.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+
+PURPOSE = "purpose"
+RECIPIENT = "recipient"
+_KINDS = (PURPOSE, RECIPIENT)
+
+_CONSENT_DDL = """
+CREATE TABLE IF NOT EXISTS consent (
+  user_id    TEXT NOT NULL,
+  policy_id  INTEGER NOT NULL,
+  kind       TEXT NOT NULL CHECK (kind IN ('purpose', 'recipient')),
+  value      TEXT NOT NULL,
+  granted    INTEGER NOT NULL,
+  recorded_at TEXT NOT NULL,
+  PRIMARY KEY (user_id, policy_id, kind, value)
+);
+"""
+
+
+@dataclass(frozen=True)
+class ConsentRecord:
+    user_id: str
+    policy_id: int
+    kind: str
+    value: str
+    granted: bool
+    recorded_at: str
+
+
+class ConsentRegistry:
+    """Explicit consent state, layered over the P3P defaults."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.db.executescript(_CONSENT_DDL)
+
+    # -- recording -----------------------------------------------------------
+
+    def grant(self, user_id: str, policy_id: int, kind: str,
+              value: str) -> None:
+        """Record an explicit opt-in (or un-revoked opt-out)."""
+        self._record(user_id, policy_id, kind, value, granted=True)
+
+    def revoke(self, user_id: str, policy_id: int, kind: str,
+               value: str) -> None:
+        """Record an explicit opt-out / withdrawal of consent."""
+        self._record(user_id, policy_id, kind, value, granted=False)
+
+    def _record(self, user_id: str, policy_id: int, kind: str,
+                value: str, granted: bool) -> None:
+        if kind not in _KINDS:
+            raise StorageError(f"unknown consent kind: {kind!r}")
+        self.db.execute(
+            "INSERT OR REPLACE INTO consent "
+            "(user_id, policy_id, kind, value, granted, recorded_at) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (user_id, policy_id, kind, value, 1 if granted else 0,
+             datetime.datetime.now(datetime.timezone.utc).isoformat()),
+        )
+        self.db.commit()
+
+    # -- querying -------------------------------------------------------------
+
+    def explicit_state(self, user_id: str, policy_id: int, kind: str,
+                       value: str) -> bool | None:
+        """The recorded grant/revoke, or None if the user never acted."""
+        row = self.db.query_one(
+            "SELECT granted FROM consent WHERE user_id = ? "
+            "AND policy_id = ? AND kind = ? AND value = ?",
+            (user_id, policy_id, kind, value),
+        )
+        return None if row is None else bool(row["granted"])
+
+    def is_consented(self, user_id: str, policy_id: int, kind: str,
+                     value: str, required: str) -> bool:
+        """Effective consent under the P3P ``required`` semantics.
+
+        * ``always``  — consent implied; explicit records are irrelevant.
+        * ``opt-in``  — denied unless the user explicitly granted.
+        * ``opt-out`` — granted unless the user explicitly revoked.
+        """
+        if required == "always":
+            return True
+        explicit = self.explicit_state(user_id, policy_id, kind, value)
+        if required == "opt-in":
+            return explicit is True
+        if required == "opt-out":
+            return explicit is not False
+        raise StorageError(f"unknown required value: {required!r}")
+
+    def records_for_user(self, user_id: str) -> list[ConsentRecord]:
+        rows = self.db.query(
+            "SELECT * FROM consent WHERE user_id = ? "
+            "ORDER BY policy_id, kind, value",
+            (user_id,),
+        )
+        return [
+            ConsentRecord(
+                user_id=row["user_id"],
+                policy_id=row["policy_id"],
+                kind=row["kind"],
+                value=row["value"],
+                granted=bool(row["granted"]),
+                recorded_at=row["recorded_at"],
+            )
+            for row in rows
+        ]

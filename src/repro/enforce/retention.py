@@ -1,0 +1,156 @@
+"""Retention auditing: flag stored records the policy no longer justifies.
+
+The RETENTION element (Section 2.1 of the paper) is a promise about how
+long collected data is kept — ``no-retention``, ``stated-purpose``,
+``legal-requirement``, ``business-practices``, ``indefinitely``.  The
+client-side architecture can only *display* that promise; the
+server-centric one can **audit** it, because the shredded tables say which
+retention class governs each collected data element.
+
+:class:`RetentionAuditor` registers stored records (ref + policy +
+timestamp) and reports the ones held past the horizon their retention
+class permits.  The horizons are deployment policy, not P3P semantics, so
+they are explicit configuration.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.enforce.validator import ref_covers
+from repro.errors import UnknownPolicyError
+from repro.storage.database import Database
+
+#: Default maximum age (days) per retention class.  ``None`` means no
+#: limit; ``0`` means the record should not be retained at all.
+DEFAULT_HORIZONS: dict[str, float | None] = {
+    "no-retention": 0.0,
+    "stated-purpose": 30.0,
+    "legal-requirement": 365.0 * 7,
+    "business-practices": 365.0 * 2,
+    "indefinitely": None,
+}
+
+_RECORDS_DDL = """
+CREATE TABLE IF NOT EXISTS retained_record (
+  record_id  INTEGER PRIMARY KEY,
+  policy_id  INTEGER NOT NULL,
+  ref        TEXT NOT NULL,
+  stored_at  TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class RetentionFinding:
+    """One record held longer than its retention class allows."""
+
+    record_id: int
+    ref: str
+    retention: str
+    age_days: float
+    limit_days: float
+
+    @property
+    def overdue_days(self) -> float:
+        return self.age_days - self.limit_days
+
+
+class RetentionAuditor:
+    """Audits stored records against the governing policy's retention."""
+
+    def __init__(self, db: Database,
+                 horizons: dict[str, float | None] | None = None):
+        self.db = db
+        self.horizons = dict(DEFAULT_HORIZONS)
+        if horizons:
+            self.horizons.update(horizons)
+        self.db.executescript(_RECORDS_DDL)
+
+    def record_stored(self, policy_id: int, ref: str,
+                      stored_at: datetime.datetime | None = None) -> int:
+        """Register that a data element was stored under *policy_id*."""
+        if stored_at is None:
+            stored_at = datetime.datetime.now(datetime.timezone.utc)
+        cursor = self.db.execute(
+            "INSERT INTO retained_record (policy_id, ref, stored_at) "
+            "VALUES (?, ?, ?)",
+            (policy_id, ref, stored_at.isoformat()),
+        )
+        self.db.commit()
+        return cursor.lastrowid
+
+    def retention_for(self, policy_id: int, ref: str) -> str | None:
+        """The strictest retention class any covering statement declares."""
+        rows = self.db.query(
+            "SELECT data.ref AS stated, statement.retention AS retention "
+            "FROM data JOIN statement "
+            "  ON statement.policy_id = data.policy_id "
+            " AND statement.statement_id = data.statement_id "
+            "WHERE data.policy_id = ?",
+            (policy_id,),
+        )
+        order = ("no-retention", "stated-purpose", "business-practices",
+                 "legal-requirement", "indefinitely")
+        best: str | None = None
+        for row in rows:
+            if row["retention"] is None:
+                continue
+            if not ref_covers(row["stated"], ref):
+                continue
+            if best is None or order.index(row["retention"]) \
+                    < order.index(best):
+                best = row["retention"]
+        return best
+
+    def audit(self, policy_id: int,
+              now: datetime.datetime | None = None
+              ) -> list[RetentionFinding]:
+        """Findings for every overdue record governed by *policy_id*."""
+        if self.db.scalar(
+            "SELECT COUNT(*) FROM policy WHERE policy_id = ?",
+            (policy_id,),
+        ) == 0:
+            raise UnknownPolicyError(f"no policy with id {policy_id}")
+        if now is None:
+            now = datetime.datetime.now(datetime.timezone.utc)
+
+        findings: list[RetentionFinding] = []
+        rows = self.db.query(
+            "SELECT record_id, ref, stored_at FROM retained_record "
+            "WHERE policy_id = ? ORDER BY record_id",
+            (policy_id,),
+        )
+        for row in rows:
+            retention = self.retention_for(policy_id, row["ref"])
+            if retention is None:
+                # Data stored without any covering statement is itself a
+                # violation: zero-day horizon.
+                retention = "no-retention"
+            limit = self.horizons.get(retention)
+            if limit is None:
+                continue
+            stored_at = datetime.datetime.fromisoformat(row["stored_at"])
+            age_days = (now - stored_at).total_seconds() / 86400.0
+            if age_days > limit:
+                findings.append(
+                    RetentionFinding(
+                        record_id=row["record_id"],
+                        ref=row["ref"],
+                        retention=retention,
+                        age_days=age_days,
+                        limit_days=limit,
+                    )
+                )
+        return findings
+
+    def purge(self, findings: list[RetentionFinding]) -> int:
+        """Delete the records behind *findings*; returns the count."""
+        for finding in findings:
+            self.db.execute(
+                "DELETE FROM retained_record WHERE record_id = ?",
+                (finding.record_id,),
+            )
+        self.db.commit()
+        return len(findings)

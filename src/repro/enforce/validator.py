@@ -1,0 +1,237 @@
+"""The Privacy Constraint Validator: enforcement over the shredded tables.
+
+Section 4.2 of the paper: "We are creating the infrastructure necessary
+for enhancing P3P with enforcement in the future.  The privacy data tables
+built for checking preferences against policies may serve as meta data for
+ensuring that policies are followed."  Section 7 lists implementing such
+mechanisms as future work, pointing at the Hippocratic-database design's
+Privacy Constraint Validator module.
+
+:class:`PrivacyValidator` is that module: every internal data access is
+described as an :class:`AccessRequest` (who wants which data element, for
+what purpose, going to which recipient) and is allowed only if some
+statement of the governing policy covers it — with opt-in/opt-out consent
+resolved through the :class:`~repro.enforce.consent.ConsentRegistry`.
+
+Data coverage follows the base-data-schema hierarchy: a statement that
+collects ``#user.home-info.postal`` covers an access to
+``#user.home-info.postal.street`` (collecting a structure collects its
+fields), but not vice versa.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.enforce.consent import PURPOSE, RECIPIENT, ConsentRegistry
+from repro.errors import UnknownPolicyError
+from repro.storage.database import Database
+
+_ACCESS_LOG_DDL = """
+CREATE TABLE IF NOT EXISTS access_log (
+  access_id   INTEGER PRIMARY KEY,
+  user_id     TEXT NOT NULL,
+  policy_id   INTEGER NOT NULL,
+  purpose     TEXT NOT NULL,
+  recipient   TEXT NOT NULL,
+  ref         TEXT NOT NULL,
+  allowed     INTEGER NOT NULL,
+  reason      TEXT NOT NULL,
+  statement_id INTEGER,
+  accessed_at TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One attempted use of collected data."""
+
+    user_id: str
+    policy_id: int
+    purpose: str
+    recipient: str
+    ref: str  # e.g. "#user.home-info.postal.street"
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The validator's verdict, with the justification trail."""
+
+    allowed: bool
+    reason: str
+    statement_id: int | None = None
+
+
+def _normalize(ref: str) -> str:
+    return ref[1:] if ref.startswith("#") else ref
+
+
+def ref_covers(stated: str, requested: str) -> bool:
+    """True if a statement collecting *stated* covers *requested*."""
+    stated_name = _normalize(stated)
+    requested_name = _normalize(requested)
+    return (requested_name == stated_name
+            or requested_name.startswith(stated_name + "."))
+
+
+class PrivacyValidator:
+    """Checks access requests against a store of shredded policies."""
+
+    def __init__(self, db: Database,
+                 consent: ConsentRegistry | None = None,
+                 log_decisions: bool = True):
+        self.db = db
+        self.consent = consent if consent is not None \
+            else ConsentRegistry(db)
+        self.log_decisions = log_decisions
+        self.db.executescript(_ACCESS_LOG_DDL)
+
+    # -- the core check -----------------------------------------------------
+
+    def check(self, request: AccessRequest) -> AccessDecision:
+        """Decide *request* and (optionally) log the decision."""
+        decision = self._decide(request)
+        if self.log_decisions:
+            self._log(request, decision)
+        return decision
+
+    def _decide(self, request: AccessRequest) -> AccessDecision:
+        if self.db.scalar(
+            "SELECT COUNT(*) FROM policy WHERE policy_id = ?",
+            (request.policy_id,),
+        ) == 0:
+            raise UnknownPolicyError(
+                f"no policy with id {request.policy_id}"
+            )
+
+        statements = [
+            row["statement_id"]
+            for row in self.db.query(
+                "SELECT statement_id FROM statement WHERE policy_id = ? "
+                "ORDER BY statement_id",
+                (request.policy_id,),
+            )
+        ]
+        saw_data = saw_purpose = saw_recipient = False
+        purpose_denied = recipient_denied = False
+
+        for statement_id in statements:
+            if not self._statement_collects(request, statement_id):
+                continue
+            saw_data = True
+
+            purpose_required = self._stated_required(
+                "purpose", request.policy_id, statement_id, request.purpose
+            )
+            if purpose_required is None:
+                continue
+            saw_purpose = True
+            if not self.consent.is_consented(
+                request.user_id, request.policy_id, PURPOSE,
+                request.purpose, purpose_required,
+            ):
+                purpose_denied = True
+                continue
+
+            recipient_required = self._stated_required(
+                "recipient", request.policy_id, statement_id,
+                request.recipient,
+            )
+            if recipient_required is None:
+                continue
+            saw_recipient = True
+            if not self.consent.is_consented(
+                request.user_id, request.policy_id, RECIPIENT,
+                request.recipient, recipient_required,
+            ):
+                recipient_denied = True
+                continue
+
+            return AccessDecision(
+                allowed=True,
+                reason=(f"statement {statement_id} states purpose "
+                        f"{request.purpose!r} and recipient "
+                        f"{request.recipient!r} for {request.ref!r}"),
+                statement_id=statement_id,
+            )
+
+        if not saw_data:
+            reason = (f"no statement collects {request.ref!r}")
+        elif not saw_purpose:
+            reason = (f"no statement collecting {request.ref!r} states "
+                      f"purpose {request.purpose!r}")
+        elif purpose_denied and not saw_recipient:
+            reason = (f"purpose {request.purpose!r} requires consent the "
+                      f"user has not given")
+        elif not saw_recipient:
+            reason = (f"no statement states recipient "
+                      f"{request.recipient!r} for this purpose and data")
+        else:
+            reason = (f"recipient {request.recipient!r} requires consent "
+                      "the user has not given")
+        return AccessDecision(allowed=False, reason=reason)
+
+    def _statement_collects(self, request: AccessRequest,
+                            statement_id: int) -> bool:
+        rows = self.db.query(
+            "SELECT ref FROM data WHERE policy_id = ? "
+            "AND statement_id = ?",
+            (request.policy_id, statement_id),
+        )
+        return any(ref_covers(row["ref"], request.ref) for row in rows)
+
+    def _stated_required(self, table: str, policy_id: int,
+                         statement_id: int, value: str) -> str | None:
+        row = self.db.query_one(
+            f"SELECT required FROM {table} WHERE policy_id = ? "
+            f"AND statement_id = ? AND {table} = ?",
+            (policy_id, statement_id, value),
+        )
+        return None if row is None else row["required"]
+
+    # -- logging & reporting ---------------------------------------------------
+
+    def _log(self, request: AccessRequest,
+             decision: AccessDecision) -> None:
+        self.db.execute(
+            "INSERT INTO access_log (user_id, policy_id, purpose, "
+            "recipient, ref, allowed, reason, statement_id, accessed_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                request.user_id,
+                request.policy_id,
+                request.purpose,
+                request.recipient,
+                request.ref,
+                1 if decision.allowed else 0,
+                decision.reason,
+                decision.statement_id,
+                datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            ),
+        )
+        self.db.commit()
+
+    def denied_accesses(self, policy_id: int | None = None
+                        ) -> list[dict[str, object]]:
+        """The audit trail of refused accesses (compliance reporting)."""
+        sql = ("SELECT user_id, purpose, recipient, ref, reason "
+               "FROM access_log WHERE allowed = 0")
+        params: tuple = ()
+        if policy_id is not None:
+            sql += " AND policy_id = ?"
+            params = (policy_id,)
+        return [dict(row) for row in self.db.query(sql + " ORDER BY "
+                                                   "access_id", params)]
+
+    def purposes_used_for(self, policy_id: int,
+                          ref: str) -> list[tuple[str, int]]:
+        """For a data element: which purposes actually accessed it."""
+        rows = self.db.query(
+            "SELECT purpose, COUNT(*) AS uses FROM access_log "
+            "WHERE policy_id = ? AND ref = ? AND allowed = 1 "
+            "GROUP BY purpose ORDER BY uses DESC",
+            (policy_id, ref),
+        )
+        return [(row["purpose"], row["uses"]) for row in rows]

@@ -1,0 +1,45 @@
+"""Uniform MatchEngine interface over the four matching implementations:
+native APPEL (baseline), SQL on the optimized schema, SQL on the generic
+schema, XQuery over a native XML store, and XQuery through the XTABLE
+emulator."""
+
+from repro.engines.base import MatchEngine, MatchOutcome
+from repro.engines.native import NativeAppelMatchEngine
+from repro.engines.sql_engine import GenericSqlMatchEngine, SqlMatchEngine
+from repro.engines.xquery_native import (
+    NativeXmlStore,
+    XQueryNativeMatchEngine,
+)
+from repro.engines.xquery_xtable import XTableMatchEngine
+
+
+def standard_engines() -> list[MatchEngine]:
+    """Fresh instances of the three engines compared in Figure 20
+    (native APPEL, SQL, XQuery-via-XTABLE)."""
+    return [NativeAppelMatchEngine(), SqlMatchEngine(), XTableMatchEngine()]
+
+
+def all_engines() -> list[MatchEngine]:
+    """Fresh instances of every engine (adds generic-SQL and
+    XQuery-native, used by ablations and differential tests)."""
+    return [
+        NativeAppelMatchEngine(),
+        SqlMatchEngine(),
+        GenericSqlMatchEngine(),
+        XQueryNativeMatchEngine(),
+        XTableMatchEngine(),
+    ]
+
+
+__all__ = [
+    "MatchEngine",
+    "MatchOutcome",
+    "NativeAppelMatchEngine",
+    "SqlMatchEngine",
+    "GenericSqlMatchEngine",
+    "NativeXmlStore",
+    "XQueryNativeMatchEngine",
+    "XTableMatchEngine",
+    "standard_engines",
+    "all_engines",
+]

@@ -1,0 +1,63 @@
+"""The uniform preference-matching interface over all four implementations.
+
+The paper's experiment (Section 6.1) "measured the time to match a P3P
+policy with an APPEL preference, first using a native APPEL engine and then
+using a database engine".  Every engine here follows the same two-phase
+shape so the harness can time them identically:
+
+* ``install(policy)`` — one-time server-side work (shredding, storing the
+  XML document, or — for the client-centric native engine — nothing but
+  remembering the policy, since a client re-processes the document at
+  every match);
+* ``match(handle, ruleset)`` — one preference check, reporting *convert*
+  time (APPEL -> query translation) and *query* time (evaluation)
+  separately, the split Figure 20 reports for the SQL implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.appel.model import Ruleset
+from repro.p3p.model import Policy
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Result of matching one preference against one policy."""
+
+    behavior: str | None
+    rule_index: int | None
+    convert_seconds: float = 0.0
+    query_seconds: float = 0.0
+    error: str | None = None  # e.g. XTABLE complexity failures (Figure 21)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.convert_seconds + self.query_seconds
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+class MatchEngine(abc.ABC):
+    """One policy-preference matching implementation."""
+
+    #: short identifier used in benchmark tables ("appel", "sql", ...)
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def install(self, policy: Policy) -> int:
+        """Register *policy*; returns the handle used by :meth:`match`."""
+
+    @abc.abstractmethod
+    def match(self, handle: int, ruleset: Ruleset) -> MatchOutcome:
+        """Match *ruleset* against the policy registered under *handle*."""
+
+    def warm_up(self, handle: int, ruleset: Ruleset) -> None:
+        """One discarded match, mirroring the paper's warm-up protocol
+        (Section 6.3.2: "The system was warmed up by first matching an
+        extra (artificial) preference and discarding this time")."""
+        self.match(handle, ruleset)

@@ -1,0 +1,47 @@
+"""The client-centric native APPEL engine behind the MatchEngine interface.
+
+There is no conversion step — APPEL is the engine's native language — so
+all time is reported as query time.  Every match pays the full
+document-processing cost (render, parse, category augmentation), exactly
+like a browser-side engine that receives the policy document on each visit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appel.engine import AppelEngine
+from repro.appel.model import Ruleset
+from repro.engines.base import MatchEngine, MatchOutcome
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import Policy
+
+
+class NativeAppelMatchEngine(MatchEngine):
+    """Baseline: the specialized APPEL engine at the client (Figure 4)."""
+
+    name = "appel"
+
+    def __init__(self, augment: bool = True):
+        self._engine = AppelEngine(augment=augment)
+        self._policies: dict[int, Policy] = {}
+        self._next_handle = 0
+
+    def install(self, policy: Policy) -> int:
+        self._next_handle += 1
+        self._policies[self._next_handle] = policy
+        return self._next_handle
+
+    def match(self, handle: int, ruleset: Ruleset) -> MatchOutcome:
+        policy = self._policies.get(handle)
+        if policy is None:
+            raise UnknownPolicyError(f"no policy with handle {handle}")
+        start = time.perf_counter()
+        result = self._engine.evaluate(policy, ruleset)
+        elapsed = time.perf_counter() - start
+        return MatchOutcome(
+            behavior=result.behavior,
+            rule_index=result.rule_index,
+            convert_seconds=0.0,
+            query_seconds=elapsed,
+        )

@@ -1,0 +1,91 @@
+"""XQuery over a native XML store (Section 4, architecture variation 3).
+
+Policies are stored as XML documents in a single-table document store
+(install-time augmentation included — the store plays the server's role).
+Each match translates the APPEL preference to XQuery (conversion time) and
+evaluates the queries directly over the parsed document (query time,
+including the per-match document parse a document store pays).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import xmlutil
+from repro.appel.model import Ruleset
+from repro.engines.base import MatchEngine, MatchOutcome
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import Policy
+from repro.p3p.serializer import serialize_policy
+from repro.storage.database import Database
+from repro.translate.appel_to_xquery import XQueryTranslator
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.parser import parse_query
+
+
+class NativeXmlStore:
+    """A minimal native XML store: one row per policy document."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db if db is not None else Database()
+        self.db.execute(
+            "CREATE TABLE IF NOT EXISTS xml_policy ("
+            "  policy_id INTEGER PRIMARY KEY,"
+            "  document  TEXT NOT NULL"
+            ")"
+        )
+
+    def store(self, policy: Policy) -> int:
+        document = serialize_policy(policy.augmented(), indent=False)
+        cursor = self.db.execute(
+            "INSERT INTO xml_policy (document) VALUES (?)", (document,)
+        )
+        self.db.commit()
+        return cursor.lastrowid
+
+    def fetch(self, policy_id: int) -> str:
+        document = self.db.scalar(
+            "SELECT document FROM xml_policy WHERE policy_id = ?",
+            (policy_id,),
+        )
+        if document is None:
+            raise UnknownPolicyError(f"no XML policy with id {policy_id}")
+        return document
+
+
+class XQueryNativeMatchEngine(MatchEngine):
+    """APPEL -> XQuery, evaluated against the native XML store."""
+
+    name = "xquery-native"
+
+    def __init__(self, db: Database | None = None):
+        self.store = NativeXmlStore(db)
+        self.translator = XQueryTranslator()
+
+    def install(self, policy: Policy) -> int:
+        return self.store.store(policy)
+
+    def match(self, handle: int, ruleset: Ruleset) -> MatchOutcome:
+        document = self.store.fetch(handle)
+
+        start = time.perf_counter()
+        translated = self.translator.translate_ruleset(ruleset)
+        queries = [parse_query(rule.xquery) for rule in translated.rules]
+        converted = time.perf_counter()
+
+        root = xmlutil.parse_string(document)
+        behavior: str | None = None
+        rule_index: int | None = None
+        for index, query in enumerate(queries):
+            outcome = evaluate_query(query, root)
+            if outcome is not None:
+                behavior = outcome
+                rule_index = index
+                break
+        end = time.perf_counter()
+        return MatchOutcome(
+            behavior=behavior,
+            rule_index=rule_index,
+            convert_seconds=converted - start,
+            query_seconds=end - converted,
+        )

@@ -1,0 +1,89 @@
+"""XQuery through the XTABLE emulator (the paper's 'XQuery' column).
+
+The pipeline mirrors Section 6.1: "XTABLE was responsible for generating
+SQL from XQuery, which was then run against DB2.  The XQuery numbers
+include both the time for converting APPEL into XQuery, and the time taken
+by XTABLE to convert XQuery into SQL."
+
+Conversion time here = APPEL -> XQuery translation + XQuery parse + XTABLE
+SQL generation; query time = execution of the generated SQL over the
+generic schema.  A rule whose generated SQL exceeds the complexity budget
+produces a failed outcome, reproducing the blank Medium cell of Figure 21.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appel.model import Ruleset
+from repro.engines.base import MatchEngine, MatchOutcome
+from repro.errors import TranslationTooComplexError
+from repro.p3p.model import Policy
+from repro.storage.database import Database
+from repro.storage.generic_shredder import GenericPolicyStore
+from repro.translate.appel_to_sql import applicable_policy_literal
+from repro.translate.appel_to_xquery import XQueryTranslator
+from repro.xquery.parser import parse_query
+from repro.xquery.to_sql import DEFAULT_COMPLEXITY_LIMIT, XTableCompiler
+
+
+class XTableMatchEngine(MatchEngine):
+    """APPEL -> XQuery -> (XTABLE) SQL -> generic schema."""
+
+    name = "xquery"
+
+    def __init__(self, db: Database | None = None,
+                 complexity_limit: int = DEFAULT_COMPLEXITY_LIMIT):
+        self.store = GenericPolicyStore(db)
+        self.db = self.store.db
+        self.translator = XQueryTranslator()
+        self.complexity_limit = complexity_limit
+
+    def install(self, policy: Policy) -> int:
+        return self.store.install_policy(policy)
+
+    def match(self, handle: int, ruleset: Ruleset) -> MatchOutcome:
+        self.store.require_policy(handle)
+        start = time.perf_counter()
+        try:
+            compiled = self._compile(ruleset, handle)
+        except TranslationTooComplexError as exc:
+            return MatchOutcome(
+                behavior=None,
+                rule_index=None,
+                convert_seconds=time.perf_counter() - start,
+                query_seconds=0.0,
+                error=str(exc),
+            )
+        converted = time.perf_counter()
+
+        behavior: str | None = None
+        rule_index: int | None = None
+        for index, (rule_behavior, sql) in enumerate(compiled):
+            row = self.db.query_one(sql)
+            if row is not None:
+                behavior = rule_behavior
+                rule_index = index
+                break
+        end = time.perf_counter()
+        return MatchOutcome(
+            behavior=behavior,
+            rule_index=rule_index,
+            convert_seconds=converted - start,
+            query_seconds=end - converted,
+        )
+
+    def _compile(self, ruleset: Ruleset,
+                 policy_id: int) -> list[tuple[str, str]]:
+        translated = self.translator.translate_ruleset(ruleset)
+        applicable = applicable_policy_literal(policy_id)
+        compiled: list[tuple[str, str]] = []
+        for rule in translated.rules:
+            query = parse_query(rule.xquery)
+            compiler = XTableCompiler(
+                complexity_limit=self.complexity_limit
+            )
+            compiled.append(
+                (rule.behavior, compiler.compile_query(query, applicable))
+            )
+        return compiled

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class VocabularyError(ReproError):
+    """An unknown P3P vocabulary term, element, or attribute was used."""
+
+
+class PolicyParseError(ReproError):
+    """A P3P policy document could not be parsed."""
+
+
+class PolicyValidationError(ReproError):
+    """A parsed P3P policy violates the P3P structural rules."""
+
+
+class ReferenceFileError(ReproError):
+    """A P3P reference file could not be parsed or is malformed."""
+
+
+class CompactPolicyError(ReproError):
+    """A compact policy string could not be encoded or decoded."""
+
+
+class AppelParseError(ReproError):
+    """An APPEL ruleset document could not be parsed."""
+
+
+class AppelEvaluationError(ReproError):
+    """The native APPEL engine failed while matching a ruleset."""
+
+
+class StorageError(ReproError):
+    """A failure in the relational storage layer."""
+
+
+class UnknownPolicyError(StorageError):
+    """The requested policy id/name is not present in the store."""
+
+
+class TranslationError(ReproError):
+    """An APPEL rule could not be translated to SQL or XQuery."""
+
+
+class XQuerySyntaxError(ReproError):
+    """The mini XQuery engine could not parse a query."""
+
+
+class XQueryEvaluationError(ReproError):
+    """The mini XQuery engine failed while evaluating a query."""
+
+
+class TranslationTooComplexError(TranslationError):
+    """The XTABLE emulator refused a query that exceeds its complexity limit.
+
+    This reproduces the paper's observation (Section 6.3.2) that the XTABLE
+    translation of the *Medium* preference "was too complex for DB2 to
+    execute".
+    """
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness failure."""

@@ -1,0 +1,63 @@
+"""P3P policy library: model, XML parse/serialize, validation, compact
+policies, and reference files."""
+
+from repro.p3p.compact import (
+    CompactPolicy,
+    CookiePreference,
+    decode_compact,
+    encode_compact,
+)
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.notice import policy_notice, statement_notice
+from repro.p3p.diff import PolicyDiff, diff_policies
+from repro.p3p.parser import parse_policies, parse_policy
+from repro.p3p.reference import (
+    PolicyRef,
+    ReferenceFile,
+    parse_reference_file,
+    serialize_reference_file,
+    uri_matches,
+)
+from repro.p3p.serializer import policy_to_element, serialize_policy
+from repro.p3p.validator import Problem, is_valid, validate_policy
+from repro.p3p.wizard import PolicyAnswers, build_policy
+
+__all__ = [
+    "Policy",
+    "Statement",
+    "PurposeValue",
+    "RecipientValue",
+    "DataItem",
+    "Disputes",
+    "Entity",
+    "parse_policy",
+    "parse_policies",
+    "serialize_policy",
+    "policy_to_element",
+    "validate_policy",
+    "is_valid",
+    "Problem",
+    "CompactPolicy",
+    "CookiePreference",
+    "encode_compact",
+    "decode_compact",
+    "ReferenceFile",
+    "PolicyRef",
+    "parse_reference_file",
+    "serialize_reference_file",
+    "uri_matches",
+    "PolicyAnswers",
+    "build_policy",
+    "policy_notice",
+    "statement_notice",
+    "diff_policies",
+    "PolicyDiff",
+]

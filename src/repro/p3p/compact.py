@@ -1,0 +1,295 @@
+"""Compact P3P policies (the IE6 mechanism described in Section 3.2).
+
+A compact policy is a whitespace-separated token summary of a full policy,
+sent in an HTTP ``P3P:`` response header and used by Internet Explorer 6 to
+gate cookies.  Each vocabulary value has a three-letter token; purpose and
+recipient tokens carry an ``a``/``i``/``o`` suffix for the ``required``
+attribute (always / opt-in / opt-out).
+
+The encoder flattens a full :class:`~repro.p3p.model.Policy` into its token
+bag; the decoder produces a single-statement policy that over-approximates
+the original (exactly the information loss compact policies have in real
+deployments).  :class:`CookiePreference` implements an IE6-style acceptance
+check over tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompactPolicyError
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.vocab import terms
+
+PURPOSE_TOKENS: dict[str, str] = {
+    "current": "CUR",
+    "admin": "ADM",
+    "develop": "DEV",
+    "tailoring": "TAI",
+    "pseudo-analysis": "PSA",
+    "pseudo-decision": "PSD",
+    "individual-analysis": "IVA",
+    "individual-decision": "IVD",
+    "contact": "CON",
+    "historical": "HIS",
+    "telemarketing": "TEL",
+    "other-purpose": "OTP",
+}
+
+RECIPIENT_TOKENS: dict[str, str] = {
+    "ours": "OUR",
+    "delivery": "DEL",
+    "same": "SAM",
+    "other-recipient": "OTR",
+    "unrelated": "UNR",
+    "public": "PUB",
+}
+
+RETENTION_TOKENS: dict[str, str] = {
+    "no-retention": "NOR",
+    "stated-purpose": "STP",
+    "legal-requirement": "LEG",
+    "indefinitely": "IND",
+    "business-practices": "BUS",
+}
+
+CATEGORY_TOKENS: dict[str, str] = {
+    "physical": "PHY",
+    "online": "ONL",
+    "uniqueid": "UNI",
+    "purchase": "PUR",
+    "financial": "FIN",
+    "computer": "COM",
+    "navigation": "NAV",
+    "interactive": "INT",
+    "demographic": "DEM",
+    "content": "CNT",
+    "state": "STA",
+    "political": "POL",
+    "health": "HEA",
+    "preference": "PRE",
+    "location": "LOC",
+    "government": "GOV",
+    "other-category": "OTC",
+}
+
+ACCESS_TOKENS: dict[str, str] = {
+    "nonident": "NOI",
+    "all": "ALL",
+    "contact-and-other": "CAO",
+    "ident-contact": "IDC",
+    "other-ident": "OTI",
+    "none": "NON",
+}
+
+REQUIRED_SUFFIX: dict[str, str] = {"always": "a", "opt-in": "i", "opt-out": "o"}
+SUFFIX_REQUIRED: dict[str, str] = {v: k for k, v in REQUIRED_SUFFIX.items()}
+
+_TOKEN_PURPOSE = {v: k for k, v in PURPOSE_TOKENS.items()}
+_TOKEN_RECIPIENT = {v: k for k, v in RECIPIENT_TOKENS.items()}
+_TOKEN_RETENTION = {v: k for k, v in RETENTION_TOKENS.items()}
+_TOKEN_CATEGORY = {v: k for k, v in CATEGORY_TOKENS.items()}
+_TOKEN_ACCESS = {v: k for k, v in ACCESS_TOKENS.items()}
+
+DISPUTES_TOKEN = "DSP"
+NON_IDENTIFIABLE_TOKEN = "NID"
+TEST_TOKEN = "TST"
+REMEDY_TOKENS = {"correct": "COR", "money": "MON", "law": "LAW"}
+_TOKEN_REMEDY = {v: k for k, v in REMEDY_TOKENS.items()}
+
+
+def encode_compact(policy: Policy) -> str:
+    """Encode *policy* as a compact policy token string.
+
+    Token order follows the P3P 1.0 compact policy grammar: access,
+    disputes, remedies, non-identifiable, purposes, recipients, retention,
+    categories, test.  The category tokens summarize the *expanded*
+    category sets of all collected data.
+    """
+    tokens: list[str] = []
+
+    if policy.access is not None:
+        tokens.append(ACCESS_TOKENS[policy.access])
+    if policy.disputes:
+        tokens.append(DISPUTES_TOKEN)
+        remedies: list[str] = []
+        for disputes in policy.disputes:
+            for remedy in disputes.remedies:
+                token = REMEDY_TOKENS[remedy]
+                if token not in remedies:
+                    remedies.append(token)
+        tokens.extend(remedies)
+
+    if any(s.non_identifiable for s in policy.statements):
+        tokens.append(NON_IDENTIFIABLE_TOKEN)
+
+    purpose_tokens: list[str] = []
+    recipient_tokens: list[str] = []
+    retention_tokens: list[str] = []
+    category_tokens: list[str] = []
+    for statement in policy.statements:
+        for purpose in statement.purposes:
+            token = PURPOSE_TOKENS[purpose.name]
+            if purpose.required is not None:
+                suffix = REQUIRED_SUFFIX[purpose.required]
+                if suffix != "a":
+                    token += suffix
+            if token not in purpose_tokens:
+                purpose_tokens.append(token)
+        for recipient in statement.recipients:
+            token = RECIPIENT_TOKENS[recipient.name]
+            if recipient.required is not None:
+                suffix = REQUIRED_SUFFIX[recipient.required]
+                if suffix != "a":
+                    token += suffix
+            if token not in recipient_tokens:
+                recipient_tokens.append(token)
+        if statement.retention is not None:
+            token = RETENTION_TOKENS[statement.retention]
+            if token not in retention_tokens:
+                retention_tokens.append(token)
+        for item in statement.data:
+            for category in sorted(item.expanded_categories()):
+                token = CATEGORY_TOKENS[category]
+                if token not in category_tokens:
+                    category_tokens.append(token)
+
+    tokens.extend(purpose_tokens)
+    tokens.extend(recipient_tokens)
+    tokens.extend(retention_tokens)
+    tokens.extend(category_tokens)
+    if policy.test:
+        tokens.append(TEST_TOKEN)
+    return " ".join(tokens)
+
+
+@dataclass(frozen=True)
+class CompactPolicy:
+    """A decoded compact policy: flat token-level view of the full policy."""
+
+    access: str | None = None
+    disputes: bool = False
+    remedies: tuple[str, ...] = ()
+    non_identifiable: bool = False
+    purposes: tuple[tuple[str, str], ...] = ()  # (purpose, required)
+    recipients: tuple[tuple[str, str], ...] = ()  # (recipient, required)
+    retentions: tuple[str, ...] = ()
+    categories: tuple[str, ...] = ()
+    test: bool = False
+
+    def to_policy(self) -> Policy:
+        """Over-approximating single-statement full policy for this summary."""
+        statement = Statement(
+            purposes=tuple(
+                PurposeValue(name, required if name != "current" else None)
+                for name, required in self.purposes
+            ),
+            recipients=tuple(
+                RecipientValue(name, required if name != "ours" else None)
+                for name, required in self.recipients
+            ),
+            retention=self.retentions[0] if self.retentions else None,
+            data=(
+                DataItem(ref="#dynamic.miscdata",
+                         categories=self.categories),
+            ) if self.categories else (),
+            non_identifiable=self.non_identifiable,
+        )
+        return Policy(access=self.access, test=self.test,
+                      statements=(statement,))
+
+
+def decode_compact(text: str) -> CompactPolicy:
+    """Decode a compact policy token string."""
+    access: str | None = None
+    disputes = False
+    remedies: list[str] = []
+    non_identifiable = False
+    purposes: list[tuple[str, str]] = []
+    recipients: list[tuple[str, str]] = []
+    retentions: list[str] = []
+    categories: list[str] = []
+    test = False
+
+    for token in text.split():
+        token = token.strip().strip('"')
+        if not token:
+            continue
+        upper3 = token[:3].upper()
+        suffix = token[3:].lower()
+        if suffix and suffix not in SUFFIX_REQUIRED:
+            raise CompactPolicyError(f"bad compact token: {token!r}")
+        required = SUFFIX_REQUIRED.get(suffix, terms.REQUIRED_DEFAULT)
+
+        if token.upper() == DISPUTES_TOKEN:
+            disputes = True
+        elif token.upper() == NON_IDENTIFIABLE_TOKEN:
+            non_identifiable = True
+        elif token.upper() == TEST_TOKEN:
+            test = True
+        elif upper3 in _TOKEN_PURPOSE:
+            purposes.append((_TOKEN_PURPOSE[upper3], required))
+        elif upper3 in _TOKEN_RECIPIENT:
+            recipients.append((_TOKEN_RECIPIENT[upper3], required))
+        elif not suffix and upper3 in _TOKEN_RETENTION:
+            retentions.append(_TOKEN_RETENTION[upper3])
+        elif not suffix and upper3 in _TOKEN_CATEGORY:
+            categories.append(_TOKEN_CATEGORY[upper3])
+        elif not suffix and upper3 in _TOKEN_ACCESS:
+            access = _TOKEN_ACCESS[upper3]
+        elif not suffix and upper3 in _TOKEN_REMEDY:
+            remedies.append(_TOKEN_REMEDY[upper3])
+        else:
+            raise CompactPolicyError(f"unknown compact token: {token!r}")
+
+    return CompactPolicy(
+        access=access,
+        disputes=disputes,
+        remedies=tuple(remedies),
+        non_identifiable=non_identifiable,
+        purposes=tuple(purposes),
+        recipients=tuple(recipients),
+        retentions=tuple(retentions),
+        categories=tuple(categories),
+        test=test,
+    )
+
+
+@dataclass(frozen=True)
+class CookiePreference:
+    """An IE6-style cookie acceptance rule over compact policies.
+
+    ``blocked_purposes`` / ``blocked_recipients`` are rejected outright when
+    stated with ``required="always"``; with opt-in they are tolerated
+    (the user keeps control), mirroring IE6's "implicit consent" notion.
+    A site with no compact policy at all is rejected when
+    ``require_compact_policy`` is set.
+    """
+
+    blocked_purposes: frozenset[str] = frozenset(
+        {"telemarketing", "other-purpose"}
+    )
+    blocked_recipients: frozenset[str] = frozenset({"unrelated", "public"})
+    blocked_categories: frozenset[str] = frozenset()
+    require_compact_policy: bool = True
+
+    def accepts(self, compact: CompactPolicy | None) -> bool:
+        """True if a cookie governed by *compact* should be admitted."""
+        if compact is None:
+            return not self.require_compact_policy
+        for purpose, required in compact.purposes:
+            if purpose in self.blocked_purposes and required == "always":
+                return False
+        for recipient, required in compact.recipients:
+            if recipient in self.blocked_recipients and required == "always":
+                return False
+        for category in compact.categories:
+            if category in self.blocked_categories:
+                return False
+        return True

@@ -1,0 +1,211 @@
+"""Structured diffs between policy versions.
+
+Version management is one of the server-centric architecture's selling
+points (Section 4.2: "Policies of a website will not stay static forever").
+A site owner revising a policy wants to see — and announce — exactly what
+changed in privacy terms, not an XML text diff.  This module compares two
+policies statement-by-statement and reports the privacy-relevant deltas:
+purposes/recipients gained or lost, consent regime changes, retention
+changes, and data newly collected or dropped.
+
+Statements are aligned positionally (P3P statements are ordered); added
+and removed statements are reported whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p3p.model import Policy, Statement
+
+
+@dataclass(frozen=True)
+class ValueChange:
+    """A vocabulary value added, removed, or re-consented."""
+
+    kind: str        # "purpose" | "recipient"
+    value: str
+    change: str      # "added" | "removed" | "consent-changed"
+    old_required: str | None = None
+    new_required: str | None = None
+
+    def __str__(self) -> str:
+        if self.change == "consent-changed":
+            return (f"{self.kind} {self.value!r}: required "
+                    f"{self.old_required!r} -> {self.new_required!r}")
+        return f"{self.kind} {self.value!r} {self.change}"
+
+
+@dataclass(frozen=True)
+class StatementDiff:
+    """Changes within one aligned statement pair."""
+
+    index: int
+    value_changes: tuple[ValueChange, ...] = ()
+    retention_change: tuple[str | None, str | None] | None = None
+    data_added: tuple[str, ...] = ()
+    data_removed: tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return (not self.value_changes
+                and self.retention_change is None
+                and not self.data_added and not self.data_removed)
+
+    def render(self) -> str:
+        lines = [f"statement {self.index}:"]
+        for change in self.value_changes:
+            lines.append(f"  {change}")
+        if self.retention_change is not None:
+            old, new = self.retention_change
+            lines.append(f"  retention {old!r} -> {new!r}")
+        for ref in self.data_added:
+            lines.append(f"  now collects {ref}")
+        for ref in self.data_removed:
+            lines.append(f"  no longer collects {ref}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """The full delta between two policy versions."""
+
+    statement_diffs: tuple[StatementDiff, ...] = ()
+    statements_added: tuple[int, ...] = ()
+    statements_removed: tuple[int, ...] = ()
+    access_change: tuple[str | None, str | None] | None = None
+    disputes_change: str | None = None  # "added" | "removed" | None
+
+    @property
+    def empty(self) -> bool:
+        return (not self.statement_diffs and not self.statements_added
+                and not self.statements_removed
+                and self.access_change is None
+                and self.disputes_change is None)
+
+    def tightens_privacy(self) -> bool | None:
+        """Best-effort verdict: does the new version collect/use less?
+
+        True when every change is a removal or a move toward consent;
+        False when any change expands use; None for a mixed/neutral diff.
+        """
+        expanding = relaxing = False
+        order = {"always": 0, "opt-out": 1, "opt-in": 2}
+        for diff in self.statement_diffs:
+            for change in diff.value_changes:
+                if change.change == "added":
+                    expanding = True
+                elif change.change == "removed":
+                    relaxing = True
+                elif change.change == "consent-changed":
+                    if order.get(change.new_required, 0) > \
+                            order.get(change.old_required, 0):
+                        relaxing = True
+                    else:
+                        expanding = True
+            if diff.data_added:
+                expanding = True
+            if diff.data_removed:
+                relaxing = True
+        if self.statements_added:
+            expanding = True
+        if self.statements_removed:
+            relaxing = True
+        if expanding and relaxing:
+            return None
+        if expanding:
+            return False
+        if relaxing:
+            return True
+        return None
+
+    def render(self) -> str:
+        if self.empty:
+            return "no privacy-relevant changes"
+        lines: list[str] = []
+        if self.access_change is not None:
+            old, new = self.access_change
+            lines.append(f"access {old!r} -> {new!r}")
+        if self.disputes_change is not None:
+            lines.append(f"dispute resolution {self.disputes_change}")
+        for index in self.statements_added:
+            lines.append(f"statement {index} added")
+        for index in self.statements_removed:
+            lines.append(f"statement {index} removed")
+        for diff in self.statement_diffs:
+            lines.append(diff.render())
+        return "\n".join(lines)
+
+
+def diff_policies(old: Policy, new: Policy) -> PolicyDiff:
+    """Compute the privacy-relevant delta from *old* to *new*."""
+    statement_diffs: list[StatementDiff] = []
+    common = min(len(old.statements), len(new.statements))
+    for index in range(common):
+        diff = _diff_statement(index, old.statements[index],
+                               new.statements[index])
+        if not diff.empty:
+            statement_diffs.append(diff)
+
+    access_change = None
+    if old.access != new.access:
+        access_change = (old.access, new.access)
+
+    disputes_change = None
+    if bool(old.disputes) != bool(new.disputes):
+        disputes_change = "added" if new.disputes else "removed"
+
+    return PolicyDiff(
+        statement_diffs=tuple(statement_diffs),
+        statements_added=tuple(range(common, len(new.statements))),
+        statements_removed=tuple(range(common, len(old.statements))),
+        access_change=access_change,
+        disputes_change=disputes_change,
+    )
+
+
+def _diff_statement(index: int, old: Statement,
+                    new: Statement) -> StatementDiff:
+    changes: list[ValueChange] = []
+    changes.extend(_diff_values(
+        "purpose",
+        {p.name: p.effective_required for p in old.purposes},
+        {p.name: p.effective_required for p in new.purposes},
+    ))
+    changes.extend(_diff_values(
+        "recipient",
+        {r.name: r.effective_required for r in old.recipients},
+        {r.name: r.effective_required for r in new.recipients},
+    ))
+
+    retention_change = None
+    if old.retention != new.retention:
+        retention_change = (old.retention, new.retention)
+
+    old_refs = {item.ref for item in old.data}
+    new_refs = {item.ref for item in new.data}
+
+    return StatementDiff(
+        index=index,
+        value_changes=tuple(changes),
+        retention_change=retention_change,
+        data_added=tuple(sorted(new_refs - old_refs)),
+        data_removed=tuple(sorted(old_refs - new_refs)),
+    )
+
+
+def _diff_values(kind: str, old: dict[str, str],
+                 new: dict[str, str]) -> list[ValueChange]:
+    changes: list[ValueChange] = []
+    for value in sorted(old.keys() - new.keys()):
+        changes.append(ValueChange(kind, value, "removed"))
+    for value in sorted(new.keys() - old.keys()):
+        changes.append(ValueChange(kind, value, "added"))
+    for value in sorted(old.keys() & new.keys()):
+        if old[value] != new[value]:
+            changes.append(
+                ValueChange(kind, value, "consent-changed",
+                            old_required=old[value],
+                            new_required=new[value])
+            )
+    return changes

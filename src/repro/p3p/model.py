@@ -1,0 +1,216 @@
+"""Typed object model for P3P 1.0 privacy policies.
+
+The model mirrors the element hierarchy of Section 2.1 of the paper:
+a :class:`Policy` holds :class:`Statement` elements, each of which carries
+purposes, recipients, a retention value, and the data items collected.
+
+All defaulted attributes are stored *resolved* (e.g. a purpose with no
+``required`` attribute is stored with ``required="always"``), which is the
+canonical form assumed by both the paper's example walk-through (Section
+2.2) and the shredder.  Serialization omits attributes that equal their
+defaults, so parse → serialize → parse is the identity on the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PolicyValidationError
+from repro.vocab import basedata, terms
+
+
+@dataclass(frozen=True)
+class PurposeValue:
+    """One purpose value inside a PURPOSE element, e.g. ``<contact required="opt-in"/>``.
+
+    ``required`` is always resolved; it is ``None`` only for ``current``,
+    which the P3P spec forbids from carrying the attribute.
+    """
+
+    name: str
+    required: str | None = terms.REQUIRED_DEFAULT
+
+    def __post_init__(self) -> None:
+        terms.check_purpose(self.name)
+        if self.name in terms.PURPOSES_WITHOUT_REQUIRED:
+            object.__setattr__(self, "required", None)
+        elif self.required is None:
+            object.__setattr__(self, "required", terms.REQUIRED_DEFAULT)
+        else:
+            terms.check_required(self.required)
+
+    @property
+    def effective_required(self) -> str:
+        """The value matched against APPEL ``required`` attributes."""
+        return self.required if self.required is not None else terms.REQUIRED_DEFAULT
+
+
+@dataclass(frozen=True)
+class RecipientValue:
+    """One recipient value inside a RECIPIENT element."""
+
+    name: str
+    required: str | None = terms.REQUIRED_DEFAULT
+
+    def __post_init__(self) -> None:
+        terms.check_recipient(self.name)
+        if self.name in terms.RECIPIENTS_WITHOUT_REQUIRED:
+            object.__setattr__(self, "required", None)
+        elif self.required is None:
+            object.__setattr__(self, "required", terms.REQUIRED_DEFAULT)
+        else:
+            terms.check_required(self.required)
+
+    @property
+    def effective_required(self) -> str:
+        return self.required if self.required is not None else terms.REQUIRED_DEFAULT
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One ``<DATA ref="...">`` element within a DATA-GROUP.
+
+    ``categories`` holds the *explicit* (inline) categories only; the fixed
+    categories implied by the base data schema are computed on demand by
+    :meth:`expanded_categories` — this is exactly the augmentation step whose
+    placement (per-match vs at shred time) drives the paper's Section 6
+    result.
+    """
+
+    ref: str
+    optional: str = terms.OPTIONAL_DEFAULT
+    categories: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for category in self.categories:
+            terms.check_category(category)
+        if self.optional not in terms.OPTIONAL_VALUES:
+            raise PolicyValidationError(
+                f"DATA optional attribute must be yes/no, got {self.optional!r}"
+            )
+
+    @property
+    def normalized_ref(self) -> str:
+        """The ref without its leading ``#``."""
+        return self.ref[1:] if self.ref.startswith("#") else self.ref
+
+    def expanded_categories(self, registry=None) -> frozenset[str]:
+        """Explicit categories plus those predefined in the data schemas.
+
+        Without a *registry* only the P3P base data schema is consulted;
+        pass a :class:`~repro.vocab.dataschema.DataSchemaRegistry` to also
+        resolve refs into the site's custom DATASCHEMA documents.
+        """
+        explicit = frozenset(self.categories)
+        if registry is not None:
+            return registry.expanded_categories(self.ref, explicit)
+        if basedata.is_known_ref(self.ref):
+            return explicit | basedata.categories_for_ref(self.ref)
+        return explicit
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One STATEMENT element: purposes x recipients x retention x data."""
+
+    purposes: tuple[PurposeValue, ...] = ()
+    recipients: tuple[RecipientValue, ...] = ()
+    retention: str | None = None
+    data: tuple[DataItem, ...] = ()
+    consequence: str | None = None
+    non_identifiable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retention is not None:
+            terms.check_retention(self.retention)
+
+    def purpose_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.purposes)
+
+    def recipient_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.recipients)
+
+    def data_refs(self) -> tuple[str, ...]:
+        return tuple(d.ref for d in self.data)
+
+
+@dataclass(frozen=True)
+class Disputes:
+    """One DISPUTES element within a DISPUTES-GROUP."""
+
+    resolution_type: str | None = None
+    service: str | None = None
+    verification: str | None = None
+    remedies: tuple[str, ...] = ()
+    long_description: str | None = None
+
+    def __post_init__(self) -> None:
+        for remedy in self.remedies:
+            if remedy not in terms.REMEDY_SET:
+                raise PolicyValidationError(f"unknown remedy: {remedy!r}")
+        if (self.resolution_type is not None
+                and self.resolution_type not in terms.RESOLUTION_TYPE_SET):
+            raise PolicyValidationError(
+                f"unknown resolution-type: {self.resolution_type!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Entity:
+    """The ENTITY element: the legal entity's own contact data.
+
+    Stored as (ref, value) pairs, e.g. ``("#business.name", "Volga Books")``.
+    """
+
+    data: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A complete P3P policy (one POLICY element)."""
+
+    name: str | None = None
+    discuri: str | None = None
+    opturi: str | None = None
+    access: str | None = None
+    test: bool = False
+    entity: Entity = field(default_factory=Entity)
+    disputes: tuple[Disputes, ...] = ()
+    statements: tuple[Statement, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.access is not None and self.access not in terms.ACCESS_SET:
+            raise PolicyValidationError(f"unknown ACCESS value: {self.access!r}")
+
+    def statement_count(self) -> int:
+        return len(self.statements)
+
+    def data_refs(self) -> tuple[str, ...]:
+        """Every DATA ref collected by the policy, in document order."""
+        refs: list[str] = []
+        for statement in self.statements:
+            refs.extend(statement.data_refs())
+        return tuple(refs)
+
+    def with_statement(self, statement: Statement) -> "Policy":
+        """Return a copy of this policy with *statement* appended."""
+        return replace(self, statements=self.statements + (statement,))
+
+    def augmented(self, registry=None) -> "Policy":
+        """Return a copy with every data item's categories fully expanded.
+
+        This is the *augmentation* the native APPEL engine performs before
+        every match (Section 6.3.2) and the shredder performs once per
+        policy.  The returned policy has each DataItem's explicit
+        ``categories`` replaced by its full expanded category set; pass a
+        DataSchemaRegistry to also expand custom-schema refs.
+        """
+        new_statements = []
+        for statement in self.statements:
+            new_data = tuple(
+                replace(item, categories=tuple(
+                    sorted(item.expanded_categories(registry))))
+                for item in statement.data
+            )
+            new_statements.append(replace(statement, data=new_data))
+        return replace(self, statements=tuple(new_statements))

@@ -1,0 +1,144 @@
+"""Render a P3P policy as the human-readable notice it encodes.
+
+The paper's motivation (Section 1): early privacy policies "were often too
+lengthy for users to read and were written in a language too difficult for
+users to understand".  P3P's machine-readable encoding makes the inverse
+direction mechanical: this module generates a plain-language privacy
+notice from the policy model — the text a user agent like Privacy Bird
+shows when the user asks "what does this site actually do?".
+
+Every vocabulary value has a fixed phrase (kept deliberately close to the
+P3P 1.0 Recommendation's own glosses), so the notice is deterministic and
+testable.
+"""
+
+from __future__ import annotations
+
+from repro.p3p.model import Policy, Statement
+
+PURPOSE_PHRASES: dict[str, str] = {
+    "current": "complete the activity you requested",
+    "admin": "administer the web site and its systems",
+    "develop": "improve the site through research and development",
+    "tailoring": "tailor the current visit to you",
+    "pseudo-analysis": "analyse usage under a pseudonym",
+    "pseudo-decision": "make decisions about you under a pseudonym",
+    "individual-analysis": "analyse information tied to you personally",
+    "individual-decision": "make decisions tied to you personally",
+    "contact": "contact you for marketing of services or products",
+    "historical": "archive information for historical purposes",
+    "telemarketing": "call you for marketing by telephone",
+    "other-purpose": "use information for other, stated purposes",
+}
+
+RECIPIENT_PHRASES: dict[str, str] = {
+    "ours": "the site itself (and its agents)",
+    "delivery": "delivery services",
+    "same": "partners who follow the same practices",
+    "other-recipient": "organizations accountable to the site",
+    "unrelated": "organizations with unknown practices",
+    "public": "public forums",
+}
+
+RETENTION_PHRASES: dict[str, str] = {
+    "no-retention": "not retained beyond the interaction",
+    "stated-purpose": "discarded at the earliest opportunity",
+    "legal-requirement": "retained as the law requires",
+    "business-practices": "retained under the site's published schedule",
+    "indefinitely": "retained indefinitely",
+}
+
+ACCESS_PHRASES: dict[str, str] = {
+    "nonident": "the site collects no identified data",
+    "all": "you can access all identified data the site holds",
+    "contact-and-other": "you can access contact and certain other data",
+    "ident-contact": "you can access your contact information",
+    "other-ident": "you can access certain other identified data",
+    "none": "the site grants no access to your data",
+}
+
+REQUIRED_PHRASES: dict[str, str] = {
+    "always": "",
+    "opt-in": " (only with your consent)",
+    "opt-out": " (unless you opt out)",
+}
+
+
+def _join(parts: list[str]) -> str:
+    if not parts:
+        return ""
+    if len(parts) == 1:
+        return parts[0]
+    return ", ".join(parts[:-1]) + " and " + parts[-1]
+
+
+def _describe_ref(ref: str) -> str:
+    name = ref[1:] if ref.startswith("#") else ref
+    if "#" in name:
+        name = name.rsplit("#", 1)[1]
+    return name.replace("-", " ").replace(".", " / ")
+
+
+def statement_notice(statement: Statement, index: int) -> str:
+    """One paragraph for one statement."""
+    if statement.non_identifiable:
+        return (f"{index}. Data in this section is anonymized and cannot "
+                "be linked to you.")
+
+    purposes = _join([
+        PURPOSE_PHRASES.get(value.name, value.name)
+        + REQUIRED_PHRASES.get(value.effective_required, "")
+        for value in statement.purposes
+    ])
+    recipients = _join([
+        RECIPIENT_PHRASES.get(value.name, value.name)
+        + REQUIRED_PHRASES.get(value.effective_required, "")
+        for value in statement.recipients
+    ])
+    data = _join([_describe_ref(item.ref) for item in statement.data])
+
+    lines = [f"{index}. The site collects {data or 'no data'}"]
+    if purposes:
+        lines.append(f"   to {purposes}.")
+    if recipients:
+        lines.append(f"   This information goes to {recipients}.")
+    if statement.retention is not None:
+        lines.append(
+            "   It is "
+            + RETENTION_PHRASES.get(statement.retention,
+                                    statement.retention) + "."
+        )
+    if statement.consequence:
+        lines.append(f'   The site says: "{statement.consequence}"')
+    return "\n".join(lines)
+
+
+def policy_notice(policy: Policy) -> str:
+    """The full plain-language notice for *policy*."""
+    lines: list[str] = []
+    title = policy.name or "this site"
+    lines.append(f"Privacy notice for {title}")
+    lines.append("=" * len(lines[0]))
+
+    entity_name = dict(policy.entity.data).get("#business.name")
+    if entity_name:
+        lines.append(f"Operated by {entity_name}.")
+    if policy.access is not None:
+        lines.append(ACCESS_PHRASES.get(policy.access, policy.access)
+                     .capitalize() + ".")
+    if policy.disputes:
+        channels = _join([
+            d.service or d.resolution_type or "a dispute service"
+            for d in policy.disputes
+        ])
+        lines.append(f"Complaints can be raised with {channels}.")
+    else:
+        lines.append("The policy names no dispute resolution channel.")
+    if policy.opturi:
+        lines.append(f"Consent choices can be changed at {policy.opturi}.")
+    lines.append("")
+
+    for index, statement in enumerate(policy.statements, start=1):
+        lines.append(statement_notice(statement, index))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,245 @@
+"""Parse P3P policy XML into the typed model of :mod:`repro.p3p.model`.
+
+The parser is deliberately forgiving about namespaces (policies in the wild
+appear both with and without the P3P namespace) but strict about vocabulary:
+unknown purpose/recipient/retention/category values raise
+:class:`~repro.errors.PolicyParseError`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+from repro.errors import PolicyParseError, PolicyValidationError, VocabularyError
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.vocab import terms
+
+
+def parse_policy(source: str | ET.Element) -> Policy:
+    """Parse a single P3P policy.
+
+    *source* may be an XML string or an ElementTree element.  The element
+    may be the POLICY itself or any ancestor (e.g. a POLICIES container);
+    the first POLICY descendant is used.
+    """
+    root = _as_element(source)
+    policy_el = xmlutil.first_by_local_name(root, "POLICY")
+    if policy_el is None:
+        raise PolicyParseError("document contains no POLICY element")
+    return _parse_policy_element(policy_el)
+
+
+def parse_policies(source: str | ET.Element) -> list[Policy]:
+    """Parse every POLICY element found in the document."""
+    root = _as_element(source)
+    found: list[Policy] = []
+
+    def visit(element: ET.Element) -> None:
+        if xmlutil.local_name(element.tag) == "POLICY":
+            found.append(_parse_policy_element(element))
+            return
+        for child in element:
+            visit(child)
+
+    visit(root)
+    if not found:
+        raise PolicyParseError("document contains no POLICY element")
+    return found
+
+
+def _as_element(source: str | ET.Element) -> ET.Element:
+    if isinstance(source, ET.Element):
+        return source
+    try:
+        return xmlutil.parse_string(source)
+    except ET.ParseError as exc:
+        raise PolicyParseError(f"malformed policy XML: {exc}") from exc
+
+
+def _parse_policy_element(element: ET.Element) -> Policy:
+    attrib = xmlutil.local_attrib(element)
+    access: str | None = None
+    test = False
+    entity = Entity()
+    disputes: list[Disputes] = []
+    statements: list[Statement] = []
+
+    for child in element:
+        tag = xmlutil.local_name(child.tag)
+        if tag == "ACCESS":
+            access = _parse_access(child)
+        elif tag == "TEST":
+            test = True
+        elif tag == "ENTITY":
+            entity = _parse_entity(child)
+        elif tag == "DISPUTES-GROUP":
+            disputes.extend(
+                _parse_disputes(d)
+                for d in xmlutil.find_children(child, "DISPUTES")
+            )
+        elif tag == "STATEMENT":
+            statements.append(_parse_statement(child))
+        elif tag == "EXTENSION":
+            continue  # extensions are opaque to this implementation
+        else:
+            raise PolicyParseError(f"unexpected element under POLICY: {tag!r}")
+
+    return Policy(
+        name=attrib.get("name"),
+        discuri=attrib.get("discuri"),
+        opturi=attrib.get("opturi"),
+        access=access,
+        test=test,
+        entity=entity,
+        disputes=tuple(disputes),
+        statements=tuple(statements),
+    )
+
+
+def _parse_access(element: ET.Element) -> str | None:
+    for child in element:
+        name = xmlutil.local_name(child.tag)
+        if name in terms.ACCESS_SET:
+            return name
+        raise PolicyParseError(f"unknown ACCESS value: {name!r}")
+    return None
+
+
+def _parse_entity(element: ET.Element) -> Entity:
+    pairs: list[tuple[str, str]] = []
+    for group in xmlutil.find_children(element, "DATA-GROUP"):
+        for data in xmlutil.find_children(group, "DATA"):
+            ref = xmlutil.local_attrib(data).get("ref")
+            if ref is None:
+                raise PolicyParseError("ENTITY DATA element lacks ref attribute")
+            pairs.append((ref, xmlutil.element_text(data)))
+    return Entity(data=tuple(pairs))
+
+
+def _parse_disputes(element: ET.Element) -> Disputes:
+    attrib = xmlutil.local_attrib(element)
+    remedies: list[str] = []
+    long_description: str | None = None
+    remedies_el = xmlutil.find_child(element, "REMEDIES")
+    if remedies_el is not None:
+        for child in remedies_el:
+            remedies.append(xmlutil.local_name(child.tag))
+    description_el = xmlutil.find_child(element, "LONG-DESCRIPTION")
+    if description_el is not None:
+        long_description = xmlutil.element_text(description_el)
+    try:
+        return Disputes(
+            resolution_type=attrib.get("resolution-type"),
+            service=attrib.get("service"),
+            verification=attrib.get("verification"),
+            remedies=tuple(remedies),
+            long_description=long_description,
+        )
+    except (VocabularyError, PolicyValidationError) as exc:
+        raise PolicyParseError(str(exc)) from exc
+
+
+def _parse_statement(element: ET.Element) -> Statement:
+    purposes: list[PurposeValue] = []
+    recipients: list[RecipientValue] = []
+    retention: str | None = None
+    data: list[DataItem] = []
+    consequence: str | None = None
+    non_identifiable = False
+
+    for child in element:
+        tag = xmlutil.local_name(child.tag)
+        if tag == "CONSEQUENCE":
+            consequence = xmlutil.element_text(child)
+        elif tag == "NON-IDENTIFIABLE":
+            non_identifiable = True
+        elif tag == "PURPOSE":
+            purposes.extend(_parse_purpose_values(child))
+        elif tag == "RECIPIENT":
+            recipients.extend(_parse_recipient_values(child))
+        elif tag == "RETENTION":
+            retention = _parse_retention(child)
+        elif tag == "DATA-GROUP":
+            data.extend(_parse_data_group(child))
+        elif tag == "EXTENSION":
+            continue
+        else:
+            raise PolicyParseError(
+                f"unexpected element under STATEMENT: {tag!r}"
+            )
+
+    return Statement(
+        purposes=tuple(purposes),
+        recipients=tuple(recipients),
+        retention=retention,
+        data=tuple(data),
+        consequence=consequence,
+        non_identifiable=non_identifiable,
+    )
+
+
+def _parse_purpose_values(element: ET.Element) -> list[PurposeValue]:
+    values: list[PurposeValue] = []
+    for child in element:
+        name = xmlutil.local_name(child.tag)
+        required = xmlutil.local_attrib(child).get("required")
+        try:
+            values.append(PurposeValue(name=name, required=required))
+        except VocabularyError as exc:
+            raise PolicyParseError(str(exc)) from exc
+    return values
+
+
+def _parse_recipient_values(element: ET.Element) -> list[RecipientValue]:
+    values: list[RecipientValue] = []
+    for child in element:
+        name = xmlutil.local_name(child.tag)
+        required = xmlutil.local_attrib(child).get("required")
+        try:
+            values.append(RecipientValue(name=name, required=required))
+        except VocabularyError as exc:
+            raise PolicyParseError(str(exc)) from exc
+    return values
+
+
+def _parse_retention(element: ET.Element) -> str | None:
+    for child in element:
+        name = xmlutil.local_name(child.tag)
+        if name in terms.RETENTION_SET:
+            return name
+        raise PolicyParseError(f"unknown RETENTION value: {name!r}")
+    return None
+
+
+def _parse_data_group(element: ET.Element) -> list[DataItem]:
+    items: list[DataItem] = []
+    for data in xmlutil.find_children(element, "DATA"):
+        attrib = xmlutil.local_attrib(data)
+        ref = attrib.get("ref")
+        if ref is None:
+            raise PolicyParseError("DATA element lacks ref attribute")
+        categories: list[str] = []
+        categories_el = xmlutil.find_child(data, "CATEGORIES")
+        if categories_el is not None:
+            for cat in categories_el:
+                categories.append(xmlutil.local_name(cat.tag))
+        try:
+            items.append(
+                DataItem(
+                    ref=ref,
+                    optional=attrib.get("optional", terms.OPTIONAL_DEFAULT),
+                    categories=tuple(categories),
+                )
+            )
+        except (VocabularyError, PolicyValidationError) as exc:
+            raise PolicyParseError(str(exc)) from exc
+    return items

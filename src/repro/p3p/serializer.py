@@ -1,0 +1,134 @@
+"""Serialize the typed policy model back to P3P XML.
+
+Attributes equal to their vocabulary defaults are omitted, so serialization
+produces the most compact faithful document and the parse/serialize pair is
+the identity on the (default-resolved) model.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+from repro.p3p.model import DataItem, Disputes, Policy, Statement
+from repro.vocab import terms
+
+
+def policy_to_element(policy: Policy, namespaced: bool = False) -> ET.Element:
+    """Build an ElementTree element for *policy*.
+
+    With ``namespaced=True`` the POLICY element declares the P3P namespace
+    as its default namespace (children inherit it implicitly when the
+    document is re-parsed by namespace-aware tools).
+    """
+    root = ET.Element("POLICY")
+    if namespaced:
+        root.set("xmlns", terms.P3P_NS)
+    for attr, value in (
+        ("name", policy.name),
+        ("discuri", policy.discuri),
+        ("opturi", policy.opturi),
+    ):
+        if value is not None:
+            root.set(attr, value)
+
+    if policy.entity.data:
+        entity = ET.SubElement(root, "ENTITY")
+        group = ET.SubElement(entity, "DATA-GROUP")
+        for ref, value in policy.entity.data:
+            data = ET.SubElement(group, "DATA", {"ref": ref})
+            if value:
+                data.text = value
+
+    if policy.access is not None:
+        access = ET.SubElement(root, "ACCESS")
+        ET.SubElement(access, policy.access)
+
+    if policy.disputes:
+        disputes_group = ET.SubElement(root, "DISPUTES-GROUP")
+        for disputes in policy.disputes:
+            disputes_group.append(_disputes_to_element(disputes))
+
+    if policy.test:
+        ET.SubElement(root, "TEST")
+
+    for statement in policy.statements:
+        root.append(_statement_to_element(statement))
+
+    return root
+
+
+def serialize_policy(policy: Policy, namespaced: bool = False,
+                     indent: bool = True) -> str:
+    """Serialize *policy* to an XML string."""
+    return xmlutil.to_string(policy_to_element(policy, namespaced), indent)
+
+
+def _disputes_to_element(disputes: Disputes) -> ET.Element:
+    element = ET.Element("DISPUTES")
+    for attr, value in (
+        ("resolution-type", disputes.resolution_type),
+        ("service", disputes.service),
+        ("verification", disputes.verification),
+    ):
+        if value is not None:
+            element.set(attr, value)
+    if disputes.long_description is not None:
+        description = ET.SubElement(element, "LONG-DESCRIPTION")
+        description.text = disputes.long_description
+    if disputes.remedies:
+        remedies = ET.SubElement(element, "REMEDIES")
+        for remedy in disputes.remedies:
+            ET.SubElement(remedies, remedy)
+    return element
+
+
+def _statement_to_element(statement: Statement) -> ET.Element:
+    element = ET.Element("STATEMENT")
+
+    if statement.consequence is not None:
+        consequence = ET.SubElement(element, "CONSEQUENCE")
+        consequence.text = statement.consequence
+    if statement.non_identifiable:
+        ET.SubElement(element, "NON-IDENTIFIABLE")
+
+    if statement.purposes:
+        purpose = ET.SubElement(element, "PURPOSE")
+        for value in statement.purposes:
+            attrs: dict[str, str] = {}
+            if (value.required is not None
+                    and value.required != terms.REQUIRED_DEFAULT):
+                attrs["required"] = value.required
+            ET.SubElement(purpose, value.name, attrs)
+
+    if statement.recipients:
+        recipient = ET.SubElement(element, "RECIPIENT")
+        for value in statement.recipients:
+            attrs = {}
+            if (value.required is not None
+                    and value.required != terms.REQUIRED_DEFAULT):
+                attrs["required"] = value.required
+            ET.SubElement(recipient, value.name, attrs)
+
+    if statement.retention is not None:
+        retention = ET.SubElement(element, "RETENTION")
+        ET.SubElement(retention, statement.retention)
+
+    if statement.data:
+        group = ET.SubElement(element, "DATA-GROUP")
+        for item in statement.data:
+            group.append(_data_to_element(item))
+
+    return element
+
+
+def _data_to_element(item: DataItem) -> ET.Element:
+    attrs = {"ref": item.ref}
+    if item.optional != terms.OPTIONAL_DEFAULT:
+        attrs["optional"] = item.optional
+    element = ET.Element("DATA", attrs)
+    if item.categories:
+        categories = ET.SubElement(element, "CATEGORIES")
+        for category in item.categories:
+            ET.SubElement(categories, category)
+    return element

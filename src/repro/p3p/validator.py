@@ -1,0 +1,129 @@
+"""Structural validation of P3P policies against the P3P 1.0 rules.
+
+The parser guarantees vocabulary-level well-formedness; this module checks
+the cross-element rules (a statement needs purposes, recipients, retention
+and data unless it is NON-IDENTIFIABLE; variable-category data needs inline
+categories; and so on).
+
+Validation produces a list of :class:`Problem` records at ``error`` or
+``warning`` severity; :func:`validate_policy` optionally raises on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyValidationError
+from repro.p3p.model import Policy, Statement
+from repro.vocab import basedata
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One validation finding."""
+
+    severity: str  # ERROR or WARNING
+    location: str  # human-readable path, e.g. "statement[2]"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.location}: {self.message}"
+
+
+def validate_policy(policy: Policy, strict: bool = False) -> list[Problem]:
+    """Validate *policy*, returning all problems found.
+
+    With ``strict=True`` a :class:`PolicyValidationError` is raised if any
+    ``error``-severity problem is present.
+    """
+    problems: list[Problem] = []
+
+    if not policy.statements:
+        problems.append(
+            Problem(ERROR, "policy", "policy contains no STATEMENT")
+        )
+    if policy.discuri is None:
+        problems.append(
+            Problem(WARNING, "policy",
+                    "policy lacks a discuri (required by P3P 1.0)")
+        )
+
+    opt_in_or_out = False
+    for index, statement in enumerate(policy.statements):
+        location = f"statement[{index}]"
+        problems.extend(_validate_statement(statement, location))
+        for value in statement.purposes + statement.recipients:
+            if value.required in ("opt-in", "opt-out"):
+                opt_in_or_out = True
+
+    if opt_in_or_out and policy.opturi is None:
+        problems.append(
+            Problem(WARNING, "policy",
+                    "opt-in/opt-out purposes or recipients are stated "
+                    "but the policy has no opturi")
+        )
+
+    if strict and any(p.severity == ERROR for p in problems):
+        details = "; ".join(str(p) for p in problems if p.severity == ERROR)
+        raise PolicyValidationError(details)
+    return problems
+
+
+def _validate_statement(statement: Statement, location: str) -> list[Problem]:
+    problems: list[Problem] = []
+
+    if statement.non_identifiable:
+        # NON-IDENTIFIABLE statements may omit everything else.
+        return problems
+
+    if not statement.purposes:
+        problems.append(Problem(ERROR, location, "statement has no PURPOSE"))
+    if not statement.recipients:
+        problems.append(Problem(ERROR, location, "statement has no RECIPIENT"))
+    if statement.retention is None:
+        problems.append(Problem(ERROR, location, "statement has no RETENTION"))
+    if not statement.data:
+        problems.append(
+            Problem(WARNING, location, "statement collects no DATA")
+        )
+
+    seen_purposes: set[str] = set()
+    for value in statement.purposes:
+        if value.name in seen_purposes:
+            problems.append(
+                Problem(WARNING, location,
+                        f"duplicate purpose value {value.name!r}")
+            )
+        seen_purposes.add(value.name)
+
+    seen_recipients: set[str] = set()
+    for value in statement.recipients:
+        if value.name in seen_recipients:
+            problems.append(
+                Problem(WARNING, location,
+                        f"duplicate recipient value {value.name!r}")
+            )
+        seen_recipients.add(value.name)
+
+    for item in statement.data:
+        if not basedata.is_known_ref(item.ref):
+            problems.append(
+                Problem(WARNING, location,
+                        f"data ref {item.ref!r} is not in the base data "
+                        "schema (custom data schemas are not resolved)")
+            )
+        elif basedata.is_variable_ref(item.ref) and not item.categories:
+            problems.append(
+                Problem(ERROR, location,
+                        f"variable-category data ref {item.ref!r} "
+                        "carries no inline CATEGORIES")
+            )
+    return problems
+
+
+def is_valid(policy: Policy) -> bool:
+    """True if *policy* has no error-severity problems."""
+    return all(p.severity != ERROR for p in validate_policy(policy))

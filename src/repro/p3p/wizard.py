@@ -1,0 +1,171 @@
+"""Policy wizard: build P3P policies from plain questions (Section 3.3).
+
+The paper surveys deployment tools: "P3PEdit ... is a web-based privacy
+policy generator.  Users create their policies by answering short
+privacy-related questions in plain English.  IBM Tivoli Privacy Wizard
+lets a company define privacy policies using a web-based GUI tool."
+
+:class:`PolicyAnswers` is that questionnaire as a dataclass, and
+:func:`build_policy` turns the answers into a valid P3P policy composed of
+the statement patterns real generated policies exhibit (transaction
+fulfilment, marketing with consent, pseudonymous analytics, sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyValidationError
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+
+
+@dataclass(frozen=True)
+class PolicyAnswers:
+    """The questionnaire behind the wizard.
+
+    Every field is a 'short privacy-related question in plain English':
+
+    * ``company_name`` / ``homepage`` — who are you?
+    * ``collects_contact_data`` — do you need names and addresses to
+      deliver your service?
+    * ``collects_payment_data`` — do you take payments?
+    * ``does_marketing`` — do you contact customers about offers?
+    * ``marketing_needs_consent`` — only with opt-in?
+    * ``does_analytics`` — do you analyse site usage?
+    * ``analytics_identifiable`` — linked to individuals, or pseudonymous?
+    * ``shares_with_partners`` — do partners receive customer data?
+    * ``retention`` — how long is data kept?
+    * ``offers_disputes`` — do you name a complaint channel?
+    * ``access`` — what can users see of their own data?
+    """
+
+    company_name: str
+    homepage: str = "http://www.example.com"
+    collects_contact_data: bool = True
+    collects_payment_data: bool = False
+    does_marketing: bool = False
+    marketing_needs_consent: bool = True
+    does_analytics: bool = False
+    analytics_identifiable: bool = False
+    shares_with_partners: bool = False
+    retention: str = "stated-purpose"
+    offers_disputes: bool = True
+    access: str = "contact-and-other"
+
+
+def build_policy(answers: PolicyAnswers) -> Policy:
+    """Generate a valid P3P policy from the questionnaire."""
+    if not answers.company_name:
+        raise PolicyValidationError("the wizard needs a company name")
+
+    statements: list[Statement] = []
+
+    # Core service statement — almost every site has one.
+    service_data: list[DataItem] = [
+        DataItem("#dynamic.miscdata", categories=("content",)),
+    ]
+    if answers.collects_contact_data:
+        service_data = [
+            DataItem("#user.name"),
+            DataItem("#user.home-info.postal"),
+            DataItem("#user.home-info.online.email"),
+        ] + service_data
+    if answers.collects_payment_data:
+        service_data.append(
+            DataItem("#dynamic.miscdata",
+                     categories=("purchase", "financial"))
+        )
+    recipients = [RecipientValue("ours")]
+    if answers.shares_with_partners:
+        recipients.append(RecipientValue("same"))
+        recipients.append(RecipientValue("delivery"))
+    statements.append(
+        Statement(
+            purposes=(PurposeValue("current"), PurposeValue("admin")),
+            recipients=tuple(recipients),
+            retention=answers.retention,
+            data=tuple(_dedupe(service_data)),
+            consequence=(
+                f"{answers.company_name} uses this information to "
+                "provide the service you requested."
+            ),
+        )
+    )
+
+    if answers.does_marketing:
+        consent = "opt-in" if answers.marketing_needs_consent else "always"
+        statements.append(
+            Statement(
+                purposes=(PurposeValue("contact", consent),
+                          PurposeValue("individual-decision", consent)),
+                recipients=(RecipientValue("ours"),),
+                retention="business-practices",
+                data=(DataItem("#user.home-info.online.email"),
+                      DataItem("#user.name")),
+                consequence=(
+                    "We send offers matching your interests"
+                    + (" once you opt in."
+                       if answers.marketing_needs_consent else ".")
+                ),
+            )
+        )
+
+    if answers.does_analytics:
+        purpose = ("individual-analysis" if answers.analytics_identifiable
+                   else "pseudo-analysis")
+        statements.append(
+            Statement(
+                purposes=(PurposeValue("develop"), PurposeValue(purpose)),
+                recipients=(RecipientValue("ours"),),
+                retention="stated-purpose",
+                data=(DataItem("#dynamic.clickstream"),
+                      DataItem("#dynamic.http")),
+                consequence=("Usage records help us improve the site."),
+                non_identifiable=not answers.analytics_identifiable,
+            )
+        )
+
+    disputes = ()
+    if answers.offers_disputes:
+        disputes = (
+            Disputes(
+                resolution_type="service",
+                service=f"{answers.homepage.rstrip('/')}/complaints",
+                remedies=("correct",),
+                long_description=(
+                    "Contact our privacy office and we will investigate "
+                    "and correct any error."
+                ),
+            ),
+        )
+
+    needs_opturi = answers.does_marketing and answers.marketing_needs_consent
+    return Policy(
+        name=answers.company_name.lower().replace(" ", "-"),
+        discuri=f"{answers.homepage.rstrip('/')}/privacy.html",
+        opturi=(f"{answers.homepage.rstrip('/')}/opt.html"
+                if needs_opturi else None),
+        access=answers.access,
+        entity=Entity(data=(("#business.name", answers.company_name),)),
+        disputes=disputes,
+        statements=tuple(statements),
+    )
+
+
+def _dedupe(items: list[DataItem]) -> list[DataItem]:
+    seen: set[str] = set()
+    out: list[DataItem] = []
+    for item in items:
+        key = item.ref + "|" + ",".join(item.categories)
+        if key not in seen:
+            seen.add(key)
+            out.append(item)
+    return out

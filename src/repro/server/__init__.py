@@ -1,0 +1,34 @@
+"""Deployment architectures: the server-centric PolicyServer (the paper's
+proposal), the client-centric ClientAgent baseline, the hybrid agent, and
+the conflict analytics the server-centric design enables."""
+
+from repro.server.analytics import (
+    PolicyConflictReport,
+    RuleConflictReport,
+    blocking_rules,
+    policy_conflicts,
+    uncovered_uris,
+)
+from repro.server.client import ClientAgent, ClientCheckResult
+from repro.server.decisions import AgentAction, decide, optional_refs
+from repro.server.hybrid import HybridAgent, HybridCheckResult
+from repro.server.policy_server import CheckResult, PolicyServer
+from repro.server.site import Site
+
+__all__ = [
+    "PolicyServer",
+    "CheckResult",
+    "Site",
+    "ClientAgent",
+    "ClientCheckResult",
+    "HybridAgent",
+    "HybridCheckResult",
+    "policy_conflicts",
+    "blocking_rules",
+    "uncovered_uris",
+    "PolicyConflictReport",
+    "RuleConflictReport",
+    "AgentAction",
+    "decide",
+    "optional_refs",
+]

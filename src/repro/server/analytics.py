@@ -1,0 +1,98 @@
+"""Conflict analytics for site owners (a Section 4.2 advantage).
+
+"Site owners can refine their policies if they know what policies have a
+conflict with the privacy preferences of their users.  The current
+[client-centric] architecture does not allow the site owners to obtain
+this information."  Because the server performs every check, its check log
+*is* that information; this module turns the log into reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class PolicyConflictReport:
+    """How one policy fares against the user population."""
+
+    policy_id: int
+    policy_name: str | None
+    checks: int
+    blocks: int
+    distinct_preferences: int
+
+    @property
+    def block_rate(self) -> float:
+        return self.blocks / self.checks if self.checks else 0.0
+
+
+@dataclass(frozen=True)
+class RuleConflictReport:
+    """Which preference rules fire against a policy (block reasons)."""
+
+    policy_id: int
+    rule_index: int
+    fires: int
+
+
+def policy_conflicts(db: Database) -> list[PolicyConflictReport]:
+    """Per-policy conflict summary over the whole check log, worst first."""
+    rows = db.query(
+        "SELECT check_log.policy_id AS policy_id, "
+        "       policy.name AS policy_name, "
+        "       COUNT(*) AS checks, "
+        "       SUM(CASE WHEN behavior = 'block' THEN 1 ELSE 0 END) "
+        "         AS blocks, "
+        "       COUNT(DISTINCT preference_hash) AS prefs "
+        "FROM check_log LEFT JOIN policy "
+        "     ON policy.policy_id = check_log.policy_id "
+        "WHERE check_log.policy_id IS NOT NULL "
+        "GROUP BY check_log.policy_id "
+        "ORDER BY blocks DESC, checks DESC"
+    )
+    return [
+        PolicyConflictReport(
+            policy_id=row["policy_id"],
+            policy_name=row["policy_name"],
+            checks=row["checks"],
+            blocks=row["blocks"] or 0,
+            distinct_preferences=row["prefs"],
+        )
+        for row in rows
+    ]
+
+
+def blocking_rules(db: Database,
+                   policy_id: int) -> list[RuleConflictReport]:
+    """Which preference rule indexes block *policy_id*, most frequent first.
+
+    A site owner uses this to see *why* users reject the policy (e.g.
+    "rule 0 of most preferences fires: our telemarketing purpose").
+    """
+    rows = db.query(
+        "SELECT rule_index, COUNT(*) AS fires "
+        "FROM check_log "
+        "WHERE policy_id = ? AND behavior = 'block' "
+        "GROUP BY rule_index ORDER BY fires DESC",
+        (policy_id,),
+    )
+    return [
+        RuleConflictReport(policy_id=policy_id,
+                           rule_index=row["rule_index"],
+                           fires=row["fires"])
+        for row in rows
+    ]
+
+
+def uncovered_uris(db: Database, limit: int = 20) -> list[tuple[str, int]]:
+    """URIs requested but covered by no policy — deployment gaps."""
+    rows = db.query(
+        "SELECT uri, COUNT(*) AS hits FROM check_log "
+        "WHERE policy_id IS NULL GROUP BY uri "
+        "ORDER BY hits DESC LIMIT ?",
+        (limit,),
+    )
+    return [(row["uri"], row["hits"]) for row in rows]

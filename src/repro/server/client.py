@@ -1,0 +1,86 @@
+"""The client-centric architecture (Figures 3/4), simulated.
+
+A :class:`ClientAgent` models the browser extension (Privacy Bird style):
+it fetches the site's reference file and policy documents over the
+(simulated) network and runs the specialized APPEL engine locally, paying
+the full document-processing cost — including base-data-schema category
+augmentation — on every check.  Reference files may be cached
+client-side, the one mitigation Section 4.2 credits to this architecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.appel.engine import AppelEngine
+from repro.appel.model import Ruleset
+from repro.server.site import Site
+
+
+@dataclass(frozen=True)
+class ClientCheckResult:
+    """Outcome of one client-side preference check."""
+
+    site: str
+    uri: str
+    policy_name: str | None
+    behavior: str | None
+    rule_index: int | None
+    elapsed_seconds: float
+    fetches: int  # network round-trips this check needed
+
+    @property
+    def allowed(self) -> bool:
+        return self.behavior != "block"
+
+    @property
+    def covered(self) -> bool:
+        return self.policy_name is not None
+
+
+class ClientAgent:
+    """A browser-side P3P user agent with a fixed APPEL preference."""
+
+    def __init__(self, preference: Ruleset,
+                 cache_reference_files: bool = True):
+        self.preference = preference
+        self.cache_reference_files = cache_reference_files
+        self._engine = AppelEngine()
+        self._reference_cache: dict[str, object] = {}
+
+    def check(self, site: Site, uri: str) -> ClientCheckResult:
+        """Decide whether to request *uri* from *site*."""
+        start = time.perf_counter()
+        fetches = 0
+
+        reference = self._reference_cache.get(site.host)
+        if reference is None or not self.cache_reference_files:
+            reference = site.fetch_reference_file()
+            fetches += 1
+            if self.cache_reference_files:
+                self._reference_cache[site.host] = reference
+
+        ref = reference.applicable_policy(uri)
+        if ref is None:
+            return ClientCheckResult(
+                site=site.host, uri=uri, policy_name=None,
+                behavior=None, rule_index=None,
+                elapsed_seconds=time.perf_counter() - start,
+                fetches=fetches,
+            )
+
+        # The client downloads the policy document and matches locally —
+        # the per-check cost profile the paper's Figure 4 describes.
+        policy = site.fetch_policy(ref.policy_name)
+        fetches += 1
+        result = self._engine.evaluate(policy, self.preference)
+        return ClientCheckResult(
+            site=site.host,
+            uri=uri,
+            policy_name=ref.policy_name,
+            behavior=result.behavior,
+            rule_index=result.rule_index,
+            elapsed_seconds=time.perf_counter() - start,
+            fetches=fetches,
+        )

@@ -1,0 +1,79 @@
+"""Turning rule behaviors into user-agent actions.
+
+APPEL behaviors are hints to the user agent: ``request`` (release data and
+proceed), ``block`` (do not), and ``limited`` (proceed but "suppress the
+transmission of all data elements marked as optional").  A rule may also
+carry ``prompt="yes"``, asking the agent to confirm with the user.
+
+:func:`decide` centralizes that mapping so the client, hybrid, and
+server-mediated agents act identically; :func:`optional_refs` computes the
+data a ``limited`` visit withholds (the DATA elements the policy marks
+``optional="yes"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appel.model import Rule
+from repro.p3p.model import Policy
+
+
+@dataclass(frozen=True)
+class AgentAction:
+    """What the user agent should do after a preference check."""
+
+    proceed: bool
+    withhold_refs: tuple[str, ...] = ()
+    prompt_user: bool = False
+    reason: str = ""
+
+    @property
+    def limited(self) -> bool:
+        return self.proceed and bool(self.withhold_refs)
+
+
+def optional_refs(policy: Policy) -> tuple[str, ...]:
+    """DATA refs the policy marks optional (withheld under ``limited``)."""
+    refs: list[str] = []
+    for statement in policy.statements:
+        for item in statement.data:
+            if item.optional == "yes" and item.ref not in refs:
+                refs.append(item.ref)
+    return tuple(refs)
+
+
+def decide(behavior: str | None, policy: Policy | None = None,
+           fired_rule: Rule | None = None,
+           undecided_proceeds: bool = False) -> AgentAction:
+    """Map a fired behavior to an agent action.
+
+    ``undecided_proceeds`` controls the (non-conforming) case of a
+    ruleset with no catch-all where no rule fired: the conservative
+    default is to treat it like ``block``.
+    """
+    prompt = fired_rule.prompt if fired_rule is not None else False
+
+    if behavior == "request":
+        return AgentAction(proceed=True, prompt_user=prompt,
+                           reason="preference accepts this policy")
+    if behavior == "limited":
+        withheld = optional_refs(policy) if policy is not None else ()
+        return AgentAction(
+            proceed=True,
+            withhold_refs=withheld,
+            prompt_user=prompt,
+            reason="proceed without optional data",
+        )
+    if behavior == "block":
+        return AgentAction(proceed=False, prompt_user=prompt,
+                           reason="preference blocks this policy")
+    if behavior is None:
+        return AgentAction(
+            proceed=undecided_proceeds,
+            prompt_user=True,
+            reason="no rule fired (ruleset lacks a catch-all)",
+        )
+    # Custom behaviors: surface them to the user rather than guessing.
+    return AgentAction(proceed=False, prompt_user=True,
+                       reason=f"unrecognized behavior {behavior!r}")

@@ -1,0 +1,84 @@
+"""The hybrid architecture sketched in Section 4.2.
+
+"It is possible to design a hybrid architecture in which the reference
+file processing is done at the client while the preference checking is
+done at the server."  The client caches the site's reference file and
+resolves the applicable policy locally (saving the server round-trip for
+repeat visits to the same policy region); the actual preference check is
+one database query on the server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.appel.model import Ruleset
+from repro.server.policy_server import PolicyServer
+from repro.server.site import Site
+from repro.translate.appel_to_sql import (
+    applicable_policy_literal,
+    evaluate_ruleset,
+)
+
+
+@dataclass(frozen=True)
+class HybridCheckResult:
+    site: str
+    uri: str
+    policy_name: str | None
+    behavior: str | None
+    rule_index: int | None
+    elapsed_seconds: float
+    used_cached_reference: bool
+
+    @property
+    def allowed(self) -> bool:
+        return self.behavior != "block"
+
+
+class HybridAgent:
+    """Client-side reference resolution + server-side SQL checking."""
+
+    def __init__(self, preference: Ruleset, server: PolicyServer):
+        self.preference = preference
+        self.server = server
+        self._reference_cache: dict[str, object] = {}
+
+    def check(self, site: Site, uri: str) -> HybridCheckResult:
+        start = time.perf_counter()
+        cached = site.host in self._reference_cache
+        reference = self._reference_cache.get(site.host)
+        if reference is None:
+            reference = site.fetch_reference_file()
+            self._reference_cache[site.host] = reference
+
+        ref = reference.applicable_policy(uri)
+        if ref is None:
+            return HybridCheckResult(
+                site=site.host, uri=uri, policy_name=None,
+                behavior=None, rule_index=None,
+                elapsed_seconds=time.perf_counter() - start,
+                used_cached_reference=cached,
+            )
+
+        # The client already knows which policy applies, so the server
+        # can skip its reference lookup and run the check directly.
+        policy_id = self.server.policies.policy_id_by_name(ref.policy_name)
+        behavior = None
+        rule_index = None
+        if policy_id is not None:
+            translated = self.server.translator.translate_ruleset(
+                self.preference, applicable_policy_literal(policy_id)
+            )
+            behavior, rule_index = evaluate_ruleset(self.server.db,
+                                                    translated)
+        return HybridCheckResult(
+            site=site.host,
+            uri=uri,
+            policy_name=ref.policy_name,
+            behavior=behavior,
+            rule_index=rule_index,
+            elapsed_seconds=time.perf_counter() - start,
+            used_cached_reference=cached,
+        )

@@ -1,0 +1,204 @@
+"""The server-centric P3P deployment (Figures 5 and 6).
+
+:class:`PolicyServer` is the piece the paper proposes: a site (or hosting
+provider serving many sites) installs its privacy policies and reference
+files into a database (Figure 5); when a user requests a URI, her APPEL
+preference is translated into SQL and matched against the applicable
+policy inside the database (Figure 6).
+
+Design choices straight from Section 4.2:
+
+* translated preferences are cached per (preference, policy) pair — thin
+  clients send APPEL (or pre-translated SQL) and the server does the work;
+* every check is logged, giving site owners the conflict visibility the
+  client-centric architecture cannot provide ("Site owners can refine
+  their policies if they know what policies have a conflict with the
+  privacy preferences of their users");
+* policies are installed through the versioned store, so policy evolution
+  is an UPDATE, not a file push.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.appel.model import Ruleset
+from repro.appel.parser import parse_ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.p3p.model import Policy
+from repro.p3p.reference import ReferenceFile, parse_reference_file
+from repro.storage.database import Database
+from repro.storage.refstore import ReferenceStore
+from repro.storage.shredder import PolicyStore, ShredReport
+from repro.storage.versioning import VersionedPolicyStore
+from repro.translate.appel_to_sql import (
+    OptimizedSqlTranslator,
+    TranslatedRuleset,
+    applicable_policy_literal,
+    evaluate_ruleset,
+)
+
+_CHECK_LOG_DDL = """
+CREATE TABLE IF NOT EXISTS check_log (
+  check_id        INTEGER PRIMARY KEY,
+  site            TEXT NOT NULL,
+  uri             TEXT NOT NULL,
+  policy_id       INTEGER,
+  behavior        TEXT,
+  rule_index      INTEGER,
+  preference_hash TEXT NOT NULL,
+  elapsed_seconds REAL NOT NULL,
+  checked_at      TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one preference check against a requested URI."""
+
+    site: str
+    uri: str
+    policy_id: int | None
+    behavior: str | None
+    rule_index: int | None
+    elapsed_seconds: float
+
+    @property
+    def allowed(self) -> bool:
+        """Conventional reading: anything but ``block`` lets the request
+        proceed (an uncovered URI is surfaced as ``policy_id is None``)."""
+        return self.behavior != "block"
+
+    @property
+    def covered(self) -> bool:
+        return self.policy_id is not None
+
+
+class PolicyServer:
+    """A database-backed P3P server for one or many sites."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db if db is not None else Database()
+        self.policies = PolicyStore(self.db)
+        self.versions = VersionedPolicyStore(self.policies)
+        self.references = ReferenceStore(self.db)
+        self.translator = OptimizedSqlTranslator()
+        self.db.executescript(_CHECK_LOG_DDL)
+        self._translation_cache: dict[tuple[str, int], TranslatedRuleset] = {}
+
+    # -- installation (Figure 5) ------------------------------------------------
+
+    def install_policy(self, policy: Policy,
+                       site: str | None = None) -> ShredReport:
+        """Shred one policy; repeated installs of a name create versions.
+
+        Reference-file rows pointing at the policy's name are retargeted
+        to the new version, so URIs resolve to the active policy without
+        re-installing the reference file.
+        """
+        if policy.name is not None:
+            report = self.versions.install(policy, site=site)
+            # Retarget only this site's reference rows — other sites may
+            # use the same policy name for their own, unrelated policies.
+            self.db.execute(
+                "UPDATE policyref SET policy_id = ? "
+                "WHERE (about = ? OR about LIKE ?) "
+                "  AND meta_id IN (SELECT meta_id FROM meta "
+                "                  WHERE site IS ?)",
+                (report.policy_id, f"#{policy.name}",
+                 f"%#{policy.name}", site),
+            )
+            self.db.commit()
+        else:
+            report = self.policies.install_policy(policy, site=site)
+        # New policy versions invalidate cached per-policy translations.
+        self._translation_cache = {
+            key: value for key, value in self._translation_cache.items()
+            if self.policies.has_policy(key[1])
+        }
+        return report
+
+    def install_reference_file(self, reference: ReferenceFile | str,
+                               site: str) -> int:
+        """Shred a reference file (parsed or XML text) for *site*."""
+        if isinstance(reference, str):
+            reference = parse_reference_file(reference)
+        return self.references.install_reference_file(
+            reference, site, policy_store=self.policies
+        )
+
+    # -- checking (Figure 6) -----------------------------------------------------
+
+    def check(self, site: str, uri: str,
+              preference: Ruleset | str,
+              cookie: bool = False) -> CheckResult:
+        """Match a user's preference against the policy governing *uri*."""
+        if isinstance(preference, str):
+            preference = parse_ruleset(preference)
+
+        start = time.perf_counter()
+        policy_id = self.references.applicable_policy_id(site, uri,
+                                                         cookie=cookie)
+        behavior: str | None = None
+        rule_index: int | None = None
+        if policy_id is not None:
+            translated = self._translate(preference, policy_id)
+            behavior, rule_index = evaluate_ruleset(self.db, translated)
+        elapsed = time.perf_counter() - start
+
+        result = CheckResult(
+            site=site,
+            uri=uri,
+            policy_id=policy_id,
+            behavior=behavior,
+            rule_index=rule_index,
+            elapsed_seconds=elapsed,
+        )
+        self._log(result, preference)
+        return result
+
+    def _translate(self, preference: Ruleset,
+                   policy_id: int) -> TranslatedRuleset:
+        key = (self._preference_hash(preference), policy_id)
+        translated = self._translation_cache.get(key)
+        if translated is None:
+            translated = self.translator.translate_ruleset(
+                preference, applicable_policy_literal(policy_id)
+            )
+            self._translation_cache[key] = translated
+        return translated
+
+    @staticmethod
+    def _preference_hash(preference: Ruleset) -> str:
+        text = serialize_ruleset(preference, indent=False)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _log(self, result: CheckResult, preference: Ruleset) -> None:
+        self.db.execute(
+            "INSERT INTO check_log (site, uri, policy_id, behavior, "
+            "rule_index, preference_hash, elapsed_seconds, checked_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                result.site,
+                result.uri,
+                result.policy_id,
+                result.behavior,
+                result.rule_index,
+                self._preference_hash(preference),
+                result.elapsed_seconds,
+                datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            ),
+        )
+        self.db.commit()
+
+    # -- introspection -------------------------------------------------------------
+
+    def check_count(self) -> int:
+        return int(self.db.scalar("SELECT COUNT(*) FROM check_log"))
+
+    def cache_size(self) -> int:
+        return len(self._translation_cache)

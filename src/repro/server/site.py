@@ -1,0 +1,62 @@
+"""A simulated web site: host name, reference file, and named policies.
+
+Both architectures need the same notion of a deployed site.  In the
+client-centric world (Figure 4) the browser *fetches* the reference file
+and policy documents from the site; in the server-centric world (Figures
+5/6) the site's owner installs them into the policy database up front.
+:class:`Site` is the fetchable artifact; the two architectures consume it
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import Policy
+from repro.p3p.reference import ReferenceFile
+from repro.p3p.serializer import serialize_policy
+
+
+@dataclass
+class Site:
+    """One web site deploying P3P."""
+
+    host: str
+    reference_file: ReferenceFile
+    policies: dict[str, Policy] = field(default_factory=dict)
+    #: per-site fetch counters (lets examples show network-traffic effects)
+    fetch_counts: dict[str, int] = field(default_factory=dict)
+
+    def fetch_reference_file(self) -> ReferenceFile:
+        """What a client GET of /w3c/p3p.xml returns."""
+        self._count("reference")
+        return self.reference_file
+
+    def fetch_policy(self, name: str) -> Policy:
+        """What a client GET of the policy document returns."""
+        self._count(f"policy:{name}")
+        try:
+            return self.policies[name]
+        except KeyError:
+            raise UnknownPolicyError(
+                f"site {self.host!r} has no policy named {name!r}"
+            ) from None
+
+    def fetch_policy_xml(self, name: str) -> str:
+        """The policy as the XML document a client would download."""
+        return serialize_policy(self.fetch_policy(name))
+
+    def policy_for_uri(self, uri: str) -> Policy | None:
+        """Resolve *uri* through the reference file to a policy."""
+        ref = self.reference_file.applicable_policy(uri)
+        if ref is None:
+            return None
+        return self.fetch_policy(ref.policy_name)
+
+    def _count(self, key: str) -> None:
+        self.fetch_counts[key] = self.fetch_counts.get(key, 0) + 1
+
+    @property
+    def total_fetches(self) -> int:
+        return sum(self.fetch_counts.values())

@@ -1,0 +1,165 @@
+"""Thin SQLite wrapper used by every storage component.
+
+The paper ran against DB2 UDB 7.2; we substitute SQLite (see DESIGN.md).
+The wrapper adds what the experiments need on top of :mod:`sqlite3`:
+transactions as context managers, script execution, and cumulative query
+timing so the benchmark harness can separate *conversion time* from *query
+time* the way Figure 20 does.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.errors import StorageError
+
+#: SQLite keywords that clash with identifiers we generate (e.g. the ACCESS
+#: value element ``all``).  ``quote_ident`` quotes these and anything that
+#: is not a plain identifier.
+_SQL_KEYWORDS = frozenset({
+    "all", "and", "as", "between", "by", "case", "check", "current",
+    "default", "delete", "distinct", "drop", "each", "else", "end",
+    "exists", "from", "group", "having", "in", "index", "insert", "into",
+    "is", "join", "like", "limit", "no", "not", "null", "on", "or",
+    "order", "primary", "references", "select", "set", "table", "then",
+    "to", "union", "unique", "update", "using", "values", "when", "where",
+})
+
+_PLAIN_IDENT = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def quote_ident(name: str) -> str:
+    """Quote *name* for use as an SQL identifier when necessary."""
+    if _PLAIN_IDENT.match(name) and name not in _SQL_KEYWORDS:
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sql_literal(value: str) -> str:
+    """Render *value* as an SQL string literal (single quotes doubled)."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+@dataclass
+class QueryStats:
+    """Cumulative statistics over every statement run on a Database."""
+
+    statements: int = 0
+    seconds: float = 0.0
+    last_seconds: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.statements += 1
+        self.seconds += elapsed
+        self.last_seconds = elapsed
+
+    def reset(self) -> None:
+        self.statements = 0
+        self.seconds = 0.0
+        self.last_seconds = 0.0
+
+
+class Database:
+    """A SQLite database with timing and transaction helpers.
+
+    >>> db = Database()            # in-memory
+    >>> db.execute("CREATE TABLE t (x INTEGER)")
+    >>> with db.transaction():
+    ...     db.execute("INSERT INTO t VALUES (?)", (1,))
+    >>> db.query_one("SELECT x FROM t")[0]
+    1
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.row_factory = sqlite3.Row
+        self.stats = QueryStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str,
+                parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
+        """Run one statement, recording its wall-clock time."""
+        start = time.perf_counter()
+        try:
+            cursor = self._connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
+        self.stats.record(time.perf_counter() - start)
+        return cursor
+
+    def executemany(self, sql: str,
+                    rows: Sequence[Sequence[Any]]) -> None:
+        start = time.perf_counter()
+        try:
+            self._connection.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
+        self.stats.record(time.perf_counter() - start)
+
+    def executescript(self, script: str) -> None:
+        start = time.perf_counter()
+        try:
+            self._connection.executescript(script)
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL script failed: {exc}") from exc
+        self.stats.record(time.perf_counter() - start)
+
+    def query(self, sql: str,
+              parameters: Sequence[Any] = ()) -> list[sqlite3.Row]:
+        """Run a SELECT and fetch all rows."""
+        return self.execute(sql, parameters).fetchall()
+
+    def query_one(self, sql: str,
+                  parameters: Sequence[Any] = ()) -> sqlite3.Row | None:
+        """Run a SELECT and fetch the first row (or None)."""
+        return self.execute(sql, parameters).fetchone()
+
+    def scalar(self, sql: str, parameters: Sequence[Any] = ()) -> Any:
+        """Run a SELECT and return the first column of the first row."""
+        row = self.query_one(sql, parameters)
+        return None if row is None else row[0]
+
+    # -- transactions ----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """Commit on success, roll back on error."""
+        try:
+            yield self
+        except Exception:
+            self._connection.rollback()
+            raise
+        self._connection.commit()
+
+    def commit(self) -> None:
+        self._connection.commit()
+
+    # -- introspection -----------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        rows = self.query(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "ORDER BY name"
+        )
+        return [row["name"] for row in rows]
+
+    def table_count(self, table: str) -> int:
+        return int(self.scalar(f"SELECT COUNT(*) FROM {quote_ident(table)}"))

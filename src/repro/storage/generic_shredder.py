@@ -1,0 +1,136 @@
+"""Figure 10: the data population algorithm for the generic schema.
+
+``add(e, f)`` creates a unique id, inserts a record of (id, foreign key,
+attributes) into the table named after element *e*, and recurses into the
+subelements with the id prepended to the foreign key.
+
+The shredder walks the policy's *augmented* XML document — exactly what the
+server-centric architecture stores, with the base-data-schema categories
+expanded once at shred time (Section 6.3.2).  Attributes are stored with
+defaults resolved (e.g. ``required='always'``), matching the translation
+example of Figure 13 where ``Contact.required = 'always'`` is a direct
+column comparison.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+
+from repro import xmlutil
+from repro.appel.engine import augment_document
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import Policy
+from repro.p3p.serializer import policy_to_element
+from repro.storage.database import Database, quote_ident
+from repro.storage.generic_schema import (
+    GENERIC_TABLES,
+    create_generic_schema,
+)
+from repro.vocab import schema as p3p_schema
+
+
+class GenericPolicyStore:
+    """Policies shredded into the Figure 8 schema, queried by Figure 11 SQL."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db if db is not None else Database()
+        self._counters: dict[str, int] = defaultdict(int)
+        create_generic_schema(self.db)
+        self._seed_counters()
+
+    def _seed_counters(self) -> None:
+        """Resume id sequences from a persisted database."""
+        from repro.vocab import schema as catalog
+
+        for tag, table in GENERIC_TABLES.items():
+            current = self.db.scalar(
+                f"SELECT MAX({catalog.id_column(tag)}) "
+                f"FROM {quote_ident(table.name)}"
+            )
+            if current is not None:
+                self._counters[tag] = int(current)
+
+    # -- installation ---------------------------------------------------------
+
+    def install_policy(self, policy: Policy) -> int:
+        """Shred *policy* (augmented) into the tables; returns its policy id."""
+        root = policy_to_element(policy)
+        augment_document(root)
+        with self.db.transaction():
+            policy_id = self._add(root, ())
+        return policy_id
+
+    def _next_id(self, element: str) -> int:
+        self._counters[element] += 1
+        return self._counters[element]
+
+    def _add(self, element: ET.Element, foreign_key: tuple[int, ...]) -> int:
+        """The add() procedure of Figure 10."""
+        tag = xmlutil.local_name(element.tag)
+        spec = p3p_schema.CATALOG.get(tag)
+        if spec is None:
+            # Elements outside the matchable catalog (e.g. the DATA-GROUP
+            # inside ENTITY) are not shredded by the generic schema.
+            return -1
+
+        table = GENERIC_TABLES[tag]
+        unique_id = self._next_id(tag)
+
+        values: list[object] = [unique_id]
+        values.extend(foreign_key)
+        attrib = xmlutil.local_attrib(element)
+        for attr in spec.attributes:
+            values.append(attr.resolve(attrib.get(attr.name)))
+        if spec.textual:
+            values.append(xmlutil.element_text(element))
+
+        placeholders = ", ".join("?" for _ in values)
+        column_names = ", ".join(
+            quote_ident(col.name) for col in table.columns
+        )
+        self.db.execute(
+            f"INSERT INTO {quote_ident(table.name)} ({column_names}) "
+            f"VALUES ({placeholders})",
+            values,
+        )
+
+        child_key = (unique_id,) + foreign_key
+        for child in element:
+            child_tag = xmlutil.local_name(child.tag)
+            if child_tag in spec.children:
+                self._add(child, child_key)
+        return unique_id
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def policy_ids(self) -> list[int]:
+        rows = self.db.query("SELECT policy_id FROM policy ORDER BY policy_id")
+        return [row["policy_id"] for row in rows]
+
+    def has_policy(self, policy_id: int) -> bool:
+        return self.db.scalar(
+            "SELECT COUNT(*) FROM policy WHERE policy_id = ?", (policy_id,)
+        ) == 1
+
+    def require_policy(self, policy_id: int) -> None:
+        if not self.has_policy(policy_id):
+            raise UnknownPolicyError(f"no policy with id {policy_id}")
+
+    def delete_policy(self, policy_id: int) -> None:
+        """Remove every row belonging to *policy_id* from every table."""
+        self.require_policy(policy_id)
+        with self.db.transaction():
+            for table in GENERIC_TABLES.values():
+                self.db.execute(
+                    f"DELETE FROM {quote_ident(table.name)} "
+                    f"WHERE policy_id = ?",
+                    (policy_id,),
+                )
+
+    def row_counts(self) -> dict[str, int]:
+        """Row count per table (diagnostics and tests)."""
+        counts: dict[str, int] = {}
+        for table in GENERIC_TABLES.values():
+            counts[table.name] = self.db.table_count(table.name)
+        return counts

@@ -1,0 +1,136 @@
+"""Reconstruction view: rebuild policy XML from the shredded tables.
+
+Section 5.6 assumes "a reconstruction view [XPERANTO-style] that renders a
+P3P policy according to its original XML schema starting from a tabular
+representation of the policy".  This module is that view: given a policy id
+it reassembles a :class:`~repro.p3p.model.Policy` (and its XML document)
+from the Figure 14 tables.
+
+The reconstruction returns the *augmented* policy — categories include the
+base-data-schema expansion done at shred time — which is also the canonical
+form the native engine produces before matching, making round-trip
+equivalence testable: ``reconstruct(shred(p)) == p.augmented()``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.serializer import serialize_policy
+from repro.storage.database import Database
+
+
+def reconstruct_policy(db: Database, policy_id: int) -> Policy:
+    """Reassemble the policy stored under *policy_id*."""
+    policy_row = db.query_one(
+        "SELECT * FROM policy WHERE policy_id = ?", (policy_id,)
+    )
+    if policy_row is None:
+        raise UnknownPolicyError(f"no policy with id {policy_id}")
+
+    entity_rows = db.query(
+        "SELECT ref, value FROM entity WHERE policy_id = ? ORDER BY rowid",
+        (policy_id,),
+    )
+    entity = Entity(
+        data=tuple((row["ref"], row["value"] or "") for row in entity_rows)
+    )
+
+    disputes: list[Disputes] = []
+    for row in db.query(
+        "SELECT * FROM disputes WHERE policy_id = ? ORDER BY disputes_id",
+        (policy_id,),
+    ):
+        remedies = tuple(
+            r["remedy"]
+            for r in db.query(
+                "SELECT remedy FROM remedy WHERE policy_id = ? "
+                "AND disputes_id = ? ORDER BY rowid",
+                (policy_id, row["disputes_id"]),
+            )
+        )
+        disputes.append(
+            Disputes(
+                resolution_type=row["resolution_type"],
+                service=row["service"],
+                verification=row["verification"],
+                remedies=remedies,
+                long_description=row["long_description"],
+            )
+        )
+
+    statements: list[Statement] = []
+    for row in db.query(
+        "SELECT * FROM statement WHERE policy_id = ? ORDER BY statement_id",
+        (policy_id,),
+    ):
+        statement_id = row["statement_id"]
+        purposes = tuple(
+            PurposeValue(p["purpose"], p["required"])
+            for p in db.query(
+                "SELECT purpose, required FROM purpose WHERE policy_id = ? "
+                "AND statement_id = ? ORDER BY rowid",
+                (policy_id, statement_id),
+            )
+        )
+        recipients = tuple(
+            RecipientValue(r["recipient"], r["required"])
+            for r in db.query(
+                "SELECT recipient, required FROM recipient "
+                "WHERE policy_id = ? AND statement_id = ? ORDER BY rowid",
+                (policy_id, statement_id),
+            )
+        )
+        data: list[DataItem] = []
+        for d in db.query(
+            "SELECT * FROM data WHERE policy_id = ? AND statement_id = ? "
+            "ORDER BY data_id",
+            (policy_id, statement_id),
+        ):
+            categories = tuple(
+                c["category"]
+                for c in db.query(
+                    "SELECT category FROM category WHERE policy_id = ? "
+                    "AND statement_id = ? AND data_id = ? ORDER BY category",
+                    (policy_id, statement_id, d["data_id"]),
+                )
+            )
+            data.append(
+                DataItem(ref=d["ref"], optional=d["optional"],
+                         categories=categories)
+            )
+        statements.append(
+            Statement(
+                purposes=purposes,
+                recipients=recipients,
+                retention=row["retention"],
+                data=tuple(data),
+                consequence=row["consequence"],
+                non_identifiable=bool(row["non_identifiable"]),
+            )
+        )
+
+    return Policy(
+        name=policy_row["name"],
+        discuri=policy_row["discuri"],
+        opturi=policy_row["opturi"],
+        access=policy_row["access"],
+        test=bool(policy_row["test"]),
+        entity=entity,
+        disputes=tuple(disputes),
+        statements=tuple(statements),
+    )
+
+
+def reconstruct_policy_xml(db: Database, policy_id: int,
+                           indent: bool = True) -> str:
+    """The XML view of the policy stored under *policy_id*."""
+    return serialize_policy(reconstruct_policy(db, policy_id), indent=indent)

@@ -1,0 +1,178 @@
+"""Reference files in the database (Section 5.5, Figure 16).
+
+The translated queries of Section 5.3 begin ``SELECT <behavior> FROM
+ApplicablePolicy`` where ApplicablePolicy is "a subquery that queries
+tables storing the data from the P3P reference file, and returns the id of
+the applicable policy against which the rule must be evaluated".
+:meth:`ReferenceStore.applicable_policy_subquery` generates exactly that
+subquery; :meth:`applicable_policy_id` runs it standalone.
+
+URI wildcard matching (P3P ``*`` patterns) is compiled to SQL ``LIKE`` with
+escaping, so the whole lookup runs inside the database.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReferenceFileError
+from repro.p3p.reference import ReferenceFile
+from repro.storage.database import Database, sql_literal
+from repro.storage.optimized_schema import create_reference_schema
+from repro.storage.shredder import PolicyStore
+
+_LIKE_ESCAPE = "\\"
+
+
+def pattern_to_like(pattern: str) -> str:
+    """Convert a P3P ``*`` wildcard pattern to a LIKE pattern with escapes."""
+    out: list[str] = []
+    for char in pattern:
+        if char == "*":
+            out.append("%")
+        elif char in ("%", "_", _LIKE_ESCAPE):
+            out.append(_LIKE_ESCAPE + char)
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+class ReferenceStore:
+    """Reference-file data shredded into the Figure 16 tables."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db if db is not None else Database()
+        create_reference_schema(self.db)
+
+    # -- installation -----------------------------------------------------------
+
+    def install_reference_file(self, reference: ReferenceFile, site: str,
+                               policy_store: PolicyStore | None = None,
+                               policy_ids: dict[str, int] | None = None,
+                               replace: bool = True) -> int:
+        """Shred *reference* for *site*; returns the new meta id.
+
+        Each POLICY-REF's ``about`` fragment is resolved to a shredded
+        policy id, either through *policy_ids* (name -> id) or by looking
+        the name up in *policy_store*.  Unresolvable names raise
+        ReferenceFileError: a reference file pointing at a policy the
+        server never installed is a deployment error.
+
+        With ``replace=True`` (the default) any previously installed
+        reference file for *site* is removed first — a site has exactly
+        one current reference file, and stale META rows would otherwise
+        shadow new policy versions during the ApplicablePolicy lookup.
+        """
+        with self.db.transaction():
+            if replace:
+                self._remove_site(site)
+            cursor = self.db.execute(
+                "INSERT INTO meta (site, expiry) VALUES (?, ?)",
+                (site, reference.expiry),
+            )
+            meta_id = cursor.lastrowid
+
+            for policyref_id, ref in enumerate(reference.refs, start=1):
+                policy_id = self._resolve(ref.policy_name, policy_store,
+                                          policy_ids)
+                self.db.execute(
+                    "INSERT INTO policyref (policyref_id, meta_id, about, "
+                    "policy_id) VALUES (?, ?, ?, ?)",
+                    (policyref_id, meta_id, ref.about, policy_id),
+                )
+                self._insert_patterns("include", meta_id, policyref_id,
+                                      ref.includes)
+                self._insert_patterns("exclude", meta_id, policyref_id,
+                                      ref.excludes)
+                self._insert_patterns("cookie_include", meta_id,
+                                      policyref_id, ref.cookie_includes,
+                                      id_column="include_id")
+                self._insert_patterns("cookie_exclude", meta_id,
+                                      policyref_id, ref.cookie_excludes,
+                                      id_column="exclude_id")
+        return meta_id
+
+    def _remove_site(self, site: str) -> None:
+        meta_ids = [
+            row["meta_id"]
+            for row in self.db.query(
+                "SELECT meta_id FROM meta WHERE site = ?", (site,)
+            )
+        ]
+        for meta_id in meta_ids:
+            for table in ("include", "exclude", "cookie_include",
+                          "cookie_exclude", "policyref", "meta"):
+                self.db.execute(
+                    f"DELETE FROM {table} WHERE meta_id = ?", (meta_id,)
+                )
+
+    def _resolve(self, name: str, policy_store: PolicyStore | None,
+                 policy_ids: dict[str, int] | None) -> int:
+        if policy_ids is not None and name in policy_ids:
+            return policy_ids[name]
+        if policy_store is not None:
+            policy_id = policy_store.policy_id_by_name(name)
+            if policy_id is not None:
+                return policy_id
+        raise ReferenceFileError(
+            f"POLICY-REF names unknown policy {name!r}"
+        )
+
+    def _insert_patterns(self, table: str, meta_id: int, policyref_id: int,
+                         patterns: tuple[str, ...],
+                         id_column: str | None = None) -> None:
+        column = id_column or f"{table}_id"
+        for pattern_id, pattern in enumerate(patterns, start=1):
+            self.db.execute(
+                f"INSERT INTO {table} ({column}, policyref_id, meta_id, "
+                f"pattern) VALUES (?, ?, ?, ?)",
+                (pattern_id, policyref_id, meta_id, pattern),
+            )
+
+    # -- lookup --------------------------------------------------------------------
+
+    def applicable_policy_subquery(self, site: str, uri: str,
+                                   cookie: bool = False) -> str:
+        """The ApplicablePolicy subquery of Section 5.3 (literals inlined).
+
+        Returns one row ``(policy_id)`` — the first POLICY-REF in document
+        order whose INCLUDE patterns cover *uri* and whose EXCLUDE patterns
+        do not.
+        """
+        include_table = "cookie_include" if cookie else "include"
+        exclude_table = "cookie_exclude" if cookie else "exclude"
+        site_lit = sql_literal(site)
+        uri_lit = sql_literal(uri)
+        escape = sql_literal(_LIKE_ESCAPE)
+        return (
+            "SELECT policyref.policy_id AS policy_id\n"
+            "FROM policyref, meta\n"
+            "WHERE policyref.meta_id = meta.meta_id\n"
+            f"  AND meta.site = {site_lit}\n"
+            "  AND EXISTS (\n"
+            f"    SELECT * FROM {include_table}\n"
+            f"    WHERE {include_table}.policyref_id = policyref.policyref_id\n"
+            f"      AND {include_table}.meta_id = policyref.meta_id\n"
+            f"      AND {uri_lit} LIKE like_pattern({include_table}.pattern) "
+            f"ESCAPE {escape})\n"
+            "  AND NOT EXISTS (\n"
+            f"    SELECT * FROM {exclude_table}\n"
+            f"    WHERE {exclude_table}.policyref_id = policyref.policyref_id\n"
+            f"      AND {exclude_table}.meta_id = policyref.meta_id\n"
+            f"      AND {uri_lit} LIKE like_pattern({exclude_table}.pattern) "
+            f"ESCAPE {escape})\n"
+            "ORDER BY policyref.meta_id, policyref.policyref_id\n"
+            "LIMIT 1"
+        )
+
+    def register_sql_functions(self, db: Database | None = None) -> None:
+        """Register the ``like_pattern`` SQL function on *db* (idempotent)."""
+        target = db if db is not None else self.db
+        target._connection.create_function(  # noqa: SLF001 - same package
+            "like_pattern", 1, pattern_to_like, deterministic=True
+        )
+
+    def applicable_policy_id(self, site: str, uri: str,
+                             cookie: bool = False) -> int | None:
+        """Run the ApplicablePolicy subquery; None if no policy covers *uri*."""
+        self.register_sql_functions()
+        return self.db.scalar(self.applicable_policy_subquery(site, uri,
+                                                              cookie))

@@ -1,0 +1,215 @@
+"""Shredding P3P policies into the optimized schema (Sections 5.2 / 5.4).
+
+:class:`PolicyStore` is the server-side policy repository of the proposed
+architecture (Figure 5): ``install_policy`` shreds a policy into the
+Figure 14 tables, performing the **category expansion once at shred time**
+— the paper's explanation for the SQL implementation's 30x matching
+advantage (Section 6.3.2): "Our SQL implementation ... does this expansion
+while shredding the policy into relational tables, and incurs no
+corresponding cost at the time of preference checking."
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from dataclasses import dataclass
+
+from repro.errors import UnknownPolicyError
+from repro.p3p.model import Policy
+from repro.storage.database import Database
+from repro.storage.optimized_schema import (
+    POLICY_TABLES,
+    create_optimized_schema,
+)
+
+
+@dataclass(frozen=True)
+class ShredReport:
+    """Outcome of installing one policy (E3 measures ``seconds``)."""
+
+    policy_id: int
+    statements: int
+    data_items: int
+    categories: int
+    seconds: float
+
+
+class PolicyStore:
+    """Server-side repository of shredded policies (optimized schema).
+
+    Pass a :class:`~repro.vocab.dataschema.DataSchemaRegistry` as
+    *registry* to also expand categories for refs into the site's custom
+    DATASCHEMA documents at shred time.
+    """
+
+    def __init__(self, db: Database | None = None, registry=None):
+        self.db = db if db is not None else Database()
+        self.registry = registry
+        create_optimized_schema(self.db)
+
+    # -- installation -----------------------------------------------------------
+
+    def install_policy(self, policy: Policy, site: str | None = None,
+                       version: int = 1, active: bool = True) -> ShredReport:
+        """Shred *policy* into the store; returns a ShredReport."""
+        start = time.perf_counter()
+        data_items = 0
+        categories = 0
+
+        with self.db.transaction():
+            cursor = self.db.execute(
+                "INSERT INTO policy (name, discuri, opturi, access, test, "
+                "site, version, active, installed_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    policy.name,
+                    policy.discuri,
+                    policy.opturi,
+                    policy.access,
+                    1 if policy.test else 0,
+                    site,
+                    version,
+                    1 if active else 0,
+                    datetime.datetime.now(datetime.timezone.utc).isoformat(),
+                ),
+            )
+            policy_id = cursor.lastrowid
+
+            for ref, value in policy.entity.data:
+                self.db.execute(
+                    "INSERT OR REPLACE INTO entity (policy_id, ref, value) "
+                    "VALUES (?, ?, ?)",
+                    (policy_id, ref, value),
+                )
+
+            for disputes_id, disputes in enumerate(policy.disputes, start=1):
+                self.db.execute(
+                    "INSERT INTO disputes (disputes_id, policy_id, "
+                    "resolution_type, service, verification, "
+                    "long_description) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        disputes_id,
+                        policy_id,
+                        disputes.resolution_type,
+                        disputes.service,
+                        disputes.verification,
+                        disputes.long_description,
+                    ),
+                )
+                for remedy in disputes.remedies:
+                    self.db.execute(
+                        "INSERT OR IGNORE INTO remedy "
+                        "(policy_id, disputes_id, remedy) VALUES (?, ?, ?)",
+                        (policy_id, disputes_id, remedy),
+                    )
+
+            for statement_id, statement in enumerate(policy.statements,
+                                                     start=1):
+                self.db.execute(
+                    "INSERT INTO statement (statement_id, policy_id, "
+                    "consequence, retention, non_identifiable) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        statement_id,
+                        policy_id,
+                        statement.consequence,
+                        statement.retention,
+                        1 if statement.non_identifiable else 0,
+                    ),
+                )
+                for value in statement.purposes:
+                    self.db.execute(
+                        "INSERT OR IGNORE INTO purpose "
+                        "(policy_id, statement_id, purpose, required) "
+                        "VALUES (?, ?, ?, ?)",
+                        (policy_id, statement_id, value.name,
+                         value.effective_required),
+                    )
+                for value in statement.recipients:
+                    self.db.execute(
+                        "INSERT OR IGNORE INTO recipient "
+                        "(policy_id, statement_id, recipient, required) "
+                        "VALUES (?, ?, ?, ?)",
+                        (policy_id, statement_id, value.name,
+                         value.effective_required),
+                    )
+                for data_id, item in enumerate(statement.data, start=1):
+                    data_items += 1
+                    self.db.execute(
+                        "INSERT INTO data (data_id, statement_id, policy_id, "
+                        "ref, optional) VALUES (?, ?, ?, ?, ?)",
+                        (data_id, statement_id, policy_id, item.ref,
+                         item.optional),
+                    )
+                    explicit = set(item.categories)
+                    # Category expansion at shred time (Section 6.3.2).
+                    for category in sorted(
+                            item.expanded_categories(self.registry)):
+                        categories += 1
+                        source = ("explicit" if category in explicit
+                                  else "base")
+                        self.db.execute(
+                            "INSERT OR IGNORE INTO category (policy_id, "
+                            "statement_id, data_id, category, source) "
+                            "VALUES (?, ?, ?, ?, ?)",
+                            (policy_id, statement_id, data_id, category,
+                             source),
+                        )
+
+        return ShredReport(
+            policy_id=policy_id,
+            statements=len(policy.statements),
+            data_items=data_items,
+            categories=categories,
+            seconds=time.perf_counter() - start,
+        )
+
+    # -- lookup -------------------------------------------------------------------
+
+    def policy_ids(self, active_only: bool = False) -> list[int]:
+        sql = "SELECT policy_id FROM policy"
+        if active_only:
+            sql += " WHERE active = 1"
+        sql += " ORDER BY policy_id"
+        return [row["policy_id"] for row in self.db.query(sql)]
+
+    def has_policy(self, policy_id: int) -> bool:
+        return self.db.scalar(
+            "SELECT COUNT(*) FROM policy WHERE policy_id = ?", (policy_id,)
+        ) == 1
+
+    def require_policy(self, policy_id: int) -> None:
+        if not self.has_policy(policy_id):
+            raise UnknownPolicyError(f"no policy with id {policy_id}")
+
+    def policy_id_by_name(self, name: str,
+                          active_only: bool = True) -> int | None:
+        """The newest policy id registered under *name* (None if absent)."""
+        sql = "SELECT policy_id FROM policy WHERE name = ?"
+        if active_only:
+            sql += " AND active = 1"
+        sql += " ORDER BY version DESC, policy_id DESC LIMIT 1"
+        return self.db.scalar(sql, (name,))
+
+    def delete_policy(self, policy_id: int) -> None:
+        """Remove *policy_id* and all its rows."""
+        self.require_policy(policy_id)
+        with self.db.transaction():
+            for table in reversed(POLICY_TABLES):
+                self.db.execute(
+                    f"DELETE FROM {table} WHERE policy_id = ?", (policy_id,)
+                )
+
+    # -- statistics ------------------------------------------------------------------
+
+    def statement_count(self, policy_id: int | None = None) -> int:
+        if policy_id is None:
+            return int(self.db.scalar("SELECT COUNT(*) FROM statement"))
+        return int(self.db.scalar(
+            "SELECT COUNT(*) FROM statement WHERE policy_id = ?",
+            (policy_id,),
+        ))
+
+    def row_counts(self) -> dict[str, int]:
+        return {table: self.db.table_count(table) for table in POLICY_TABLES}

@@ -1,0 +1,44 @@
+"""APPEL preference translators: to SQL (generic and optimized schemas) and
+to the XQuery subset."""
+
+from repro.translate.appel_to_sql import (
+    GenericSqlTranslator,
+    OptimizedSqlTranslator,
+    TranslatedRule,
+    TranslatedRuleset,
+    applicable_policy_literal,
+    evaluate_ruleset,
+)
+from repro.translate.appel_to_xquery import (
+    APPLICABLE_POLICY_URI,
+    TranslatedXQueryRule,
+    TranslatedXQueryRuleset,
+    XQueryTranslator,
+)
+from repro.translate.sql_preferences import (
+    APPLICABLE_POLICY_PLACEHOLDER,
+    SqlPreference,
+    SqlRule,
+    compile_preference,
+    preference_from_sql,
+    validate_sql_rule,
+)
+
+__all__ = [
+    "GenericSqlTranslator",
+    "OptimizedSqlTranslator",
+    "TranslatedRule",
+    "TranslatedRuleset",
+    "applicable_policy_literal",
+    "evaluate_ruleset",
+    "XQueryTranslator",
+    "TranslatedXQueryRule",
+    "TranslatedXQueryRuleset",
+    "APPLICABLE_POLICY_URI",
+    "SqlPreference",
+    "SqlRule",
+    "compile_preference",
+    "preference_from_sql",
+    "validate_sql_rule",
+    "APPLICABLE_POLICY_PLACEHOLDER",
+]

@@ -1,0 +1,124 @@
+"""Translating APPEL preferences into XQuery (Section 5.6 / Figure 17).
+
+``main()`` generates an XQuery ``if`` statement that returns the rule
+behavior when the applicable policy meets the rule's condition; ``match()``
+renders each expression as a path step with a predicate over its attributes
+and subexpressions (Figure 18 shows the output for the simplified rule of
+Figure 12).
+
+As with the SQL translator, the figures cover or/and only; the negated and
+exact connectives follow the full algorithm of [2]:
+
+* ``non-and`` / ``non-or`` wrap the combination in ``not(...)``;
+* ``and-exact`` / ``or-exact`` append the exactness test
+  ``not(*[not(self::a or self::b)])`` ("the policy contains only elements
+  listed in the rule").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.errors import TranslationError
+
+#: The document() argument; the paper's Figure 18 uses the placeholder
+#: "applicable-policy" for the policy located via the reference file.
+APPLICABLE_POLICY_URI = "applicable-policy"
+
+
+@dataclass(frozen=True)
+class TranslatedXQueryRule:
+    """One APPEL rule rendered in the XQuery subset."""
+
+    behavior: str
+    xquery: str
+
+
+@dataclass(frozen=True)
+class TranslatedXQueryRuleset:
+    rules: tuple[TranslatedXQueryRule, ...]
+
+    def queries(self) -> list[str]:
+        return [rule.xquery for rule in self.rules]
+
+
+class XQueryTranslator:
+    """Figure 17: APPEL to XQuery."""
+
+    def __init__(self, document_uri: str = APPLICABLE_POLICY_URI):
+        self.document_uri = document_uri
+
+    def translate_ruleset(self, ruleset: Ruleset) -> TranslatedXQueryRuleset:
+        return TranslatedXQueryRuleset(
+            rules=tuple(
+                TranslatedXQueryRule(rule.behavior,
+                                     self.translate_rule(rule))
+                for rule in ruleset.rules
+            )
+        )
+
+    def translate_rule(self, rule: Rule) -> str:
+        """The main() function of Figure 17."""
+        document = f'document("{self.document_uri}")'
+        if rule.is_catch_all():
+            condition = ""
+        else:
+            parts = [self._match(expr) for expr in rule.expressions]
+            listed = [expr.name for expr in rule.expressions]
+            condition = "[" + self._combine(rule.connective, parts,
+                                            listed) + "]"
+        return f"if ({document}{condition}) then <{rule.behavior}/>"
+
+    def _match(self, expr: Expression) -> str:
+        """The match() function of Figure 17."""
+        conditions: list[str] = []
+        # Match attributes of e (lines 11-14).
+        for name, value in expr.attributes:
+            if '"' in value:
+                raise TranslationError(
+                    f"attribute value with double quote: {value!r}"
+                )
+            conditions.append(f'@{name} = "{value}"')
+        # Recursively match subexpressions (lines 15-18).
+        if expr.subexpressions:
+            parts = [self._match(sub) for sub in expr.subexpressions]
+            listed = [sub.name for sub in expr.subexpressions]
+            conditions.append(
+                self._combine(expr.connective, parts, listed)
+            )
+        if not conditions:
+            return expr.name
+        return expr.name + "[" + " AND ".join(
+            self._group(c) for c in conditions
+        ) + "]"
+
+    def _combine(self, connective: str, parts: list[str],
+                 listed: list[str]) -> str:
+        if connective == "and":
+            return " AND ".join(parts)
+        if connective == "or":
+            return " OR ".join(parts)
+        if connective == "non-and":
+            return "not(" + " AND ".join(parts) + ")"
+        if connective == "non-or":
+            return "not(" + " OR ".join(parts) + ")"
+        if connective == "and-exact":
+            positive = " AND ".join(parts)
+            return f"({positive}) AND {self._exactness(listed)}"
+        if connective == "or-exact":
+            positive = " OR ".join(parts)
+            return f"({positive}) AND {self._exactness(listed)}"
+        raise TranslationError(f"unknown connective: {connective!r}")
+
+    def _exactness(self, listed: list[str]) -> str:
+        """``not(*[not(self::a or self::b)])`` for the *-exact connectives."""
+        unique = sorted(set(listed))
+        tests = " OR ".join(f"self::{name}" for name in unique)
+        return f"not(*[not({tests})])"
+
+    def _group(self, condition: str) -> str:
+        """Parenthesize multi-operand combinations inside a predicate."""
+        if " AND " in condition or " OR " in condition:
+            return "(" + condition + ")"
+        return condition

@@ -1,0 +1,83 @@
+"""Shared SQL text-building helpers for the APPEL translators.
+
+The paper's pseudocode (Figure 11) "omits checks for not generating
+superfluous parenthesis as well as unneeded trailing OR/AND operators";
+these helpers are those checks, plus the connective combination table used
+by both translators (the full algorithm of [2] supports all six APPEL
+connectives, not just the or/and shown in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+
+TRUE_CLAUSE = "1"
+FALSE_CLAUSE = "0"
+
+
+def indent_block(sql: str, prefix: str = "  ") -> str:
+    """Indent every line of *sql* by *prefix*."""
+    return "\n".join(prefix + line for line in sql.splitlines())
+
+
+def exists(subquery: str) -> str:
+    """Wrap a subquery in EXISTS with conventional layout."""
+    return "EXISTS (\n" + indent_block(subquery) + ")"
+
+
+def not_exists(subquery: str) -> str:
+    return "NOT EXISTS (\n" + indent_block(subquery) + ")"
+
+
+def conjoin(clauses: list[str]) -> str:
+    """AND together boolean clauses, dropping trivially-true ones."""
+    useful = [c for c in clauses if c != TRUE_CLAUSE]
+    if not useful:
+        return TRUE_CLAUSE
+    if FALSE_CLAUSE in useful:
+        return FALSE_CLAUSE
+    if len(useful) == 1:
+        return useful[0]
+    return "(" + "\n AND ".join(useful) + ")"
+
+
+def disjoin(clauses: list[str]) -> str:
+    """OR together boolean clauses, dropping trivially-false ones."""
+    useful = [c for c in clauses if c != FALSE_CLAUSE]
+    if not useful:
+        return FALSE_CLAUSE
+    if TRUE_CLAUSE in useful:
+        return TRUE_CLAUSE
+    if len(useful) == 1:
+        return useful[0]
+    return "(" + "\n OR ".join(useful) + ")"
+
+
+def negate(clause: str) -> str:
+    if clause == TRUE_CLAUSE:
+        return FALSE_CLAUSE
+    if clause == FALSE_CLAUSE:
+        return TRUE_CLAUSE
+    return f"NOT {clause}" if clause.startswith("(") else f"NOT ({clause})"
+
+
+def combine(connective: str, clauses: list[str], exact_clause: str) -> str:
+    """Combine subexpression clauses under an APPEL connective.
+
+    *exact_clause* is the SQL predicate asserting "the policy contains only
+    elements listed in the rule" at this level; it is only consulted by the
+    ``*-exact`` connectives.
+    """
+    if connective == "and":
+        return conjoin(clauses)
+    if connective == "or":
+        return disjoin(clauses)
+    if connective == "non-and":
+        return negate(conjoin(clauses))
+    if connective == "non-or":
+        return negate(disjoin(clauses))
+    if connective == "and-exact":
+        return conjoin([conjoin(clauses), exact_clause])
+    if connective == "or-exact":
+        return conjoin([disjoin(clauses), exact_clause])
+    raise TranslationError(f"unknown connective: {connective!r}")

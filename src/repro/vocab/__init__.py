@@ -1,0 +1,5 @@
+"""P3P vocabulary: predefined terms, the element catalog, and base data schema."""
+
+from repro.vocab import basedata, dataschema, schema, terms
+
+__all__ = ["terms", "schema", "basedata", "dataschema"]

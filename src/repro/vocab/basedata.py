@@ -1,0 +1,330 @@
+"""The P3P base data schema with predefined category assignments.
+
+Section 6.3.2 of the paper attributes most of the native APPEL engine's cost
+to this schema: "Before matching a preference against a policy, the APPEL
+engine first augments every data element in the policy with the
+corresponding categories predefined in the P3P base schema ... this
+augmentation accounts for most of the difference in performance."
+
+This module reproduces the base data schema of the P3P 1.0 Recommendation
+(Section 5.5/5.6 there): a hierarchy of named data elements
+(``user.name.given``, ``dynamic.clickstream.uri`` ...) built from reusable
+*structures* (personname, postal, telecom, ...), each leaf carrying a fixed
+category set.  Two elements — ``dynamic.cookies`` and ``dynamic.miscdata`` —
+are *variable-category*: their categories must be supplied inline in the
+policy (as Volga's policy does with ``<purchase/>``).
+
+The public entry points are :func:`categories_for_ref` (the augmentation
+primitive used by the native engine per match and by the shredder once per
+policy) and :func:`known_refs` (used by validators and corpus generators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VocabularyError
+
+
+@dataclass
+class DataNode:
+    """One node of the base data schema tree."""
+
+    name: str  # full dotted name, e.g. "user.home-info.postal.street"
+    categories: frozenset[str] = frozenset()
+    variable: bool = False  # categories must be supplied by the policy
+    children: dict[str, "DataNode"] = field(default_factory=dict)
+
+    def child(self, segment: str) -> "DataNode | None":
+        return self.children.get(segment)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _node(parent: DataNode, segment: str, categories: frozenset[str] = frozenset(),
+          variable: bool = False) -> DataNode:
+    full = f"{parent.name}.{segment}" if parent.name else segment
+    node = DataNode(name=full, categories=categories, variable=variable)
+    parent.children[segment] = node
+    return node
+
+
+# Category shorthands used below.
+_PHYSICAL = frozenset({"physical"})
+_ONLINE = frozenset({"online"})
+_DEMOGRAPHIC = frozenset({"demographic"})
+_UNIQUEID = frozenset({"uniqueid"})
+_NAV_COMPUTER = frozenset({"navigation", "computer"})
+_COMPUTER = frozenset({"computer"})
+_INTERACTIVE = frozenset({"interactive"})
+_LOCATION = frozenset({"location"})
+_PHYS_DEMO = frozenset({"physical", "demographic"})
+
+
+def _add_personname(parent: DataNode, segment: str) -> DataNode:
+    """The ``personname`` structure: name parts, all physical+demographic."""
+    root = _node(parent, segment, _PHYS_DEMO)
+    for part in ("prefix", "given", "middle", "family", "suffix", "nickname"):
+        _node(root, part, _PHYS_DEMO)
+    return root
+
+
+def _add_date(parent: DataNode, segment: str,
+              categories: frozenset[str]) -> DataNode:
+    """The ``date`` structure (year/month/day + time-of-day parts)."""
+    root = _node(parent, segment, categories)
+    ymd = _node(root, "ymd", categories)
+    for part in ("year", "month", "day"):
+        _node(ymd, part, categories)
+    hms = _node(root, "hms", categories)
+    for part in ("hour", "minute", "second"):
+        _node(hms, part, categories)
+    _node(root, "fractionsecond", categories)
+    _node(root, "timezone", categories)
+    return root
+
+
+def _add_telephone(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _PHYSICAL)
+    for part in ("intcode", "loccode", "number", "ext", "comment"):
+        _node(root, part, _PHYSICAL)
+    return root
+
+
+def _add_postal(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _PHYSICAL)
+    _add_personname(root, "name")
+    for part in ("street", "city", "stateprov", "postalcode", "country",
+                 "organization"):
+        _node(root, part, frozenset({"physical", "location"})
+              if part in ("city", "stateprov", "postalcode", "country")
+              else _PHYSICAL)
+    return root
+
+
+def _add_telecom(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _PHYSICAL)
+    for kind in ("telephone", "fax", "mobile", "pager"):
+        _add_telephone(root, kind)
+    return root
+
+
+def _add_uri(parent: DataNode, segment: str,
+             categories: frozenset[str]) -> DataNode:
+    root = _node(parent, segment, categories)
+    for part in ("authority", "stem", "querystring"):
+        _node(root, part, categories)
+    return root
+
+
+def _add_online(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _ONLINE)
+    _node(root, "email", _ONLINE)
+    _add_uri(root, "uri", _ONLINE)
+    return root
+
+
+def _add_contact(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _PHYSICAL | _ONLINE)
+    _add_postal(root, "postal")
+    _add_telecom(root, "telecom")
+    _add_online(root, "online")
+    return root
+
+
+def _add_login(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _UNIQUEID)
+    _node(root, "id", _UNIQUEID)
+    _node(root, "password", _UNIQUEID)
+    return root
+
+
+def _add_certificate(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _UNIQUEID)
+    _node(root, "key", _UNIQUEID)
+    _node(root, "format", _UNIQUEID)
+    return root
+
+
+def _add_ipaddr(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _NAV_COMPUTER)
+    for part in ("hostname", "partialhostname", "fullip", "partialip"):
+        _node(root, part, _NAV_COMPUTER)
+    return root
+
+
+def _add_httpinfo(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _NAV_COMPUTER)
+    _add_uri(root, "referer", _NAV_COMPUTER)
+    _node(root, "useragent", _COMPUTER)
+    return root
+
+
+def _add_loginfo(parent: DataNode, segment: str) -> DataNode:
+    root = _node(parent, segment, _NAV_COMPUTER)
+    _add_uri(root, "uri", _NAV_COMPUTER)
+    _add_date(root, "timestamp", _NAV_COMPUTER)
+    _add_ipaddr(root, "clientip")
+    _add_httpinfo(root, "other")
+    return root
+
+
+def _add_user_like(parent: DataNode, segment: str) -> DataNode:
+    """The ``user`` branch of the base schema; ``thirdparty`` mirrors it."""
+    root = _node(parent, segment)
+    _add_personname(root, "name")
+    _add_date(root, "bdate", _DEMOGRAPHIC)
+    _add_login(root, "login")
+    _add_certificate(root, "cert")
+    _node(root, "gender", _DEMOGRAPHIC)
+    _node(root, "employer", _DEMOGRAPHIC)
+    _node(root, "department", _DEMOGRAPHIC)
+    _node(root, "jobtitle", _DEMOGRAPHIC)
+    _add_contact(root, "home-info")
+    _add_contact(root, "business-info")
+    return root
+
+
+def _build_schema() -> DataNode:
+    root = DataNode(name="")
+
+    _add_user_like(root, "user")
+    _add_user_like(root, "thirdparty")
+
+    business = _node(root, "business")
+    _node(business, "name", _DEMOGRAPHIC)
+    _node(business, "department", _DEMOGRAPHIC)
+    _add_certificate(business, "cert")
+    _add_contact(business, "contact-info")
+
+    dynamic = _node(root, "dynamic")
+    _add_loginfo(dynamic, "clickstream")
+    _add_httpinfo(dynamic, "http")
+    _node(dynamic, "clientevents", frozenset({"navigation", "interactive"}))
+    _node(dynamic, "cookies", variable=True)
+    _node(dynamic, "miscdata", variable=True)
+    _node(dynamic, "searchtext", _INTERACTIVE)
+    _node(dynamic, "interactionrecord", _INTERACTIVE)
+
+    return root
+
+
+#: The singleton base data schema tree.
+BASE_SCHEMA: DataNode = _build_schema()
+
+
+def _normalize_ref(ref: str) -> str:
+    """Strip the leading ``#`` (fragment syntax used in DATA ref attributes)."""
+    ref = ref.strip()
+    if ref.startswith("#"):
+        ref = ref[1:]
+    return ref
+
+
+def lookup(ref: str) -> DataNode:
+    """Return the DataNode for *ref* (``#``-prefixed or bare dotted name).
+
+    Raises VocabularyError for names not in the base data schema.
+    """
+    name = _normalize_ref(ref)
+    if not name:
+        raise VocabularyError("empty data reference")
+    node = BASE_SCHEMA
+    for segment in name.split("."):
+        child = node.child(segment)
+        if child is None:
+            raise VocabularyError(f"unknown base data element: {name!r}")
+        node = child
+    return node
+
+
+def is_known_ref(ref: str) -> bool:
+    """True if *ref* names an element of the base data schema."""
+    try:
+        lookup(ref)
+    except VocabularyError:
+        return False
+    return True
+
+
+def is_variable_ref(ref: str) -> bool:
+    """True if *ref* is variable-category (categories given in the policy)."""
+    return lookup(ref).variable
+
+
+def categories_for_ref(ref: str) -> frozenset[str]:
+    """Fixed categories implied by a DATA reference.
+
+    Referencing a non-leaf element (e.g. ``#user.home-info.postal``) means
+    collecting the whole subtree, so its categories are the union of the
+    categories of every node at or below the reference.  Variable-category
+    elements contribute nothing here; their categories come inline from
+    the policy.
+    """
+    node = lookup(ref)
+    collected: set[str] = set()
+
+    def visit(current: DataNode) -> None:
+        collected.update(current.categories)
+        for child in current.children.values():
+            visit(child)
+
+    visit(node)
+    return frozenset(collected)
+
+
+def known_refs() -> tuple[str, ...]:
+    """All dotted names in the base data schema, in depth-first order."""
+    names: list[str] = []
+
+    def visit(node: DataNode) -> None:
+        if node.name:
+            names.append(node.name)
+        for child in node.children.values():
+            visit(child)
+
+    visit(BASE_SCHEMA)
+    return tuple(names)
+
+
+def leaf_refs() -> tuple[str, ...]:
+    """All leaf dotted names (the individually collectable data items)."""
+    return tuple(name for name in known_refs() if lookup(name).is_leaf())
+
+
+def schema_size() -> int:
+    """Number of named nodes in the base data schema."""
+    return len(known_refs())
+
+
+def base_schema_document() -> str:
+    """The base data schema rendered as the XML document P3P publishes.
+
+    The real base data schema is an XML DATASCHEMA document (fetched from
+    w3.org) containing one DATA-STRUCT element per data element with its
+    category assignments.  Client-side APPEL engines resolve categories by
+    processing this *document*; :class:`repro.appel.engine.AppelEngine`
+    does the same, which is what makes per-match augmentation expensive
+    (the cost the paper's profiling identified in Section 6.3.2).
+
+    The string is rebuilt on every call on purpose: callers model clients
+    that re-fetch, and callers who want to amortize can cache it
+    themselves (the shredder never uses this path at all).
+    """
+    lines = ["<DATASCHEMA>"]
+    for name in known_refs():
+        node = lookup(name)
+        if node.categories:
+            categories = "".join(
+                f"<{category}/>" for category in sorted(node.categories)
+            )
+            lines.append(
+                f'<DATA-STRUCT name="{name}">'
+                f"<CATEGORIES>{categories}</CATEGORIES></DATA-STRUCT>"
+            )
+        else:
+            variable = ' variable="yes"' if node.variable else ""
+            lines.append(f'<DATA-STRUCT name="{name}"{variable}/>')
+    lines.append("</DATASCHEMA>")
+    return "\n".join(lines)

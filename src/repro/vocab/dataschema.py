@@ -1,0 +1,186 @@
+"""Custom P3P data schemas (DATASCHEMA documents).
+
+P3P does not limit sites to the base data schema: a site may publish its
+own DATASCHEMA document defining elements such as
+``http://shop.example.com/schema#order.giftwrap`` with fixed category
+assignments, and reference them from DATA elements.  The paper's engines
+must then resolve those refs during category augmentation exactly like
+base-schema refs.
+
+A custom ref has the form ``<schema-uri>#<dotted-name>``; a bare
+``#<dotted-name>`` ref resolves against the base data schema
+(:mod:`repro.vocab.basedata`).  :class:`DataSchemaRegistry` bundles the
+base schema with any number of parsed custom schemas and exposes the same
+three resolution operations the rest of the library uses
+(``is_known_ref`` / ``is_variable_ref`` / ``categories_for_ref``).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro import xmlutil
+from repro.errors import PolicyParseError, VocabularyError
+from repro.vocab import basedata, terms
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """One DATA-STRUCT of a custom schema."""
+
+    name: str  # dotted name
+    categories: frozenset[str] = frozenset()
+    variable: bool = False
+
+
+@dataclass(frozen=True)
+class CustomDataSchema:
+    """A parsed DATASCHEMA document, keyed by its URI."""
+
+    uri: str
+    elements: dict[str, SchemaElement] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> SchemaElement | None:
+        return self.elements.get(name)
+
+    def subtree_categories(self, name: str) -> frozenset[str]:
+        """Union of categories at or below *name* (structure semantics)."""
+        prefix = name + "."
+        collected: set[str] = set()
+        for element in self.elements.values():
+            if element.name == name or element.name.startswith(prefix):
+                collected.update(element.categories)
+        return frozenset(collected)
+
+    def knows(self, name: str) -> bool:
+        if name in self.elements:
+            return True
+        prefix = name + "."
+        return any(e.startswith(prefix) for e in self.elements)
+
+
+def parse_dataschema(source: str | ET.Element, uri: str) -> CustomDataSchema:
+    """Parse a DATASCHEMA document published at *uri*.
+
+    Recognizes ``DATA-STRUCT``/``DATA-DEF`` elements with ``name``
+    attributes and optional CATEGORIES children (the same shape the base
+    data schema document uses).
+    """
+    if isinstance(source, ET.Element):
+        root = source
+    else:
+        try:
+            root = xmlutil.parse_string(source)
+        except ET.ParseError as exc:
+            raise PolicyParseError(
+                f"malformed DATASCHEMA XML: {exc}"
+            ) from exc
+
+    elements: dict[str, SchemaElement] = {}
+
+    def visit(element: ET.Element) -> None:
+        tag = xmlutil.local_name(element.tag)
+        if tag in ("DATA-STRUCT", "DATA-DEF"):
+            name = xmlutil.local_attrib(element).get("name")
+            if name is None:
+                raise PolicyParseError(f"{tag} lacks a name attribute")
+            categories: set[str] = set()
+            categories_el = xmlutil.find_child(element, "CATEGORIES")
+            if categories_el is not None:
+                for child in categories_el:
+                    value = xmlutil.local_name(child.tag)
+                    if value not in terms.CATEGORY_SET:
+                        raise PolicyParseError(
+                            f"unknown category {value!r} in DATASCHEMA"
+                        )
+                    categories.add(value)
+            variable = (
+                xmlutil.local_attrib(element).get("variable") == "yes"
+            )
+            elements[name] = SchemaElement(
+                name=name,
+                categories=frozenset(categories),
+                variable=variable,
+            )
+        for child in element:
+            visit(child)
+
+    visit(root)
+    if not elements:
+        raise PolicyParseError(
+            "DATASCHEMA defines no DATA-STRUCT/DATA-DEF elements"
+        )
+    return CustomDataSchema(uri=uri, elements=elements)
+
+
+def split_ref(ref: str) -> tuple[str, str]:
+    """Split a DATA ref into (schema uri, dotted name).
+
+    ``#user.name`` -> ``("", "user.name")`` (the base schema);
+    ``http://s/schema#order.id`` -> ``("http://s/schema", "order.id")``.
+    """
+    ref = ref.strip()
+    if "#" not in ref:
+        return "", ref
+    uri, _, name = ref.rpartition("#")
+    return uri, name
+
+
+class DataSchemaRegistry:
+    """Base data schema plus any registered custom schemas."""
+
+    def __init__(self, schemas: list[CustomDataSchema] | None = None):
+        self._schemas: dict[str, CustomDataSchema] = {}
+        for schema in schemas or []:
+            self.register(schema)
+
+    def register(self, schema: CustomDataSchema) -> None:
+        if not schema.uri:
+            raise VocabularyError(
+                "custom schemas need a non-empty URI "
+                "(the empty URI is the base schema)"
+            )
+        self._schemas[schema.uri] = schema
+
+    def schema_uris(self) -> tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    # -- resolution (mirrors repro.vocab.basedata) --------------------------
+
+    def is_known_ref(self, ref: str) -> bool:
+        uri, name = split_ref(ref)
+        if not uri:
+            return basedata.is_known_ref(ref)
+        schema = self._schemas.get(uri)
+        return schema is not None and schema.knows(name)
+
+    def is_variable_ref(self, ref: str) -> bool:
+        uri, name = split_ref(ref)
+        if not uri:
+            return basedata.is_variable_ref(ref)
+        schema = self._schemas.get(uri)
+        if schema is None:
+            raise VocabularyError(f"unknown data schema: {uri!r}")
+        element = schema.lookup(name)
+        return element is not None and element.variable
+
+    def categories_for_ref(self, ref: str) -> frozenset[str]:
+        uri, name = split_ref(ref)
+        if not uri:
+            if basedata.is_known_ref(ref):
+                return basedata.categories_for_ref(ref)
+            return frozenset()
+        schema = self._schemas.get(uri)
+        if schema is None or not schema.knows(name):
+            return frozenset()
+        return schema.subtree_categories(name)
+
+    def expanded_categories(self, ref: str,
+                            explicit: frozenset[str]) -> frozenset[str]:
+        """Explicit (inline) categories plus schema-derived ones."""
+        return explicit | self.categories_for_ref(ref)
+
+
+#: Registry with no custom schemas — base-schema-only resolution.
+EMPTY_REGISTRY = DataSchemaRegistry()

@@ -1,0 +1,385 @@
+"""Declarative catalog of the P3P policy element hierarchy.
+
+The paper's algorithms are all *schema driven*: Figure 8 derives one
+relational table per P3P element, Figure 10 populates them by walking the
+element tree, and Figure 11 turns APPEL expressions (which mirror the policy
+structure) into joins along the parent/child axis.  This module captures the
+P3P 1.0 element hierarchy once, as data, so that every subsystem (parsers,
+shredders, translators, the reconstruction view, and the corpus generators)
+agrees on structure.
+
+The catalog is a *tree*: each element type has exactly one parent element
+type.  This matches the paper's chained-primary-key scheme, where the key of
+an element's table is the concatenation of the ids along its root path
+(e.g. ``Admin(admin_id, purpose_id, statement_id, policy_id)`` in Figure 13).
+
+The ENTITY subtree (business contact data) is stored only by the optimized
+schema; it never participates in APPEL matching and the paper's generic
+schema examples do not include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VocabularyError
+from repro.vocab import terms
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """An attribute that may appear on a P3P element.
+
+    ``default`` is the value presumed when the attribute is absent; the
+    paper's running example hinges on ``required`` defaulting to
+    ``"always"``.  ``values`` restricts the attribute's domain when not
+    ``None``.
+    """
+
+    name: str
+    default: str | None = None
+    values: frozenset[str] | None = None
+    required: bool = False
+
+    def resolve(self, raw: str | None) -> str | None:
+        """Return the effective value of this attribute given raw XML text."""
+        if raw is None:
+            return self.default
+        return raw
+
+
+# Storage strategies used by the optimized schema (Section 5.4).
+OWN_TABLE = "own-table"  # element gets its own relational table
+PARENT_ROW = "parent-row"  # value element stored as a row in parent's table
+PARENT_COLUMN = "parent-column"  # single-valued element folded into parent
+GRANDPARENT_COLUMN = "grandparent-column"  # RETENTION values fold into STATEMENT
+DROPPED = "dropped"  # structural level elided in the optimized schema
+
+
+@dataclass(frozen=True)
+class ElementSpec:
+    """One P3P element type.
+
+    ``children`` lists the tag names of legal child element types;
+    ``repeatable`` says whether the element may occur more than once within
+    its parent; ``textual`` marks elements whose content is character data
+    (CONSEQUENCE, LONG-DESCRIPTION); ``is_value`` marks vocabulary leaves
+    such as ``<current/>``; ``storage`` records how the optimized schema of
+    Section 5.4 stores the element.
+    """
+
+    name: str
+    children: tuple[str, ...] = ()
+    attributes: tuple[AttributeSpec, ...] = ()
+    repeatable: bool = False
+    textual: bool = False
+    is_value: bool = False
+    storage: str = OWN_TABLE
+
+    def attribute(self, name: str) -> AttributeSpec | None:
+        """Return the AttributeSpec named *name*, or None."""
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        return None
+
+
+def _required_attr() -> AttributeSpec:
+    return AttributeSpec(
+        "required",
+        default=terms.REQUIRED_DEFAULT,
+        values=frozenset(terms.REQUIRED_SET),
+    )
+
+
+def _build_catalog() -> dict[str, ElementSpec]:
+    specs: list[ElementSpec] = []
+
+    purpose_children = terms.PURPOSES
+    recipient_children = terms.RECIPIENTS
+    retention_children = terms.RETENTIONS
+    category_children = terms.CATEGORIES
+    access_children = terms.ACCESS_VALUES
+    remedy_children = terms.REMEDIES
+
+    specs.append(
+        ElementSpec(
+            name="POLICY",
+            children=("ENTITY", "ACCESS", "DISPUTES-GROUP", "STATEMENT",
+                      "TEST"),
+            attributes=(
+                AttributeSpec("name"),
+                AttributeSpec("discuri"),
+                AttributeSpec("opturi"),
+            ),
+            repeatable=True,
+        )
+    )
+    # ENTITY is matchable only by name (its business data is stored by the
+    # optimized schema but APPEL preferences do not navigate into it); it
+    # participates in *-exact connectives at the POLICY level.
+    specs.append(ElementSpec(name="ENTITY"))
+    specs.append(
+        ElementSpec(
+            name="TEST",
+            storage=PARENT_COLUMN,
+        )
+    )
+    specs.append(
+        ElementSpec(
+            name="ACCESS",
+            children=access_children,
+            storage=PARENT_COLUMN,
+        )
+    )
+    for value in access_children:
+        specs.append(
+            ElementSpec(name=value, is_value=True, storage=PARENT_COLUMN)
+        )
+    specs.append(
+        ElementSpec(
+            name="DISPUTES-GROUP",
+            children=("DISPUTES",),
+            storage=DROPPED,
+        )
+    )
+    specs.append(
+        ElementSpec(
+            name="DISPUTES",
+            children=("LONG-DESCRIPTION", "REMEDIES"),
+            attributes=(
+                AttributeSpec("resolution-type", values=frozenset(terms.RESOLUTION_TYPE_SET)),
+                AttributeSpec("service"),
+                AttributeSpec("verification"),
+            ),
+            repeatable=True,
+        )
+    )
+    specs.append(
+        ElementSpec(
+            name="LONG-DESCRIPTION",
+            textual=True,
+            storage=PARENT_COLUMN,
+        )
+    )
+    specs.append(
+        ElementSpec(
+            name="REMEDIES",
+            children=remedy_children,
+        )
+    )
+    for value in remedy_children:
+        specs.append(ElementSpec(name=value, is_value=True, storage=PARENT_ROW))
+
+    specs.append(
+        ElementSpec(
+            name="STATEMENT",
+            children=(
+                "CONSEQUENCE",
+                "NON-IDENTIFIABLE",
+                "PURPOSE",
+                "RECIPIENT",
+                "RETENTION",
+                "DATA-GROUP",
+            ),
+            repeatable=True,
+        )
+    )
+    specs.append(
+        ElementSpec(name="CONSEQUENCE", textual=True, storage=PARENT_COLUMN)
+    )
+    specs.append(
+        ElementSpec(name="NON-IDENTIFIABLE", storage=PARENT_COLUMN)
+    )
+    specs.append(
+        ElementSpec(name="PURPOSE", children=purpose_children)
+    )
+    for value in purpose_children:
+        attrs: tuple[AttributeSpec, ...] = ()
+        if value not in terms.PURPOSES_WITHOUT_REQUIRED:
+            attrs = (_required_attr(),)
+        specs.append(
+            ElementSpec(name=value, attributes=attrs, is_value=True,
+                        repeatable=False, storage=PARENT_ROW)
+        )
+    specs.append(
+        ElementSpec(name="RECIPIENT", children=recipient_children)
+    )
+    for value in recipient_children:
+        attrs = ()
+        if value not in terms.RECIPIENTS_WITHOUT_REQUIRED:
+            attrs = (_required_attr(),)
+        specs.append(
+            ElementSpec(name=value, attributes=attrs, is_value=True,
+                        storage=PARENT_ROW)
+        )
+    specs.append(
+        ElementSpec(name="RETENTION", children=retention_children,
+                    storage=DROPPED)
+    )
+    for value in retention_children:
+        specs.append(
+            ElementSpec(name=value, is_value=True,
+                        storage=GRANDPARENT_COLUMN)
+        )
+    specs.append(
+        ElementSpec(
+            name="DATA-GROUP",
+            children=("DATA",),
+            attributes=(AttributeSpec("base"),),
+            repeatable=True,
+            storage=DROPPED,
+        )
+    )
+    specs.append(
+        ElementSpec(
+            name="DATA",
+            children=("CATEGORIES",),
+            attributes=(
+                AttributeSpec("ref", required=True),
+                AttributeSpec(
+                    "optional",
+                    default=terms.OPTIONAL_DEFAULT,
+                    values=frozenset(terms.OPTIONAL_VALUES),
+                ),
+            ),
+            repeatable=True,
+        )
+    )
+    specs.append(
+        ElementSpec(name="CATEGORIES", children=category_children,
+                    storage=DROPPED)
+    )
+    for value in category_children:
+        specs.append(ElementSpec(name=value, is_value=True, storage=PARENT_ROW))
+
+    catalog: dict[str, ElementSpec] = {}
+    for spec in specs:
+        if spec.name in catalog:
+            raise VocabularyError(f"duplicate element spec: {spec.name}")
+        catalog[spec.name] = spec
+    return catalog
+
+
+#: The singleton element catalog: tag name -> ElementSpec.
+CATALOG: dict[str, ElementSpec] = _build_catalog()
+
+#: Root element of the policy tree.
+ROOT = "POLICY"
+
+
+def _build_parents() -> dict[str, str]:
+    parents: dict[str, str] = {}
+    for spec in CATALOG.values():
+        for child in spec.children:
+            if child in parents:
+                raise VocabularyError(
+                    f"element {child!r} has two parents: "
+                    f"{parents[child]!r} and {spec.name!r}"
+                )
+            parents[child] = spec.name
+    return parents
+
+
+#: Parent tag name for every non-root element.
+PARENTS: dict[str, str] = _build_parents()
+
+
+def spec(name: str) -> ElementSpec:
+    """Return the ElementSpec for *name*, raising VocabularyError if unknown."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise VocabularyError(f"unknown P3P element: {name!r}") from None
+
+
+def parent_of(name: str) -> str | None:
+    """Return the parent element tag of *name* (None for the root)."""
+    if name == ROOT:
+        return None
+    try:
+        return PARENTS[name]
+    except KeyError:
+        raise VocabularyError(f"unknown P3P element: {name!r}") from None
+
+
+def root_path(name: str) -> tuple[str, ...]:
+    """Return the tag names from the root down to *name*, inclusive.
+
+    >>> root_path('admin')
+    ('POLICY', 'STATEMENT', 'PURPOSE', 'admin')
+    """
+    path: list[str] = [name]
+    current = name
+    while current != ROOT:
+        current = PARENTS.get(current)
+        if current is None:
+            raise VocabularyError(f"element {name!r} is not attached to POLICY")
+        path.append(current)
+    path.reverse()
+    return tuple(path)
+
+
+def table_name(element: str) -> str:
+    """Relational table name for *element* under the Figure 8 convention."""
+    return element.lower().replace("-", "_")
+
+
+def id_column(element: str) -> str:
+    """Name of the id column of *element*'s table (Figure 8, step b-i)."""
+    return table_name(element) + "_id"
+
+
+def key_columns(element: str) -> tuple[str, ...]:
+    """Chained primary-key columns for *element*'s table, own id first.
+
+    Figure 8 defines the primary key as the element's own id concatenated
+    with the parent's primary key; expanding the recursion yields the ids
+    along the root path in reverse:
+
+    >>> key_columns('admin')
+    ('admin_id', 'purpose_id', 'statement_id', 'policy_id')
+    """
+    path = root_path(element)
+    return tuple(id_column(tag) for tag in reversed(path))
+
+
+def foreign_key_columns(element: str) -> tuple[str, ...]:
+    """Columns of *element*'s table referencing the parent's primary key."""
+    return key_columns(element)[1:]
+
+
+def attribute_columns(element: str) -> tuple[str, ...]:
+    """Relational column names for *element*'s attributes."""
+    return tuple(
+        attr.name.replace("-", "_") for attr in spec(element).attributes
+    )
+
+
+def is_value_element(name: str) -> bool:
+    """True if *name* is a vocabulary leaf such as ``<current/>``."""
+    entry = CATALOG.get(name)
+    return entry is not None and entry.is_value
+
+
+def value_children(name: str) -> tuple[str, ...]:
+    """The vocabulary-leaf children of *name* (empty if none)."""
+    entry = spec(name)
+    return tuple(c for c in entry.children if is_value_element(c))
+
+
+def iter_elements() -> tuple[ElementSpec, ...]:
+    """All element specs in a stable order (root first, then document order)."""
+    ordered: list[ElementSpec] = []
+    seen: set[str] = set()
+
+    def visit(tag: str) -> None:
+        if tag in seen:
+            return
+        seen.add(tag)
+        ordered.append(CATALOG[tag])
+        for child in CATALOG[tag].children:
+            visit(child)
+
+    visit(ROOT)
+    return tuple(ordered)

@@ -1,0 +1,184 @@
+"""P3P 1.0 vocabulary: the predefined value sets and attribute domains.
+
+The counts match Section 2.1 of the paper: 12 PURPOSE values, 6 RECIPIENT
+values, and 5 RETENTION values.  CATEGORIES, ACCESS, and REMEDIES values
+come from the P3P 1.0 Recommendation.
+
+All values are exposed both as module-level frozensets (for membership
+tests) and as tuples (for deterministic iteration order in schema
+generation and corpus sampling).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VocabularyError
+
+# --- Namespaces -----------------------------------------------------------
+
+P3P_NS = "http://www.w3.org/2002/01/P3Pv1"
+APPEL_NS = "http://www.w3.org/2002/01/APPELv1"
+
+# --- PURPOSE (12 values, Section 2.1) -------------------------------------
+
+PURPOSES: tuple[str, ...] = (
+    "current",
+    "admin",
+    "develop",
+    "tailoring",
+    "pseudo-analysis",
+    "pseudo-decision",
+    "individual-analysis",
+    "individual-decision",
+    "contact",
+    "historical",
+    "telemarketing",
+    "other-purpose",
+)
+PURPOSE_SET = frozenset(PURPOSES)
+
+# --- RECIPIENT (6 values) --------------------------------------------------
+
+RECIPIENTS: tuple[str, ...] = (
+    "ours",
+    "delivery",
+    "same",
+    "other-recipient",
+    "unrelated",
+    "public",
+)
+RECIPIENT_SET = frozenset(RECIPIENTS)
+
+# --- RETENTION (5 values) --------------------------------------------------
+
+RETENTIONS: tuple[str, ...] = (
+    "no-retention",
+    "stated-purpose",
+    "legal-requirement",
+    "indefinitely",
+    "business-practices",
+)
+RETENTION_SET = frozenset(RETENTIONS)
+
+# --- CATEGORIES (17 values) -------------------------------------------------
+
+CATEGORIES: tuple[str, ...] = (
+    "physical",
+    "online",
+    "uniqueid",
+    "purchase",
+    "financial",
+    "computer",
+    "navigation",
+    "interactive",
+    "demographic",
+    "content",
+    "state",
+    "political",
+    "health",
+    "preference",
+    "location",
+    "government",
+    "other-category",
+)
+CATEGORY_SET = frozenset(CATEGORIES)
+
+# --- ACCESS (6 values) -------------------------------------------------------
+
+ACCESS_VALUES: tuple[str, ...] = (
+    "nonident",
+    "all",
+    "contact-and-other",
+    "ident-contact",
+    "other-ident",
+    "none",
+)
+ACCESS_SET = frozenset(ACCESS_VALUES)
+
+# --- DISPUTES / REMEDIES ------------------------------------------------------
+
+REMEDIES: tuple[str, ...] = ("correct", "money", "law")
+REMEDY_SET = frozenset(REMEDIES)
+
+RESOLUTION_TYPES: tuple[str, ...] = ("service", "independent", "court", "law")
+RESOLUTION_TYPE_SET = frozenset(RESOLUTION_TYPES)
+
+# --- Attribute domains --------------------------------------------------------
+
+#: Legal values of the ``required`` attribute on purpose/recipient values.
+REQUIRED_VALUES: tuple[str, ...] = ("always", "opt-in", "opt-out")
+REQUIRED_SET = frozenset(REQUIRED_VALUES)
+
+#: Default of the ``required`` attribute (Section 2.1: "By default, the
+#: value of the required attribute is set to always").
+REQUIRED_DEFAULT = "always"
+
+#: Legal values of the ``optional`` attribute on DATA elements.
+OPTIONAL_VALUES: tuple[str, ...] = ("yes", "no")
+OPTIONAL_DEFAULT = "no"
+
+#: APPEL rule behaviors.  ``request`` and ``block`` are the ones the paper
+#: uses; ``limited`` appears in the APPEL working draft.  Custom behaviors
+#: are permitted by the draft, so these are only the *well-known* ones.
+BEHAVIORS: tuple[str, ...] = ("request", "limited", "block")
+BEHAVIOR_SET = frozenset(BEHAVIORS)
+
+#: APPEL connectives (Section 2.2 of the paper).
+CONNECTIVES: tuple[str, ...] = (
+    "and",
+    "or",
+    "non-and",
+    "non-or",
+    "and-exact",
+    "or-exact",
+)
+CONNECTIVE_SET = frozenset(CONNECTIVES)
+CONNECTIVE_DEFAULT = "and"
+
+#: Purpose values that never carry a ``required`` attribute (the P3P spec
+#: forbids opt-in/opt-out on ``current``).
+PURPOSES_WITHOUT_REQUIRED = frozenset({"current"})
+
+#: Recipient values that never carry a ``required`` attribute.
+RECIPIENTS_WITHOUT_REQUIRED = frozenset({"ours"})
+
+
+def check_purpose(value: str) -> str:
+    """Return *value* if it is a legal PURPOSE, else raise VocabularyError."""
+    if value not in PURPOSE_SET:
+        raise VocabularyError(f"unknown PURPOSE value: {value!r}")
+    return value
+
+
+def check_recipient(value: str) -> str:
+    """Return *value* if it is a legal RECIPIENT, else raise VocabularyError."""
+    if value not in RECIPIENT_SET:
+        raise VocabularyError(f"unknown RECIPIENT value: {value!r}")
+    return value
+
+
+def check_retention(value: str) -> str:
+    """Return *value* if it is a legal RETENTION, else raise VocabularyError."""
+    if value not in RETENTION_SET:
+        raise VocabularyError(f"unknown RETENTION value: {value!r}")
+    return value
+
+
+def check_category(value: str) -> str:
+    """Return *value* if it is a legal category, else raise VocabularyError."""
+    if value not in CATEGORY_SET:
+        raise VocabularyError(f"unknown CATEGORIES value: {value!r}")
+    return value
+
+
+def check_required(value: str) -> str:
+    """Return *value* if it is a legal ``required`` value."""
+    if value not in REQUIRED_SET:
+        raise VocabularyError(f"unknown required attribute value: {value!r}")
+    return value
+
+
+def check_connective(value: str) -> str:
+    """Return *value* if it is a legal APPEL connective."""
+    if value not in CONNECTIVE_SET:
+        raise VocabularyError(f"unknown APPEL connective: {value!r}")
+    return value

@@ -1,0 +1,75 @@
+"""Small XML helpers shared by the P3P and APPEL parsers.
+
+P3P documents in the wild appear both with and without the P3P namespace
+(and APPEL documents mix the APPEL and P3P namespaces), so all our parsers
+work on *local* tag names and treat namespaces as advisory.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterator
+
+
+def local_name(tag: str) -> str:
+    """Strip any ``{namespace}`` prefix from an ElementTree tag."""
+    if tag.startswith("{"):
+        return tag.split("}", 1)[1]
+    return tag
+
+
+def local_attrib(element: ET.Element) -> dict[str, str]:
+    """Return *element*'s attributes keyed by local (namespace-free) name."""
+    return {local_name(key): value for key, value in element.attrib.items()}
+
+
+def children(element: ET.Element) -> Iterator[ET.Element]:
+    """Iterate the element children of *element* (ElementTree has no text nodes)."""
+    return iter(element)
+
+
+def find_child(element: ET.Element, name: str) -> ET.Element | None:
+    """First child of *element* whose local name is *name*, or None."""
+    for child in element:
+        if local_name(child.tag) == name:
+            return child
+    return None
+
+
+def find_children(element: ET.Element, name: str) -> list[ET.Element]:
+    """All children of *element* whose local name is *name*."""
+    return [child for child in element if local_name(child.tag) == name]
+
+
+def first_by_local_name(root: ET.Element, name: str) -> ET.Element | None:
+    """Depth-first search for the first descendant-or-self named *name*."""
+    if local_name(root.tag) == name:
+        return root
+    for child in root:
+        found = first_by_local_name(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def element_text(element: ET.Element) -> str:
+    """All character data directly inside *element*, stripped."""
+    parts: list[str] = []
+    if element.text:
+        parts.append(element.text)
+    for child in element:
+        if child.tail:
+            parts.append(child.tail)
+    return "".join(parts).strip()
+
+
+def parse_string(text: str) -> ET.Element:
+    """Parse an XML string, returning the root element."""
+    return ET.fromstring(text)
+
+
+def to_string(element: ET.Element, indent: bool = True) -> str:
+    """Serialize *element* to a unicode XML string."""
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")

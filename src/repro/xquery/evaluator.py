@@ -1,0 +1,98 @@
+"""Evaluate the XQuery subset over an XML policy view.
+
+This is the "native XML store" variation of the architecture (Section 4,
+variation 3): the policy lives as an XML document and the translated
+XQuery runs directly against it.
+
+One documented deviation from plain XPath: attribute access applies the
+P3P attribute defaults from the element catalog (a policy that omits
+``required`` behaves as ``required="always"``).  The paper's relational
+paths get this for free because the shredder stores resolved values; a
+faithful XML-side evaluation needs the same vocabulary knowledge.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+from repro.errors import XQueryEvaluationError
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeComparison,
+    Condition,
+    IfQuery,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SelfTest,
+)
+from repro.vocab import schema as p3p_schema
+
+#: Synthetic tag for the document node wrapping the policy root.
+_DOCUMENT_TAG = "#document"
+
+
+def evaluate_query(query: IfQuery, policy_root: ET.Element) -> str | None:
+    """Evaluate *query* against a policy document.
+
+    Returns the name of the constructed element (the rule behavior) when
+    the condition holds, the ``else`` element name when present, otherwise
+    None.
+    """
+    # Wrap the root in a document node so that the outer predicates can
+    # take the POLICY step, as in document("...")[POLICY[...]].
+    document = ET.Element(_DOCUMENT_TAG)
+    document.append(policy_root)
+    if all(_test(p, document) for p in query.document.predicates):
+        return query.then_element
+    return query.else_element
+
+
+def evaluate_condition(condition: Condition, context: ET.Element) -> bool:
+    """Evaluate a bare condition with *context* as the context element."""
+    return _test(condition, context)
+
+
+def _test(condition: Condition, context: ET.Element) -> bool:
+    if isinstance(condition, AndExpr):
+        return all(_test(op, context) for op in condition.operands)
+    if isinstance(condition, OrExpr):
+        return any(_test(op, context) for op in condition.operands)
+    if isinstance(condition, NotExpr):
+        return not _test(condition.operand, context)
+    if isinstance(condition, AttributeComparison):
+        return _attribute_test(condition, context)
+    if isinstance(condition, SelfTest):
+        return xmlutil.local_name(context.tag) == condition.name
+    if isinstance(condition, PathExpr):
+        return any(
+            all(_test(p, child) for p in condition.predicates)
+            for child in _step(condition.step, context)
+        )
+    raise XQueryEvaluationError(
+        f"cannot evaluate condition node {type(condition).__name__}"
+    )
+
+
+def _step(step: str, context: ET.Element) -> list[ET.Element]:
+    if step == "*":
+        return list(context)
+    return [
+        child for child in context
+        if xmlutil.local_name(child.tag) == step
+    ]
+
+
+def _attribute_test(comparison: AttributeComparison,
+                    context: ET.Element) -> bool:
+    actual = xmlutil.local_attrib(context).get(comparison.name)
+    if actual is None:
+        spec = p3p_schema.CATALOG.get(xmlutil.local_name(context.tag))
+        if spec is not None:
+            attr_spec = spec.attribute(comparison.name)
+            if attr_spec is not None:
+                actual = attr_spec.default
+    if comparison.negated:
+        return actual is not None and actual != comparison.value
+    return actual == comparison.value

@@ -1,0 +1,69 @@
+"""Tokenizer for the XQuery subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import XQuerySyntaxError
+
+# Token kinds
+NAME = "NAME"
+STRING = "STRING"
+PUNCT = "PUNCT"
+END = "END"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<selfaxis>self::)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.-]*)
+  | (?P<punct><|>|\[|\]|\(|\)|@|=|!=|\*|/)
+    """,
+    re.VERBOSE,
+)
+
+#: Keywords are NAME tokens with special meaning in context; the parser
+#: compares case-insensitively for the boolean operators because the
+#: paper's figures print them in upper case (Figure 18: ``admin OR ...``).
+KEYWORDS = frozenset({"if", "then", "else", "return", "document",
+                      "and", "or", "not"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == NAME and self.text.lower() == word
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising XQuerySyntaxError on unknown characters."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise XQuerySyntaxError(
+                f"unexpected character {source[position]!r} "
+                f"at offset {position}"
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        text = match.group()
+        if match.lastgroup == "string":
+            tokens.append(Token(STRING, text[1:-1], position))
+        elif match.lastgroup == "selfaxis":
+            tokens.append(Token(PUNCT, "self::", position))
+        elif match.lastgroup == "name":
+            tokens.append(Token(NAME, text, position))
+        else:
+            tokens.append(Token(PUNCT, text, position))
+        position = match.end()
+    tokens.append(Token(END, "", position))
+    return tokens

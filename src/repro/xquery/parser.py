@@ -1,0 +1,206 @@
+"""Recursive-descent parser for the XQuery subset.
+
+Grammar (see :mod:`repro.xquery.ast` for node meanings)::
+
+    query      := 'if' '(' docExpr ')' 'then' ctor ('else' ctor)?
+    docExpr    := 'document' '(' STRING ')' predicate*
+    ctor       := 'return'? '<' NAME '/'? '>'
+    predicate  := '[' orExpr ']'
+    orExpr     := andExpr ('or' andExpr)*
+    andExpr    := unary ('and' unary)*
+    unary      := 'not' '(' orExpr ')' | '(' orExpr ')' | comparison
+                | selfTest | pathExpr
+    comparison := '@' NAME ('='|'!=') STRING
+    selfTest   := 'self::' NAME
+    pathExpr   := (NAME | '*') predicate*
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import lexer
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeComparison,
+    Condition,
+    DocumentExpr,
+    IfQuery,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SelfTest,
+)
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = lexer.tokenize(source)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> lexer.Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> lexer.Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_punct(self, text: str) -> lexer.Token:
+        token = self.advance()
+        if token.kind != lexer.PUNCT or token.text != text:
+            raise XQuerySyntaxError(
+                f"expected {text!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise XQuerySyntaxError(
+                f"expected {word!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+
+    def expect_name(self) -> str:
+        token = self.advance()
+        if token.kind != lexer.NAME:
+            raise XQuerySyntaxError(
+                f"expected a name at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token.text
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_query(self) -> IfQuery:
+        self.expect_keyword("if")
+        self.expect_punct("(")
+        document = self.parse_document_expr()
+        self.expect_punct(")")
+        self.expect_keyword("then")
+        then_element = self.parse_constructor()
+        else_element: str | None = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            else_element = self.parse_constructor()
+        token = self.advance()
+        if token.kind != lexer.END:
+            raise XQuerySyntaxError(
+                f"trailing input at offset {token.position}: {token.text!r}"
+            )
+        return IfQuery(document=document, then_element=then_element,
+                       else_element=else_element)
+
+    def parse_document_expr(self) -> DocumentExpr:
+        self.expect_keyword("document")
+        self.expect_punct("(")
+        token = self.advance()
+        if token.kind != lexer.STRING:
+            raise XQuerySyntaxError(
+                f"document() expects a string at offset {token.position}"
+            )
+        uri = token.text
+        self.expect_punct(")")
+        predicates = self.parse_predicates()
+        return DocumentExpr(uri=uri, predicates=predicates)
+
+    def parse_constructor(self) -> str:
+        if self.peek().is_keyword("return"):
+            self.advance()
+        self.expect_punct("<")
+        name = self.expect_name()
+        if self.peek().kind == lexer.PUNCT and self.peek().text == "/":
+            self.advance()
+        self.expect_punct(">")
+        return name
+
+    def parse_predicates(self) -> tuple[Condition, ...]:
+        predicates: list[Condition] = []
+        while self.peek().kind == lexer.PUNCT and self.peek().text == "[":
+            self.advance()
+            predicates.append(self.parse_or())
+            self.expect_punct("]")
+        return tuple(predicates)
+
+    def parse_or(self) -> Condition:
+        operands = [self.parse_and()]
+        while self.peek().is_keyword("or"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def parse_and(self) -> Condition:
+        operands = [self.parse_unary()]
+        while self.peek().is_keyword("and"):
+            self.advance()
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def parse_unary(self) -> Condition:
+        token = self.peek()
+        if token.is_keyword("not"):
+            self.advance()
+            self.expect_punct("(")
+            inner = self.parse_or()
+            self.expect_punct(")")
+            return NotExpr(inner)
+        if token.kind == lexer.PUNCT and token.text == "(":
+            self.advance()
+            inner = self.parse_or()
+            self.expect_punct(")")
+            return inner
+        if token.kind == lexer.PUNCT and token.text == "@":
+            return self.parse_comparison()
+        if token.kind == lexer.PUNCT and token.text == "self::":
+            self.advance()
+            return SelfTest(self.expect_name())
+        if token.kind == lexer.PUNCT and token.text == "*":
+            self.advance()
+            return PathExpr(step="*", predicates=self.parse_predicates())
+        if token.kind == lexer.NAME:
+            name = self.advance().text
+            return PathExpr(step=name, predicates=self.parse_predicates())
+        raise XQuerySyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def parse_comparison(self) -> AttributeComparison:
+        self.expect_punct("@")
+        name = self.expect_name()
+        operator = self.advance()
+        if operator.kind != lexer.PUNCT or operator.text not in ("=", "!="):
+            raise XQuerySyntaxError(
+                f"expected = or != at offset {operator.position}"
+            )
+        value = self.advance()
+        if value.kind != lexer.STRING:
+            raise XQuerySyntaxError(
+                f"expected a string at offset {value.position}"
+            )
+        return AttributeComparison(
+            name=name, value=value.text, negated=operator.text == "!="
+        )
+
+
+def parse_query(source: str) -> IfQuery:
+    """Parse one translated APPEL rule in the XQuery subset."""
+    return _Parser(source).parse_query()
+
+
+def parse_condition(source: str) -> Condition:
+    """Parse a bare condition (used by unit tests)."""
+    parser = _Parser(source)
+    condition = parser.parse_or()
+    token = parser.advance()
+    if token.kind != lexer.END:
+        raise XQuerySyntaxError(
+            f"trailing input at offset {token.position}: {token.text!r}"
+        )
+    return condition

@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.policies import fortune_corpus
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import (
+    jane_preference,
+    jane_simplified_rule,
+    volga_policy,
+)
+
+
+@pytest.fixture()
+def volga():
+    """Volga's policy (paper Figure 1)."""
+    return volga_policy()
+
+
+@pytest.fixture()
+def jane():
+    """Jane's preference (paper Figure 2)."""
+    return jane_preference()
+
+
+@pytest.fixture()
+def jane_simplified():
+    """The simplified first rule (paper Figure 12)."""
+    return jane_simplified_rule()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The five-level preference suite (paper Figure 19 workload)."""
+    return jrc_suite()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 29-policy synthetic corpus."""
+    return fortune_corpus()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(corpus):
+    """First five corpus policies — enough for integration tests."""
+    return corpus[:5]

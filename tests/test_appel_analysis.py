@@ -1,0 +1,94 @@
+"""Ruleset analysis: Figure 19 statistics and static validation."""
+
+from repro.appel.analysis import ruleset_stats, validate_ruleset
+from repro.appel.model import expression, rule, ruleset
+
+
+class TestStats:
+    def test_jane_stats(self, jane):
+        stats = ruleset_stats(jane)
+        assert stats.rule_count == 3
+        assert stats.expression_count > 15
+        assert stats.max_depth == 4  # POLICY/STATEMENT/PURPOSE/value
+        assert 0.5 < stats.size_kb < 2.0
+        assert stats.behaviors == ("block", "block", "request")
+
+    def test_connective_census(self, jane):
+        stats = ruleset_stats(jane)
+        census = dict(stats.connective_census)
+        assert census.get("or") == 2        # PURPOSE + RECIPIENT
+        assert census.get("and") == 4       # POLICY/STATEMENT nestings
+
+    def test_suite_matches_figure19_rule_counts(self, suite):
+        rows = {level: ruleset_stats(rs).rule_count
+                for level, rs in suite.items()}
+        assert rows == {"Very High": 10, "High": 7, "Medium": 4,
+                        "Low": 2, "Very Low": 1}
+
+    def test_suite_size_ordering_tracks_figure19(self, suite):
+        sizes = {level: ruleset_stats(rs).size_kb
+                 for level, rs in suite.items()}
+        assert sizes["Very High"] > sizes["High"] > sizes["Low"] \
+            > sizes["Very Low"]
+
+
+class TestValidation:
+    def test_clean_suite(self, suite):
+        for rs in suite.values():
+            assert [p for p in validate_ruleset(rs)
+                    if p.severity == "error"] == []
+
+    def test_unknown_element_flagged(self):
+        rs = ruleset(rule("block", expression("POLICY",
+                                              expression("SURVEILLANCE"))),
+                     rule("request"))
+        problems = validate_ruleset(rs)
+        assert any("SURVEILLANCE" in p.message and p.severity == "error"
+                   for p in problems)
+
+    def test_impossible_nesting_flagged(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY", expression("PURPOSE"))),
+                     rule("request"))
+        problems = validate_ruleset(rs)
+        assert any("can never occur" in p.message for p in problems)
+
+    def test_unknown_attribute_flagged(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("PURPOSE",
+                                                           expression(
+                                                               "contact",
+                                                               loud="yes"))))),
+                     rule("request"))
+        problems = validate_ruleset(rs)
+        assert any("no attribute" in p.message for p in problems)
+
+    def test_impossible_attribute_value_flagged(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("PURPOSE",
+                                                           expression(
+                                                               "contact",
+                                                               required="perhaps"))))),
+                     rule("request"))
+        problems = validate_ruleset(rs)
+        assert any("can never equal" in p.message for p in problems)
+
+    def test_missing_catch_all_warns(self):
+        rs = ruleset(rule("block", expression("POLICY")))
+        problems = validate_ruleset(rs)
+        assert any("catch-all" in p.message for p in problems)
+
+    def test_dead_rules_after_catch_all_warn(self):
+        rs = ruleset(rule("request"),
+                     rule("block", expression("POLICY")))
+        problems = validate_ruleset(rs)
+        assert any("dead" in p.message for p in problems)
+
+    def test_non_standard_behavior_warns(self):
+        rs = ruleset(rule("shrug"))
+        problems = validate_ruleset(rs)
+        assert any("non-standard behavior" in p.message for p in problems)

@@ -1,0 +1,348 @@
+"""Native APPEL engine semantics: connectives, defaults, evaluation order.
+
+These tests pin the reference semantics that every other engine must
+reproduce (the differential tests in test_property.py check the others
+against this one).
+"""
+
+import pytest
+
+from repro.appel.engine import (
+    AppelEngine,
+    SchemaDocumentResolver,
+    augment_document,
+)
+from repro.appel.model import expression, rule, ruleset
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.serializer import policy_to_element
+from repro.vocab import basedata
+
+
+def _policy(*statements: Statement) -> Policy:
+    return Policy(statements=statements)
+
+
+def _statement(purposes=(), recipients=(), retention=None, data=(),
+               **kwargs) -> Statement:
+    return Statement(
+        purposes=tuple(PurposeValue(*p) if isinstance(p, tuple)
+                       else PurposeValue(p) for p in purposes),
+        recipients=tuple(RecipientValue(*r) if isinstance(r, tuple)
+                         else RecipientValue(r) for r in recipients),
+        retention=retention,
+        data=tuple(data),
+        **kwargs,
+    )
+
+
+def _fires(engine: AppelEngine, policy: Policy, *exprs, connective="and"):
+    """Does a single block rule with the given body fire against policy?"""
+    rs = ruleset(rule("block", *exprs, connective=connective),
+                 rule("request"))
+    return engine.evaluate(policy, rs).behavior == "block"
+
+
+@pytest.fixture()
+def engine():
+    return AppelEngine()
+
+
+class TestBasicMatching:
+    def test_empty_rule_always_fires(self, engine):
+        rs = ruleset(rule("request"))
+        result = engine.evaluate(_policy(_statement()), rs)
+        assert result.behavior == "request"
+        assert result.rule_index == 0
+
+    def test_element_existence(self, engine):
+        policy = _policy(_statement(purposes=["current"]))
+        assert _fires(engine, policy,
+                      expression("POLICY", expression("STATEMENT")))
+
+    def test_missing_element_no_match(self, engine):
+        policy = _policy(_statement())  # no PURPOSE element
+        assert not _fires(
+            engine, policy,
+            expression("POLICY",
+                       expression("STATEMENT", expression("PURPOSE"))),
+        )
+
+    def test_value_element_matching(self, engine):
+        policy = _policy(_statement(purposes=["current", "admin"]))
+        body = expression("POLICY",
+                          expression("STATEMENT",
+                                     expression("PURPOSE",
+                                                expression("admin"))))
+        assert _fires(engine, policy, body)
+
+    def test_top_level_non_policy_never_matches(self, engine):
+        policy = _policy(_statement())
+        assert not _fires(engine, policy, expression("STATEMENT"))
+
+    def test_no_rule_fires_returns_none(self, engine):
+        rs = ruleset(rule("block", expression("POLICY",
+                                              expression("TEST"))))
+        result = engine.evaluate(_policy(_statement()), rs)
+        assert result.behavior is None
+        assert result.rule_index is None
+
+
+class TestEvaluationOrder:
+    """Section 2.2: 'Rules are evaluated in the order in which they are
+    specified' and the first firing rule decides."""
+
+    def test_first_firing_rule_wins(self, engine):
+        policy = _policy(_statement(purposes=["telemarketing"]))
+        rs = ruleset(
+            rule("limited", expression("POLICY", expression("STATEMENT"))),
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression(
+                                                      "telemarketing"))))),
+            rule("request"),
+        )
+        result = engine.evaluate(policy, rs)
+        assert result.behavior == "limited"
+        assert result.rule_index == 0
+
+    def test_later_rule_fires_when_earlier_do_not(self, engine):
+        policy = _policy(_statement(purposes=["current"]))
+        rs = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("admin"))))),
+            rule("request"),
+        )
+        result = engine.evaluate(policy, rs)
+        assert result.rule_index == 1
+
+
+class TestAttributeDefaults:
+    """The crux of the paper's Section 2.2 walk-through."""
+
+    def test_omitted_policy_required_presumed_always(self, engine):
+        # Policy says <contact/>; rule demands required="always" -> match.
+        policy = _policy(_statement(purposes=["contact"]))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact",
+                                             required="always"))),
+        )
+        assert _fires(engine, policy, body)
+
+    def test_opt_in_does_not_match_always(self, engine):
+        policy = _policy(_statement(purposes=[("contact", "opt-in")]))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact",
+                                             required="always"))),
+        )
+        assert not _fires(engine, policy, body)
+
+    def test_opt_in_matches_opt_in(self, engine):
+        policy = _policy(_statement(purposes=[("contact", "opt-in")]))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact",
+                                             required="opt-in"))),
+        )
+        assert _fires(engine, policy, body)
+
+    def test_unknown_attribute_never_matches(self, engine):
+        policy = _policy(_statement(purposes=["contact"]))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact", banana="yes"))),
+        )
+        assert not _fires(engine, policy, body)
+
+
+class TestConnectives:
+    """All six connectives (Section 2.2)."""
+
+    @pytest.fixture()
+    def two_purpose_policy(self):
+        return _policy(_statement(purposes=["admin", "develop"]))
+
+    def _purpose_body(self, connective, *names):
+        return expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  *[expression(n) for n in names],
+                                  connective=connective)),
+        )
+
+    def test_and_all_present(self, engine, two_purpose_policy):
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("and", "admin", "develop"))
+
+    def test_and_one_missing(self, engine, two_purpose_policy):
+        assert not _fires(engine, two_purpose_policy,
+                          self._purpose_body("and", "admin", "contact"))
+
+    def test_or_one_present(self, engine, two_purpose_policy):
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("or", "contact", "develop"))
+
+    def test_or_none_present(self, engine, two_purpose_policy):
+        assert not _fires(engine, two_purpose_policy,
+                          self._purpose_body("or", "contact", "historical"))
+
+    def test_non_and_fires_when_not_all_present(self, engine,
+                                                two_purpose_policy):
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("non-and", "admin", "contact"))
+
+    def test_non_and_quiet_when_all_present(self, engine,
+                                            two_purpose_policy):
+        assert not _fires(engine, two_purpose_policy,
+                          self._purpose_body("non-and", "admin", "develop"))
+
+    def test_non_or_fires_when_none_present(self, engine,
+                                            two_purpose_policy):
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("non-or", "contact", "historical"))
+
+    def test_non_or_quiet_when_one_present(self, engine,
+                                           two_purpose_policy):
+        assert not _fires(engine, two_purpose_policy,
+                          self._purpose_body("non-or", "admin", "contact"))
+
+    def test_non_or_requires_element_to_exist(self, engine):
+        # A statement with no PURPOSE element cannot match PURPOSE[non-or].
+        policy = _policy(_statement(recipients=["ours"]))
+        assert not _fires(engine, policy,
+                          self._purpose_body("non-or", "contact"))
+
+    def test_and_exact_all_and_only(self, engine, two_purpose_policy):
+        """Section 2.2: '(a) all of the contained expressions can be found
+        ... and (b) the policy contains only elements listed in the rule'"""
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("and-exact", "admin", "develop"))
+
+    def test_and_exact_fails_on_extra_element(self, engine):
+        policy = _policy(_statement(purposes=["admin", "develop",
+                                              "current"]))
+        assert not _fires(engine, policy,
+                          self._purpose_body("and-exact", "admin",
+                                             "develop"))
+
+    def test_and_exact_allows_listed_superset(self, engine,
+                                              two_purpose_policy):
+        # Listing more than the policy has: part (a) fails.
+        assert not _fires(engine, two_purpose_policy,
+                          self._purpose_body("and-exact", "admin",
+                                             "develop", "contact"))
+
+    def test_or_exact_subset_ok(self, engine, two_purpose_policy):
+        assert _fires(engine, two_purpose_policy,
+                      self._purpose_body("or-exact", "admin", "develop",
+                                         "contact"))
+
+    def test_or_exact_fails_on_unlisted_element(self, engine):
+        policy = _policy(_statement(purposes=["admin", "current"]))
+        assert not _fires(engine, policy,
+                          self._purpose_body("or-exact", "admin"))
+
+
+class TestJaneWalkthrough:
+    """Section 2.2's full narrative, on the real figures."""
+
+    def test_volga_conforms(self, engine, volga, jane):
+        result = engine.evaluate(volga, jane)
+        assert result.behavior == "request"
+        assert result.rule_index == 2
+
+    def test_dropping_opt_in_fires_rule_one(self, engine, jane):
+        from repro.corpus.volga import VOLGA_POLICY_NO_OPTIN_XML
+        from repro.p3p.parser import parse_policy
+
+        result = engine.evaluate(parse_policy(VOLGA_POLICY_NO_OPTIN_XML),
+                                 jane)
+        assert result.behavior == "block"
+        assert result.rule_index == 0
+
+    def test_unrelated_recipient_fires_rule_two(self, engine, jane):
+        from repro.corpus.volga import VOLGA_POLICY_UNRELATED_XML
+        from repro.p3p.parser import parse_policy
+
+        result = engine.evaluate(parse_policy(VOLGA_POLICY_UNRELATED_XML),
+                                 jane)
+        assert result.behavior == "block"
+        assert result.rule_index == 1
+
+
+class TestAugmentation:
+    def test_augment_document_adds_base_categories(self, volga):
+        root = policy_to_element(volga)
+        added = augment_document(root)
+        assert added > 0
+
+    def test_augmented_policy_matches_category_rules(self, engine):
+        # #user.bdate carries no inline categories but is 'demographic' in
+        # the base schema; the engine must see that category.
+        policy = _policy(_statement(
+            purposes=["current"],
+            data=[DataItem("#user.bdate")],
+        ))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression("DATA",
+                                             expression("CATEGORIES",
+                                                        expression(
+                                                            "demographic"))))),
+        )
+        assert _fires(engine, policy, body)
+
+    def test_augment_disabled_misses_category_rules(self):
+        engine = AppelEngine(augment=False)
+        policy = _policy(_statement(data=[DataItem("#user.bdate")]))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression("DATA",
+                                             expression("CATEGORIES",
+                                                        expression(
+                                                            "demographic"))))),
+        )
+        assert not _fires(engine, policy, body)
+
+    def test_resolver_agrees_with_index(self):
+        resolver = SchemaDocumentResolver()
+        for ref in ("#user.name", "#user.home-info.postal",
+                    "#dynamic.clickstream", "#user", "#dynamic.miscdata"):
+            assert resolver.categories_for(ref) == \
+                basedata.categories_for_ref(ref)
+
+    def test_resolver_knows(self):
+        resolver = SchemaDocumentResolver()
+        assert resolver.knows("#user.name")
+        assert not resolver.knows("#corp.secret")
+
+    def test_prepared_policy_reuse(self, engine, volga, jane):
+        prepared = engine.prepare(volga)
+        assert prepared.categories_added > 0
+        result = engine.evaluate_prepared(prepared, jane)
+        assert result.behavior == "request"

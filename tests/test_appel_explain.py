@@ -1,0 +1,94 @@
+"""Explainable matching: traces agree with the engine and carry reasons."""
+
+import pytest
+
+from repro.appel.engine import AppelEngine
+from repro.appel.explain import ExplainingEngine
+from repro.appel.model import expression, rule, ruleset
+from repro.corpus.volga import (
+    VOLGA_POLICY_NO_OPTIN_XML,
+    VOLGA_POLICY_UNRELATED_XML,
+)
+from repro.p3p.parser import parse_policy
+
+
+@pytest.fixture()
+def explaining():
+    return ExplainingEngine()
+
+
+class TestAgreementWithEngine:
+    def test_volga_scenarios(self, explaining, volga, jane):
+        plain = AppelEngine()
+        for policy in (volga,
+                       parse_policy(VOLGA_POLICY_NO_OPTIN_XML),
+                       parse_policy(VOLGA_POLICY_UNRELATED_XML)):
+            expected = plain.evaluate(policy, jane)
+            explained = explaining.explain(policy, jane)
+            assert explained.behavior == expected.behavior
+            assert explained.rule_index == expected.rule_index
+
+    def test_suite_against_corpus_sample(self, explaining, small_corpus,
+                                         suite):
+        plain = AppelEngine()
+        for policy in small_corpus:
+            for preference in suite.values():
+                expected = plain.evaluate(policy, preference)
+                explained = explaining.explain(policy, preference)
+                assert (explained.behavior, explained.rule_index) == \
+                    (expected.behavior, expected.rule_index)
+
+
+class TestTraceContents:
+    def test_all_rules_traced(self, explaining, volga, jane):
+        explanation = explaining.explain(volga, jane)
+        assert len(explanation.rules) == jane.rule_count()
+        assert [t.fired for t in explanation.rules] == [False, False, True]
+
+    def test_fired_rule_has_matched_path(self, explaining, jane):
+        policy = parse_policy(VOLGA_POLICY_UNRELATED_XML)
+        explanation = explaining.explain(policy, jane)
+        fired = explanation.rules[1]
+        assert fired.fired
+        rendered = fired.render()
+        assert "FIRED" in rendered
+        assert "unrelated" in rendered
+        assert "matched" in rendered
+
+    def test_attribute_mismatch_reported(self, explaining, volga):
+        # Demand required="always" on a purpose Volga states as opt-in,
+        # in the statement where it actually appears.
+        preference = ruleset(
+            rule("block",
+                 expression(
+                     "POLICY",
+                     expression("STATEMENT",
+                                expression("RETENTION",
+                                           expression(
+                                               "business-practices")),
+                                expression("PURPOSE",
+                                           expression("contact",
+                                                      required="always"))))),
+            rule("request"),
+        )
+        explanation = explaining.explain(volga, preference)
+        assert explanation.behavior == "request"
+        rendered = explanation.rules[0].render()
+        assert "attr mismatch" in rendered
+        assert "'opt-in'" in rendered
+
+    def test_catch_all_trace(self, explaining, volga, jane):
+        explanation = explaining.explain(volga, jane)
+        assert "<empty body>" in explanation.rules[2].render()
+
+    def test_render_full_explanation(self, explaining, volga, jane):
+        text = explaining.explain(volga, jane).render()
+        assert text.startswith("outcome: 'request' (rule 2)")
+        assert "rule 0 ('block') did not fire" in text
+
+    def test_near_miss_visible_after_fired_rule(self, explaining, jane):
+        """Rules after the first firing one are still traced."""
+        policy = parse_policy(VOLGA_POLICY_NO_OPTIN_XML)
+        explanation = explaining.explain(policy, jane)
+        assert explanation.rule_index == 0
+        assert len(explanation.rules) == 3  # all traced regardless

@@ -1,0 +1,73 @@
+"""APPEL model: builders, connectives, catch-all rules."""
+
+import pytest
+
+from repro.errors import AppelParseError, VocabularyError
+from repro.appel.model import Expression, Rule, Ruleset, expression, rule, ruleset
+
+
+class TestExpression:
+    def test_builder_sorts_attributes(self):
+        expr = expression("DATA", ref="#user.name", optional="no")
+        assert expr.attributes == (("optional", "no"), ("ref", "#user.name"))
+
+    def test_builder_maps_underscores_to_dashes(self):
+        expr = expression("DISPUTES", resolution_type="service")
+        assert expr.attribute("resolution-type") == "service"
+
+    def test_attribute_lookup_missing_is_none(self):
+        assert expression("DATA").attribute("ref") is None
+
+    def test_bad_connective_rejected(self):
+        with pytest.raises(VocabularyError):
+            Expression(name="PURPOSE", connective="xor")
+
+    def test_subexpression_names(self):
+        expr = expression("PURPOSE", expression("admin"),
+                          expression("contact"), expression("admin"))
+        assert expr.subexpression_names() == frozenset({"admin", "contact"})
+
+    def test_depth_and_size(self):
+        expr = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE", expression("admin"))),
+        )
+        assert expr.depth() == 4
+        assert expr.size() == 4
+
+
+class TestRule:
+    def test_requires_behavior(self):
+        with pytest.raises(AppelParseError):
+            Rule(behavior="")
+
+    def test_catch_all(self):
+        assert rule("request").is_catch_all()
+        assert not rule("block", expression("POLICY")).is_catch_all()
+
+    def test_size_sums_expressions(self):
+        r = rule("block", expression("POLICY", expression("STATEMENT")),
+                 expression("POLICY"))
+        assert r.size() == 3
+
+
+class TestRuleset:
+    def test_requires_rules(self):
+        with pytest.raises(AppelParseError):
+            Ruleset(rules=())
+
+    def test_behaviors_in_order(self, jane):
+        assert jane.behaviors() == ("block", "block", "request")
+
+    def test_has_catch_all(self, jane):
+        assert jane.has_catch_all()
+        no_catch = ruleset(rule("block", expression("POLICY")))
+        assert not no_catch.has_catch_all()
+
+    def test_rule_count(self, suite):
+        # Figure 19's rule counts.
+        expected = {"Very High": 10, "High": 7, "Medium": 4,
+                    "Low": 2, "Very Low": 1}
+        for level, rs in suite.items():
+            assert rs.rule_count() == expected[level]

@@ -1,0 +1,148 @@
+"""APPEL parser + serializer: Figure 2 walk-through and round-trips."""
+
+import pytest
+
+from repro.appel.parser import parse_rule, parse_ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.corpus.volga import JANE_PREFERENCE_XML
+from repro.errors import AppelParseError
+
+
+class TestJanePreference:
+    """Figure 2, rule by rule."""
+
+    def test_three_rules(self, jane):
+        assert jane.rule_count() == 3
+
+    def test_rule_behaviors(self, jane):
+        assert jane.behaviors() == ("block", "block", "request")
+
+    def test_first_rule_purpose_connective_is_or(self, jane):
+        policy_expr = jane.rules[0].expressions[0]
+        statement_expr = policy_expr.subexpressions[0]
+        purpose_expr = statement_expr.subexpressions[0]
+        assert purpose_expr.name == "PURPOSE"
+        assert purpose_expr.connective == "or"
+
+    def test_first_rule_lists_eleven_purposes(self, jane):
+        purpose_expr = (jane.rules[0].expressions[0]
+                        .subexpressions[0].subexpressions[0])
+        assert len(purpose_expr.subexpressions) == 11
+
+    def test_required_always_attributes(self, jane):
+        purpose_expr = (jane.rules[0].expressions[0]
+                        .subexpressions[0].subexpressions[0])
+        by_name = {sub.name: sub for sub in purpose_expr.subexpressions}
+        assert by_name["individual-decision"].attribute("required") == \
+            "always"
+        assert by_name["contact"].attribute("required") == "always"
+        assert by_name["admin"].attribute("required") is None
+
+    def test_second_rule_recipients(self, jane):
+        recipient_expr = (jane.rules[1].expressions[0]
+                          .subexpressions[0].subexpressions[0])
+        assert recipient_expr.name == "RECIPIENT"
+        assert recipient_expr.connective == "or"
+        assert recipient_expr.subexpression_names() == frozenset(
+            {"delivery", "other-recipient", "unrelated", "public"}
+        )
+
+    def test_third_rule_is_catch_all(self, jane):
+        assert jane.rules[2].is_catch_all()
+
+
+class TestParsing:
+    def test_connective_attribute_not_a_pattern_attribute(self, jane):
+        purpose_expr = (jane.rules[0].expressions[0]
+                        .subexpressions[0].subexpressions[0])
+        assert purpose_expr.attribute("connective") is None
+
+    def test_default_connective_is_and(self):
+        ruleset = parse_ruleset(
+            '<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">'
+            '<appel:RULE behavior="block"><POLICY/></appel:RULE>'
+            "</appel:RULESET>"
+        )
+        assert ruleset.rules[0].expressions[0].connective == "and"
+
+    def test_bare_rule_becomes_one_rule_ruleset(self):
+        ruleset = parse_ruleset('<RULE behavior="request"/>')
+        assert ruleset.rule_count() == 1
+
+    def test_parse_rule_directly(self):
+        rule = parse_rule(
+            '<appel:RULE xmlns:appel="http://www.w3.org/2002/01/APPELv1" '
+            'behavior="limited" prompt="yes" description="d"><POLICY/>'
+            "</appel:RULE>"
+        )
+        assert rule.behavior == "limited"
+        assert rule.prompt
+        assert rule.description == "d"
+
+    def test_otherwise_element(self):
+        ruleset = parse_ruleset(
+            '<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">'
+            '<appel:RULE behavior="block"><POLICY/></appel:RULE>'
+            "<appel:OTHERWISE/>"
+            "</appel:RULESET>"
+        )
+        assert ruleset.rules[-1].behavior == "request"
+        assert ruleset.rules[-1].is_catch_all()
+
+    def test_rule_without_behavior_rejected(self):
+        with pytest.raises(AppelParseError):
+            parse_ruleset(
+                '<appel:RULESET '
+                'xmlns:appel="http://www.w3.org/2002/01/APPELv1">'
+                "<appel:RULE><POLICY/></appel:RULE></appel:RULESET>"
+            )
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(AppelParseError):
+            parse_ruleset(
+                '<appel:RULESET '
+                'xmlns:appel="http://www.w3.org/2002/01/APPELv1"/>'
+            )
+
+    def test_no_ruleset_or_rule_rejected(self):
+        with pytest.raises(AppelParseError):
+            parse_ruleset("<POLICY/>")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(AppelParseError):
+            parse_ruleset("<appel:RULESET>")
+
+    def test_bad_connective_rejected(self):
+        with pytest.raises(AppelParseError):
+            parse_ruleset(
+                '<appel:RULESET '
+                'xmlns:appel="http://www.w3.org/2002/01/APPELv1">'
+                '<appel:RULE behavior="block">'
+                '<POLICY appel:connective="xor"/></appel:RULE>'
+                "</appel:RULESET>"
+            )
+
+
+class TestRoundTrips:
+    def test_jane_roundtrips(self, jane):
+        assert parse_ruleset(serialize_ruleset(jane)) == jane
+
+    def test_suite_roundtrips(self, suite):
+        for ruleset in suite.values():
+            assert parse_ruleset(serialize_ruleset(ruleset)) == ruleset
+
+    def test_raw_jane_fixture_parses(self):
+        assert parse_ruleset(JANE_PREFERENCE_XML).rule_count() == 3
+
+    def test_all_connectives_roundtrip(self):
+        from repro.appel.model import expression, rule, ruleset
+
+        for connective in ("and", "or", "non-and", "non-or",
+                           "and-exact", "or-exact"):
+            rs = ruleset(rule(
+                "block",
+                expression("POLICY",
+                           expression("STATEMENT"),
+                           connective=connective),
+            ))
+            assert parse_ruleset(serialize_ruleset(rs)) == rs

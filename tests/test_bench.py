@@ -1,0 +1,152 @@
+"""Harness sanity: every experiment runs and produces coherent output.
+
+The full-scale runs (and their timing claims) live in benchmarks/; these
+tests only verify the machinery on reduced workloads.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    Aggregate,
+    ablation_experiment,
+    dataset_statistics,
+    figure20,
+    figure21,
+    preference_statistics,
+    run_matching_grid,
+    shredding_experiment,
+    warm_cold_experiment,
+)
+from repro.bench.reporting import (
+    format_ablation,
+    format_dataset_stats,
+    format_figure20,
+    format_figure21,
+    format_preference_stats,
+    format_shredding,
+    format_warm_cold,
+)
+
+
+class TestAggregate:
+    def test_of_values(self):
+        agg = Aggregate.of([1.0, 2.0, 3.0])
+        assert agg.average == 2.0
+        assert agg.maximum == 3.0
+        assert agg.minimum == 1.0
+        assert agg.count == 3
+
+    def test_of_empty(self):
+        agg = Aggregate.of([])
+        assert agg.count == 0
+        assert agg.average == 0.0
+
+
+class TestWorkloadStats:
+    def test_dataset_statistics(self):
+        stats = dataset_statistics()
+        assert stats.policy_count == 29
+        assert stats.total_statements == 54
+        assert "policies" in format_dataset_stats(stats)
+
+    def test_preference_statistics(self):
+        rows = preference_statistics()
+        assert [level for level, _, _ in rows] == [
+            "Very High", "High", "Medium", "Low", "Very Low",
+        ]
+        assert [rules for _, rules, _ in rows] == [10, 7, 4, 2, 1]
+        text = format_preference_stats(rows)
+        assert "Figure 19" in text
+
+
+class TestShredding:
+    def test_experiment(self, small_corpus):
+        result = shredding_experiment(small_corpus, repeat=1)
+        assert len(result.per_policy_seconds) == 5
+        assert result.aggregate.minimum > 0
+        assert result.aggregate.maximum >= result.aggregate.average
+        assert "Shredding" in format_shredding(result)
+
+
+@pytest.fixture(scope="module")
+def grid_samples():
+    from repro.corpus.policies import fortune_corpus
+    from repro.corpus.preferences import jrc_suite
+
+    return run_matching_grid(fortune_corpus()[:4], jrc_suite())
+
+
+class TestMatchingGrid:
+    def test_sample_counts(self, grid_samples):
+        # 3 engines x 5 levels x 4 policies
+        assert len(grid_samples) == 60
+
+    def test_engines_agree_where_successful(self, grid_samples):
+        by_key = {}
+        for sample in grid_samples:
+            if sample.failed:
+                continue
+            key = (sample.level, sample.policy_index)
+            by_key.setdefault(key, set()).add(sample.behavior)
+        assert all(len(behaviors) == 1 for behaviors in by_key.values())
+
+    def test_xtable_fails_only_on_medium(self, grid_samples):
+        failed = {(s.engine, s.level) for s in grid_samples if s.failed}
+        assert failed == {("xquery", "Medium")}
+
+    def test_figure20_shape(self, grid_samples):
+        rows = figure20(grid_samples)
+        by_engine = {row.engine: row for row in rows}
+        assert set(by_engine) == {"appel", "sql", "xquery"}
+        # The paper's headline ordering: SQL fastest, native slowest.
+        assert by_engine["sql"].total.average \
+            < by_engine["xquery"].total.average \
+            < by_engine["appel"].total.average
+        assert "Figure 20" in format_figure20(rows)
+
+    def test_figure21_medium_cell_blank(self, grid_samples):
+        rows = figure21(grid_samples)
+        medium_xquery = next(r for r in rows
+                             if r.level == "Medium" and r.engine == "xquery")
+        assert medium_xquery.unavailable
+        text = format_figure21(rows)
+        assert "Figure 21" in text
+
+    def test_very_low_is_cheapest_sql_level(self, grid_samples):
+        rows = figure21(grid_samples)
+        sql_rows = {r.level: r for r in rows if r.engine == "sql"}
+        assert sql_rows["Very Low"].total.average == min(
+            r.total.average for r in sql_rows.values()
+        )
+
+
+class TestWarmCold:
+    def test_experiment(self, small_corpus):
+        results = warm_cold_experiment(small_corpus, warm_repeats=2)
+        assert {r.engine for r in results} == {"appel", "sql", "xquery"}
+        text = format_warm_cold(results)
+        assert "Cold" in text and "Warm" in text
+
+    def test_database_engines_warm_up(self, small_corpus):
+        """The first SQL/XQuery match pays one-time costs the steady
+        state does not (the paper's warm/cold distinction)."""
+        results = warm_cold_experiment(small_corpus, warm_repeats=3)
+        by_engine = {r.engine: r for r in results}
+        assert by_engine["sql"].delta_seconds > 0
+        assert by_engine["xquery"].delta_seconds > 0
+
+
+class TestAblation:
+    def test_augmentation_dominates(self, small_corpus):
+        """Section 6.3.2: 'this augmentation accounts for most of the
+        difference in performance.'"""
+        result = ablation_experiment(small_corpus)
+        assert result.native_full.average \
+            > result.native_no_augment.average
+        assert result.native_full.average > result.native_prepared.average
+        assert result.augmentation_share > 0.5
+        assert "Ablation" in format_ablation(result)
+
+    def test_optimized_schema_beats_generic(self, small_corpus):
+        result = ablation_experiment(small_corpus)
+        assert result.sql_optimized.average < result.sql_generic.average

@@ -1,0 +1,65 @@
+"""JSON export of benchmark results."""
+
+import json
+
+import pytest
+
+from repro.bench.export import run_all, save_results
+
+
+@pytest.fixture(scope="module")
+def results():
+    # One full run for the whole module (a few seconds).
+    return run_all()
+
+
+class TestRunAll:
+    def test_top_level_keys(self, results):
+        assert set(results) == {
+            "meta", "e1_dataset", "e2_preferences", "e3_shredding",
+            "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
+        }
+
+    def test_json_serializable(self, results):
+        text = json.dumps(results)
+        assert json.loads(text) == results
+
+    def test_dataset_block(self, results):
+        assert results["e1_dataset"]["policies"] == 29
+        assert results["e1_dataset"]["statements"] == 54
+
+    def test_figure20_block_has_three_engines(self, results):
+        assert set(results["e4_figure20"]) == {"appel", "sql", "xquery"}
+        sql = results["e4_figure20"]["sql"]
+        assert sql["total"]["average_seconds"] > 0
+        assert sql["failures"] == 0
+        assert results["e4_figure20"]["xquery"]["failures"] > 0
+
+    def test_shape_claims_visible_in_numbers(self, results):
+        f20 = results["e4_figure20"]
+        assert f20["sql"]["total"]["average_seconds"] \
+            < f20["xquery"]["total"]["average_seconds"] \
+            < f20["appel"]["total"]["average_seconds"]
+        assert results["e7_ablation"]["augmentation_share"] > 0.5
+
+    def test_medium_xquery_cell_marked_unavailable(self, results):
+        cells = {(c["level"], c["engine"]): c
+                 for c in results["e5_figure21"]}
+        assert cells[("Medium", "xquery")]["unavailable"]
+        assert not cells[("High", "xquery")]["unavailable"]
+
+
+class TestSaveResults:
+    def test_writes_valid_json(self, tmp_path):
+        path = tmp_path / "results.json"
+        returned = save_results(str(path))
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk == json.loads(json.dumps(returned))
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "r.json"
+        assert main(["bench", "--json", str(path)]) == 0
+        assert path.exists()
+        assert "wrote results" in capsys.readouterr().out

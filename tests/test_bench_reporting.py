@@ -1,0 +1,110 @@
+"""Reporting edge cases: empty inputs, failure annotations, formatting."""
+
+from repro.bench.harness import (
+    Aggregate,
+    EngineSummary,
+    LevelSummary,
+    MatchSample,
+    ShreddingResult,
+    WarmColdResult,
+    figure20,
+    figure21,
+)
+from repro.bench.reporting import (
+    format_figure20,
+    format_figure21,
+    format_shredding,
+    format_warm_cold,
+)
+
+
+def _sample(engine="sql", level="High", failed=False, total=0.001):
+    return MatchSample(
+        engine=engine,
+        level=level,
+        policy_index=0,
+        convert_seconds=total / 2,
+        query_seconds=total / 2,
+        behavior=None if failed else "request",
+        error="too complex" if failed else None,
+    )
+
+
+class TestFigureAggregation:
+    def test_all_failed_cell_is_unavailable(self):
+        samples = [_sample(engine="xquery", level="Medium", failed=True)]
+        rows = figure21(samples)
+        assert rows[0].unavailable
+        assert "-" in format_figure21(rows)
+
+    def test_partial_failures_counted(self):
+        samples = [
+            _sample(engine="xquery", failed=True),
+            _sample(engine="xquery", failed=False),
+        ]
+        rows = figure20(samples)
+        assert rows[0].failures == 1
+        assert rows[0].total.count == 1
+        assert "failed XTABLE translation" in format_figure20(rows)
+
+    def test_missing_engine_prints_dash(self):
+        rows = figure20([_sample(engine="sql")])
+        text = format_figure20(rows)
+        # No appel/xquery samples -> dashes in their columns.
+        assert text.count("-") >= 2
+
+    def test_sample_total_property(self):
+        sample = _sample(total=0.01)
+        assert abs(sample.total_seconds - 0.01) < 1e-12
+        assert not sample.failed
+
+
+class TestMarkdown:
+    def test_markdown_figure20(self):
+        from repro.bench.reporting import markdown_figure20
+
+        rows = figure20([_sample(engine="sql"), _sample(engine="appel")])
+        text = markdown_figure20(rows)
+        assert text.startswith("|  | APPEL engine |")
+        assert "| Average |" in text
+        assert "—" in text  # missing xquery column
+
+    def test_markdown_figure21_blank_cell(self):
+        from repro.bench.reporting import markdown_figure21
+
+        rows = figure21([
+            _sample(engine="sql", level="Medium"),
+            _sample(engine="xquery", level="Medium", failed=True),
+        ])
+        text = markdown_figure21(rows)
+        assert "| Medium |" in text
+        assert "—" in text
+
+
+class TestOtherFormatters:
+    def test_shredding_formatter(self):
+        result = ShreddingResult(
+            per_policy_seconds=(0.001, 0.002),
+            aggregate=Aggregate.of([0.001, 0.002]),
+        )
+        text = format_shredding(result)
+        assert "average" in text and "policies: 2" in text
+
+    def test_warm_cold_formatter_labels(self):
+        rows = [WarmColdResult(engine="sql", cold_seconds=0.002,
+                               warm_seconds=0.001)]
+        text = format_warm_cold(rows)
+        assert "SQL" in text
+        assert "1.000" in text  # delta in ms
+
+    def test_unknown_engine_label_passthrough(self):
+        rows = [WarmColdResult(engine="exotic", cold_seconds=0.0,
+                               warm_seconds=0.0)]
+        assert "exotic" in format_warm_cold(rows)
+
+
+class TestAggregateEdge:
+    def test_single_value(self):
+        agg = Aggregate.of([0.5])
+        assert agg.average == agg.maximum == agg.minimum == 0.5
+        assert agg.count == 1

@@ -1,0 +1,154 @@
+"""CLI: every subcommand through main(argv)."""
+
+import pytest
+
+from repro.appel.serializer import serialize_ruleset
+from repro.cli import main
+from repro.corpus.volga import VOLGA_POLICY_XML
+from repro.corpus.preferences import low_preference
+
+
+@pytest.fixture()
+def policy_file(tmp_path):
+    path = tmp_path / "policy.xml"
+    path.write_text(VOLGA_POLICY_XML, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def preference_file(tmp_path):
+    path = tmp_path / "pref.xml"
+    path.write_text(serialize_ruleset(low_preference()), encoding="utf-8")
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_policy(self, policy_file, capsys):
+        assert main(["validate", policy_file]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_invalid_policy(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<POLICY discuri='http://x/p'></POLICY>",
+                        encoding="utf-8")
+        assert main(["validate", str(path)]) == 1
+        assert "no STATEMENT" in capsys.readouterr().out
+
+    def test_unparseable_policy(self, tmp_path, capsys):
+        path = tmp_path / "broken.xml"
+        path.write_text("<POLICY", encoding="utf-8")
+        assert main(["validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestShred:
+    def test_in_memory(self, policy_file, capsys):
+        assert main(["shred", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "statements=2" in out
+
+    def test_to_file(self, policy_file, tmp_path, capsys):
+        db_path = str(tmp_path / "policies.db")
+        assert main(["shred", policy_file, "-o", db_path]) == 0
+        import sqlite3
+
+        connection = sqlite3.connect(db_path)
+        count = connection.execute(
+            "SELECT COUNT(*) FROM statement").fetchone()[0]
+        assert count == 2
+
+
+class TestTranslate:
+    def test_sql_dialect(self, preference_file, capsys):
+        assert main(["translate", preference_file]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT 'block'" in out
+        assert "FROM purpose" in out
+
+    def test_generic_dialect(self, preference_file, capsys):
+        assert main(["translate", preference_file,
+                     "--dialect", "sql-generic"]) == 0
+        assert "FROM telemarketing" in capsys.readouterr().out
+
+    def test_xquery_dialect(self, preference_file, capsys):
+        assert main(["translate", preference_file,
+                     "--dialect", "xquery"]) == 0
+        assert 'document("applicable-policy")' in capsys.readouterr().out
+
+
+class TestMatch:
+    @pytest.mark.parametrize("engine", ["appel", "sql", "sql-generic",
+                                        "xquery", "xquery-native"])
+    def test_engines(self, engine, policy_file, preference_file, capsys):
+        assert main(["match", policy_file, preference_file,
+                     "--engine", engine]) == 0
+        assert "behavior=request" in capsys.readouterr().out
+
+    def test_block_exit_code(self, policy_file, tmp_path, capsys):
+        from repro.corpus.preferences import very_high_preference
+
+        pref = tmp_path / "vh.xml"
+        pref.write_text(serialize_ruleset(very_high_preference()),
+                        encoding="utf-8")
+        assert main(["match", policy_file, str(pref)]) == 3
+        assert "behavior=block" in capsys.readouterr().out
+
+
+class TestCorpus:
+    def test_emits_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["corpus", "-o", str(out_dir)]) == 0
+        policies = list(out_dir.glob("policy-*.xml"))
+        preferences = list(out_dir.glob("preference-*.xml"))
+        assert len(policies) == 29
+        assert len(preferences) == 5
+        assert "29 policies" in capsys.readouterr().out
+
+
+class TestNotice:
+    def test_notice_renders(self, policy_file, capsys):
+        assert main(["notice", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Privacy notice for volga")
+        assert "only with your consent" in out
+
+
+class TestExplain:
+    def test_explain_request(self, policy_file, preference_file, capsys):
+        assert main(["explain", policy_file, preference_file]) == 0
+        out = capsys.readouterr().out
+        assert "outcome: 'request'" in out
+        assert "did not fire" in out
+
+    def test_explain_block_exit_code(self, policy_file, tmp_path, capsys):
+        from repro.corpus.preferences import very_high_preference
+
+        pref = tmp_path / "vh.xml"
+        pref.write_text(serialize_ruleset(very_high_preference()),
+                        encoding="utf-8")
+        assert main(["explain", policy_file, str(pref)]) == 3
+        assert "FIRED" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_corpus_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Vocabulary census" in out
+        assert "Consent profile" in out
+        assert "Very High" in out
+
+    def test_report_on_files(self, policy_file, capsys):
+        assert main(["report", policy_file]) == 0
+        assert "1 policies" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_fast_experiments(self, capsys):
+        assert main(["bench", "dataset-stats", "preference-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset" in out
+        assert "Figure 19" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bench", "figure99"]) == 2

@@ -1,0 +1,248 @@
+"""Adversarial corner cases, cross-checked on all five engines.
+
+The hypothesis generator deduplicates subexpression names and keeps
+shapes canonical; this suite aims at the patterns it therefore never
+produces — duplicate subexpressions with different attributes, multiple
+top-level POLICY expressions, empty containers under negation, and
+pathological-but-legal nestings.
+"""
+
+import pytest
+
+from repro.appel.model import Expression, Rule, Ruleset, expression, rule, ruleset
+from repro.engines import all_engines
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+
+
+def _agree(policy: Policy, preference: Ruleset) -> tuple:
+    """Run all engines; assert agreement; return (behavior, rule_index)."""
+    outcomes = set()
+    for engine in all_engines():
+        handle = engine.install(policy)
+        outcome = engine.match(handle, preference)
+        assert not outcome.failed, (engine.name, outcome.error)
+        outcomes.add((outcome.behavior, outcome.rule_index))
+    assert len(outcomes) == 1, outcomes
+    return outcomes.pop()
+
+
+def _policy(*statements: Statement) -> Policy:
+    return Policy(statements=statements)
+
+
+def _blocks(policy: Policy, *exprs: Expression,
+            connective: str = "and") -> bool:
+    preference = ruleset(
+        rule("block", *exprs, connective=connective),
+        rule("request"),
+    )
+    behavior, _ = _agree(policy, preference)
+    return behavior == "block"
+
+
+class TestDuplicateSubexpressions:
+    def test_same_value_different_required_under_or(self):
+        policy = _policy(Statement(
+            purposes=(PurposeValue("contact", "opt-in"),),
+        ))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact", required="always"),
+                                  expression("contact", required="opt-in"),
+                                  connective="or")))
+        assert _blocks(policy, body)
+
+    def test_same_value_different_required_under_and(self):
+        # A single <contact required="opt-in"/> cannot satisfy both.
+        policy = _policy(Statement(
+            purposes=(PurposeValue("contact", "opt-in"),),
+        ))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact", required="always"),
+                                  expression("contact", required="opt-in"),
+                                  connective="and")))
+        assert not _blocks(policy, body)
+
+    def test_duplicate_names_in_exactness_listing(self):
+        policy = _policy(Statement(
+            purposes=(PurposeValue("contact", "opt-in"),),
+        ))
+        # and-exact with [contact(always), contact(opt-in)]: part (a)
+        # fails (no always-row), even though exactness part (b) holds.
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact", required="always"),
+                                  expression("contact", required="opt-in"),
+                                  connective="and-exact")))
+        assert not _blocks(policy, body)
+        # or-exact succeeds: one disjunct found, only 'contact' present.
+        body_or = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("contact", required="always"),
+                                  expression("contact", required="opt-in"),
+                                  connective="or-exact")))
+        assert _blocks(policy, body_or)
+
+
+class TestRuleLevelCombinations:
+    def test_two_policy_expressions_under_and(self):
+        policy = _policy(Statement(
+            purposes=(PurposeValue("current"),),
+            recipients=(RecipientValue("ours"),),
+        ))
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("current")))),
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("RECIPIENT",
+                                                  expression("ours")))),
+                 connective="and"),
+            rule("request"),
+        )
+        assert _agree(policy, preference) == ("block", 0)
+
+    def test_two_policy_expressions_under_non_and(self):
+        policy = _policy(Statement(purposes=(PurposeValue("current"),)))
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("current")))),
+                 expression("POLICY", expression("TEST")),
+                 connective="non-and"),
+            rule("request"),
+        )
+        # Second conjunct fails (no TEST) -> non-and true -> block.
+        assert _agree(policy, preference) == ("block", 0)
+
+    def test_rule_level_or_exact(self):
+        policy = _policy(Statement(purposes=(PurposeValue("current"),)))
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY", expression("STATEMENT")),
+                 connective="or-exact"),
+            rule("request"),
+        )
+        # The evidence root is a POLICY and it is listed: exact holds.
+        assert _agree(policy, preference) == ("block", 0)
+
+
+class TestEmptyAndMissingContainers:
+    def test_statement_with_nothing(self):
+        policy = _policy(Statement())
+        assert _blocks(policy, expression("POLICY",
+                                          expression("STATEMENT")))
+        assert not _blocks(policy,
+                           expression("POLICY",
+                                      expression("STATEMENT",
+                                                 expression("PURPOSE"))))
+
+    def test_purpose_non_or_on_empty_statement(self):
+        # No PURPOSE element at all: PURPOSE[non-or: x] cannot match.
+        policy = _policy(Statement(recipients=(RecipientValue("ours"),)))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE",
+                                  expression("telemarketing"),
+                                  connective="non-or")))
+        assert not _blocks(policy, body)
+
+    def test_statement_non_or_at_policy_level(self):
+        # POLICY[non-or: STATEMENT] matches only statement-less policies;
+        # our model requires >= 0 statements, so build one without any.
+        policy = Policy(statements=())
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT"),
+                            connective="non-or")),
+            rule("request"),
+        )
+        assert _agree(policy, preference) == ("block", 0)
+
+    def test_data_group_without_data_subexpr(self):
+        with_data = _policy(Statement(data=(DataItem("#user.name"),)))
+        without = _policy(Statement(
+            purposes=(PurposeValue("current"),)))
+        body = expression("POLICY",
+                          expression("STATEMENT",
+                                     expression("DATA-GROUP")))
+        assert _blocks(with_data, body)
+        assert not _blocks(without, body)
+
+
+class TestDeepNestings:
+    def test_data_with_ref_optional_and_categories(self):
+        policy = _policy(Statement(
+            data=(DataItem("#dynamic.miscdata", optional="yes",
+                           categories=("purchase", "financial")),),
+        ))
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression(
+                                      "DATA",
+                                      expression("CATEGORIES",
+                                                 expression("purchase"),
+                                                 expression("financial"),
+                                                 connective="and"),
+                                      ref="#dynamic.miscdata",
+                                      optional="yes"))))
+        assert _blocks(policy, body)
+
+    def test_categories_and_exact_against_expansion(self):
+        # #user.bdate expands to exactly {demographic}.
+        policy = _policy(Statement(data=(DataItem("#user.bdate"),)))
+        exact_body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression(
+                                      "DATA",
+                                      expression("CATEGORIES",
+                                                 expression("demographic"),
+                                                 connective="and-exact")))))
+        assert _blocks(policy, exact_body)
+        # user.name expands to {physical, demographic}: exactness fails.
+        policy2 = _policy(Statement(data=(DataItem("#user.name"),)))
+        assert not _blocks(policy2, exact_body)
+
+    def test_multiple_statements_existential(self):
+        # Pattern constraints must hold within ONE statement, not across.
+        split = _policy(
+            Statement(purposes=(PurposeValue("contact"),)),
+            Statement(recipients=(RecipientValue("public"),)),
+        )
+        together = _policy(
+            Statement(purposes=(PurposeValue("contact"),),
+                      recipients=(RecipientValue("public"),)),
+        )
+        body = expression(
+            "POLICY",
+            expression("STATEMENT",
+                       expression("PURPOSE", expression("contact")),
+                       expression("RECIPIENT", expression("public"))))
+        assert not _blocks(split, body)
+        assert _blocks(together, body)

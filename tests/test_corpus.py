@@ -1,0 +1,121 @@
+"""Workload generators: distribution targets and determinism."""
+
+from repro.appel.analysis import ruleset_stats, validate_ruleset
+from repro.corpus.policies import (
+    COMPANY_NAMES,
+    STATEMENT_PLAN,
+    corpus_statistics,
+    fortune_corpus,
+)
+from repro.corpus.preferences import LEVELS, jrc_suite
+from repro.p3p.validator import validate_policy
+
+
+class TestFortuneCorpus:
+    """Section 6.2 calibration: '29 companies ... 1.6 to 11.9 KBytes,
+    average 4.4 KBytes ... 54 statements (about 2 per policy)'."""
+
+    def test_twenty_nine_policies(self, corpus):
+        assert len(corpus) == 29
+        assert len(COMPANY_NAMES) == 29
+
+    def test_fifty_four_statements(self, corpus):
+        assert sum(p.statement_count() for p in corpus) == 54
+        assert sum(STATEMENT_PLAN) == 54
+
+    def test_size_distribution_tracks_paper(self, corpus):
+        stats = corpus_statistics(corpus)
+        assert 1.0 <= stats.min_kb <= 2.5
+        assert 9.0 <= stats.max_kb <= 14.0
+        assert 2.5 <= stats.avg_kb <= 5.5
+        assert 1.5 <= stats.statements_per_policy <= 2.5
+
+    def test_deterministic_per_seed(self):
+        assert fortune_corpus(seed=7) == fortune_corpus(seed=7)
+
+    def test_different_seeds_differ(self):
+        assert fortune_corpus(seed=1) != fortune_corpus(seed=2)
+
+    def test_policies_are_structurally_valid(self, corpus):
+        for policy in corpus:
+            errors = [p for p in validate_policy(policy)
+                      if p.severity == "error"]
+            assert errors == [], policy.name
+
+    def test_unique_names(self, corpus):
+        names = [p.name for p in corpus]
+        assert len(names) == len(set(names))
+
+    def test_custom_count(self):
+        policies = fortune_corpus(count=5)
+        assert len(policies) == 5
+        larger = fortune_corpus(count=35)
+        assert len(larger) == 35
+        assert len({p.name for p in larger}) == 35
+
+    def test_opturi_present_when_opt_in_used(self, corpus):
+        for policy in corpus:
+            has_opt = any(
+                value.required in ("opt-in", "opt-out")
+                for statement in policy.statements
+                for value in statement.purposes + statement.recipients
+            )
+            if has_opt:
+                assert policy.opturi is not None, policy.name
+
+
+class TestJrcSuite:
+    """Figure 19 calibration."""
+
+    def test_levels_in_figure19_order(self, suite):
+        assert tuple(suite) == LEVELS
+
+    def test_rule_counts(self, suite):
+        counts = {level: rs.rule_count() for level, rs in suite.items()}
+        assert counts == {"Very High": 10, "High": 7, "Medium": 4,
+                          "Low": 2, "Very Low": 1}
+
+    def test_sizes_roughly_track_figure19(self, suite):
+        # Paper sizes: 3.1 / 2.8 / 2.1 / 0.9 / 0.3 KB.
+        sizes = {level: ruleset_stats(rs).size_kb
+                 for level, rs in suite.items()}
+        assert 2.0 <= sizes["Very High"] <= 4.5
+        assert 1.2 <= sizes["High"] <= 3.5
+        assert 1.2 <= sizes["Medium"] <= 3.0
+        assert 0.3 <= sizes["Low"] <= 1.2
+        assert sizes["Very Low"] <= 0.5
+
+    def test_statically_valid(self, suite):
+        for rs in suite.values():
+            assert [p for p in validate_ruleset(rs)
+                    if p.severity == "error"] == []
+
+    def test_all_but_very_low_have_block_rules(self, suite):
+        for level, rs in suite.items():
+            behaviors = set(rs.behaviors())
+            if level == "Very Low":
+                assert behaviors == {"request"}
+            else:
+                assert "block" in behaviors
+
+    def test_deterministic(self):
+        first = {level: rs for level, rs in jrc_suite().items()}
+        second = jrc_suite()
+        assert first == second
+
+    def test_stricter_levels_block_more_of_the_corpus(self, suite, corpus):
+        """Monotonicity: Very High blocks at least as many corpus policies
+        as High, which blocks at least as many as Low."""
+        from repro.appel.engine import AppelEngine
+
+        engine = AppelEngine()
+        blocks = {}
+        for level in ("Very High", "High", "Low", "Very Low"):
+            blocks[level] = sum(
+                1 for policy in corpus
+                if engine.evaluate(policy, suite[level]).behavior == "block"
+            )
+        assert blocks["Very High"] >= blocks["High"] >= blocks["Low"] \
+            >= blocks["Very Low"]
+        assert blocks["Very High"] > 0
+        assert blocks["Very Low"] == 0

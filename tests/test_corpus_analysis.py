@@ -1,0 +1,79 @@
+"""Corpus analytics: vocabulary census, consent profile, acceptance matrix."""
+
+from repro.corpus.analysis import (
+    acceptance_matrix,
+    consent_profile,
+    format_census,
+    vocabulary_census,
+)
+from repro.vocab import terms
+
+
+class TestVocabularyCensus:
+    def test_counts_are_plausible(self, corpus):
+        census = vocabulary_census(corpus)
+        purposes = dict(census.purposes)
+        # Every generated archetype states at least one of these.
+        assert purposes.get("current", 0) > 0
+        assert purposes.get("admin", 0) > 0
+        recipients = dict(census.recipients)
+        assert recipients.get("ours", 0) >= len(corpus) // 2
+
+    def test_all_values_legal(self, corpus):
+        census = vocabulary_census(corpus)
+        assert all(name in terms.PURPOSE_SET
+                   for name, _ in census.purposes)
+        assert all(name in terms.RECIPIENT_SET
+                   for name, _ in census.recipients)
+        assert all(name in terms.RETENTION_SET
+                   for name, _ in census.retentions)
+        assert all(name in terms.CATEGORY_SET
+                   for name, _ in census.categories)
+
+    def test_expanded_categories_counted(self, volga):
+        census = vocabulary_census([volga])
+        categories = dict(census.categories)
+        # physical comes only from base-schema expansion of user.name etc.
+        assert categories.get("physical", 0) >= 1
+        assert categories.get("purchase", 0) >= 1
+
+    def test_required_census(self, volga):
+        census = vocabulary_census([volga])
+        required = dict(census.required_census)
+        assert required.get("opt-in", 0) == 2  # the two Volga opt-ins
+        assert required.get("always", 0) >= 3
+
+    def test_top_purposes(self, corpus):
+        census = vocabulary_census(corpus)
+        top = census.top_purposes(3)
+        assert len(top) == 3
+
+    def test_format_census(self, corpus):
+        text = format_census(vocabulary_census(corpus))
+        assert "purposes" in text
+        assert "categories (expanded)" in text
+
+
+class TestConsentProfile:
+    def test_volga_offers_opt_in(self, volga):
+        profile = consent_profile([volga])
+        assert profile.policies_with_opt_in == 1
+        assert profile.policies_all_mandatory == 0
+        assert profile.opt_in_share == 1.0
+
+    def test_corpus_profile_sums(self, corpus):
+        profile = consent_profile(corpus)
+        assert profile.total == 29
+        assert 0 < profile.policies_with_opt_in < 29
+
+    def test_empty_corpus(self):
+        profile = consent_profile([])
+        assert profile.opt_in_share == 0.0
+
+
+class TestAcceptanceMatrix:
+    def test_monotone_in_strictness(self, corpus, suite):
+        blocked = acceptance_matrix(corpus, suite)
+        assert blocked["Very High"] >= blocked["High"] >= blocked["Low"]
+        assert blocked["Very Low"] == 0
+        assert blocked["Very High"] > 0

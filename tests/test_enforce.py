@@ -1,0 +1,239 @@
+"""Enforcement: consent registry, privacy validator, retention auditor."""
+
+import datetime
+
+import pytest
+
+from repro.corpus.volga import volga_policy
+from repro.enforce import (
+    PURPOSE,
+    RECIPIENT,
+    AccessRequest,
+    ConsentRegistry,
+    PrivacyValidator,
+    RetentionAuditor,
+    ref_covers,
+)
+from repro.errors import StorageError, UnknownPolicyError
+from repro.storage import Database, PolicyStore
+
+
+@pytest.fixture()
+def world():
+    db = Database()
+    store = PolicyStore(db)
+    policy_id = store.install_policy(volga_policy()).policy_id
+    return db, policy_id
+
+
+class TestRefCovers:
+    def test_exact(self):
+        assert ref_covers("#user.name", "#user.name")
+
+    def test_structure_covers_fields(self):
+        assert ref_covers("#user.home-info.postal",
+                          "#user.home-info.postal.street")
+
+    def test_field_does_not_cover_structure(self):
+        assert not ref_covers("#user.home-info.postal.street",
+                              "#user.home-info.postal")
+
+    def test_prefix_must_be_segment_aligned(self):
+        assert not ref_covers("#user.name", "#user.names")
+
+    def test_hash_optional(self):
+        assert ref_covers("user.name", "#user.name.given")
+
+
+class TestConsentRegistry:
+    def test_always_is_implied(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        assert registry.is_consented("u", pid, PURPOSE, "current", "always")
+
+    def test_opt_in_defaults_denied(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        assert not registry.is_consented("u", pid, PURPOSE, "contact",
+                                         "opt-in")
+        registry.grant("u", pid, PURPOSE, "contact")
+        assert registry.is_consented("u", pid, PURPOSE, "contact",
+                                     "opt-in")
+
+    def test_opt_out_defaults_granted(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        assert registry.is_consented("u", pid, RECIPIENT, "same",
+                                     "opt-out")
+        registry.revoke("u", pid, RECIPIENT, "same")
+        assert not registry.is_consented("u", pid, RECIPIENT, "same",
+                                         "opt-out")
+
+    def test_state_is_per_user(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        registry.grant("alice", pid, PURPOSE, "contact")
+        assert registry.is_consented("alice", pid, PURPOSE, "contact",
+                                     "opt-in")
+        assert not registry.is_consented("bob", pid, PURPOSE, "contact",
+                                         "opt-in")
+
+    def test_records_for_user(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        registry.grant("alice", pid, PURPOSE, "contact")
+        registry.revoke("alice", pid, PURPOSE, "telemarketing")
+        records = registry.records_for_user("alice")
+        assert [(r.value, r.granted) for r in records] == [
+            ("contact", True), ("telemarketing", False),
+        ]
+
+    def test_unknown_kind_rejected(self, world):
+        db, pid = world
+        registry = ConsentRegistry(db)
+        with pytest.raises(StorageError):
+            registry.grant("u", pid, "mood", "happy")
+        with pytest.raises(StorageError):
+            registry.is_consented("u", pid, PURPOSE, "contact", "maybe")
+
+
+class TestPrivacyValidator:
+    def test_stated_use_allowed(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        decision = validator.check(
+            AccessRequest("jane", pid, "current", "ours", "#user.name"))
+        assert decision.allowed
+        assert decision.statement_id == 1
+
+    def test_structure_field_covered(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        decision = validator.check(AccessRequest(
+            "jane", pid, "current", "ours",
+            "#user.home-info.postal.street"))
+        assert decision.allowed
+
+    def test_unstated_purpose_denied(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        decision = validator.check(AccessRequest(
+            "jane", pid, "telemarketing", "ours", "#user.name"))
+        assert not decision.allowed
+        assert "telemarketing" in decision.reason
+
+    def test_uncollected_data_denied(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        decision = validator.check(AccessRequest(
+            "jane", pid, "current", "ours", "#user.bdate"))
+        assert not decision.allowed
+        assert "no statement collects" in decision.reason
+
+    def test_opt_in_purpose_needs_consent(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        request = AccessRequest("jane", pid, "contact", "ours",
+                                "#user.home-info.online.email")
+        assert not validator.check(request).allowed
+        validator.consent.grant("jane", pid, PURPOSE, "contact")
+        assert validator.check(request).allowed
+
+    def test_unstated_recipient_denied(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        validator.consent.grant("jane", pid, PURPOSE, "contact")
+        decision = validator.check(AccessRequest(
+            "jane", pid, "contact", "public",
+            "#user.home-info.online.email"))
+        assert not decision.allowed
+
+    def test_unknown_policy_raises(self, world):
+        db, _ = world
+        validator = PrivacyValidator(db)
+        with pytest.raises(UnknownPolicyError):
+            validator.check(AccessRequest("jane", 404, "current", "ours",
+                                          "#user.name"))
+
+    def test_audit_log_and_reports(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db)
+        validator.check(AccessRequest("jane", pid, "current", "ours",
+                                      "#user.name"))
+        validator.check(AccessRequest("jane", pid, "telemarketing",
+                                      "ours", "#user.name"))
+        denied = validator.denied_accesses(pid)
+        assert len(denied) == 1
+        assert denied[0]["purpose"] == "telemarketing"
+        used = validator.purposes_used_for(pid, "#user.name")
+        assert used == [("current", 1)]
+
+    def test_logging_can_be_disabled(self, world):
+        db, pid = world
+        validator = PrivacyValidator(db, log_decisions=False)
+        validator.check(AccessRequest("jane", pid, "current", "ours",
+                                      "#user.name"))
+        assert db.table_count("access_log") == 0
+
+
+class TestRetentionAuditor:
+    def _old(self, days):
+        return (datetime.datetime.now(datetime.timezone.utc)
+                - datetime.timedelta(days=days))
+
+    def test_strictest_covering_retention_wins(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db)
+        # miscdata appears in both statements: stated-purpose (stmt 1)
+        # and business-practices (stmt 2) — strictest applies.
+        assert auditor.retention_for(pid, "#dynamic.miscdata") == \
+            "stated-purpose"
+        assert auditor.retention_for(pid,
+                                     "#user.home-info.online.email") == \
+            "business-practices"
+        assert auditor.retention_for(pid, "#user.bdate") is None
+
+    def test_overdue_record_flagged(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db)
+        auditor.record_stored(pid, "#user.name", self._old(90))
+        findings = auditor.audit(pid)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.retention == "stated-purpose"
+        assert finding.overdue_days > 50
+
+    def test_fresh_record_not_flagged(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db)
+        auditor.record_stored(pid, "#user.name", self._old(5))
+        assert auditor.audit(pid) == []
+
+    def test_indefinite_retention_never_flagged(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db, horizons={"business-practices": None})
+        auditor.record_stored(pid, "#user.home-info.online.email",
+                              self._old(10_000))
+        assert auditor.audit(pid) == []
+
+    def test_ungoverned_record_is_violation(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db)
+        auditor.record_stored(pid, "#user.bdate", self._old(1))
+        findings = auditor.audit(pid)
+        assert len(findings) == 1
+        assert findings[0].retention == "no-retention"
+
+    def test_purge(self, world):
+        db, pid = world
+        auditor = RetentionAuditor(db)
+        auditor.record_stored(pid, "#user.name", self._old(90))
+        findings = auditor.audit(pid)
+        assert auditor.purge(findings) == 1
+        assert auditor.audit(pid) == []
+
+    def test_unknown_policy_raises(self, world):
+        db, _ = world
+        auditor = RetentionAuditor(db)
+        with pytest.raises(UnknownPolicyError):
+            auditor.audit(999)

@@ -1,0 +1,140 @@
+"""MatchEngine layer: uniform behavior across the five implementations."""
+
+import pytest
+
+from repro.appel.model import expression, rule, ruleset
+from repro.engines import (
+    GenericSqlMatchEngine,
+    NativeAppelMatchEngine,
+    SqlMatchEngine,
+    XQueryNativeMatchEngine,
+    XTableMatchEngine,
+    all_engines,
+    standard_engines,
+)
+from repro.errors import UnknownPolicyError
+
+ENGINE_FACTORIES = [NativeAppelMatchEngine, SqlMatchEngine,
+                    GenericSqlMatchEngine, XQueryNativeMatchEngine,
+                    XTableMatchEngine]
+
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES)
+class TestUniformInterface:
+    def test_install_and_match(self, factory, volga, jane):
+        engine = factory()
+        handle = engine.install(volga)
+        outcome = engine.match(handle, jane)
+        assert outcome.behavior == "request"
+        assert outcome.rule_index == 2
+        assert outcome.total_seconds >= 0
+        assert not outcome.failed
+
+    def test_unknown_handle_raises(self, factory, jane):
+        engine = factory()
+        with pytest.raises(UnknownPolicyError):
+            engine.match(999, jane)
+
+    def test_multiple_policies_independent(self, factory, volga, jane):
+        from repro.corpus.volga import VOLGA_POLICY_NO_OPTIN_XML
+        from repro.p3p.parser import parse_policy
+
+        engine = factory()
+        good = engine.install(volga)
+        bad = engine.install(parse_policy(VOLGA_POLICY_NO_OPTIN_XML))
+        assert engine.match(good, jane).behavior == "request"
+        assert engine.match(bad, jane).behavior == "block"
+
+    def test_warm_up_does_not_change_result(self, factory, volga, jane):
+        engine = factory()
+        handle = engine.install(volga)
+        engine.warm_up(handle, jane)
+        assert engine.match(handle, jane).behavior == "request"
+
+
+class TestTimingSplit:
+    def test_sql_reports_convert_and_query(self, volga, jane):
+        engine = SqlMatchEngine()
+        handle = engine.install(volga)
+        outcome = engine.match(handle, jane)
+        assert outcome.convert_seconds > 0
+        assert outcome.query_seconds > 0
+
+    def test_native_reports_all_time_as_query(self, volga, jane):
+        engine = NativeAppelMatchEngine()
+        handle = engine.install(volga)
+        outcome = engine.match(handle, jane)
+        assert outcome.convert_seconds == 0.0
+        assert outcome.query_seconds > 0
+
+    def test_sql_translation_cache(self, volga, jane):
+        engine = SqlMatchEngine(cache_translations=True)
+        handle = engine.install(volga)
+        engine.match(handle, jane)
+        cold_cache = len(engine._cache)
+        engine.match(handle, jane)
+        assert len(engine._cache) == cold_cache == 1
+
+
+class TestXTableFailures:
+    def test_medium_preference_fails_gracefully(self, volga):
+        from repro.corpus.preferences import medium_preference
+
+        engine = XTableMatchEngine()
+        handle = engine.install(volga)
+        outcome = engine.match(handle, medium_preference())
+        assert outcome.failed
+        assert outcome.behavior is None
+        assert "subqueries" in outcome.error
+
+    def test_raising_the_limit_fixes_it(self, volga):
+        from repro.corpus.preferences import medium_preference
+
+        engine = XTableMatchEngine(complexity_limit=100_000)
+        handle = engine.install(volga)
+        outcome = engine.match(handle, medium_preference())
+        assert not outcome.failed
+        assert outcome.behavior is not None
+
+
+class TestFactories:
+    def test_standard_engines_match_figure20(self):
+        names = [engine.name for engine in standard_engines()]
+        assert names == ["appel", "sql", "xquery"]
+
+    def test_all_engines(self):
+        names = [engine.name for engine in all_engines()]
+        assert names == ["appel", "sql", "sql-generic", "xquery-native",
+                         "xquery"]
+
+
+class TestNativeXmlStore:
+    def test_store_and_fetch(self, volga):
+        from repro.engines.xquery_native import NativeXmlStore
+
+        store = NativeXmlStore()
+        pid = store.store(volga)
+        document = store.fetch(pid)
+        assert "<POLICY" in document
+        # The stored view is augmented (categories expanded).
+        assert "physical" in document
+
+    def test_fetch_unknown_raises(self):
+        from repro.engines.xquery_native import NativeXmlStore
+
+        store = NativeXmlStore()
+        with pytest.raises(UnknownPolicyError):
+            store.fetch(5)
+
+
+class TestAgreementOnSuite:
+    def test_all_engines_agree_on_volga_for_every_level(self, volga, suite):
+        for level, preference in suite.items():
+            outcomes = set()
+            for engine in all_engines():
+                handle = engine.install(volga)
+                outcome = engine.match(handle, preference)
+                if outcome.failed:
+                    continue  # XTABLE Medium — excluded as in the paper
+                outcomes.add((outcome.behavior, outcome.rule_index))
+            assert len(outcomes) == 1, (level, outcomes)

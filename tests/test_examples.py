@@ -1,0 +1,57 @@
+"""Every example script runs to completion and prints its key claims."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "behavior='request'" in out
+    assert "Section 2.2 walk-through reproduces" in out
+
+
+def test_bookstore_server():
+    out = _run("bookstore_server.py")
+    assert "conflict report" in out
+    assert "version history" in out
+    assert "'Medium': 'request'" in out  # the revision wins Medium users
+
+
+def test_cookie_compact_policies():
+    out = _run("cookie_compact_policies.py")
+    assert "cookies accepted" in out
+    assert 'P3P: CP="' in out
+
+
+def test_policy_enforcement():
+    out = _run("policy_enforcement.py")
+    assert "[ALLOW] fulfilment" in out
+    assert "[DENY ] marketing call list" in out
+    assert "OVERDUE #user.home-info.postal" in out
+
+
+def test_preference_studio():
+    out = _run("preference_studio.py")
+    assert "tightens privacy: True" in out
+    assert "cautious shopper now accepts" in out
+
+
+@pytest.mark.slow
+def test_architecture_comparison():
+    out = _run("architecture_comparison.py")
+    assert "decisions identical across architectures" in out
+    assert "Figure 20" in out

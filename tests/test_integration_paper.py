@@ -1,0 +1,140 @@
+"""End-to-end integration: the paper's narrative on the full stack.
+
+These tests walk the complete server-centric pipeline (Figure 5 install,
+Figure 6 check) and cross-check every architectural variation against the
+Section 2.2 ground truth.
+"""
+
+import pytest
+
+from repro.corpus.volga import (
+    VOLGA_POLICY_NO_OPTIN_XML,
+    VOLGA_POLICY_UNRELATED_XML,
+    VOLGA_REFERENCE_XML,
+)
+from repro.engines import all_engines
+from repro.p3p.parser import parse_policy
+from repro.p3p.reference import parse_reference_file
+from repro.server import ClientAgent, HybridAgent, PolicyServer, Site
+
+
+class TestFullServerPipeline:
+    """Install policies + reference file, then check with Jane."""
+
+    def test_three_site_deployment(self, volga, jane):
+        server = PolicyServer()
+        scenarios = {
+            "good.example.com": volga,
+            "no-optin.example.com": parse_policy(VOLGA_POLICY_NO_OPTIN_XML),
+            "oversharing.example.com":
+                parse_policy(VOLGA_POLICY_UNRELATED_XML),
+        }
+        for host, policy in scenarios.items():
+            server.install_policy(policy, site=host)
+            server.install_reference_file(
+                VOLGA_REFERENCE_XML.replace("volga.example.com", host),
+                host,
+            )
+        assert server.check("good.example.com", "/cart", jane).allowed
+        assert not server.check("no-optin.example.com", "/cart",
+                                jane).allowed
+        assert not server.check("oversharing.example.com", "/cart",
+                                jane).allowed
+
+    def test_reference_scoping_respected(self, volga, jane):
+        server = PolicyServer()
+        server.install_policy(volga, site="volga.example.com")
+        server.install_reference_file(VOLGA_REFERENCE_XML,
+                                      "volga.example.com")
+        covered = server.check("volga.example.com", "/shop", jane)
+        uncovered = server.check("volga.example.com", "/legacy/page", jane)
+        assert covered.covered and not uncovered.covered
+
+
+class TestEngineUnanimity:
+    """Every engine must replay Section 2.2 identically (the matrix the
+    paper's correctness rests on)."""
+
+    @pytest.mark.parametrize("policy_xml,expected_behavior,expected_rule", [
+        (None, "request", 2),
+        (VOLGA_POLICY_NO_OPTIN_XML, "block", 0),
+        (VOLGA_POLICY_UNRELATED_XML, "block", 1),
+    ])
+    def test_scenarios(self, volga, jane, policy_xml, expected_behavior,
+                       expected_rule):
+        policy = volga if policy_xml is None else parse_policy(policy_xml)
+        for engine in all_engines():
+            handle = engine.install(policy)
+            outcome = engine.match(handle, jane)
+            assert outcome.behavior == expected_behavior, engine.name
+            assert outcome.rule_index == expected_rule, engine.name
+
+
+class TestCorpusWideAgreement:
+    """All engines agree on every (corpus policy, suite level) pair —
+    the integration-scale version of the property tests."""
+
+    def test_grid(self, small_corpus, suite):
+        engines = all_engines()
+        handles = {engine.name: [engine.install(p) for p in small_corpus]
+                   for engine in engines}
+        for level, preference in suite.items():
+            for index in range(len(small_corpus)):
+                outcomes = set()
+                for engine in engines:
+                    outcome = engine.match(handles[engine.name][index],
+                                           preference)
+                    if outcome.failed:
+                        assert engine.name == "xquery"
+                        assert level == "Medium"
+                        continue
+                    outcomes.add((outcome.behavior, outcome.rule_index))
+                assert len(outcomes) == 1, (level, index, outcomes)
+
+
+class TestArchitectureEquivalence:
+    """Client-centric, server-centric and hybrid agree on decisions; they
+    differ only in where the work happens."""
+
+    def test_decisions_identical_network_profile_differs(self, volga,
+                                                         suite):
+        host = "volga.example.com"
+        server = PolicyServer()
+        server.install_policy(volga, site=host)
+        server.install_reference_file(VOLGA_REFERENCE_XML, host)
+        site = Site(host=host,
+                    reference_file=parse_reference_file(VOLGA_REFERENCE_XML),
+                    policies={"volga": volga})
+
+        uris = [f"/page/{i}" for i in range(5)]
+        for level, preference in suite.items():
+            client = ClientAgent(preference)
+            hybrid = HybridAgent(preference, server)
+            for uri in uris:
+                a = server.check(host, uri, preference).behavior
+                b = client.check(site, uri).behavior
+                c = hybrid.check(site, uri).behavior
+                assert a == b == c, (level, uri)
+
+        # The client downloaded the policy once per check; the hybrid and
+        # server fetched it zero times (it lives in the database).
+        policy_fetches = site.fetch_counts.get("policy:volga", 0)
+        assert policy_fetches == len(uris) * len(suite)
+
+
+class TestCookiePipeline:
+    """Compact-policy cookie gate consistent with the full-policy check."""
+
+    def test_compact_roundtrip_consistency(self, volga):
+        from repro.p3p.compact import (
+            CookiePreference,
+            decode_compact,
+            encode_compact,
+        )
+
+        compact = decode_compact(encode_compact(volga))
+        lenient = CookiePreference()
+        assert lenient.accepts(compact)
+
+        grabby = parse_policy(VOLGA_POLICY_UNRELATED_XML)
+        assert not lenient.accepts(decode_compact(encode_compact(grabby)))

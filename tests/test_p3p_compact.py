@@ -1,0 +1,110 @@
+"""Compact policies: encode/decode and the IE6-style cookie gate."""
+
+import pytest
+
+from repro.errors import CompactPolicyError
+from repro.p3p.compact import (
+    CookiePreference,
+    decode_compact,
+    encode_compact,
+)
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+
+
+class TestEncode:
+    def test_volga_tokens(self, volga):
+        tokens = encode_compact(volga).split()
+        assert "CAO" in tokens          # contact-and-other access
+        assert "CUR" in tokens          # current purpose
+        assert "IVDi" in tokens         # individual-decision opt-in
+        assert "CONi" in tokens         # contact opt-in
+        assert "OUR" in tokens and "SAM" in tokens
+        assert "STP" in tokens and "BUS" in tokens
+        assert "PUR" in tokens          # purchase category (miscdata)
+
+    def test_expanded_categories_included(self, volga):
+        tokens = encode_compact(volga).split()
+        # #user.home-info.postal expands to physical (PHY) at encode time.
+        assert "PHY" in tokens
+
+    def test_no_duplicate_tokens(self, volga):
+        tokens = encode_compact(volga).split()
+        assert len(tokens) == len(set(tokens))
+
+    def test_test_policy_gets_tst(self):
+        policy = Policy(test=True, statements=(Statement(),))
+        assert encode_compact(policy).split()[-1] == "TST"
+
+    def test_non_identifiable_token(self):
+        policy = Policy(statements=(Statement(non_identifiable=True),))
+        assert "NID" in encode_compact(policy).split()
+
+
+class TestDecode:
+    def test_roundtrip_purposes(self, volga):
+        compact = decode_compact(encode_compact(volga))
+        names = {name for name, _ in compact.purposes}
+        assert names == {"current", "individual-decision", "contact"}
+
+    def test_required_suffixes(self):
+        compact = decode_compact("CONi TELo ADM")
+        assert ("contact", "opt-in") in compact.purposes
+        assert ("telemarketing", "opt-out") in compact.purposes
+        assert ("admin", "always") in compact.purposes
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(CompactPolicyError):
+            decode_compact("XYZ")
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(CompactPolicyError):
+            decode_compact("CONx")
+
+    def test_quoted_header_style(self):
+        # HTTP headers often quote: P3P: CP="CAO CUR OUR"
+        compact = decode_compact('"CAO" "CUR" "OUR"')
+        assert compact.access == "contact-and-other"
+
+    def test_to_policy_overapproximates(self, volga):
+        compact = decode_compact(encode_compact(volga))
+        coarse = compact.to_policy()
+        assert coarse.statement_count() == 1
+        assert "current" in coarse.statements[0].purpose_names()
+
+
+class TestCookiePreference:
+    def test_accepts_benign_policy(self, volga):
+        pref = CookiePreference()
+        assert pref.accepts(decode_compact(encode_compact(volga)))
+
+    def test_blocks_always_telemarketing(self):
+        pref = CookiePreference()
+        assert not pref.accepts(decode_compact("TEL OUR STP"))
+
+    def test_allows_opt_in_telemarketing(self):
+        """IE6's 'implicit consent' notion: opt-in keeps the user in
+        control, so the cookie is admitted."""
+        pref = CookiePreference()
+        assert pref.accepts(decode_compact("TELi OUR STP"))
+
+    def test_blocks_unrelated_recipient(self):
+        pref = CookiePreference()
+        assert not pref.accepts(decode_compact("CUR UNR STP"))
+
+    def test_missing_compact_policy_rejected_by_default(self):
+        assert not CookiePreference().accepts(None)
+
+    def test_missing_compact_policy_allowed_when_lenient(self):
+        pref = CookiePreference(require_compact_policy=False)
+        assert pref.accepts(None)
+
+    def test_category_blocking(self):
+        pref = CookiePreference(blocked_categories=frozenset({"health"}))
+        assert not pref.accepts(decode_compact("CUR OUR STP HEA"))
+        assert pref.accepts(decode_compact("CUR OUR STP FIN"))

@@ -1,0 +1,156 @@
+"""Policy version diffs."""
+
+from dataclasses import replace
+
+from repro.p3p.diff import diff_policies
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+
+
+def _base() -> Policy:
+    return Policy(
+        name="shop",
+        access="contact-and-other",
+        statements=(
+            Statement(
+                purposes=(PurposeValue("current"),
+                          PurposeValue("contact", "opt-in")),
+                recipients=(RecipientValue("ours"),),
+                retention="stated-purpose",
+                data=(DataItem("#user.name"),),
+            ),
+        ),
+    )
+
+
+class TestNoChanges:
+    def test_identical_policies(self):
+        diff = diff_policies(_base(), _base())
+        assert diff.empty
+        assert diff.render() == "no privacy-relevant changes"
+        assert diff.tightens_privacy() is None
+
+
+class TestValueChanges:
+    def test_purpose_added(self):
+        new = _base()
+        statement = replace(
+            new.statements[0],
+            purposes=new.statements[0].purposes
+            + (PurposeValue("telemarketing"),),
+        )
+        diff = diff_policies(_base(), replace(new, statements=(statement,)))
+        assert not diff.empty
+        rendered = diff.render()
+        assert "purpose 'telemarketing' added" in rendered
+        assert diff.tightens_privacy() is False
+
+    def test_purpose_removed(self):
+        old = _base()
+        statement = replace(old.statements[0],
+                            purposes=(PurposeValue("current"),))
+        diff = diff_policies(old, replace(old, statements=(statement,)))
+        assert "purpose 'contact' removed" in diff.render()
+        assert diff.tightens_privacy() is True
+
+    def test_consent_tightened(self):
+        old = _base()
+        statement = replace(
+            old.statements[0],
+            purposes=(PurposeValue("current"),
+                      PurposeValue("contact", "always")),
+        )
+        # going FROM always TO opt-in is a privacy improvement
+        diff = diff_policies(replace(old, statements=(statement,)), old)
+        assert "'always' -> 'opt-in'" in diff.render()
+        assert diff.tightens_privacy() is True
+
+    def test_consent_loosened(self):
+        old = _base()
+        statement = replace(
+            old.statements[0],
+            purposes=(PurposeValue("current"),
+                      PurposeValue("contact", "always")),
+        )
+        diff = diff_policies(old, replace(old, statements=(statement,)))
+        assert diff.tightens_privacy() is False
+
+    def test_recipient_added(self):
+        old = _base()
+        statement = replace(
+            old.statements[0],
+            recipients=(RecipientValue("ours"),
+                        RecipientValue("unrelated")),
+        )
+        diff = diff_policies(old, replace(old, statements=(statement,)))
+        assert "recipient 'unrelated' added" in diff.render()
+
+
+class TestStructuralChanges:
+    def test_data_added_and_removed(self):
+        old = _base()
+        statement = replace(
+            old.statements[0],
+            data=(DataItem("#user.bdate"),),
+        )
+        diff = diff_policies(old, replace(old, statements=(statement,)))
+        rendered = diff.render()
+        assert "now collects #user.bdate" in rendered
+        assert "no longer collects #user.name" in rendered
+        assert diff.tightens_privacy() is None  # mixed
+
+    def test_retention_change(self):
+        old = _base()
+        statement = replace(old.statements[0], retention="indefinitely")
+        diff = diff_policies(old, replace(old, statements=(statement,)))
+        assert "retention 'stated-purpose' -> 'indefinitely'" in \
+            diff.render()
+
+    def test_statement_added(self):
+        old = _base()
+        new = old.with_statement(Statement(non_identifiable=True))
+        diff = diff_policies(old, new)
+        assert diff.statements_added == (1,)
+        assert diff.tightens_privacy() is False
+
+    def test_statement_removed(self):
+        old = _base().with_statement(Statement(non_identifiable=True))
+        diff = diff_policies(old, _base())
+        assert diff.statements_removed == (1,)
+        assert diff.tightens_privacy() is True
+
+    def test_access_and_disputes_changes(self):
+        from repro.p3p.model import Disputes
+
+        old = _base()
+        new = replace(old, access="none",
+                      disputes=(Disputes(resolution_type="service"),))
+        diff = diff_policies(old, new)
+        rendered = diff.render()
+        assert "access 'contact-and-other' -> 'none'" in rendered
+        assert "dispute resolution added" in rendered
+
+
+class TestAgainstVersionStore:
+    def test_diff_between_stored_versions(self, volga):
+        """Diffing works on reconstructed versions from the store."""
+        from repro.storage import VersionedPolicyStore
+
+        store = VersionedPolicyStore()
+        store.install(volga)
+        statement = replace(volga.statements[1],
+                            retention="indefinitely")
+        revised = replace(volga, statements=(volga.statements[0],
+                                             statement))
+        store.install(revised)
+
+        old = store.version("volga", 1)
+        new = store.version("volga", 2)
+        diff = diff_policies(old, new)
+        assert "retention 'business-practices' -> 'indefinitely'" in \
+            diff.render()

@@ -1,0 +1,139 @@
+"""Policy model: default resolution, category expansion, helpers."""
+
+import pytest
+
+from repro.errors import PolicyValidationError, VocabularyError
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+
+
+class TestPurposeValue:
+    def test_required_defaults_to_always(self):
+        assert PurposeValue("contact").required == "always"
+
+    def test_explicit_required_kept(self):
+        assert PurposeValue("contact", "opt-in").required == "opt-in"
+
+    def test_none_required_resolves_to_always(self):
+        assert PurposeValue("contact", None).required == "always"
+
+    def test_current_drops_required(self):
+        # The spec forbids required on <current/>.
+        assert PurposeValue("current", "opt-in").required is None
+        assert PurposeValue("current").effective_required == "always"
+
+    def test_unknown_purpose_rejected(self):
+        with pytest.raises(VocabularyError):
+            PurposeValue("spy-on-user")
+
+    def test_bad_required_rejected(self):
+        with pytest.raises(VocabularyError):
+            PurposeValue("contact", "maybe")
+
+
+class TestRecipientValue:
+    def test_ours_drops_required(self):
+        assert RecipientValue("ours", "opt-in").required is None
+
+    def test_same_keeps_required(self):
+        assert RecipientValue("same", "opt-out").required == "opt-out"
+
+    def test_unknown_recipient_rejected(self):
+        with pytest.raises(VocabularyError):
+            RecipientValue("nsa")
+
+
+class TestDataItem:
+    def test_normalized_ref(self):
+        assert DataItem("#user.name").normalized_ref == "user.name"
+        assert DataItem("user.name").normalized_ref == "user.name"
+
+    def test_expanded_categories_union(self):
+        item = DataItem("#user.home-info.postal", categories=("purchase",))
+        expanded = item.expanded_categories()
+        assert "purchase" in expanded      # explicit
+        assert "physical" in expanded      # from the base schema
+
+    def test_expanded_categories_unknown_ref_is_explicit_only(self):
+        item = DataItem("#corp.custom.field", categories=("content",))
+        assert item.expanded_categories() == frozenset({"content"})
+
+    def test_variable_ref_expands_to_explicit_only(self):
+        item = DataItem("#dynamic.miscdata", categories=("purchase",))
+        assert item.expanded_categories() == frozenset({"purchase"})
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(VocabularyError):
+            DataItem("#user.name", categories=("gossip",))
+
+    def test_bad_optional_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            DataItem("#user.name", optional="maybe")
+
+
+class TestStatement:
+    def test_bad_retention_rejected(self):
+        with pytest.raises(VocabularyError):
+            Statement(retention="until-the-heat-death")
+
+    def test_accessors(self):
+        statement = Statement(
+            purposes=(PurposeValue("current"), PurposeValue("admin")),
+            recipients=(RecipientValue("ours"),),
+            retention="stated-purpose",
+            data=(DataItem("#user.name"),),
+        )
+        assert statement.purpose_names() == ("current", "admin")
+        assert statement.recipient_names() == ("ours",)
+        assert statement.data_refs() == ("#user.name",)
+
+
+class TestDisputes:
+    def test_bad_remedy_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Disputes(remedies=("apology",))
+
+    def test_bad_resolution_type_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Disputes(resolution_type="duel")
+
+
+class TestPolicy:
+    def test_bad_access_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            Policy(access="backdoor")
+
+    def test_with_statement_appends(self):
+        policy = Policy()
+        grown = policy.with_statement(Statement())
+        assert policy.statement_count() == 0
+        assert grown.statement_count() == 1
+
+    def test_data_refs_across_statements(self, volga):
+        refs = volga.data_refs()
+        assert "#user.name" in refs
+        assert refs.count("#dynamic.miscdata") == 2
+
+    def test_augmented_expands_categories(self, volga):
+        augmented = volga.augmented()
+        first = augmented.statements[0]
+        name_item = first.data[0]
+        assert name_item.ref == "#user.name"
+        assert "physical" in name_item.categories
+
+    def test_augmented_is_idempotent(self, volga):
+        once = volga.augmented()
+        assert once.augmented() == once
+
+    def test_augmented_preserves_everything_else(self, volga):
+        augmented = volga.augmented()
+        assert augmented.name == volga.name
+        assert augmented.statement_count() == volga.statement_count()
+        assert augmented.statements[0].purposes == \
+            volga.statements[0].purposes

@@ -1,0 +1,95 @@
+"""Human-readable notice generation."""
+
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.notice import policy_notice, statement_notice
+from repro.p3p.wizard import PolicyAnswers, build_policy
+
+
+class TestVolgaNotice:
+    def test_header_and_entity(self, volga):
+        notice = policy_notice(volga)
+        assert notice.startswith("Privacy notice for volga")
+        assert "Operated by Volga Books." in notice
+
+    def test_purposes_in_plain_language(self, volga):
+        notice = policy_notice(volga)
+        assert "complete the activity you requested" in notice
+        assert "contact you for marketing" in notice
+
+    def test_consent_annotations(self, volga):
+        notice = policy_notice(volga)
+        assert "(only with your consent)" in notice
+
+    def test_recipients_and_retention(self, volga):
+        notice = policy_notice(volga)
+        assert "partners who follow the same practices" in notice
+        assert "discarded at the earliest opportunity" in notice
+
+    def test_opturi_and_access(self, volga):
+        notice = policy_notice(volga)
+        assert "Consent choices can be changed at" in notice
+        assert "contact and certain other data" in notice
+
+    def test_consequence_quoted(self, volga):
+        notice = policy_notice(volga)
+        assert '"We use this information to complete your purchase."' \
+            in notice
+
+    def test_no_disputes_called_out(self, volga):
+        assert "names no dispute resolution channel" in \
+            policy_notice(volga)
+
+
+class TestStatementNotice:
+    def test_non_identifiable(self):
+        statement = Statement(non_identifiable=True)
+        text = statement_notice(statement, 3)
+        assert text.startswith("3.")
+        assert "anonymized" in text
+
+    def test_data_names_humanized(self):
+        statement = Statement(
+            purposes=(PurposeValue("current"),),
+            recipients=(RecipientValue("ours"),),
+            retention="no-retention",
+            data=(DataItem("#user.home-info.postal.street"),),
+        )
+        text = statement_notice(statement, 1)
+        assert "user / home info / postal / street" in text
+        assert "not retained beyond the interaction" in text
+
+    def test_custom_schema_ref_humanized(self):
+        statement = Statement(
+            data=(DataItem("http://shop.example.com/schema#order.id"),),
+        )
+        assert "order / id" in statement_notice(statement, 1)
+
+    def test_empty_data(self):
+        assert "collects no data" in statement_notice(Statement(), 1)
+
+
+class TestWizardRoundTrip:
+    def test_wizard_policy_produces_coherent_notice(self):
+        policy = build_policy(PolicyAnswers(
+            company_name="Northwind Books",
+            does_marketing=True,
+            does_analytics=True,
+        ))
+        notice = policy_notice(policy)
+        assert "Operated by Northwind Books." in notice
+        assert "only with your consent" in notice     # opt-in marketing
+        # pseudonymous analytics renders as the anonymized paragraph
+        assert "anonymized" in notice
+        assert "Complaints can be raised with" in notice
+
+    def test_corpus_notices_render(self, corpus):
+        for policy in corpus[:10]:
+            notice = policy_notice(policy)
+            assert notice.startswith("Privacy notice for")
+            assert str(policy.statement_count()) + "." in notice

@@ -1,0 +1,156 @@
+"""P3P parser: the Figure 1 walk-through plus error handling."""
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.p3p.parser import parse_policies, parse_policy
+from repro.corpus.volga import VOLGA_POLICY_XML
+
+
+class TestVolgaPolicy:
+    """Figure 1, element by element."""
+
+    def test_two_statements(self, volga):
+        assert volga.statement_count() == 2
+
+    def test_policy_attributes(self, volga):
+        assert volga.name == "volga"
+        assert volga.discuri.endswith("privacy.html")
+        assert volga.opturi is not None
+
+    def test_first_statement_purpose_is_current(self, volga):
+        first = volga.statements[0]
+        assert first.purpose_names() == ("current",)
+        assert first.purposes[0].required is None
+
+    def test_first_statement_recipients(self, volga):
+        assert volga.statements[0].recipient_names() == ("ours", "same")
+
+    def test_first_statement_retention(self, volga):
+        assert volga.statements[0].retention == "stated-purpose"
+
+    def test_first_statement_data(self, volga):
+        refs = volga.statements[0].data_refs()
+        assert refs == ("#user.name", "#user.home-info.postal",
+                        "#dynamic.miscdata")
+
+    def test_miscdata_inline_category(self, volga):
+        miscdata = volga.statements[0].data[2]
+        assert miscdata.categories == ("purchase",)
+
+    def test_second_statement_opt_in(self, volga):
+        """The opt-in on individual-decision/contact that makes the paper's
+        Section 2.2 walk-through work."""
+        second = volga.statements[1]
+        required = {p.name: p.required for p in second.purposes}
+        assert required == {"individual-decision": "opt-in",
+                            "contact": "opt-in"}
+
+    def test_entity(self, volga):
+        assert ("#business.name", "Volga Books") in volga.entity.data
+
+    def test_access(self, volga):
+        assert volga.access == "contact-and-other"
+
+
+class TestDefaults:
+    def test_omitted_required_resolves_to_always(self):
+        policy = parse_policy(
+            "<POLICY><STATEMENT><PURPOSE><contact/></PURPOSE>"
+            "</STATEMENT></POLICY>"
+        )
+        assert policy.statements[0].purposes[0].required == "always"
+
+    def test_omitted_optional_resolves_to_no(self):
+        policy = parse_policy(
+            "<POLICY><STATEMENT><DATA-GROUP>"
+            '<DATA ref="#user.name"/>'
+            "</DATA-GROUP></STATEMENT></POLICY>"
+        )
+        assert policy.statements[0].data[0].optional == "no"
+
+
+class TestNamespaceHandling:
+    def test_namespaced_document(self):
+        xml = (
+            '<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1">'
+            "<STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT>"
+            "</POLICY>"
+        )
+        policy = parse_policy(xml)
+        assert policy.statements[0].purpose_names() == ("current",)
+
+    def test_policy_inside_policies_container(self):
+        xml = (
+            "<POLICIES>"
+            "<POLICY name='a'><STATEMENT/></POLICY>"
+            "<POLICY name='b'><STATEMENT/></POLICY>"
+            "</POLICIES>"
+        )
+        assert parse_policy(xml).name == "a"
+        assert [p.name for p in parse_policies(xml)] == ["a", "b"]
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("<POLICY><STATEMENT></POLICY>")
+
+    def test_no_policy_element(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("<NOTHING/>")
+
+    def test_unknown_purpose_value(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy(
+                "<POLICY><STATEMENT><PURPOSE><espionage/></PURPOSE>"
+                "</STATEMENT></POLICY>"
+            )
+
+    def test_unknown_retention_value(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy(
+                "<POLICY><STATEMENT><RETENTION><eternal/></RETENTION>"
+                "</STATEMENT></POLICY>"
+            )
+
+    def test_data_without_ref(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy(
+                "<POLICY><STATEMENT><DATA-GROUP><DATA/></DATA-GROUP>"
+                "</STATEMENT></POLICY>"
+            )
+
+    def test_unexpected_element_under_policy(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("<POLICY><BANNER/></POLICY>")
+
+    def test_unknown_category_value(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy(
+                "<POLICY><STATEMENT><DATA-GROUP>"
+                '<DATA ref="#dynamic.miscdata">'
+                "<CATEGORIES><gossip/></CATEGORIES></DATA>"
+                "</DATA-GROUP></STATEMENT></POLICY>"
+            )
+
+    def test_extension_elements_are_ignored(self):
+        policy = parse_policy(
+            "<POLICY><EXTENSION><anything/></EXTENSION>"
+            "<STATEMENT><EXTENSION/></STATEMENT></POLICY>"
+        )
+        assert policy.statement_count() == 1
+
+    def test_parse_policies_empty_document(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies("<POLICIES/>")
+
+
+class TestRoundTripStability:
+    def test_volga_reparses_identically(self, volga):
+        from repro.p3p.serializer import serialize_policy
+
+        assert parse_policy(serialize_policy(volga)) == volga
+
+    def test_raw_text_matches_fixture(self):
+        assert parse_policy(VOLGA_POLICY_XML).name == "volga"

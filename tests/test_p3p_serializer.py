@@ -1,0 +1,99 @@
+"""Serializer: canonical output and parse/serialize round-trips."""
+
+from repro.p3p.model import (
+    DataItem,
+    Disputes,
+    Entity,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.parser import parse_policy
+from repro.p3p.serializer import serialize_policy
+
+
+def _roundtrip(policy: Policy) -> Policy:
+    return parse_policy(serialize_policy(policy))
+
+
+class TestRoundTrips:
+    def test_minimal_policy(self):
+        policy = Policy(statements=(Statement(),))
+        assert _roundtrip(policy) == policy
+
+    def test_volga(self, volga):
+        assert _roundtrip(volga) == volga
+
+    def test_augmented_volga(self, volga):
+        augmented = volga.augmented()
+        assert _roundtrip(augmented) == augmented
+
+    def test_full_feature_policy(self):
+        policy = Policy(
+            name="full",
+            discuri="http://example.com/p",
+            opturi="http://example.com/opt",
+            access="ident-contact",
+            test=True,
+            entity=Entity(data=(("#business.name", "Full Corp"),)),
+            disputes=(
+                Disputes(resolution_type="independent",
+                         service="http://example.com/disp",
+                         verification="seal-123",
+                         remedies=("correct", "money"),
+                         long_description="We fix problems."),
+            ),
+            statements=(
+                Statement(
+                    purposes=(PurposeValue("current"),
+                              PurposeValue("contact", "opt-in")),
+                    recipients=(RecipientValue("ours"),
+                                RecipientValue("unrelated", "opt-out")),
+                    retention="no-retention",
+                    data=(DataItem("#user.name"),
+                          DataItem("#dynamic.miscdata",
+                                   optional="yes",
+                                   categories=("purchase", "financial"))),
+                    consequence="Because reasons.",
+                ),
+                Statement(non_identifiable=True),
+            ),
+        )
+        assert _roundtrip(policy) == policy
+
+    def test_corpus_roundtrips(self, corpus):
+        for policy in corpus:
+            assert _roundtrip(policy) == policy
+
+
+class TestCanonicalOutput:
+    def test_default_required_omitted(self):
+        policy = Policy(statements=(
+            Statement(purposes=(PurposeValue("contact", "always"),)),
+        ))
+        xml = serialize_policy(policy)
+        assert "required" not in xml
+
+    def test_non_default_required_emitted(self):
+        policy = Policy(statements=(
+            Statement(purposes=(PurposeValue("contact", "opt-in"),)),
+        ))
+        assert 'required="opt-in"' in serialize_policy(policy)
+
+    def test_default_optional_omitted(self):
+        policy = Policy(statements=(
+            Statement(data=(DataItem("#user.name"),)),
+        ))
+        assert "optional" not in serialize_policy(policy)
+
+    def test_namespaced_serialization_reparses(self, volga):
+        xml = serialize_policy(volga, namespaced=True)
+        assert 'xmlns="http://www.w3.org/2002/01/P3Pv1"' in xml
+        assert parse_policy(xml) == volga
+
+    def test_empty_sections_not_emitted(self):
+        xml = serialize_policy(Policy(statements=(Statement(),)))
+        for tag in ("ENTITY", "ACCESS", "DISPUTES-GROUP", "PURPOSE",
+                    "RECIPIENT", "RETENTION", "DATA-GROUP"):
+            assert f"<{tag}" not in xml

@@ -1,0 +1,132 @@
+"""Policy validation: P3P structural rules."""
+
+import pytest
+
+from repro.errors import PolicyValidationError
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.validator import ERROR, WARNING, is_valid, validate_policy
+
+
+def _complete_statement(**overrides) -> Statement:
+    base = dict(
+        purposes=(PurposeValue("current"),),
+        recipients=(RecipientValue("ours"),),
+        retention="stated-purpose",
+        data=(DataItem("#user.name"),),
+    )
+    base.update(overrides)
+    return Statement(**base)
+
+
+def _policy(*statements: Statement) -> Policy:
+    return Policy(discuri="http://example.com/p", statements=statements)
+
+
+class TestHappyPath:
+    def test_volga_is_valid(self, volga):
+        assert is_valid(volga)
+        assert validate_policy(volga) == []
+
+    def test_corpus_is_valid(self, corpus):
+        for policy in corpus:
+            errors = [p for p in validate_policy(policy)
+                      if p.severity == ERROR]
+            assert errors == []
+
+
+class TestStatementRules:
+    def test_missing_purpose_is_error(self):
+        problems = validate_policy(_policy(_complete_statement(purposes=())))
+        assert any(p.severity == ERROR and "PURPOSE" in p.message
+                   for p in problems)
+
+    def test_missing_recipient_is_error(self):
+        problems = validate_policy(
+            _policy(_complete_statement(recipients=()))
+        )
+        assert any("RECIPIENT" in p.message for p in problems)
+
+    def test_missing_retention_is_error(self):
+        problems = validate_policy(
+            _policy(_complete_statement(retention=None))
+        )
+        assert any("RETENTION" in p.message for p in problems)
+
+    def test_no_data_is_warning_only(self):
+        problems = validate_policy(_policy(_complete_statement(data=())))
+        assert all(p.severity == WARNING for p in problems)
+
+    def test_non_identifiable_statement_needs_nothing(self):
+        policy = _policy(Statement(non_identifiable=True))
+        assert is_valid(policy)
+
+    def test_duplicate_purpose_warns(self):
+        statement = _complete_statement(
+            purposes=(PurposeValue("current"), PurposeValue("current")),
+        )
+        problems = validate_policy(_policy(statement))
+        assert any("duplicate purpose" in p.message for p in problems)
+
+    def test_duplicate_recipient_warns(self):
+        statement = _complete_statement(
+            recipients=(RecipientValue("ours"), RecipientValue("ours")),
+        )
+        problems = validate_policy(_policy(statement))
+        assert any("duplicate recipient" in p.message for p in problems)
+
+
+class TestDataRules:
+    def test_variable_ref_without_categories_is_error(self):
+        statement = _complete_statement(
+            data=(DataItem("#dynamic.miscdata"),),
+        )
+        problems = validate_policy(_policy(statement))
+        assert any(p.severity == ERROR and "variable-category" in p.message
+                   for p in problems)
+
+    def test_variable_ref_with_categories_is_fine(self):
+        statement = _complete_statement(
+            data=(DataItem("#dynamic.miscdata", categories=("purchase",)),),
+        )
+        assert is_valid(_policy(statement))
+
+    def test_unknown_ref_warns(self):
+        statement = _complete_statement(
+            data=(DataItem("#corp.custom"),),
+        )
+        problems = validate_policy(_policy(statement))
+        assert any(p.severity == WARNING and "base data schema" in p.message
+                   for p in problems)
+
+
+class TestPolicyRules:
+    def test_empty_policy_is_error(self):
+        problems = validate_policy(Policy(discuri="http://x/p"))
+        assert any("no STATEMENT" in p.message for p in problems)
+
+    def test_missing_discuri_warns(self):
+        problems = validate_policy(
+            Policy(statements=(_complete_statement(),))
+        )
+        assert any("discuri" in p.message for p in problems)
+
+    def test_opt_in_without_opturi_warns(self):
+        statement = _complete_statement(
+            purposes=(PurposeValue("contact", "opt-in"),),
+        )
+        problems = validate_policy(_policy(statement))
+        assert any("opturi" in p.message for p in problems)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(PolicyValidationError):
+            validate_policy(Policy(discuri="http://x/p"), strict=True)
+
+    def test_strict_mode_passes_warnings(self, volga):
+        # Warnings alone never raise.
+        assert validate_policy(volga, strict=True) == []

@@ -1,0 +1,344 @@
+"""Property-based tests (hypothesis): the invariants of DESIGN.md §5.
+
+The centerpiece is *engine agreement*: for any generated policy and
+preference, the native APPEL engine, both SQL pipelines, the XQuery
+evaluator, and the XTABLE compiler must return the same fired rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.appel.engine import AppelEngine
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.appel.parser import parse_ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.engines import (
+    GenericSqlMatchEngine,
+    NativeAppelMatchEngine,
+    SqlMatchEngine,
+    XQueryNativeMatchEngine,
+    XTableMatchEngine,
+)
+from repro.p3p.compact import decode_compact, encode_compact
+from repro.p3p.model import (
+    DataItem,
+    Policy,
+    PurposeValue,
+    RecipientValue,
+    Statement,
+)
+from repro.p3p.parser import parse_policy
+from repro.p3p.serializer import serialize_policy
+from repro.storage.reconstruct import reconstruct_policy
+from repro.storage.shredder import PolicyStore
+from repro.vocab import terms
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+_REQUIRED = st.sampled_from(terms.REQUIRED_VALUES)
+_PURPOSE_NAMES = st.sampled_from(terms.PURPOSES)
+_RECIPIENT_NAMES = st.sampled_from(terms.RECIPIENTS)
+_CATEGORY_NAMES = st.sampled_from(terms.CATEGORIES)
+
+_FIXED_REFS = (
+    "#user.name", "#user.bdate", "#user.gender", "#user.login",
+    "#user.home-info.postal", "#user.home-info.online.email",
+    "#dynamic.clickstream", "#dynamic.searchtext",
+)
+_VARIABLE_REFS = ("#dynamic.miscdata", "#dynamic.cookies")
+
+
+def purpose_values() -> st.SearchStrategy[tuple[PurposeValue, ...]]:
+    return st.lists(
+        st.builds(PurposeValue, _PURPOSE_NAMES, _REQUIRED),
+        max_size=4, unique_by=lambda v: v.name,
+    ).map(tuple)
+
+
+def recipient_values() -> st.SearchStrategy[tuple[RecipientValue, ...]]:
+    return st.lists(
+        st.builds(RecipientValue, _RECIPIENT_NAMES, _REQUIRED),
+        max_size=3, unique_by=lambda v: v.name,
+    ).map(tuple)
+
+
+def data_items() -> st.SearchStrategy[tuple[DataItem, ...]]:
+    fixed = st.builds(DataItem, st.sampled_from(_FIXED_REFS))
+    variable = st.builds(
+        DataItem,
+        st.sampled_from(_VARIABLE_REFS),
+        st.just("no"),
+        st.lists(_CATEGORY_NAMES, min_size=1, max_size=3,
+                 unique=True).map(tuple),
+    )
+    return st.lists(st.one_of(fixed, variable), max_size=3,
+                    unique_by=lambda item: item.ref).map(tuple)
+
+
+def statements() -> st.SearchStrategy[Statement]:
+    return st.builds(
+        Statement,
+        purposes=purpose_values(),
+        recipients=recipient_values(),
+        retention=st.one_of(st.none(),
+                            st.sampled_from(terms.RETENTIONS)),
+        data=data_items(),
+        consequence=st.one_of(st.none(), st.just("Some explanation.")),
+        non_identifiable=st.booleans(),
+    )
+
+
+def policies() -> st.SearchStrategy[Policy]:
+    return st.builds(
+        Policy,
+        name=st.just("generated"),
+        discuri=st.one_of(st.none(), st.just("http://x.example.com/p")),
+        access=st.one_of(st.none(), st.sampled_from(terms.ACCESS_VALUES)),
+        test=st.booleans(),
+        statements=st.lists(statements(), min_size=1, max_size=3).map(tuple),
+    )
+
+
+_CONNECTIVES = st.sampled_from(terms.CONNECTIVES)
+
+
+def _value_expr(names: st.SearchStrategy[str],
+                with_required: bool) -> st.SearchStrategy[Expression]:
+    if not with_required:
+        return st.builds(lambda n: Expression(name=n), names)
+    return st.builds(
+        lambda n, r: Expression(
+            name=n,
+            attributes=(("required", r),) if r is not None else (),
+        ),
+        names,
+        st.one_of(st.none(), _REQUIRED),
+    )
+
+
+def _container_expr(name: str, values: st.SearchStrategy[Expression],
+                    max_values: int) -> st.SearchStrategy[Expression]:
+    return st.builds(
+        lambda subs, conn: Expression(
+            name=name, connective=conn, subexpressions=tuple(subs),
+        ),
+        st.lists(values, min_size=1, max_size=max_values,
+                 unique_by=lambda e: e.name),
+        _CONNECTIVES,
+    )
+
+
+def statement_patterns() -> st.SearchStrategy[Expression]:
+    purpose = _container_expr("PURPOSE",
+                              _value_expr(_PURPOSE_NAMES, True), 3)
+    recipient = _container_expr("RECIPIENT",
+                                _value_expr(_RECIPIENT_NAMES, True), 3)
+    retention = _container_expr(
+        "RETENTION", _value_expr(st.sampled_from(terms.RETENTIONS), False),
+        2)
+    categories = _container_expr("CATEGORIES",
+                                 _value_expr(_CATEGORY_NAMES, False), 3)
+    data = st.builds(
+        lambda cats, ref: Expression(
+            name="DATA",
+            attributes=(("ref", ref),) if ref is not None else (),
+            subexpressions=(cats,) if cats is not None else (),
+        ),
+        st.one_of(st.none(), categories),
+        st.one_of(st.none(),
+                  st.sampled_from(_FIXED_REFS + _VARIABLE_REFS)),
+    )
+    data_group = st.builds(
+        lambda d: Expression(name="DATA-GROUP", subexpressions=(d,)),
+        data,
+    )
+    consequence = st.just(Expression(name="CONSEQUENCE"))
+    non_identifiable = st.just(Expression(name="NON-IDENTIFIABLE"))
+
+    children = st.lists(
+        st.one_of(purpose, recipient, retention, data_group, consequence,
+                  non_identifiable),
+        min_size=1, max_size=3, unique_by=lambda e: e.name,
+    )
+    return st.builds(
+        lambda subs, conn: Expression(
+            name="STATEMENT", connective=conn, subexpressions=tuple(subs),
+        ),
+        children, _CONNECTIVES,
+    )
+
+
+def policy_patterns() -> st.SearchStrategy[Expression]:
+    access = _container_expr(
+        "ACCESS", _value_expr(st.sampled_from(terms.ACCESS_VALUES), False),
+        2)
+    children = st.lists(
+        st.one_of(statement_patterns(), access,
+                  st.just(Expression(name="TEST")),
+                  st.just(Expression(name="ENTITY"))),
+        min_size=1, max_size=2, unique_by=lambda e: e.name,
+    )
+    return st.builds(
+        lambda subs, conn: Expression(
+            name="POLICY", connective=conn, subexpressions=tuple(subs),
+        ),
+        children, _CONNECTIVES,
+    )
+
+
+def rulesets() -> st.SearchStrategy[Ruleset]:
+    # Mostly single-POLICY bodies (the common case), but also rules with
+    # two top-level expressions and non-default rule connectives, which
+    # exercise the root-level combination and exactness paths.
+    block_rule = st.builds(
+        lambda exprs, conn: Rule(behavior="block",
+                                 expressions=tuple(exprs),
+                                 connective=conn),
+        st.lists(policy_patterns(), min_size=1, max_size=2),
+        _CONNECTIVES,
+    )
+    return st.builds(
+        lambda blocks: Ruleset(
+            rules=tuple(blocks) + (Rule(behavior="request"),),
+        ),
+        st.lists(block_rule, min_size=1, max_size=2),
+    )
+
+
+# --------------------------------------------------------------------------
+# Properties
+# --------------------------------------------------------------------------
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestEngineAgreement:
+    """DESIGN.md invariant 1: all engines return the same fired rule."""
+
+    @_SETTINGS
+    @given(policy=policies(), preference=rulesets())
+    def test_five_way_agreement(self, policy, preference):
+        engines = [
+            NativeAppelMatchEngine(),
+            SqlMatchEngine(),
+            GenericSqlMatchEngine(),
+            XQueryNativeMatchEngine(),
+            XTableMatchEngine(complexity_limit=1_000_000),
+        ]
+        outcomes = {}
+        for engine in engines:
+            handle = engine.install(policy)
+            outcome = engine.match(handle, preference)
+            assert not outcome.failed, (engine.name, outcome.error)
+            outcomes[engine.name] = (outcome.behavior, outcome.rule_index)
+        assert len(set(outcomes.values())) == 1, outcomes
+
+
+class TestRoundTrips:
+    """DESIGN.md invariant 2: XML round-trips are the identity."""
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_policy_xml_roundtrip(self, policy):
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    @_SETTINGS
+    @given(preference=rulesets())
+    def test_ruleset_xml_roundtrip(self, preference):
+        assert parse_ruleset(serialize_ruleset(preference)) == preference
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_shred_reconstruct_is_augmentation(self, policy):
+        store = PolicyStore()
+        pid = store.install_policy(policy).policy_id
+        assert reconstruct_policy(store.db, pid) == policy.augmented()
+        store.db.close()
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_augmentation_idempotent(self, policy):
+        augmented = policy.augmented()
+        assert augmented.augmented() == augmented
+
+
+class TestCompactPolicies:
+    @_SETTINGS
+    @given(policy=policies())
+    def test_compact_roundtrip_preserves_token_level_facts(self, policy):
+        compact = decode_compact(encode_compact(policy))
+        stated_purposes = {
+            (value.name, value.effective_required)
+            for statement in policy.statements
+            for value in statement.purposes
+        }
+        assert set(compact.purposes) == stated_purposes
+        stated_retentions = {
+            statement.retention for statement in policy.statements
+            if statement.retention is not None
+        }
+        assert set(compact.retentions) == stated_retentions
+        assert compact.access == policy.access
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_compact_categories_are_expanded_union(self, policy):
+        compact = decode_compact(encode_compact(policy))
+        expected = set()
+        for statement in policy.statements:
+            for item in statement.data:
+                expected |= item.expanded_categories()
+        assert set(compact.categories) == expected
+
+
+class TestAugmentationEquivalence:
+    """Model-level expansion == document-level augmentation (the two ways
+    categories are computed: shred-time vs per-match)."""
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_dom_augmentation_matches_model(self, policy):
+        from repro import xmlutil
+
+        engine = AppelEngine()
+        prepared = engine.prepare(policy)
+        augmented = policy.augmented()
+        dom_items = [
+            (
+                xmlutil.local_attrib(data_el).get("ref"),
+                frozenset(
+                    xmlutil.local_name(c.tag)
+                    for c in (xmlutil.find_child(data_el, "CATEGORIES")
+                              or ())
+                ),
+            )
+            for data_el in _iter_data(prepared.root)
+        ]
+        model_items = [
+            (item.ref, frozenset(item.categories))
+            for statement in augmented.statements
+            for item in statement.data
+        ]
+        assert dom_items == model_items
+
+
+def _iter_data(root):
+    from repro import xmlutil
+
+    found = []
+
+    def visit(element):
+        if xmlutil.local_name(element.tag) == "DATA":
+            found.append(element)
+        for child in element:
+            visit(child)
+
+    # Skip ENTITY data (entity refs aren't statement data).
+    for child in root:
+        if xmlutil.local_name(child.tag) == "STATEMENT":
+            visit(child)
+    return found

@@ -1,0 +1,41 @@
+"""Deep differential fuzzing (slow): the five-way agreement at scale.
+
+The quick property suite runs 40 examples; this slow-marked pass runs a
+few hundred with deeper policies and wider preferences, because the
+five-way engine agreement is the load-bearing claim of the reproduction.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.engines import (
+    GenericSqlMatchEngine,
+    NativeAppelMatchEngine,
+    SqlMatchEngine,
+    XQueryNativeMatchEngine,
+    XTableMatchEngine,
+)
+
+from tests.test_property import policies, rulesets
+
+pytestmark = pytest.mark.slow
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(policy=policies(), preference=rulesets())
+def test_five_way_agreement_deep(policy, preference):
+    engines = [
+        NativeAppelMatchEngine(),
+        SqlMatchEngine(),
+        GenericSqlMatchEngine(),
+        XQueryNativeMatchEngine(),
+        XTableMatchEngine(complexity_limit=1_000_000),
+    ]
+    outcomes = {}
+    for engine in engines:
+        handle = engine.install(policy)
+        outcome = engine.match(handle, preference)
+        assert not outcome.failed, (engine.name, outcome.error)
+        outcomes[engine.name] = (outcome.behavior, outcome.rule_index)
+    assert len(set(outcomes.values())) == 1, outcomes

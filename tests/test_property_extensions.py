@@ -1,0 +1,116 @@
+"""Property tests for the extension modules (diff, SQL preferences,
+templates) — they must slot into the same semantic frame as the core."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.appel.engine import AppelEngine
+from repro.appel.templates import TEMPLATES, compose_preference
+from repro.p3p.diff import diff_policies
+from repro.p3p.model import PurposeValue
+from repro.storage import Database, PolicyStore
+from repro.translate.sql_preferences import compile_preference
+
+from tests.test_property import policies, rulesets
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+class TestDiffProperties:
+    @_SETTINGS
+    @given(policy=policies())
+    def test_self_diff_is_empty(self, policy):
+        assert diff_policies(policy, policy).empty
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_diff_detects_added_purpose(self, policy):
+        # Add a purpose no statement can already have twice.
+        statement = policy.statements[0]
+        existing = set(statement.purpose_names())
+        candidates = [name for name in
+                      ("other-purpose", "historical", "telemarketing")
+                      if name not in existing]
+        if not candidates:
+            return
+        new_statement = replace(
+            statement,
+            purposes=statement.purposes
+            + (PurposeValue(candidates[0]),),
+        )
+        changed = replace(
+            policy,
+            statements=(new_statement,) + policy.statements[1:],
+        )
+        diff = diff_policies(policy, changed)
+        assert not diff.empty
+        assert any(
+            change.value == candidates[0] and change.change == "added"
+            for statement_diff in diff.statement_diffs
+            for change in statement_diff.value_changes
+        )
+        assert diff.tightens_privacy() is False
+        # And the reverse direction is a pure tightening.
+        assert diff_policies(changed, policy).tightens_privacy() is True
+
+    @_SETTINGS
+    @given(policy=policies())
+    def test_diff_symmetry_of_emptiness(self, policy):
+        aug = policy.augmented()
+        # Augmentation only adds categories, which the diff (by design)
+        # does not treat as a policy change at the value level unless the
+        # data refs changed.
+        diff = diff_policies(policy, aug)
+        for statement_diff in diff.statement_diffs:
+            assert not statement_diff.value_changes
+            assert statement_diff.retention_change is None
+
+
+class TestSqlPreferenceProperties:
+    @_SETTINGS
+    @given(policy=policies(), preference=rulesets())
+    def test_compiled_preference_agrees_with_engine(self, policy,
+                                                    preference):
+        engine = AppelEngine()
+        expected = engine.evaluate(policy, preference)
+
+        store = PolicyStore(Database())
+        pid = store.install_policy(policy).policy_id
+        compiled = compile_preference(preference)
+        behavior, index = compiled.evaluate(store.db, pid)
+        assert (behavior, index) == \
+            (expected.behavior, expected.rule_index)
+        store.db.close()
+
+
+class TestTemplateProperties:
+    @_SETTINGS
+    @given(
+        policy=policies(),
+        keys=st.lists(st.sampled_from(sorted(TEMPLATES)), min_size=1,
+                      max_size=4, unique=True),
+    )
+    def test_template_compositions_agree_across_engines(self, policy,
+                                                        keys):
+        from repro.engines import SqlMatchEngine
+
+        preference = compose_preference(keys)
+        expected = AppelEngine().evaluate(policy, preference)
+        sql = SqlMatchEngine()
+        handle = sql.install(policy)
+        outcome = sql.match(handle, preference)
+        assert (outcome.behavior, outcome.rule_index) == \
+            (expected.behavior, expected.rule_index)
+
+    @_SETTINGS
+    @given(keys=st.lists(st.sampled_from(sorted(TEMPLATES)), min_size=1,
+                         max_size=9, unique=True))
+    def test_compositions_always_decide(self, keys):
+        """Template preferences end with a catch-all, so every policy
+        gets a decision."""
+        preference = compose_preference(keys)
+        assert preference.has_catch_all()
+        assert preference.rule_count() == len(keys) + 1

@@ -1,0 +1,150 @@
+"""Robustness: hostile input never escapes the library's error types.
+
+Parsers, decoders, and the query engine must either succeed or raise a
+:class:`~repro.errors.ReproError` subclass — no raw ElementTree/IndexError
+leakage — and injection-shaped values must round-trip inertly through the
+SQL layer.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.p3p.compact import decode_compact
+from repro.p3p.parser import parse_policy
+from repro.p3p.reference import parse_reference_file
+from repro.appel.parser import parse_ruleset
+from repro.xquery.parser import parse_query
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+_text = st.text(
+    alphabet=string.printable, max_size=200,
+)
+_xmlish = st.one_of(
+    _text,
+    st.builds(lambda inner: f"<POLICY>{inner}</POLICY>", _text),
+    st.builds(lambda tag: f"<{tag}/>", st.text(
+        alphabet=string.ascii_letters, min_size=1, max_size=10)),
+)
+
+
+class TestParsersNeverLeak:
+    @_SETTINGS
+    @given(payload=_xmlish)
+    def test_policy_parser(self, payload):
+        try:
+            parse_policy(payload)
+        except ReproError:
+            pass
+
+    @_SETTINGS
+    @given(payload=_xmlish)
+    def test_appel_parser(self, payload):
+        try:
+            parse_ruleset(payload)
+        except ReproError:
+            pass
+
+    @_SETTINGS
+    @given(payload=_xmlish)
+    def test_reference_parser(self, payload):
+        try:
+            parse_reference_file(payload)
+        except ReproError:
+            pass
+
+    @_SETTINGS
+    @given(payload=_text)
+    def test_compact_decoder(self, payload):
+        try:
+            decode_compact(payload)
+        except ReproError:
+            pass
+
+    @_SETTINGS
+    @given(payload=_text)
+    def test_xquery_parser(self, payload):
+        try:
+            parse_query(payload)
+        except ReproError:
+            pass
+
+
+class TestSqlInjectionShapedValues:
+    """Values containing SQL metacharacters are data, not syntax."""
+
+    INJECTION = "x'; DROP TABLE policy; --"
+
+    def test_policy_attributes_inert(self):
+        from repro.p3p.model import Policy, Statement
+        from repro.storage import Database, PolicyStore
+        from repro.storage.reconstruct import reconstruct_policy
+
+        policy = Policy(name=self.INJECTION, discuri=self.INJECTION,
+                        statements=(Statement(),))
+        store = PolicyStore(Database())
+        pid = store.install_policy(policy).policy_id
+        assert store.db.table_count("policy") == 1
+        assert reconstruct_policy(store.db, pid).name == self.INJECTION
+
+    def test_rule_behavior_inert(self, volga):
+        from repro.appel.model import rule, ruleset
+        from repro.storage import Database, PolicyStore
+        from repro.translate.appel_to_sql import (
+            OptimizedSqlTranslator,
+            applicable_policy_literal,
+            evaluate_ruleset,
+        )
+
+        store = PolicyStore(Database())
+        pid = store.install_policy(volga).policy_id
+        preference = ruleset(rule(self.INJECTION))
+        translated = OptimizedSqlTranslator().translate_ruleset(
+            preference, applicable_policy_literal(pid))
+        behavior, index = evaluate_ruleset(store.db, translated)
+        assert behavior == self.INJECTION
+        assert store.db.table_count("policy") == 1  # nothing dropped
+
+    def test_expression_attribute_value_inert(self, volga):
+        from repro.appel.model import expression, rule, ruleset
+        from repro.storage import Database, PolicyStore
+        from repro.translate.appel_to_sql import (
+            OptimizedSqlTranslator,
+            applicable_policy_literal,
+            evaluate_ruleset,
+        )
+
+        store = PolicyStore(Database())
+        pid = store.install_policy(volga).policy_id
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("DATA-GROUP",
+                                                  expression(
+                                                      "DATA",
+                                                      ref=self.INJECTION))))),
+            rule("request"),
+        )
+        translated = OptimizedSqlTranslator().translate_ruleset(
+            preference, applicable_policy_literal(pid))
+        assert evaluate_ruleset(store.db, translated) == ("request", 1)
+        assert store.db.table_count("policy") == 1
+
+    def test_reference_patterns_inert(self):
+        from repro.p3p.reference import PolicyRef, ReferenceFile
+        from repro.storage import Database, ReferenceStore
+
+        store = ReferenceStore(Database())
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#p", includes=(self.INJECTION,)),
+        ))
+        store.install_reference_file(reference, "s.example.com",
+                                     policy_ids={"p": 1})
+        # Lookup runs without error and matches only the literal pattern.
+        assert store.applicable_policy_id("s.example.com", "/x") is None
+        assert store.applicable_policy_id("s.example.com",
+                                          self.INJECTION) == 1

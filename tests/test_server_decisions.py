@@ -1,0 +1,113 @@
+"""Behavior-to-action mapping (request / limited / block / prompt)."""
+
+from dataclasses import replace
+
+from repro.appel.model import expression, rule, ruleset
+from repro.appel.engine import AppelEngine
+from repro.p3p.model import DataItem
+from repro.server.decisions import AgentAction, decide, optional_refs
+
+
+class TestOptionalRefs:
+    def test_no_optional_data(self, volga):
+        assert optional_refs(volga) == ()
+
+    def test_optional_items_collected(self, volga):
+        statement = volga.statements[0]
+        data = tuple(
+            replace(item, optional="yes")
+            if item.ref == "#user.home-info.postal" else item
+            for item in statement.data
+        )
+        policy = replace(volga,
+                         statements=(replace(statement, data=data),)
+                         + volga.statements[1:])
+        assert optional_refs(policy) == ("#user.home-info.postal",)
+
+    def test_duplicates_collapsed(self, volga):
+        statement = volga.statements[0]
+        extra = DataItem("#user.bdate", optional="yes")
+        policy = replace(
+            volga,
+            statements=(
+                replace(statement, data=statement.data + (extra, extra)),
+            ),
+        )
+        assert optional_refs(policy).count("#user.bdate") == 1
+
+
+class TestDecide:
+    def test_request_proceeds(self, volga):
+        action = decide("request", volga)
+        assert action.proceed
+        assert not action.withhold_refs
+        assert not action.prompt_user
+
+    def test_block_stops(self, volga):
+        action = decide("block", volga)
+        assert not action.proceed
+
+    def test_limited_withholds_optional(self, volga):
+        statement = volga.statements[0]
+        data = tuple(replace(item, optional="yes")
+                     for item in statement.data)
+        policy = replace(volga, statements=(
+            replace(statement, data=data),) + volga.statements[1:])
+        action = decide("limited", policy)
+        assert action.proceed
+        assert action.limited
+        assert "#user.name" in action.withhold_refs
+
+    def test_limited_without_optional_data_still_proceeds(self, volga):
+        action = decide("limited", volga)
+        assert action.proceed
+        assert not action.limited
+
+    def test_prompt_flag_propagates(self, volga):
+        prompting = rule("request", prompt=True)
+        action = decide("request", volga, fired_rule=prompting)
+        assert action.prompt_user
+
+    def test_undecided_defaults_to_block(self, volga):
+        action = decide(None, volga)
+        assert not action.proceed
+        assert action.prompt_user
+
+    def test_undecided_can_proceed_when_configured(self, volga):
+        assert decide(None, volga, undecided_proceeds=True).proceed
+
+    def test_custom_behavior_prompts(self, volga):
+        action = decide("shrug", volga)
+        assert not action.proceed
+        assert action.prompt_user
+        assert "shrug" in action.reason
+
+
+class TestEndToEndLimited:
+    def test_limited_rule_through_engine(self, volga):
+        """A 'limited' rule fires and the agent withholds optional data."""
+        statement = volga.statements[0]
+        data = tuple(
+            replace(item, optional="yes")
+            if item.ref == "#dynamic.miscdata" else item
+            for item in statement.data
+        )
+        policy = replace(volga,
+                         statements=(replace(statement, data=data),)
+                         + volga.statements[1:])
+        preference = ruleset(
+            rule("limited",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("current")))),
+                 prompt=True),
+            rule("request"),
+        )
+        outcome = AppelEngine().evaluate(policy, preference)
+        assert outcome.behavior == "limited"
+        action = decide(outcome.behavior, policy,
+                        fired_rule=preference.rules[outcome.rule_index])
+        assert action.proceed
+        assert action.withhold_refs == ("#dynamic.miscdata",)
+        assert action.prompt_user

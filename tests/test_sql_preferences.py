@@ -1,0 +1,114 @@
+"""Preferences as SQL: the Section 6.3.2 deployment and the minimal subset."""
+
+import pytest
+
+from repro.corpus.volga import VOLGA_POLICY_NO_OPTIN_XML
+from repro.errors import TranslationError
+from repro.p3p.parser import parse_policy
+from repro.storage import Database, PolicyStore
+from repro.translate.sql_preferences import (
+    APPLICABLE_POLICY_PLACEHOLDER,
+    compile_preference,
+    preference_from_sql,
+    validate_sql_rule,
+)
+
+
+@pytest.fixture()
+def store(volga):
+    db = Database()
+    store = PolicyStore(db)
+    store.install_policy(volga)
+    return store
+
+
+class TestCompiledPreferences:
+    def test_compiled_matches_translator(self, store, volga, jane):
+        preference = compile_preference(jane)
+        behavior, index = preference.evaluate(store.db, 1)
+        assert (behavior, index) == ("request", 2)
+
+    def test_compiled_reusable_across_policies(self, store, jane):
+        bad = store.install_policy(
+            parse_policy(VOLGA_POLICY_NO_OPTIN_XML)).policy_id
+        preference = compile_preference(jane)
+        assert preference.evaluate(store.db, 1) == ("request", 2)
+        assert preference.evaluate(store.db, bad) == ("block", 0)
+
+    def test_suite_compiles_and_agrees(self, store, suite):
+        from repro.appel.engine import AppelEngine
+        from repro.storage.reconstruct import reconstruct_policy
+
+        engine = AppelEngine()
+        policy = reconstruct_policy(store.db, 1)
+        for level, ruleset in suite.items():
+            preference = compile_preference(ruleset)
+            behavior, index = preference.evaluate(store.db, 1)
+            expected = engine.evaluate(policy, ruleset)
+            assert (behavior, index) == \
+                (expected.behavior, expected.rule_index), level
+
+    def test_no_match_returns_none(self, store):
+        from repro.appel.model import expression, rule, ruleset
+
+        preference = compile_preference(
+            ruleset(rule("block",
+                         expression("POLICY", expression("TEST"))))
+        )
+        assert preference.evaluate(store.db, 1) == (None, None)
+
+
+class TestHandWrittenPreferences:
+    def test_hand_written_rule(self, store):
+        sql = (
+            f"SELECT * FROM ({APPLICABLE_POLICY_PLACEHOLDER}) "
+            "AS applicable_policy WHERE EXISTS ("
+            "SELECT * FROM purpose "
+            "WHERE purpose.policy_id = applicable_policy.policy_id "
+            "AND purpose = 'contact' AND required = 'opt-in')"
+        )
+        preference = preference_from_sql([
+            ("block", sql),
+            ("request",
+             f"SELECT * FROM ({APPLICABLE_POLICY_PLACEHOLDER}) "
+             "AS applicable_policy"),
+        ])
+        # Volga states contact as opt-in, so the block rule fires.
+        assert preference.evaluate(store.db, 1) == ("block", 0)
+
+
+class TestMinimalSubsetValidation:
+    def test_select_accepted(self):
+        validate_sql_rule("SELECT 'block' FROM policy WHERE 1")
+
+    @pytest.mark.parametrize("bad", [
+        "DELETE FROM policy",
+        "SELECT 1; DROP TABLE policy",
+        "UPDATE policy SET name = 'x'",
+        "INSERT INTO policy VALUES (1)",
+        "PRAGMA writable_schema = 1",
+        "CREATE TABLE evil (x)",
+    ])
+    def test_mutations_rejected(self, bad):
+        with pytest.raises(TranslationError):
+            validate_sql_rule(bad)
+
+    def test_foreign_table_rejected(self):
+        with pytest.raises(TranslationError):
+            validate_sql_rule("SELECT * FROM sqlite_master")
+
+    def test_policy_tables_allowed(self):
+        validate_sql_rule(
+            "SELECT * FROM statement WHERE EXISTS "
+            "(SELECT * FROM purpose WHERE purpose = 'current')"
+        )
+
+    def test_non_select_rejected(self):
+        with pytest.raises(TranslationError):
+            validate_sql_rule("WITH x AS (SELECT 1) SELECT * FROM x")
+
+    def test_compiled_rules_pass_validation(self, jane, suite):
+        # Everything our own translator emits is within the subset.
+        compile_preference(jane, validate=True)
+        for ruleset in suite.values():
+            compile_preference(ruleset, validate=True)

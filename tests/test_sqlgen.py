@@ -1,0 +1,94 @@
+"""SQL text-building helpers: the 'superfluous parenthesis' checks of
+Figure 11's footnote, plus the six-connective combination table."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.translate import sqlgen
+from repro.translate.sqlgen import FALSE_CLAUSE, TRUE_CLAUSE
+
+
+class TestConjoinDisjoin:
+    def test_conjoin_drops_true(self):
+        assert sqlgen.conjoin(["a", TRUE_CLAUSE, "b"]) == "(a\n AND b)"
+
+    def test_conjoin_single(self):
+        assert sqlgen.conjoin(["a", TRUE_CLAUSE]) == "a"
+
+    def test_conjoin_empty_is_true(self):
+        assert sqlgen.conjoin([]) == TRUE_CLAUSE
+        assert sqlgen.conjoin([TRUE_CLAUSE]) == TRUE_CLAUSE
+
+    def test_conjoin_short_circuits_false(self):
+        assert sqlgen.conjoin(["a", FALSE_CLAUSE]) == FALSE_CLAUSE
+
+    def test_disjoin_drops_false(self):
+        assert sqlgen.disjoin([FALSE_CLAUSE, "a"]) == "a"
+
+    def test_disjoin_empty_is_false(self):
+        assert sqlgen.disjoin([]) == FALSE_CLAUSE
+
+    def test_disjoin_short_circuits_true(self):
+        assert sqlgen.disjoin(["a", TRUE_CLAUSE]) == TRUE_CLAUSE
+
+
+class TestNegate:
+    def test_constants_fold(self):
+        assert sqlgen.negate(TRUE_CLAUSE) == FALSE_CLAUSE
+        assert sqlgen.negate(FALSE_CLAUSE) == TRUE_CLAUSE
+
+    def test_parenthesized_clause(self):
+        assert sqlgen.negate("(a AND b)") == "NOT (a AND b)"
+
+    def test_bare_clause_gets_parens(self):
+        assert sqlgen.negate("a = 1") == "NOT (a = 1)"
+
+
+class TestExists:
+    def test_exists_indents(self):
+        text = sqlgen.exists("SELECT *\nFROM t")
+        assert text.startswith("EXISTS (")
+        assert "  SELECT *" in text
+
+    def test_not_exists(self):
+        assert sqlgen.not_exists("SELECT 1").startswith("NOT EXISTS (")
+
+
+class TestCombine:
+    def test_and(self):
+        assert sqlgen.combine("and", ["a", "b"], "e") == "(a\n AND b)"
+
+    def test_or(self):
+        assert sqlgen.combine("or", ["a", "b"], "e") == "(a\n OR b)"
+
+    def test_non_and(self):
+        assert sqlgen.combine("non-and", ["a", "b"], "e") == \
+            "NOT (a\n AND b)"
+
+    def test_non_or(self):
+        assert sqlgen.combine("non-or", ["a", "b"], "e") == \
+            "NOT (a\n OR b)"
+
+    def test_and_exact_appends_exactness(self):
+        combined = sqlgen.combine("and-exact", ["a"], "only_listed")
+        assert "only_listed" in combined
+        assert "a" in combined
+
+    def test_or_exact(self):
+        combined = sqlgen.combine("or-exact", ["a", "b"], "only_listed")
+        assert "OR" in combined and "only_listed" in combined
+
+    def test_exactness_ignored_by_plain_connectives(self):
+        assert "exact" not in sqlgen.combine("and", ["a"], "exact_clause")
+
+    def test_unknown_connective_raises(self):
+        with pytest.raises(TranslationError):
+            sqlgen.combine("xor", ["a"], "e")
+
+
+class TestIndentBlock:
+    def test_every_line_indented(self):
+        assert sqlgen.indent_block("a\nb") == "  a\n  b"
+
+    def test_custom_prefix(self):
+        assert sqlgen.indent_block("a", prefix="----") == "----a"

@@ -1,0 +1,92 @@
+"""Database wrapper: execution, transactions, timing, identifier quoting."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import Database, quote_ident, sql_literal
+
+
+class TestQuoting:
+    def test_plain_identifier_untouched(self):
+        assert quote_ident("statement") == "statement"
+        assert quote_ident("policy_id") == "policy_id"
+
+    def test_keyword_quoted(self):
+        # 'all' is an ACCESS value element and an SQL keyword.
+        assert quote_ident("all") == '"all"'
+        assert quote_ident("current") == '"current"'
+
+    def test_odd_characters_quoted(self):
+        assert quote_ident("Weird Name") == '"Weird Name"'
+        assert quote_ident('has"quote') == '"has""quote"'
+
+    def test_sql_literal_escapes_quotes(self):
+        assert sql_literal("it's") == "'it''s'"
+        assert sql_literal("plain") == "'plain'"
+
+
+class TestExecution:
+    def test_basic_roundtrip(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER, y TEXT)")
+            db.execute("INSERT INTO t VALUES (?, ?)", (1, "one"))
+            row = db.query_one("SELECT * FROM t")
+            assert row["x"] == 1
+            assert row["y"] == "one"
+
+    def test_scalar(self):
+        with Database() as db:
+            assert db.scalar("SELECT 41 + 1") == 42
+            assert db.scalar("SELECT 1 WHERE 0") is None
+
+    def test_executemany(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(5)])
+            assert db.table_count("t") == 5
+
+    def test_bad_sql_raises_storage_error(self):
+        with Database() as db:
+            with pytest.raises(StorageError):
+                db.execute("SELEKT broken")
+
+    def test_table_names(self):
+        with Database() as db:
+            db.executescript("CREATE TABLE b (x); CREATE TABLE a (x);")
+            assert db.table_names() == ["a", "b"]
+
+
+class TestTransactions:
+    def test_commit_on_success(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+        assert db.table_count("t") == 1
+
+    def test_rollback_on_error(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.commit()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        assert db.table_count("t") == 0
+
+
+class TestStats:
+    def test_statement_count_and_time_accumulate(self):
+        db = Database()
+        db.execute("SELECT 1")
+        db.execute("SELECT 2")
+        assert db.stats.statements == 2
+        assert db.stats.seconds >= 0.0
+        assert db.stats.last_seconds >= 0.0
+
+    def test_reset(self):
+        db = Database()
+        db.execute("SELECT 1")
+        db.stats.reset()
+        assert db.stats.statements == 0
+        assert db.stats.seconds == 0.0

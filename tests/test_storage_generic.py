@@ -1,0 +1,135 @@
+"""Generic schema (Figure 8) and population algorithm (Figure 10)."""
+
+import pytest
+
+from repro.errors import UnknownPolicyError
+from repro.storage.database import Database
+from repro.storage.generic_schema import (
+    GENERIC_TABLES,
+    create_generic_schema,
+    schema_ddl,
+)
+from repro.storage.generic_shredder import GenericPolicyStore
+
+
+class TestSchemaShape:
+    """Figure 8's rules, checked table by table."""
+
+    def test_one_table_per_catalog_element(self):
+        from repro.vocab import schema as p3p_schema
+
+        assert set(GENERIC_TABLES) == set(p3p_schema.CATALOG)
+
+    def test_data_table_matches_figure9(self):
+        """Figure 9: the Data table has an id, the parent's key as foreign
+        key, and the ref/optional attribute columns."""
+        table = GENERIC_TABLES["DATA"]
+        names = [c.name for c in table.columns]
+        assert names == ["data_id", "data_group_id", "statement_id",
+                         "policy_id", "ref", "optional"]
+        assert table.primary_key == ("data_id", "data_group_id",
+                                     "statement_id", "policy_id")
+
+    def test_value_elements_have_tables(self):
+        # Figure 13 queries FROM Admin and FROM Contact.
+        assert GENERIC_TABLES["admin"].name == "admin"
+        assert GENERIC_TABLES["contact"].name == "contact"
+        assert "required" in [c.name for c in
+                              GENERIC_TABLES["contact"].columns]
+
+    def test_textual_elements_get_content_column(self):
+        assert "content" in [c.name for c in
+                             GENERIC_TABLES["CONSEQUENCE"].columns]
+
+    def test_ddl_creates_everything(self):
+        db = Database()
+        create_generic_schema(db)
+        assert len(db.table_names()) == len(GENERIC_TABLES)
+
+    def test_ddl_text_mentions_primary_keys(self):
+        assert schema_ddl().count("PRIMARY KEY") == len(GENERIC_TABLES)
+
+
+class TestShredding:
+    def test_volga_row_counts(self, volga):
+        store = GenericPolicyStore()
+        store.install_policy(volga)
+        counts = store.row_counts()
+        assert counts["policy"] == 1
+        assert counts["statement"] == 2
+        assert counts["purpose"] == 2
+        assert counts["recipient"] == 2
+        # Value rows: current; individual-decision; contact.
+        assert counts["current"] == 1
+        assert counts["individual_decision"] == 1
+        assert counts["contact"] == 1
+        assert counts["ours"] == 2       # both statements
+        assert counts["data"] == 5
+
+    def test_categories_expanded_at_shred_time(self, volga):
+        store = GenericPolicyStore()
+        store.install_policy(volga)
+        counts = store.row_counts()
+        # #user.name contributes physical+demographic via the base schema
+        # even though the document carries no inline categories for it.
+        assert counts["physical"] >= 1
+        assert counts["demographic"] >= 1
+
+    def test_attributes_stored_resolved(self, volga):
+        store = GenericPolicyStore()
+        store.install_policy(volga)
+        required = store.db.scalar(
+            "SELECT required FROM individual_decision"
+        )
+        assert required == "opt-in"
+        # <current/> has no required attribute at all.
+        assert "required" not in [
+            c.name for c in GENERIC_TABLES["current"].columns
+        ]
+
+    def test_multiple_policies_get_distinct_ids(self, volga):
+        store = GenericPolicyStore()
+        first = store.install_policy(volga)
+        second = store.install_policy(volga)
+        assert first != second
+        assert store.policy_ids() == [first, second]
+
+    def test_chained_keys_join_consistently(self, volga):
+        store = GenericPolicyStore()
+        pid = store.install_policy(volga)
+        # Every purpose-value row must join back to its statement chain.
+        orphans = store.db.scalar(
+            "SELECT COUNT(*) FROM contact WHERE NOT EXISTS ("
+            "  SELECT * FROM purpose WHERE "
+            "  purpose.purpose_id = contact.purpose_id AND "
+            "  purpose.statement_id = contact.statement_id AND "
+            "  purpose.policy_id = contact.policy_id)"
+        )
+        assert orphans == 0
+        assert store.db.scalar(
+            "SELECT COUNT(DISTINCT policy_id) FROM statement"
+        ) == 1
+
+    def test_delete_policy_removes_all_rows(self, volga):
+        store = GenericPolicyStore()
+        pid = store.install_policy(volga)
+        store.delete_policy(pid)
+        assert all(count == 0 for count in store.row_counts().values())
+
+    def test_delete_unknown_policy_raises(self):
+        store = GenericPolicyStore()
+        with pytest.raises(UnknownPolicyError):
+            store.delete_policy(404)
+
+    def test_require_policy(self, volga):
+        store = GenericPolicyStore()
+        pid = store.install_policy(volga)
+        store.require_policy(pid)
+        with pytest.raises(UnknownPolicyError):
+            store.require_policy(pid + 1)
+
+    def test_entity_row_present_but_not_recursed(self, volga):
+        store = GenericPolicyStore()
+        store.install_policy(volga)
+        # ENTITY participates in *-exact checks as a single row.
+        assert store.row_counts()["entity"] == 1

@@ -1,0 +1,177 @@
+"""Optimized schema (Figure 14): shredding, reconstruction, versioning."""
+
+import pytest
+
+from repro.errors import StorageError, UnknownPolicyError
+from repro.p3p.model import Policy, Statement
+from repro.storage.database import Database
+from repro.storage.optimized_schema import POLICY_TABLES
+from repro.storage.reconstruct import (
+    reconstruct_policy,
+    reconstruct_policy_xml,
+)
+from repro.storage.shredder import PolicyStore
+from repro.storage.versioning import VersionedPolicyStore
+
+
+class TestShredding:
+    def test_report_counts(self, volga):
+        store = PolicyStore()
+        report = store.install_policy(volga)
+        assert report.statements == 2
+        assert report.data_items == 5
+        assert report.categories > 5  # includes base-schema expansion
+        assert report.seconds > 0
+
+    def test_figure14_optimizations_visible(self, volga):
+        """The Section 5.4 bullet points, checked against the rows."""
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        db = store.db
+        # Purposes are rows with a 'purpose' column (no id column).
+        purposes = {r["purpose"] for r in db.query(
+            "SELECT purpose FROM purpose WHERE policy_id = ?", (pid,))}
+        assert purposes == {"current", "individual-decision", "contact"}
+        # RETENTION lives in the statement table.
+        retentions = [r["retention"] for r in db.query(
+            "SELECT retention FROM statement WHERE policy_id = ? "
+            "ORDER BY statement_id", (pid,))]
+        assert retentions == ["stated-purpose", "business-practices"]
+        # CONSEQUENCE is a nullable statement column.
+        consequence = db.scalar(
+            "SELECT consequence FROM statement WHERE policy_id = ? "
+            "AND statement_id = 1", (pid,))
+        assert "purchase" in consequence
+        # ACCESS folded into the policy table.
+        assert db.scalar("SELECT access FROM policy WHERE policy_id = ?",
+                         (pid,)) == "contact-and-other"
+
+    def test_required_attribute_stored_resolved(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        required = {
+            (r["purpose"], r["required"])
+            for r in store.db.query(
+                "SELECT purpose, required FROM purpose "
+                "WHERE policy_id = ?", (pid,))
+        }
+        assert ("current", "always") in required
+        assert ("contact", "opt-in") in required
+
+    def test_category_expansion_with_source(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        rows = store.db.query(
+            "SELECT category, source FROM category WHERE policy_id = ?",
+            (pid,))
+        sources = {r["source"] for r in rows}
+        assert sources == {"explicit", "base"}
+        categories = {r["category"] for r in rows}
+        assert "purchase" in categories   # explicit on miscdata
+        assert "physical" in categories   # base expansion of user.name
+
+    def test_statement_count(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        assert store.statement_count(pid) == 2
+        assert store.statement_count() == 2
+
+    def test_delete_policy(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        store.delete_policy(pid)
+        assert all(store.db.table_count(t) == 0 for t in POLICY_TABLES)
+        with pytest.raises(UnknownPolicyError):
+            store.delete_policy(pid)
+
+    def test_policy_id_by_name(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        assert store.policy_id_by_name("volga") == pid
+        assert store.policy_id_by_name("nobody") is None
+
+
+class TestReconstruction:
+    """The XML-view invariant: reconstruct(shred(p)) == p.augmented()."""
+
+    def test_volga(self, volga):
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        assert reconstruct_policy(store.db, pid) == volga.augmented()
+
+    def test_corpus(self, small_corpus):
+        store = PolicyStore()
+        for policy in small_corpus:
+            pid = store.install_policy(policy).policy_id
+            assert reconstruct_policy(store.db, pid) == policy.augmented()
+
+    def test_xml_view_parses(self, volga):
+        from repro.p3p.parser import parse_policy
+
+        store = PolicyStore()
+        pid = store.install_policy(volga).policy_id
+        xml = reconstruct_policy_xml(store.db, pid)
+        assert parse_policy(xml) == volga.augmented()
+
+    def test_unknown_policy_raises(self):
+        store = PolicyStore()
+        with pytest.raises(UnknownPolicyError):
+            reconstruct_policy(store.db, 7)
+
+
+class TestVersioning:
+    def test_versions_increment(self, volga):
+        store = VersionedPolicyStore()
+        store.install(volga)
+        store.install(volga)
+        store.install(volga)
+        history = store.history("volga")
+        assert [v.version for v in history] == [1, 2, 3]
+        assert [v.active for v in history] == [False, False, True]
+
+    def test_active_policy_is_newest(self, volga):
+        store = VersionedPolicyStore()
+        first = store.install(volga).policy_id
+        second = store.install(volga).policy_id
+        assert store.active_policy_id("volga") == second
+        assert store.active_policy("volga") == volga.augmented()
+
+    def test_specific_version_retrievable(self, volga):
+        from dataclasses import replace
+
+        store = VersionedPolicyStore()
+        store.install(volga)
+        changed = replace(volga, discuri="http://volga.example.com/v2.html")
+        store.install(changed)
+        assert store.version("volga", 1).discuri == volga.discuri
+        assert store.version("volga", 2).discuri.endswith("v2.html")
+
+    def test_rollback(self, volga):
+        store = VersionedPolicyStore()
+        first = store.install(volga).policy_id
+        store.install(volga)
+        reactivated = store.rollback("volga")
+        assert reactivated == first
+        assert store.active_policy_id("volga") == first
+
+    def test_rollback_without_history_raises(self, volga):
+        store = VersionedPolicyStore()
+        store.install(volga)
+        with pytest.raises(StorageError):
+            store.rollback("volga")
+
+    def test_rollback_unknown_name_raises(self):
+        store = VersionedPolicyStore()
+        with pytest.raises(UnknownPolicyError):
+            store.rollback("ghost")
+
+    def test_unnamed_policy_rejected(self):
+        store = VersionedPolicyStore()
+        with pytest.raises(StorageError):
+            store.install(Policy(statements=(Statement(),)))
+
+    def test_unknown_version_raises(self, volga):
+        store = VersionedPolicyStore()
+        store.install(volga)
+        with pytest.raises(UnknownPolicyError):
+            store.version("volga", 9)

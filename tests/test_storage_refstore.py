@@ -1,0 +1,151 @@
+"""Reference store (Figure 16): in-database applicable-policy lookup."""
+
+import pytest
+
+from repro.corpus.volga import VOLGA_REFERENCE_XML
+from repro.errors import ReferenceFileError
+from repro.p3p.reference import (
+    PolicyRef,
+    ReferenceFile,
+    parse_reference_file,
+)
+from repro.storage.database import Database
+from repro.storage.refstore import ReferenceStore, pattern_to_like
+from repro.storage.shredder import PolicyStore
+
+
+class TestPatternToLike:
+    def test_star_becomes_percent(self):
+        assert pattern_to_like("/a/*") == "/a/%"
+
+    def test_like_metacharacters_escaped(self):
+        assert pattern_to_like("/100%_done") == "/100\\%\\_done"
+
+    def test_backslash_escaped(self):
+        assert pattern_to_like("a\\b") == "a\\\\b"
+
+
+@pytest.fixture()
+def stores(volga):
+    db = Database()
+    policies = PolicyStore(db)
+    pid = policies.install_policy(volga, site="volga.example.com").policy_id
+    references = ReferenceStore(db)
+    references.install_reference_file(
+        parse_reference_file(VOLGA_REFERENCE_XML),
+        "volga.example.com",
+        policy_store=policies,
+    )
+    return references, pid
+
+
+class TestApplicablePolicy:
+    def test_covered_uri(self, stores):
+        references, pid = stores
+        assert references.applicable_policy_id(
+            "volga.example.com", "/catalog/book"
+        ) == pid
+
+    def test_excluded_uri(self, stores):
+        references, _ = stores
+        assert references.applicable_policy_id(
+            "volga.example.com", "/legacy/old-page"
+        ) is None
+
+    def test_unknown_site(self, stores):
+        references, _ = stores
+        assert references.applicable_policy_id(
+            "elsewhere.example.com", "/catalog/book"
+        ) is None
+
+    def test_cookie_lookup(self, stores):
+        references, pid = stores
+        assert references.applicable_policy_id(
+            "volga.example.com", "/anything", cookie=True
+        ) == pid
+
+    def test_subquery_is_plain_sql(self, stores):
+        references, pid = stores
+        sql = references.applicable_policy_subquery(
+            "volga.example.com", "/catalog/x"
+        )
+        references.register_sql_functions()
+        assert references.db.scalar(sql) == pid
+
+    def test_document_order_priority(self, volga):
+        """First matching POLICY-REF in document order wins."""
+        db = Database()
+        policies = PolicyStore(db)
+        first = policies.install_policy(volga).policy_id
+        second = policies.install_policy(volga).policy_id
+        references = ReferenceStore(db)
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#checkout", includes=("/checkout/*",)),
+            PolicyRef(about="#site", includes=("/*",)),
+        ))
+        references.install_reference_file(
+            reference, "shop.example.com",
+            policy_ids={"checkout": first, "site": second},
+        )
+        assert references.applicable_policy_id(
+            "shop.example.com", "/checkout/pay") == first
+        assert references.applicable_policy_id(
+            "shop.example.com", "/browse") == second
+
+
+class TestInstallation:
+    def test_unresolvable_policy_name_raises(self):
+        references = ReferenceStore()
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#ghost", includes=("/*",)),
+        ))
+        with pytest.raises(ReferenceFileError):
+            references.install_reference_file(reference, "x.example.com")
+
+    def test_policy_ids_mapping_used(self):
+        references = ReferenceStore()
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#p", includes=("/*",)),
+        ))
+        references.install_reference_file(reference, "x.example.com",
+                                          policy_ids={"p": 42})
+        assert references.applicable_policy_id("x.example.com", "/a") == 42
+
+    def test_reinstall_replaces_site_reference(self):
+        """A new reference file supersedes the site's previous one —
+        otherwise stale META rows shadow new policy versions."""
+        references = ReferenceStore()
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#p", includes=("/*",)),
+        ))
+        references.install_reference_file(reference, "x.example.com",
+                                          policy_ids={"p": 1})
+        references.install_reference_file(reference, "x.example.com",
+                                          policy_ids={"p": 2})
+        assert references.applicable_policy_id("x.example.com", "/a") == 2
+        assert references.db.table_count("meta") == 1
+
+    def test_reinstall_keep_mode(self):
+        references = ReferenceStore()
+        reference = ReferenceFile(refs=(
+            PolicyRef(about="#p", includes=("/*",)),
+        ))
+        references.install_reference_file(reference, "x.example.com",
+                                          policy_ids={"p": 1})
+        references.install_reference_file(reference, "x.example.com",
+                                          policy_ids={"p": 2},
+                                          replace=False)
+        # Without replacement the earlier installation still wins.
+        assert references.applicable_policy_id("x.example.com", "/a") == 1
+
+    def test_multiple_sites_isolated(self):
+        references = ReferenceStore()
+        for index, site in enumerate(("a.example.com", "b.example.com")):
+            references.install_reference_file(
+                ReferenceFile(refs=(
+                    PolicyRef(about="#p", includes=("/*",)),
+                )),
+                site, policy_ids={"p": index + 1},
+            )
+        assert references.applicable_policy_id("a.example.com", "/") == 1
+        assert references.applicable_policy_id("b.example.com", "/") == 2

@@ -1,0 +1,249 @@
+"""APPEL -> SQL translation (Figure 11 generic, Figure 15 optimized)."""
+
+import pytest
+
+from repro.appel.model import expression, rule, ruleset
+from repro.errors import TranslationError
+from repro.storage.generic_shredder import GenericPolicyStore
+from repro.storage.shredder import PolicyStore
+from repro.translate.appel_to_sql import (
+    GenericSqlTranslator,
+    OptimizedSqlTranslator,
+    applicable_policy_literal,
+    evaluate_ruleset,
+)
+
+
+def _optimized_result(policy, rs):
+    store = PolicyStore()
+    pid = store.install_policy(policy).policy_id
+    translated = OptimizedSqlTranslator().translate_ruleset(
+        rs, applicable_policy_literal(pid))
+    return evaluate_ruleset(store.db, translated)
+
+
+def _generic_result(policy, rs):
+    store = GenericPolicyStore()
+    pid = store.install_policy(policy)
+    translated = GenericSqlTranslator().translate_ruleset(
+        rs, applicable_policy_literal(pid))
+    return evaluate_ruleset(store.db, translated)
+
+
+class TestGeneratedShape:
+    """The structural fingerprints of Figures 13 and 15."""
+
+    def test_generic_translation_has_figure13_structure(self,
+                                                        jane_simplified):
+        sql = GenericSqlTranslator().translate_ruleset(
+            jane_simplified, applicable_policy_literal(1)).rules[0].sql
+        assert sql.startswith("SELECT 'block' AS behavior")
+        # One-table-per-element: value tables queried directly.
+        assert "FROM admin" in sql
+        assert "FROM contact" in sql
+        assert "contact.required = 'always'" in sql
+        # Chained-key joins of Figure 13.
+        assert "purpose.statement_id = statement.statement_id" in sql
+        assert "contact.purpose_id = purpose.purpose_id" in sql
+
+    def test_optimized_translation_has_figure15_structure(self,
+                                                          jane_simplified):
+        sql = OptimizedSqlTranslator().translate_ruleset(
+            jane_simplified, applicable_policy_literal(1)).rules[0].sql
+        # The two value subqueries are merged into one over Purpose.
+        assert sql.count("FROM purpose") == 1
+        assert "purpose = 'admin'" in sql
+        assert "purpose = 'contact'" in sql
+        assert "purpose.required = 'always'" in sql
+        # No per-value tables in the optimized schema.
+        assert "FROM admin" not in sql
+
+    def test_optimized_fewer_subqueries_than_generic(self, jane):
+        generic = GenericSqlTranslator().translate_ruleset(
+            jane, applicable_policy_literal(1))
+        optimized = OptimizedSqlTranslator().translate_ruleset(
+            jane, applicable_policy_literal(1))
+        count = lambda tr: sum(r.sql.count("EXISTS") for r in tr.rules)
+        assert count(optimized) < count(generic)
+
+    def test_catch_all_rule_translates_to_trivial_query(self, jane):
+        translated = OptimizedSqlTranslator().translate_ruleset(
+            jane, applicable_policy_literal(1))
+        assert translated.rules[2].sql.rstrip().endswith("WHERE 1")
+
+    def test_behavior_literal_escaped(self):
+        rs = ruleset(rule("it's-complicated"))
+        sql = OptimizedSqlTranslator().translate_ruleset(
+            rs, applicable_policy_literal(1)).rules[0].sql
+        assert "'it''s-complicated'" in sql
+
+
+class TestPaperScenarios:
+    """Both translators must replay Section 2.2 exactly."""
+
+    @pytest.mark.parametrize("runner", [_optimized_result, _generic_result])
+    def test_volga_conforms(self, runner, volga, jane):
+        assert runner(volga, jane) == ("request", 2)
+
+    @pytest.mark.parametrize("runner", [_optimized_result, _generic_result])
+    def test_no_optin_blocks(self, runner, jane):
+        from repro.corpus.volga import VOLGA_POLICY_NO_OPTIN_XML
+        from repro.p3p.parser import parse_policy
+
+        policy = parse_policy(VOLGA_POLICY_NO_OPTIN_XML)
+        assert runner(policy, jane) == ("block", 0)
+
+    @pytest.mark.parametrize("runner", [_optimized_result, _generic_result])
+    def test_unrelated_blocks(self, runner, jane):
+        from repro.corpus.volga import VOLGA_POLICY_UNRELATED_XML
+        from repro.p3p.parser import parse_policy
+
+        policy = parse_policy(VOLGA_POLICY_UNRELATED_XML)
+        assert runner(policy, jane) == ("block", 1)
+
+
+class TestSpecialElements:
+    """Folded elements of the optimized schema."""
+
+    def _block_rule(self, *exprs):
+        return ruleset(rule("block", expression("POLICY", *exprs)),
+                       rule("request"))
+
+    def test_access_value(self, volga):
+        rs = self._block_rule(
+            expression("ACCESS", expression("contact-and-other")))
+        assert _optimized_result(volga, rs) == ("block", 0)
+        rs2 = self._block_rule(expression("ACCESS", expression("none")))
+        assert _optimized_result(volga, rs2) == ("request", 1)
+
+    def test_retention_value(self, volga):
+        rs = self._block_rule(
+            expression("STATEMENT",
+                       expression("RETENTION",
+                                  expression("business-practices"))))
+        assert _optimized_result(volga, rs) == ("block", 0)
+
+    def test_consequence_presence(self, volga):
+        rs = self._block_rule(
+            expression("STATEMENT", expression("CONSEQUENCE")))
+        assert _optimized_result(volga, rs) == ("block", 0)
+
+    def test_entity_presence(self, volga):
+        rs = self._block_rule(expression("ENTITY"))
+        assert _optimized_result(volga, rs) == ("block", 0)
+
+    def test_categories_from_base_expansion(self, volga):
+        rs = self._block_rule(
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression("DATA",
+                                             expression("CATEGORIES",
+                                                        expression(
+                                                            "physical"))))))
+        assert _optimized_result(volga, rs) == ("block", 0)
+
+    def test_data_ref_attribute(self, volga):
+        rs = self._block_rule(
+            expression("STATEMENT",
+                       expression("DATA-GROUP",
+                                  expression("DATA", ref="#user.name"))))
+        assert _optimized_result(volga, rs) == ("block", 0)
+
+    def test_disputes_missing_non_or(self, volga):
+        # Volga has no DISPUTES-GROUP; non-or means "no disputes" but the
+        # element itself must exist... so it never fires on Volga.
+        rs = self._block_rule(
+            expression("DISPUTES-GROUP", connective="non-or"))
+        behavior, _ = _optimized_result(volga, rs)
+        assert behavior == "request"
+
+
+class TestTranslationErrors:
+    def test_unknown_attribute_never_matches(self, volga):
+        """STATEMENT carries no 'mood'; the pattern is unsatisfiable, not
+        an error (the native engine quietly fails to match it too)."""
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT", mood="angry"))),
+                     rule("request"))
+        assert _optimized_result(volga, rs) == ("request", 1)
+        assert _generic_result(volga, rs) == ("request", 1)
+
+    def test_entity_navigation_rejected_by_optimized(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("ENTITY",
+                                                expression("DATA-GROUP")))),
+                     rule("request"))
+        with pytest.raises(TranslationError):
+            OptimizedSqlTranslator().translate_ruleset(
+                rs, applicable_policy_literal(1))
+
+    def test_data_group_base_attribute_never_matches(self, volga):
+        # Canonical storage merges data groups and drops 'base'.
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("DATA-GROUP",
+                                                           base="#x")))),
+                     rule("request"))
+        assert _optimized_result(volga, rs) == ("request", 1)
+
+    def test_required_on_current_never_matches(self, volga):
+        # P3P forbids 'required' on <current/>; a pattern demanding it
+        # cannot match even though current is present.
+        rs = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression(
+                                                      "current",
+                                                      required="always"))))),
+            rule("request"),
+        )
+        assert _optimized_result(volga, rs) == ("request", 1)
+        assert _generic_result(volga, rs) == ("request", 1)
+
+    def test_unknown_top_level_element_translates_to_false(self, volga):
+        # A rule body whose root isn't POLICY can never match; the
+        # translation is FALSE, not an error (negated connectives need it).
+        rs = ruleset(rule("block", expression("STATEMENT")),
+                     rule("request"))
+        assert _generic_result(volga, rs) == ("request", 1)
+        assert _optimized_result(volga, rs) == ("request", 1)
+
+
+class TestImpossiblePatterns:
+    """Patterns that can never match translate to FALSE, not errors,
+    so negated connectives still work."""
+
+    def test_impossible_child_under_or_is_false(self, volga):
+        rs = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("current"),
+                                                  # RECIPIENT value inside
+                                                  # PURPOSE can never match
+                                                  expression("ours"),
+                                                  connective="or")))),
+            rule("request"),
+        )
+        assert _optimized_result(volga, rs) == ("block", 0)
+        assert _generic_result(volga, rs) == ("block", 0)
+
+    def test_impossible_child_under_non_or_is_true(self, volga):
+        rs = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("ours"),
+                                                  connective="non-or")))),
+            rule("request"),
+        )
+        # PURPOSE exists and contains no 'ours' (it can't) -> non-or true.
+        assert _optimized_result(volga, rs) == ("block", 0)
+        assert _generic_result(volga, rs) == ("block", 0)

@@ -1,0 +1,113 @@
+"""APPEL -> XQuery translation (Figure 17 / Figure 18)."""
+
+import pytest
+
+from repro.appel.model import expression, rule, ruleset
+from repro.errors import TranslationError
+from repro.translate.appel_to_xquery import XQueryTranslator
+from repro.xquery.parser import parse_query
+
+
+class TestFigure18Shape:
+    def test_simplified_rule_translation(self, jane_simplified):
+        xquery = XQueryTranslator().translate_ruleset(
+            jane_simplified).rules[0].xquery
+        # The Figure 18 fingerprints.
+        assert xquery.startswith('if (document("applicable-policy")')
+        assert xquery.endswith("then <block/>")
+        assert "POLICY[" in xquery
+        assert "STATEMENT[" in xquery
+        assert "PURPOSE[" in xquery
+        assert "admin" in xquery
+        assert 'contact[@required = "always"]' in xquery
+        assert " OR " in xquery
+
+    def test_catch_all_rule(self, jane):
+        xquery = XQueryTranslator().translate_ruleset(jane).rules[2].xquery
+        assert xquery == 'if (document("applicable-policy")) then <request/>'
+
+    def test_every_translation_parses(self, suite):
+        translator = XQueryTranslator()
+        for rs in suite.values():
+            for translated in translator.translate_ruleset(rs).rules:
+                parse_query(translated.xquery)  # must not raise
+
+    def test_custom_document_uri(self, jane_simplified):
+        translator = XQueryTranslator(document_uri="policy-42")
+        xquery = translator.translate_rule(jane_simplified.rules[0])
+        assert 'document("policy-42")' in xquery
+
+
+class TestConnectiveRendering:
+    def _xq(self, connective):
+        rs = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("PURPOSE",
+                                                  expression("admin"),
+                                                  expression("contact"),
+                                                  connective=connective)))),
+            rule("request"),
+        )
+        return XQueryTranslator().translate_ruleset(rs).rules[0].xquery
+
+    def test_and(self):
+        assert "admin AND contact" in self._xq("and")
+
+    def test_or(self):
+        assert "admin OR contact" in self._xq("or")
+
+    def test_non_and(self):
+        assert "not(admin AND contact)" in self._xq("non-and")
+
+    def test_non_or(self):
+        assert "not(admin OR contact)" in self._xq("non-or")
+
+    def test_and_exact(self):
+        xquery = self._xq("and-exact")
+        assert "(admin AND contact) AND " in xquery
+        assert "not(*[not(self::admin OR self::contact)])" in xquery
+
+    def test_or_exact(self):
+        xquery = self._xq("or-exact")
+        assert "(admin OR contact) AND " in xquery
+        assert "not(*[not(" in xquery
+
+
+class TestAttributeRendering:
+    def test_attribute_comparison(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("DATA-GROUP",
+                                                           expression(
+                                                               "DATA",
+                                                               ref="#user.name"))))),
+                     rule("request"))
+        xquery = XQueryTranslator().translate_ruleset(rs).rules[0].xquery
+        assert 'DATA[@ref = "#user.name"]' in xquery
+
+    def test_double_quote_in_value_rejected(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("DATA-GROUP",
+                                                           expression(
+                                                               "DATA",
+                                                               ref='bad"ref'))))))
+        with pytest.raises(TranslationError):
+            XQueryTranslator().translate_ruleset(rs)
+
+    def test_multiple_attributes_joined_with_and(self):
+        rs = ruleset(rule("block",
+                          expression("POLICY",
+                                     expression("STATEMENT",
+                                                expression("DATA-GROUP",
+                                                           expression(
+                                                               "DATA",
+                                                               ref="#x",
+                                                               optional="yes"))))),
+                     rule("request"))
+        xquery = XQueryTranslator().translate_ruleset(rs).rules[0].xquery
+        assert '@optional = "yes" AND @ref = "#x"' in xquery

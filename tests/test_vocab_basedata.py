@@ -1,0 +1,113 @@
+"""Base data schema: lookups, category inheritance, schema document."""
+
+import pytest
+
+from repro import xmlutil
+from repro.errors import VocabularyError
+from repro.vocab import basedata, terms
+
+
+class TestLookup:
+    def test_lookup_with_and_without_hash(self):
+        assert basedata.lookup("#user.name").name == "user.name"
+        assert basedata.lookup("user.name").name == "user.name"
+
+    def test_lookup_deep(self):
+        node = basedata.lookup("#user.home-info.postal.street")
+        assert node.is_leaf()
+
+    def test_unknown_raises(self):
+        with pytest.raises(VocabularyError):
+            basedata.lookup("#user.shoe-size")
+
+    def test_empty_raises(self):
+        with pytest.raises(VocabularyError):
+            basedata.lookup("#")
+
+    def test_is_known_ref(self):
+        assert basedata.is_known_ref("#dynamic.miscdata")
+        assert not basedata.is_known_ref("#corp.secret")
+
+
+class TestVariableCategories:
+    def test_miscdata_and_cookies_are_variable(self):
+        assert basedata.is_variable_ref("#dynamic.miscdata")
+        assert basedata.is_variable_ref("#dynamic.cookies")
+
+    def test_variable_refs_have_no_fixed_categories(self):
+        assert basedata.categories_for_ref("#dynamic.miscdata") == frozenset()
+
+    def test_fixed_ref_is_not_variable(self):
+        assert not basedata.is_variable_ref("#user.name")
+
+
+class TestCategoryAssignments:
+    def test_postal_is_physical(self):
+        assert "physical" in basedata.categories_for_ref(
+            "#user.home-info.postal"
+        )
+
+    def test_email_is_online(self):
+        assert basedata.categories_for_ref(
+            "#user.home-info.online.email"
+        ) == frozenset({"online"})
+
+    def test_bdate_is_demographic(self):
+        assert "demographic" in basedata.categories_for_ref("#user.bdate")
+
+    def test_login_is_uniqueid(self):
+        assert "uniqueid" in basedata.categories_for_ref("#user.login")
+
+    def test_clickstream_is_navigation_and_computer(self):
+        categories = basedata.categories_for_ref("#dynamic.clickstream")
+        assert {"navigation", "computer"} <= categories
+
+    def test_subtree_union(self):
+        # Referencing a structure collects all its fields' categories.
+        whole = basedata.categories_for_ref("#user")
+        assert {"physical", "online", "demographic", "uniqueid"} <= whole
+
+    def test_all_categories_are_legal(self):
+        for name in basedata.known_refs():
+            for category in basedata.lookup(name).categories:
+                assert category in terms.CATEGORY_SET
+
+    def test_thirdparty_mirrors_user(self):
+        user = basedata.categories_for_ref("#user.name")
+        third = basedata.categories_for_ref("#thirdparty.name")
+        assert user == third
+
+
+class TestEnumeration:
+    def test_schema_is_substantial(self):
+        # The real base data schema has hundreds of named elements; the
+        # augmentation cost model depends on that scale.
+        assert basedata.schema_size() > 250
+
+    def test_leaf_refs_are_leaves(self):
+        for name in basedata.leaf_refs()[:50]:
+            assert basedata.lookup(name).is_leaf()
+
+    def test_known_refs_unique(self):
+        names = basedata.known_refs()
+        assert len(names) == len(set(names))
+
+
+class TestSchemaDocument:
+    def test_document_parses(self):
+        root = xmlutil.parse_string(basedata.base_schema_document())
+        assert xmlutil.local_name(root.tag) == "DATASCHEMA"
+
+    def test_document_has_one_struct_per_node(self):
+        root = xmlutil.parse_string(basedata.base_schema_document())
+        assert len(list(root)) == basedata.schema_size()
+
+    def test_document_categories_match_index(self):
+        root = xmlutil.parse_string(basedata.base_schema_document())
+        for struct in list(root)[:80]:
+            name = struct.get("name")
+            cats_el = xmlutil.find_child(struct, "CATEGORIES")
+            doc_cats = frozenset(
+                xmlutil.local_name(c.tag) for c in cats_el
+            ) if cats_el is not None else frozenset()
+            assert doc_cats == basedata.lookup(name).categories

@@ -1,0 +1,218 @@
+"""Custom DATASCHEMA documents and the schema registry."""
+
+import pytest
+
+from repro.appel.engine import AppelEngine
+from repro.appel.model import expression, rule, ruleset
+from repro.errors import PolicyParseError, VocabularyError
+from repro.p3p.model import DataItem, Policy, PurposeValue, RecipientValue, Statement
+from repro.storage.shredder import PolicyStore
+from repro.vocab.dataschema import (
+    DataSchemaRegistry,
+    parse_dataschema,
+    split_ref,
+)
+
+SHOP_SCHEMA_URI = "http://shop.example.com/schema"
+SHOP_SCHEMA_XML = """
+<DATASCHEMA xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <DATA-STRUCT name="order">
+  </DATA-STRUCT>
+  <DATA-STRUCT name="order.id">
+    <CATEGORIES><uniqueid/></CATEGORIES>
+  </DATA-STRUCT>
+  <DATA-STRUCT name="order.giftwrap">
+    <CATEGORIES><preference/></CATEGORIES>
+  </DATA-STRUCT>
+  <DATA-STRUCT name="order.total">
+    <CATEGORIES><purchase/><financial/></CATEGORIES>
+  </DATA-STRUCT>
+  <DATA-STRUCT name="survey" variable="yes"/>
+</DATASCHEMA>
+"""
+
+
+@pytest.fixture()
+def registry():
+    schema = parse_dataschema(SHOP_SCHEMA_XML, SHOP_SCHEMA_URI)
+    return DataSchemaRegistry([schema])
+
+
+class TestSplitRef:
+    def test_base_ref(self):
+        assert split_ref("#user.name") == ("", "user.name")
+
+    def test_custom_ref(self):
+        assert split_ref(f"{SHOP_SCHEMA_URI}#order.id") == \
+            (SHOP_SCHEMA_URI, "order.id")
+
+    def test_bare_name(self):
+        assert split_ref("user.name") == ("", "user.name")
+
+
+class TestParsing:
+    def test_elements_parsed(self):
+        schema = parse_dataschema(SHOP_SCHEMA_XML, SHOP_SCHEMA_URI)
+        assert schema.lookup("order.id").categories == \
+            frozenset({"uniqueid"})
+        assert schema.lookup("survey").variable
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_dataschema(
+                '<DATASCHEMA><DATA-STRUCT name="x">'
+                "<CATEGORIES><gossip/></CATEGORIES>"
+                "</DATA-STRUCT></DATASCHEMA>", "u")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_dataschema("<DATASCHEMA><DATA-STRUCT/></DATASCHEMA>", "u")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_dataschema("<DATASCHEMA/>", "u")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_dataschema("<DATASCHEMA", "u")
+
+
+class TestRegistryResolution:
+    def test_base_refs_still_resolve(self, registry):
+        assert registry.is_known_ref("#user.name")
+        assert "physical" in registry.categories_for_ref("#user.name")
+
+    def test_custom_ref_resolves(self, registry):
+        ref = f"{SHOP_SCHEMA_URI}#order.id"
+        assert registry.is_known_ref(ref)
+        assert registry.categories_for_ref(ref) == frozenset({"uniqueid"})
+
+    def test_structure_union(self, registry):
+        ref = f"{SHOP_SCHEMA_URI}#order"
+        assert registry.categories_for_ref(ref) == frozenset(
+            {"uniqueid", "preference", "purchase", "financial"}
+        )
+
+    def test_unknown_schema_uri(self, registry):
+        ref = "http://other.example.com/schema#x"
+        assert not registry.is_known_ref(ref)
+        assert registry.categories_for_ref(ref) == frozenset()
+
+    def test_variable_custom_ref(self, registry):
+        assert registry.is_variable_ref(f"{SHOP_SCHEMA_URI}#survey")
+        with pytest.raises(VocabularyError):
+            registry.is_variable_ref("http://nowhere/#x")
+
+    def test_empty_uri_schema_rejected(self):
+        from repro.vocab.dataschema import CustomDataSchema
+
+        registry = DataSchemaRegistry()
+        with pytest.raises(VocabularyError):
+            registry.register(CustomDataSchema(uri="", elements={}))
+
+
+def _shop_policy() -> Policy:
+    return Policy(
+        name="shop",
+        discuri="http://shop.example.com/p",
+        statements=(
+            Statement(
+                purposes=(PurposeValue("current"),),
+                recipients=(RecipientValue("ours"),),
+                retention="stated-purpose",
+                data=(
+                    DataItem(f"{SHOP_SCHEMA_URI}#order.total"),
+                    DataItem("#user.name"),
+                ),
+            ),
+        ),
+    )
+
+
+class TestEndToEndWithCustomSchema:
+    def test_augmented_expands_custom_refs(self, registry):
+        augmented = _shop_policy().augmented(registry)
+        items = {item.ref: item.categories
+                 for item in augmented.statements[0].data}
+        assert set(items[f"{SHOP_SCHEMA_URI}#order.total"]) == \
+            {"purchase", "financial"}
+        assert "physical" in items["#user.name"]
+
+    def test_without_registry_custom_refs_unexpanded(self):
+        augmented = _shop_policy().augmented()
+        items = {item.ref: item.categories
+                 for item in augmented.statements[0].data}
+        assert items[f"{SHOP_SCHEMA_URI}#order.total"] == ()
+
+    def test_shredder_expands_custom_categories(self, registry):
+        store = PolicyStore(registry=registry)
+        pid = store.install_policy(_shop_policy()).policy_id
+        categories = {
+            row["category"]
+            for row in store.db.query(
+                "SELECT category FROM category WHERE policy_id = ?",
+                (pid,))
+        }
+        assert {"purchase", "financial"} <= categories
+
+    def test_engine_matches_custom_categories(self, registry):
+        """A category rule fires on the custom schema's financial tag —
+        in both the native engine and the SQL pipeline."""
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("DATA-GROUP",
+                                                  expression(
+                                                      "DATA",
+                                                      expression(
+                                                          "CATEGORIES",
+                                                          expression(
+                                                              "financial"))))))),
+            rule("request"),
+        )
+        engine = AppelEngine(registry=registry)
+        native = engine.evaluate(_shop_policy(), preference)
+        assert native.behavior == "block"
+
+        from repro.translate.appel_to_sql import (
+            OptimizedSqlTranslator,
+            applicable_policy_literal,
+            evaluate_ruleset,
+        )
+
+        store = PolicyStore(registry=registry)
+        pid = store.install_policy(_shop_policy()).policy_id
+        translated = OptimizedSqlTranslator().translate_ruleset(
+            preference, applicable_policy_literal(pid))
+        assert evaluate_ruleset(store.db, translated) == ("block", 0)
+
+    def test_engines_agree_without_registry_too(self):
+        """Unresolvable custom refs degrade identically everywhere."""
+        preference = ruleset(
+            rule("block",
+                 expression("POLICY",
+                            expression("STATEMENT",
+                                       expression("DATA-GROUP",
+                                                  expression(
+                                                      "DATA",
+                                                      expression(
+                                                          "CATEGORIES",
+                                                          expression(
+                                                              "financial"))))))),
+            rule("request"),
+        )
+        native = AppelEngine().evaluate(_shop_policy(), preference)
+        assert native.behavior == "request"
+
+        from repro.translate.appel_to_sql import (
+            OptimizedSqlTranslator,
+            applicable_policy_literal,
+            evaluate_ruleset,
+        )
+
+        store = PolicyStore()
+        pid = store.install_policy(_shop_policy()).policy_id
+        translated = OptimizedSqlTranslator().translate_ruleset(
+            preference, applicable_policy_literal(pid))
+        assert evaluate_ruleset(store.db, translated) == ("request", 1)

@@ -1,0 +1,114 @@
+"""Element catalog: structure, key chains, and table naming (Figure 8 inputs)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.vocab import schema, terms
+
+
+class TestCatalogStructure:
+    def test_root_is_policy(self):
+        assert schema.ROOT == "POLICY"
+        assert schema.parent_of("POLICY") is None
+
+    def test_every_non_root_has_one_parent(self):
+        for name in schema.CATALOG:
+            if name == schema.ROOT:
+                continue
+            assert schema.parent_of(name) in schema.CATALOG
+
+    def test_statement_children(self):
+        spec = schema.spec("STATEMENT")
+        assert set(spec.children) == {
+            "CONSEQUENCE", "NON-IDENTIFIABLE", "PURPOSE", "RECIPIENT",
+            "RETENTION", "DATA-GROUP",
+        }
+
+    def test_purpose_children_are_the_twelve_purposes(self):
+        assert schema.spec("PURPOSE").children == terms.PURPOSES
+
+    def test_value_children_helper(self):
+        assert schema.value_children("RECIPIENT") == terms.RECIPIENTS
+        assert schema.value_children("CATEGORIES") == terms.CATEGORIES
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(VocabularyError):
+            schema.spec("WIRETAP")
+        with pytest.raises(VocabularyError):
+            schema.parent_of("WIRETAP")
+
+    def test_iter_elements_covers_catalog_once(self):
+        names = [spec.name for spec in schema.iter_elements()]
+        assert len(names) == len(set(names))
+        assert set(names) == set(schema.CATALOG)
+
+    def test_iter_elements_root_first(self):
+        assert schema.iter_elements()[0].name == "POLICY"
+
+
+class TestKeyChains:
+    """Figure 8's chained primary keys, matching the Figure 13 joins."""
+
+    def test_root_path_for_purpose_value(self):
+        assert schema.root_path("admin") == (
+            "POLICY", "STATEMENT", "PURPOSE", "admin",
+        )
+
+    def test_key_columns_admin(self):
+        # The exact key shape visible in Figure 13's Admin subquery.
+        assert schema.key_columns("admin") == (
+            "admin_id", "purpose_id", "statement_id", "policy_id",
+        )
+
+    def test_foreign_key_is_parent_primary_key(self):
+        for name in ("STATEMENT", "PURPOSE", "DATA", "contact"):
+            parent = schema.parent_of(name)
+            assert schema.foreign_key_columns(name) == \
+                schema.key_columns(parent)
+
+    def test_policy_key_is_single_column(self):
+        assert schema.key_columns("POLICY") == ("policy_id",)
+
+
+class TestNaming:
+    def test_table_name_lowers_and_dashes(self):
+        assert schema.table_name("DATA-GROUP") == "data_group"
+        assert schema.table_name("individual-decision") == \
+            "individual_decision"
+
+    def test_id_column(self):
+        assert schema.id_column("STATEMENT") == "statement_id"
+
+    def test_attribute_columns(self):
+        assert schema.attribute_columns("DATA") == ("ref", "optional")
+        assert schema.attribute_columns("POLICY") == (
+            "name", "discuri", "opturi",
+        )
+
+
+class TestAttributeSpecs:
+    def test_required_defaults_to_always_on_contact(self):
+        attr = schema.spec("contact").attribute("required")
+        assert attr is not None
+        assert attr.default == "always"
+
+    def test_current_has_no_required(self):
+        assert schema.spec("current").attribute("required") is None
+
+    def test_ours_has_no_required(self):
+        assert schema.spec("ours").attribute("required") is None
+
+    def test_resolve_uses_default(self):
+        attr = schema.spec("contact").attribute("required")
+        assert attr.resolve(None) == "always"
+        assert attr.resolve("opt-in") == "opt-in"
+
+    def test_data_optional_defaults_no(self):
+        attr = schema.spec("DATA").attribute("optional")
+        assert attr.default == "no"
+
+    def test_is_value_element(self):
+        assert schema.is_value_element("admin")
+        assert schema.is_value_element("purchase")
+        assert not schema.is_value_element("STATEMENT")
+        assert not schema.is_value_element("NOT-AN-ELEMENT")

@@ -1,0 +1,114 @@
+"""Vocabulary terms: value sets and checkers (paper Section 2.1)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.vocab import terms
+
+
+class TestValueCounts:
+    """Section 2.1: 'P3P has predefined values for PURPOSE (12 choices),
+    RECIPIENT (6), and RETENTION (5).'"""
+
+    def test_twelve_purposes(self):
+        assert len(terms.PURPOSES) == 12
+
+    def test_six_recipients(self):
+        assert len(terms.RECIPIENTS) == 6
+
+    def test_five_retentions(self):
+        assert len(terms.RETENTIONS) == 5
+
+    def test_seventeen_categories(self):
+        assert len(terms.CATEGORIES) == 17
+
+    def test_no_duplicates_within_sets(self):
+        for values in (terms.PURPOSES, terms.RECIPIENTS, terms.RETENTIONS,
+                       terms.CATEGORIES, terms.ACCESS_VALUES,
+                       terms.REMEDIES):
+            assert len(values) == len(set(values))
+
+    def test_value_names_are_disjoint_across_sets(self):
+        # Element names double as table names, so no two vocabulary sets
+        # may share a member.
+        sets = [set(terms.PURPOSES), set(terms.RECIPIENTS),
+                set(terms.RETENTIONS), set(terms.CATEGORIES),
+                set(terms.ACCESS_VALUES), set(terms.REMEDIES)]
+        for i, left in enumerate(sets):
+            for right in sets[i + 1:]:
+                assert not left & right
+
+
+class TestPaperExamples:
+    """The example values Section 2.1 quotes must be present."""
+
+    @pytest.mark.parametrize("purpose", [
+        "current", "individual-decision", "contact",
+    ])
+    def test_example_purposes(self, purpose):
+        assert purpose in terms.PURPOSE_SET
+
+    @pytest.mark.parametrize("recipient", ["ours", "same", "unrelated"])
+    def test_example_recipients(self, recipient):
+        assert recipient in terms.RECIPIENT_SET
+
+    @pytest.mark.parametrize("retention", [
+        "stated-purpose", "business-practices", "indefinitely",
+    ])
+    def test_example_retentions(self, retention):
+        assert retention in terms.RETENTION_SET
+
+
+class TestCheckers:
+    def test_check_purpose_accepts(self):
+        assert terms.check_purpose("admin") == "admin"
+
+    def test_check_purpose_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_purpose("surveillance")
+
+    def test_check_recipient_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_recipient("everyone")
+
+    def test_check_retention_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_retention("forever")
+
+    def test_check_category_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_category("secrets")
+
+    def test_check_required_accepts_all_three(self):
+        for value in ("always", "opt-in", "opt-out"):
+            assert terms.check_required(value) == value
+
+    def test_check_required_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_required("sometimes")
+
+    def test_check_connective_accepts_all_six(self):
+        for value in terms.CONNECTIVES:
+            assert terms.check_connective(value) == value
+        assert len(terms.CONNECTIVES) == 6
+
+    def test_check_connective_rejects(self):
+        with pytest.raises(VocabularyError):
+            terms.check_connective("xor")
+
+
+class TestDefaults:
+    def test_required_default_is_always(self):
+        """Section 2.1: 'By default, the value of the required attribute
+        is set to always.'"""
+        assert terms.REQUIRED_DEFAULT == "always"
+
+    def test_default_connective_is_and(self):
+        """Section 2.2: 'the default connective being and'."""
+        assert terms.CONNECTIVE_DEFAULT == "and"
+
+    def test_current_never_carries_required(self):
+        assert "current" in terms.PURPOSES_WITHOUT_REQUIRED
+
+    def test_ours_never_carries_required(self):
+        assert "ours" in terms.RECIPIENTS_WITHOUT_REQUIRED

@@ -1,0 +1,164 @@
+"""The deployment tools of Section 3.3: policy wizard + rule templates."""
+
+import pytest
+
+from repro.appel.engine import AppelEngine
+from repro.appel.templates import (
+    TEMPLATES,
+    compose_preference,
+    template_keys,
+)
+from repro.errors import AppelParseError, PolicyValidationError
+from repro.p3p.validator import validate_policy
+from repro.p3p.wizard import PolicyAnswers, build_policy
+
+
+class TestPolicyWizard:
+    def test_minimal_site(self):
+        policy = build_policy(PolicyAnswers(company_name="Tiny Blog",
+                                            collects_contact_data=False,
+                                            offers_disputes=False))
+        assert policy.name == "tiny-blog"
+        assert policy.statement_count() == 1
+        errors = [p for p in validate_policy(policy)
+                  if p.severity == "error"]
+        assert errors == []
+
+    def test_full_commerce_site(self):
+        policy = build_policy(PolicyAnswers(
+            company_name="Mega Shop",
+            homepage="http://shop.example.com",
+            collects_payment_data=True,
+            does_marketing=True,
+            does_analytics=True,
+            shares_with_partners=True,
+        ))
+        assert policy.statement_count() == 3
+        assert policy.opturi is not None  # marketing with consent
+        errors = [p for p in validate_policy(policy)
+                  if p.severity == "error"]
+        assert errors == []
+
+    def test_marketing_without_consent(self):
+        policy = build_policy(PolicyAnswers(
+            company_name="Spam Co", does_marketing=True,
+            marketing_needs_consent=False,
+        ))
+        marketing = policy.statements[1]
+        assert all(p.required == "always" for p in marketing.purposes)
+        assert policy.opturi is None
+
+    def test_identifiable_analytics(self):
+        policy = build_policy(PolicyAnswers(
+            company_name="Watcher", does_analytics=True,
+            analytics_identifiable=True,
+        ))
+        analytics = policy.statements[1]
+        assert "individual-analysis" in analytics.purpose_names()
+        assert not analytics.non_identifiable
+
+    def test_pseudonymous_analytics(self):
+        policy = build_policy(PolicyAnswers(
+            company_name="Counter", does_analytics=True,
+        ))
+        analytics = policy.statements[1]
+        assert "pseudo-analysis" in analytics.purpose_names()
+        assert analytics.non_identifiable
+
+    def test_disputes_channel(self):
+        policy = build_policy(PolicyAnswers(company_name="Fair Corp"))
+        assert policy.disputes
+        assert policy.disputes[0].service.endswith("/complaints")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            build_policy(PolicyAnswers(company_name=""))
+
+    def test_wizard_policy_roundtrips(self):
+        from repro.p3p.parser import parse_policy
+        from repro.p3p.serializer import serialize_policy
+
+        policy = build_policy(PolicyAnswers(
+            company_name="Round Trip", does_marketing=True,
+            does_analytics=True,
+        ))
+        assert parse_policy(serialize_policy(policy)) == policy
+
+
+class TestRuleTemplates:
+    def test_catalog_is_documented(self):
+        assert len(TEMPLATES) >= 8
+        for template in TEMPLATES.values():
+            assert template.title
+            assert template.explanation
+            assert template.build().behavior == "block"
+
+    def test_compose_appends_catch_all(self):
+        preference = compose_preference(["no-telemarketing"])
+        assert preference.rule_count() == 2
+        assert preference.rules[-1].is_catch_all()
+        assert preference.rules[-1].behavior == "request"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(AppelParseError):
+            compose_preference(["no-such-template"])
+
+    def test_statically_valid(self):
+        from repro.appel.analysis import validate_ruleset
+
+        preference = compose_preference(list(template_keys()))
+        errors = [p for p in validate_ruleset(preference)
+                  if p.severity == "error"]
+        assert errors == []
+
+    def test_semantics_against_wizard_policies(self):
+        engine = AppelEngine()
+
+        spam = build_policy(PolicyAnswers(
+            company_name="Spam Co", does_marketing=True,
+            marketing_needs_consent=False,
+        ))
+        polite = build_policy(PolicyAnswers(
+            company_name="Polite Co", does_marketing=True,
+            marketing_needs_consent=True,
+        ))
+
+        needs_consent = compose_preference(["no-uncontrolled-marketing"])
+        assert engine.evaluate(spam, needs_consent).behavior == "block"
+        assert engine.evaluate(polite, needs_consent).behavior == "request"
+
+        no_profiling = compose_preference(["no-profiling"])
+        assert engine.evaluate(polite, no_profiling).behavior == "block"
+
+    def test_require_disputes_template(self):
+        engine = AppelEngine()
+        with_disputes = build_policy(PolicyAnswers(company_name="A"))
+        without = build_policy(PolicyAnswers(company_name="B",
+                                             offers_disputes=False))
+        preference = compose_preference(["require-disputes"])
+        assert engine.evaluate(with_disputes,
+                               preference).behavior == "request"
+        assert engine.evaluate(without, preference).behavior == "block"
+
+    def test_templates_agree_across_engines(self):
+        """Template-built preferences run identically on the SQL path."""
+        from repro.engines import SqlMatchEngine
+
+        preference = compose_preference(list(template_keys()))
+        native = AppelEngine()
+        sql = SqlMatchEngine()
+        for answers in (
+            PolicyAnswers(company_name="A"),
+            PolicyAnswers(company_name="B", does_marketing=True,
+                          marketing_needs_consent=False,
+                          shares_with_partners=True),
+            PolicyAnswers(company_name="C", does_analytics=True,
+                          analytics_identifiable=True,
+                          offers_disputes=False),
+        ):
+            policy = build_policy(answers)
+            expected = native.evaluate(policy, preference)
+            handle = sql.install(policy)
+            outcome = sql.match(handle, preference)
+            assert (outcome.behavior, outcome.rule_index) == \
+                (expected.behavior, expected.rule_index)

@@ -1,0 +1,68 @@
+"""XML helpers shared by the parsers."""
+
+import xml.etree.ElementTree as ET
+
+from repro import xmlutil
+
+
+class TestLocalNames:
+    def test_plain_tag(self):
+        assert xmlutil.local_name("POLICY") == "POLICY"
+
+    def test_namespaced_tag(self):
+        assert xmlutil.local_name("{http://ns}POLICY") == "POLICY"
+
+    def test_local_attrib(self):
+        element = ET.fromstring(
+            '<a xmlns:n="http://ns" n:x="1" y="2"/>'
+        )
+        assert xmlutil.local_attrib(element) == {"x": "1", "y": "2"}
+
+
+class TestNavigation:
+    def _tree(self):
+        return ET.fromstring(
+            "<root><a/><b><c/></b><a id='2'/></root>"
+        )
+
+    def test_find_child(self):
+        root = self._tree()
+        assert xmlutil.find_child(root, "b") is not None
+        assert xmlutil.find_child(root, "zzz") is None
+
+    def test_find_children(self):
+        assert len(xmlutil.find_children(self._tree(), "a")) == 2
+
+    def test_first_by_local_name_depth_first(self):
+        found = xmlutil.first_by_local_name(self._tree(), "c")
+        assert found is not None
+        assert found.tag == "c"
+
+    def test_first_by_local_name_self(self):
+        root = self._tree()
+        assert xmlutil.first_by_local_name(root, "root") is root
+
+
+class TestText:
+    def test_element_text_direct(self):
+        element = ET.fromstring("<t>  hello  </t>")
+        assert xmlutil.element_text(element) == "hello"
+
+    def test_element_text_with_children(self):
+        element = ET.fromstring("<t>a<x/>b<y/>c</t>")
+        assert xmlutil.element_text(element) == "abc"
+
+    def test_element_text_empty(self):
+        assert xmlutil.element_text(ET.fromstring("<t/>")) == ""
+
+
+class TestSerialization:
+    def test_to_string_roundtrip(self):
+        element = ET.fromstring("<a><b x='1'/></a>")
+        text = xmlutil.to_string(element, indent=False)
+        again = xmlutil.parse_string(text)
+        assert again.find("b").get("x") == "1"
+
+    def test_indentation(self):
+        element = ET.fromstring("<a><b/></a>")
+        assert "\n" in xmlutil.to_string(element, indent=True)

