@@ -1,0 +1,133 @@
+"""E8: serving-layer throughput under concurrency (beyond the paper).
+
+The paper benchmarks one check at a time; ROADMAP's north star is "heavy
+traffic from millions of users".  These benchmarks pin the trajectory:
+
+* ``serial`` — the seed-style deployment (one shared connection,
+  rollback journal, check-log commit per request) driven by 1 thread;
+* ``pooled`` — the concurrent serving layer (WAL connection pool,
+  per-thread readers, batched group-committed check log) at 1/4/16
+  threads.
+
+Acceptance floor: pooled at 4 threads must deliver at least 2x the
+checks/sec of the 1-thread serial baseline, and a 16-thread run must
+log every check exactly once.  (This box may have a single core — the
+pooled speedup comes from WAL plus commit batching, not parallel CPU.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    _concurrency_requests,
+    _concurrency_server,
+    concurrency_experiment,
+)
+from repro.corpus.volga import jane_preference
+
+
+@pytest.fixture(scope="module")
+def trajectory(tmp_path_factory):
+    """The full E8 grid, computed once."""
+    workdir = tmp_path_factory.mktemp("bench-concurrency")
+    rows = concurrency_experiment(directory=str(workdir), checks=600)
+    return {(row.mode, row.threads): row for row in rows}
+
+
+class TestThroughputTrajectory:
+    def test_grid_is_complete(self, trajectory):
+        assert set(trajectory) == {
+            ("serial", 1), ("pooled", 1), ("pooled", 4), ("pooled", 16),
+        }
+
+    def test_pooled_4_threads_at_least_2x_serial_baseline(self, trajectory):
+        serial = trajectory[("serial", 1)].checks_per_second
+        pooled = trajectory[("pooled", 4)].checks_per_second
+        assert pooled >= 2 * serial, (
+            f"pooled@4 {pooled:.0f} checks/s vs serial@1 {serial:.0f}"
+        )
+
+    def test_pooled_beats_serial_at_every_thread_count(self, trajectory):
+        serial = trajectory[("serial", 1)].checks_per_second
+        for threads in (1, 4, 16):
+            assert trajectory[("pooled", threads)].checks_per_second > \
+                serial
+
+    def test_16_threads_completes_with_sane_timing(self, trajectory):
+        row = trajectory[("pooled", 16)]
+        assert row.checks == 600
+        assert row.seconds > 0
+
+
+class TestExactlyOnceUnderLoad:
+    def test_16_thread_run_drops_and_duplicates_nothing(self, tmp_path):
+        server = _concurrency_server(str(tmp_path / "once.db"),
+                                     log_batch_size=256,
+                                     log_flush_interval=0.05)
+        try:
+            jane = jane_preference()
+            requests = [
+                ("volga.example.com", f"/catalog/unique-{i}", jane)
+                for i in range(960)
+            ]
+            results = server.serve_many(requests, threads=16)
+            assert len(results) == len(requests)
+            with server.pool.read() as db:
+                total = db.scalar("SELECT COUNT(*) FROM check_log")
+                distinct = db.scalar(
+                    "SELECT COUNT(DISTINCT uri) FROM check_log"
+                )
+            assert total == len(requests), "dropped or duplicated rows"
+            assert distinct == len(requests), "duplicated rows"
+        finally:
+            server.close()
+
+
+class TestMicrobenchmarks:
+    """pytest-benchmark samples for the BENCH_*.json trajectory."""
+
+    @pytest.fixture(scope="class")
+    def pooled_server(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench-pool") / "pooled.db"
+        server = _concurrency_server(str(path), log_batch_size=256,
+                                     log_flush_interval=0.05)
+        yield server
+        server.close()
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return _concurrency_requests(200)
+
+    def _bench(self, benchmark, server, batch, threads):
+        server.serve_many(batch[:32], threads=threads)  # warm
+        result = benchmark.pedantic(
+            server.serve_many, args=(batch,),
+            kwargs={"threads": threads}, rounds=3, iterations=1,
+        )
+        assert len(result) == len(batch)
+        benchmark.extra_info["threads"] = threads
+        benchmark.extra_info["checks_per_round"] = len(batch)
+
+    def test_serve_many_1_thread(self, benchmark, pooled_server, batch):
+        self._bench(benchmark, pooled_server, batch, threads=1)
+
+    def test_serve_many_4_threads(self, benchmark, pooled_server, batch):
+        self._bench(benchmark, pooled_server, batch, threads=4)
+
+    def test_serve_many_16_threads(self, benchmark, pooled_server, batch):
+        self._bench(benchmark, pooled_server, batch, threads=16)
+
+    def test_serial_baseline_check(self, benchmark, tmp_path):
+        """The seed-style per-check-commit cost, for the ratio."""
+        from repro.storage.database import Database
+
+        server = _concurrency_server(Database(str(tmp_path / "serial.db")),
+                                     log_batch_size=1)
+        try:
+            jane = jane_preference()
+            server.check("volga.example.com", "/catalog/item-0", jane)
+            benchmark(server.check, "volga.example.com",
+                      "/catalog/item-1", jane)
+        finally:
+            server.close()

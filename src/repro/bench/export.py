@@ -26,7 +26,7 @@ def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
 
 
 def run_all(seed: int = 2003) -> dict[str, Any]:
-    """Run E1-E7 and return one JSON-serializable results document."""
+    """Run E1-E8 and return one JSON-serializable results document."""
     from repro.corpus.policies import fortune_corpus
     from repro.corpus.preferences import jrc_suite
 
@@ -41,6 +41,7 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
     level_rows = harness.figure21(samples)
     warm_cold = harness.warm_cold_experiment(policies[:8], suite)
     ablation = harness.ablation_experiment(policies[:10], suite)
+    concurrency = harness.concurrency_experiment(checks=200)
 
     return {
         "meta": {
@@ -94,6 +95,16 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
             "sql_optimized": _aggregate(ablation.sql_optimized),
             "sql_generic": _aggregate(ablation.sql_generic),
         },
+        "e8_concurrency": [
+            {
+                "mode": row.mode,
+                "threads": row.threads,
+                "checks": row.checks,
+                "seconds": row.seconds,
+                "checks_per_second": row.checks_per_second,
+            }
+            for row in concurrency
+        ],
     }
 
 

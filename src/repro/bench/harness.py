@@ -11,6 +11,10 @@ Experiment ids follow DESIGN.md:
 * E6 — warm vs cold matching (Section 6.3.2's warm-up discussion)
 * E7 — ablation: category augmentation dominates the native engine
   (Section 6.3.2's profiling claim) and optimized vs generic schema
+* E8 — serving-layer concurrency: checks/sec of the seed-style serial
+  server (one connection, rollback journal, commit per check) vs the
+  pooled WAL server (per-thread readers, batched check log) at 1/4/16
+  threads (beyond the paper; ROADMAP's "heavy traffic" north star)
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -19,7 +23,9 @@ orderings, ratios, and failure cells (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 import statistics
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -392,3 +398,100 @@ def ablation_experiment(policies: list[Policy] | None = None,
         sql_optimized=Aggregate.of(sql_times["sql"]),
         sql_generic=Aggregate.of(sql_times["sql-generic"]),
     )
+
+
+# -- E8: serving-layer concurrency ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConcurrencyResult:
+    """Throughput of one serving configuration at one thread count."""
+
+    mode: str       # "serial" (seed-style) or "pooled" (WAL + batched log)
+    threads: int
+    checks: int
+    seconds: float
+
+    @property
+    def checks_per_second(self) -> float:
+        return self.checks / self.seconds if self.seconds > 0 else 0.0
+
+
+def _concurrency_requests(checks: int) -> list[tuple[str, str, object]]:
+    from repro.corpus.volga import jane_preference
+
+    jane = jane_preference()
+    # A handful of covered URIs so the prepared-statement cache behaves
+    # like a real site (repeat traffic), not a single hot string.
+    return [
+        ("volga.example.com", f"/catalog/item-{i % 8}", jane)
+        for i in range(checks)
+    ]
+
+
+def _concurrency_server(db, **server_options):
+    from repro.corpus.volga import VOLGA_REFERENCE_XML, volga_policy
+    from repro.server.policy_server import PolicyServer
+
+    server = PolicyServer(db, **server_options)
+    server.install_policy(volga_policy(), site="volga.example.com")
+    server.install_reference_file(VOLGA_REFERENCE_XML, "volga.example.com")
+    return server
+
+
+def concurrency_experiment(directory: str | None = None,
+                           thread_counts: tuple[int, ...] = (1, 4, 16),
+                           checks: int = 400,
+                           warmup: int = 32) -> list[ConcurrencyResult]:
+    """E8: the serving-layer trajectory the paper never measured.
+
+    Two configurations over the same on-disk workload:
+
+    * ``serial`` — the deployment the seed code implied: one shared
+      connection, rollback journal, and a check-log commit on every
+      request, driven by a single thread.  This is the 1-thread
+      baseline.
+    * ``pooled`` — the concurrent serving layer: WAL connection pool
+      (per-thread readers, serialized writer) and the batched check-log
+      writer, driven through :meth:`PolicyServer.serve_many` at each
+      thread count (including 1, so pool overhead is visible).
+
+    Every pooled run flushes the log inside the timed region, so the
+    numbers compare equal durability: all checks are on disk when the
+    clock stops.
+    """
+    from repro.storage.database import Database
+
+    requests = _concurrency_requests(checks)
+    results: list[ConcurrencyResult] = []
+
+    with tempfile.TemporaryDirectory(dir=directory) as workdir:
+        serial_path = os.path.join(workdir, "serial.db")
+        serial = _concurrency_server(Database(serial_path),
+                                     log_batch_size=1)
+        try:
+            serial.serve_many(requests[:warmup], threads=1)
+            start = time.perf_counter()
+            serial.serve_many(requests, threads=1)
+            results.append(ConcurrencyResult(
+                mode="serial", threads=1, checks=checks,
+                seconds=time.perf_counter() - start,
+            ))
+        finally:
+            serial.close()
+
+        pooled_path = os.path.join(workdir, "pooled.db")
+        pooled = _concurrency_server(pooled_path, log_batch_size=256,
+                                     log_flush_interval=0.05)
+        try:
+            pooled.serve_many(requests[:warmup], threads=max(thread_counts))
+            for threads in thread_counts:
+                start = time.perf_counter()
+                pooled.serve_many(requests, threads=threads)
+                results.append(ConcurrencyResult(
+                    mode="pooled", threads=threads, checks=checks,
+                    seconds=time.perf_counter() - start,
+                ))
+        finally:
+            pooled.close()
+    return results

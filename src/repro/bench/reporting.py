@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.bench.harness import (
     AblationResult,
+    ConcurrencyResult,
     EngineSummary,
     LevelSummary,
     ShreddingResult,
@@ -226,4 +227,30 @@ def format_ablation(result: AblationResult) -> str:
         f"  SQL, generic schema   (Fig. 8)  : "
         f"{_ms(result.sql_generic.average)}",
     ]
+    return "\n".join(lines)
+
+
+def format_concurrency(rows: list[ConcurrencyResult]) -> str:
+    """E8: serving-layer throughput at increasing thread counts."""
+    lines = [
+        "Serving-layer concurrency (on-disk database, durable check log)",
+        f"{'Configuration':34s} {'Threads':>7s} {'Checks/s':>10s} "
+        f"{'Speedup':>8s}",
+    ]
+    labels = {
+        "serial": "serial (per-check commit)",
+        "pooled": "pooled (WAL + batched log)",
+    }
+    baseline = next(
+        (r.checks_per_second for r in rows
+         if r.mode == "serial" and r.threads == 1), None
+    )
+    for row in rows:
+        speedup = ""
+        if baseline:
+            speedup = f"{row.checks_per_second / baseline:7.2f}x"
+        lines.append(
+            f"{labels.get(row.mode, row.mode):34s} {row.threads:7d} "
+            f"{row.checks_per_second:10.0f} {speedup:>8s}"
+        )
     return "\n".join(lines)

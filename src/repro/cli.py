@@ -186,7 +186,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
-                      "figure20", "figure21", "warm-cold", "ablation")
+                      "figure20", "figure21", "warm-cold", "ablation",
+                      "concurrency")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -223,6 +224,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(bench.format_warm_cold(bench.warm_cold_experiment()))
         elif experiment == "ablation":
             print(bench.format_ablation(bench.ablation_experiment()))
+        elif experiment == "concurrency":
+            print(bench.format_concurrency(bench.concurrency_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2

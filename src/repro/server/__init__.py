@@ -12,12 +12,19 @@ from repro.server.analytics import (
 from repro.server.client import ClientAgent, ClientCheckResult
 from repro.server.decisions import AgentAction, decide, optional_refs
 from repro.server.hybrid import HybridAgent, HybridCheckResult
-from repro.server.policy_server import CheckResult, PolicyServer
+from repro.server.policy_server import (
+    CheckLogWriter,
+    CheckResult,
+    PolicyServer,
+    TranslationCache,
+)
 from repro.server.site import Site
 
 __all__ = [
     "PolicyServer",
     "CheckResult",
+    "CheckLogWriter",
+    "TranslationCache",
     "Site",
     "ClientAgent",
     "ClientCheckResult",

@@ -16,10 +16,7 @@ from dataclasses import dataclass
 from repro.appel.model import Ruleset
 from repro.server.policy_server import PolicyServer
 from repro.server.site import Site
-from repro.translate.appel_to_sql import (
-    applicable_policy_literal,
-    evaluate_ruleset,
-)
+from repro.translate.appel_to_sql import evaluate_ruleset
 
 
 @dataclass(frozen=True)
@@ -63,16 +60,20 @@ class HybridAgent:
             )
 
         # The client already knows which policy applies, so the server
-        # can skip its reference lookup and run the check directly.
-        policy_id = self.server.policies.policy_id_by_name(ref.policy_name)
+        # can skip its reference lookup and run the check directly — on
+        # this thread's pooled reader, through the server's bounded
+        # translation cache (re-translating per check would defeat the
+        # thin-client argument of Section 4.2).
         behavior = None
         rule_index = None
-        if policy_id is not None:
-            translated = self.server.translator.translate_ruleset(
-                self.preference, applicable_policy_literal(policy_id)
+        with self.server.pool.read() as db:
+            policy_id = self.server.policies.policy_id_by_name(
+                ref.policy_name, db=db
             )
-            behavior, rule_index = evaluate_ruleset(self.server.db,
-                                                    translated)
+            if policy_id is not None:
+                translated = self.server.translate(self.preference,
+                                                   policy_id)
+                behavior, rule_index = evaluate_ruleset(db, translated)
         return HybridCheckResult(
             site=site.host,
             uri=uri,

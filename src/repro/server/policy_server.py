@@ -16,14 +16,35 @@ Design choices straight from Section 4.2:
   privacy preferences of their users");
 * policies are installed through the versioned store, so policy evolution
   is an UPDATE, not a file push.
+
+Serving-scale additions beyond the paper:
+
+* checks run on a :class:`~repro.storage.pool.ConnectionPool` — WAL mode
+  for on-disk databases, a per-thread reader for every checking thread,
+  and a single serialized writer for installs and the log;
+* the translation cache is a bounded, lock-protected LRU
+  (:class:`TranslationCache`), invalidated when a policy name is
+  re-installed (version bump) or a policy disappears;
+* the check log is written by :class:`CheckLogWriter`, which batches
+  INSERTs via ``executemany`` and commits on size, age, or close —
+  **not** once per check.  Readers of ``check_log`` (analytics, tests)
+  should call :meth:`PolicyServer.flush_log` first; ``check_count``
+  flushes automatically.
+* :meth:`PolicyServer.serve_many` fans a batch of checks across worker
+  threads and flushes the log once at the end.
 """
 
 from __future__ import annotations
 
 import datetime
 import hashlib
+import threading
 import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
@@ -31,6 +52,7 @@ from repro.appel.serializer import serialize_ruleset
 from repro.p3p.model import Policy
 from repro.p3p.reference import ReferenceFile, parse_reference_file
 from repro.storage.database import Database
+from repro.storage.pool import ConnectionPool
 from repro.storage.refstore import ReferenceStore
 from repro.storage.shredder import PolicyStore, ShredReport
 from repro.storage.versioning import VersionedPolicyStore
@@ -56,6 +78,163 @@ CREATE TABLE IF NOT EXISTS check_log (
 """
 
 
+@lru_cache(maxsize=1024)
+def _ruleset_hash(preference: Ruleset) -> str:
+    """SHA-256 of the canonical serialization (cached: serializing the
+    whole ruleset per check would dominate a cache-hit check)."""
+    text = serialize_ruleset(preference, indent=False)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class TranslationCache:
+    """A bounded, thread-safe LRU cache for translated rulesets.
+
+    Keys are ``(preference_hash, policy_id)`` pairs.  ``get`` refreshes
+    recency; ``put`` evicts the least recently used entry beyond
+    *maxsize*; ``invalidate`` drops every key matching a predicate
+    (used when a policy version is superseded).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, TranslatedRuleset] = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> TranslatedRuleset | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: TranslatedRuleset) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every key for which *predicate* is true; returns count."""
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of cached keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class CheckLogWriter:
+    """Buffered check-log writer: batched INSERTs, group commit.
+
+    Rows accumulate in memory and are written with one ``executemany``
+    plus one commit when the buffer reaches *batch_size*, when the
+    oldest buffered row is older than *flush_interval* seconds (tested
+    on the next append — there is no background thread), or on
+    :meth:`flush` / :meth:`close`.  With ``batch_size=1`` every append
+    commits immediately (the paper-faithful serial behavior).
+
+    Concurrent flushes coalesce: whichever thread flushes first carries
+    every pending row in its batch, so N threads churning out checks
+    share commits instead of queueing N fsyncs.
+    """
+
+    _INSERT = (
+        "INSERT INTO check_log (site, uri, policy_id, behavior, "
+        "rule_index, preference_hash, elapsed_seconds, checked_at) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    def __init__(self, pool: ConnectionPool, *,
+                 batch_size: int = 32,
+                 flush_interval: float = 1.0):
+        self.pool = pool
+        self.batch_size = max(1, batch_size)
+        self.flush_interval = flush_interval
+        self._lock = threading.Lock()
+        self._rows: list[tuple] = []
+        self._oldest: float | None = None
+        self.appended = 0
+        self.written = 0
+        self.batches = 0
+
+    def append(self, row: tuple) -> None:
+        with self._lock:
+            self._rows.append(row)
+            self.appended += 1
+            if self._oldest is None:
+                self._oldest = time.monotonic()
+            due = (
+                len(self._rows) >= self.batch_size
+                or time.monotonic() - self._oldest >= self.flush_interval
+            )
+        if due:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write every buffered row in one batch; returns rows written."""
+        with self._lock:
+            rows, self._rows = self._rows, []
+            self._oldest = None
+        if not rows:
+            return 0
+        try:
+            with self.pool.write() as db:
+                db.executemany(self._INSERT, rows)
+                db.commit()
+        except BaseException:
+            # Never drop log rows: undo the partial batch and re-queue
+            # it ahead of anything appended meanwhile.
+            try:
+                with self.pool.write() as db:
+                    db.rollback()
+            except Exception:
+                pass
+            with self._lock:
+                self._rows = rows + self._rows
+                if self._oldest is None:
+                    self._oldest = time.monotonic()
+            raise
+        with self._lock:
+            self.batches += 1
+            self.written += len(rows)
+        return len(rows)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def close(self) -> None:
+        self.flush()
+
+
 @dataclass(frozen=True)
 class CheckResult:
     """Outcome of one preference check against a requested URI."""
@@ -79,16 +258,35 @@ class CheckResult:
 
 
 class PolicyServer:
-    """A database-backed P3P server for one or many sites."""
+    """A database-backed P3P server for one or many sites.
 
-    def __init__(self, db: Database | None = None):
-        self.db = db if db is not None else Database()
+    *db* may be a :class:`Database` (adopted as the pool's writer — the
+    legacy single-connection mode), a path string (the pool opens it in
+    WAL mode: the concurrent serving configuration), or None for an
+    in-memory server.  A pre-built :class:`ConnectionPool` can be passed
+    instead via *pool*.
+    """
+
+    def __init__(self, db: Database | str | None = None, *,
+                 pool: ConnectionPool | None = None,
+                 translation_cache_size: int = 256,
+                 log_batch_size: int = 32,
+                 log_flush_interval: float = 1.0):
+        if pool is None:
+            pool = ConnectionPool(db if db is not None else ":memory:")
+        self.pool = pool
+        self.db = pool.writer
         self.policies = PolicyStore(self.db)
         self.versions = VersionedPolicyStore(self.policies)
         self.references = ReferenceStore(self.db)
         self.translator = OptimizedSqlTranslator()
         self.db.executescript(_CHECK_LOG_DDL)
-        self._translation_cache: dict[tuple[str, int], TranslatedRuleset] = {}
+        self.db.commit()
+        self._translation_cache = TranslationCache(translation_cache_size)
+        self.log = CheckLogWriter(pool, batch_size=log_batch_size,
+                                  flush_interval=log_flush_interval)
+        # Reader connections need the reference store's SQL functions.
+        self.pool.add_connect_hook(self.references.register_sql_functions)
 
     # -- installation (Figure 5) ------------------------------------------------
 
@@ -100,54 +298,79 @@ class PolicyServer:
         to the new version, so URIs resolve to the active policy without
         re-installing the reference file.
         """
-        if policy.name is not None:
-            report = self.versions.install(policy, site=site)
-            # Retarget only this site's reference rows — other sites may
-            # use the same policy name for their own, unrelated policies.
-            self.db.execute(
-                "UPDATE policyref SET policy_id = ? "
-                "WHERE (about = ? OR about LIKE ?) "
-                "  AND meta_id IN (SELECT meta_id FROM meta "
-                "                  WHERE site IS ?)",
-                (report.policy_id, f"#{policy.name}",
-                 f"%#{policy.name}", site),
-            )
-            self.db.commit()
-        else:
-            report = self.policies.install_policy(policy, site=site)
-        # New policy versions invalidate cached per-policy translations.
-        self._translation_cache = {
-            key: value for key, value in self._translation_cache.items()
-            if self.policies.has_policy(key[1])
-        }
+        with self.pool.write():
+            if policy.name is not None:
+                report = self.versions.install(policy, site=site)
+                # Retarget only this site's reference rows — other sites
+                # may use the same policy name for their own, unrelated
+                # policies.
+                self.db.execute(
+                    "UPDATE policyref SET policy_id = ? "
+                    "WHERE (about = ? OR about LIKE ?) "
+                    "  AND meta_id IN (SELECT meta_id FROM meta "
+                    "                  WHERE site IS ?)",
+                    (report.policy_id, f"#{policy.name}",
+                     f"%#{policy.name}", site),
+                )
+                self.db.commit()
+            else:
+                report = self.policies.install_policy(policy, site=site)
+            self._invalidate_translations(policy.name)
         return report
+
+    def _invalidate_translations(self, name: str | None) -> int:
+        """Drop cached translations made stale by an install.
+
+        Two flavors of staleness: (a) the policy id no longer exists,
+        and (b) the id *survives* but belongs to a superseded version of
+        the just-installed name — checks resolve to the new version, so
+        translations pinned to any older version of the name are dead
+        weight at best and wrong if the id is ever recycled.
+        """
+        superseded: set[int] = set()
+        if name is not None:
+            superseded = {
+                version.policy_id for version in self.versions.history(name)
+                if not version.active
+            }
+        return self._translation_cache.invalidate(
+            lambda key: key[1] in superseded
+            or not self.policies.has_policy(key[1])
+        )
 
     def install_reference_file(self, reference: ReferenceFile | str,
                                site: str) -> int:
         """Shred a reference file (parsed or XML text) for *site*."""
         if isinstance(reference, str):
             reference = parse_reference_file(reference)
-        return self.references.install_reference_file(
-            reference, site, policy_store=self.policies
-        )
+        with self.pool.write():
+            return self.references.install_reference_file(
+                reference, site, policy_store=self.policies
+            )
 
     # -- checking (Figure 6) -----------------------------------------------------
 
     def check(self, site: str, uri: str,
               preference: Ruleset | str,
               cookie: bool = False) -> CheckResult:
-        """Match a user's preference against the policy governing *uri*."""
+        """Match a user's preference against the policy governing *uri*.
+
+        Thread-safe: reads run on this thread's pooled reader, the log
+        entry goes through the buffered writer.
+        """
         if isinstance(preference, str):
             preference = parse_ruleset(preference)
 
         start = time.perf_counter()
-        policy_id = self.references.applicable_policy_id(site, uri,
-                                                         cookie=cookie)
         behavior: str | None = None
         rule_index: int | None = None
-        if policy_id is not None:
-            translated = self._translate(preference, policy_id)
-            behavior, rule_index = evaluate_ruleset(self.db, translated)
+        with self.pool.read() as db:
+            policy_id = self.references.applicable_policy_id(
+                site, uri, cookie=cookie, db=db
+            )
+            if policy_id is not None:
+                translated = self.translate(preference, policy_id)
+                behavior, rule_index = evaluate_ruleset(db, translated)
         elapsed = time.perf_counter() - start
 
         result = CheckResult(
@@ -161,44 +384,87 @@ class PolicyServer:
         self._log(result, preference)
         return result
 
-    def _translate(self, preference: Ruleset,
-                   policy_id: int) -> TranslatedRuleset:
-        key = (self._preference_hash(preference), policy_id)
+    def serve_many(self, requests: Iterable[Sequence],
+                   threads: int = 4,
+                   cookie: bool = False) -> list[CheckResult]:
+        """Check a batch of ``(site, uri, preference)`` requests.
+
+        With ``threads > 1`` the checks fan out over a thread pool —
+        each worker reads on its own pooled connection and the log
+        batches across all of them.  Results come back in request
+        order, and the log is flushed before returning so every check
+        is durable when the call completes.
+        """
+        requests = list(requests)
+
+        def run(request: Sequence) -> CheckResult:
+            site, uri, preference = request
+            return self.check(site, uri, preference, cookie=cookie)
+
+        if threads <= 1 or len(requests) <= 1:
+            results = [run(request) for request in requests]
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as executor:
+                results = list(executor.map(run, requests))
+        self.flush_log()
+        return results
+
+    def translate(self, preference: Ruleset,
+                  policy_id: int) -> TranslatedRuleset:
+        """The cached SQL translation of *preference* against *policy_id*."""
+        key = (_ruleset_hash(preference), policy_id)
         translated = self._translation_cache.get(key)
         if translated is None:
             translated = self.translator.translate_ruleset(
                 preference, applicable_policy_literal(policy_id)
             )
-            self._translation_cache[key] = translated
+            self._translation_cache.put(key, translated)
         return translated
+
+    # Backwards-compatible alias.
+    _translate = translate
 
     @staticmethod
     def _preference_hash(preference: Ruleset) -> str:
-        text = serialize_ruleset(preference, indent=False)
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return _ruleset_hash(preference)
 
     def _log(self, result: CheckResult, preference: Ruleset) -> None:
-        self.db.execute(
-            "INSERT INTO check_log (site, uri, policy_id, behavior, "
-            "rule_index, preference_hash, elapsed_seconds, checked_at) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        self.log.append(
             (
                 result.site,
                 result.uri,
                 result.policy_id,
                 result.behavior,
                 result.rule_index,
-                self._preference_hash(preference),
+                _ruleset_hash(preference),
                 result.elapsed_seconds,
                 datetime.datetime.now(datetime.timezone.utc).isoformat(),
-            ),
+            )
         )
-        self.db.commit()
+
+    def flush_log(self) -> int:
+        """Force the buffered check log to disk; returns rows written."""
+        return self.log.flush()
 
     # -- introspection -------------------------------------------------------------
 
     def check_count(self) -> int:
-        return int(self.db.scalar("SELECT COUNT(*) FROM check_log"))
+        self.flush_log()
+        with self.pool.read() as db:
+            return int(db.scalar("SELECT COUNT(*) FROM check_log"))
 
     def cache_size(self) -> int:
         return len(self._translation_cache)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the check log and close every pooled connection."""
+        self.log.close()
+        self.pool.close()
+
+    def __enter__(self) -> "PolicyServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -2,7 +2,13 @@
 optimized schema, reference-file tables (Figure 16), shredders, the
 reconstruction view, and policy versioning."""
 
-from repro.storage.database import Database, quote_ident, sql_literal
+from repro.storage.database import (
+    Database,
+    QueryStats,
+    quote_ident,
+    sql_literal,
+)
+from repro.storage.pool import ConnectionPool
 from repro.storage.generic_schema import (
     GENERIC_TABLES,
     TableDef,
@@ -24,6 +30,8 @@ from repro.storage.versioning import PolicyVersion, VersionedPolicyStore
 
 __all__ = [
     "Database",
+    "QueryStats",
+    "ConnectionPool",
     "quote_ident",
     "sql_literal",
     "GenericPolicyStore",

@@ -75,13 +75,40 @@ class Database:
     1
     """
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", *,
+                 timeout: float = 5.0,
+                 wal: bool = False,
+                 check_same_thread: bool | None = None):
         self.path = path
-        self._connection = sqlite3.connect(path)
+        if check_same_thread is None:
+            # With a serialized (threadsafety == 3) sqlite3 build the C
+            # module takes its own mutexes, so one connection may be used
+            # from many threads; only enforce thread affinity when the
+            # build cannot guarantee that.
+            check_same_thread = sqlite3.threadsafety < 3
+        self._connection = sqlite3.connect(
+            path, timeout=timeout, check_same_thread=check_same_thread
+        )
         self._connection.row_factory = sqlite3.Row
         self.stats = QueryStats()
+        self.wal = False
+        self._statement_failed = False
+        if wal:
+            self.ensure_wal()
 
     # -- lifecycle -----------------------------------------------------------
+
+    def ensure_wal(self) -> bool:
+        """Switch to write-ahead logging; returns True when WAL is active.
+
+        WAL lets any number of reader connections proceed while one
+        writer commits (the basis of :class:`repro.storage.pool.
+        ConnectionPool`).  In-memory databases have no journal file, so
+        the pragma is a no-op there and this returns False.
+        """
+        row = self._connection.execute("PRAGMA journal_mode=WAL").fetchone()
+        self.wal = row[0] == "wal"
+        return self.wal
 
     def close(self) -> None:
         self._connection.close()
@@ -101,6 +128,7 @@ class Database:
         try:
             cursor = self._connection.execute(sql, parameters)
         except sqlite3.Error as exc:
+            self._statement_failed = True
             raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
         self.stats.record(time.perf_counter() - start)
         return cursor
@@ -111,6 +139,7 @@ class Database:
         try:
             self._connection.executemany(sql, rows)
         except sqlite3.Error as exc:
+            self._statement_failed = True
             raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
         self.stats.record(time.perf_counter() - start)
 
@@ -119,6 +148,7 @@ class Database:
         try:
             self._connection.executescript(script)
         except sqlite3.Error as exc:
+            self._statement_failed = True
             raise StorageError(f"SQL script failed: {exc}") from exc
         self.stats.record(time.perf_counter() - start)
 
@@ -141,16 +171,35 @@ class Database:
 
     @contextmanager
     def transaction(self) -> Iterator["Database"]:
-        """Commit on success, roll back on error."""
+        """Commit on success, roll back on error.
+
+        The block is also rolled back — and StorageError raised — when a
+        statement inside it failed but the caller swallowed the error:
+        committing the surviving half of a transaction whose other half
+        silently failed would corrupt multi-table invariants (e.g. a
+        policy row without its statement rows).
+        """
+        self._statement_failed = False
         try:
             yield self
         except Exception:
             self._connection.rollback()
+            self._statement_failed = False
             raise
+        if self._statement_failed:
+            self._connection.rollback()
+            self._statement_failed = False
+            raise StorageError(
+                "transaction rolled back: a statement inside the block "
+                "failed and the error was swallowed"
+            )
         self._connection.commit()
 
     def commit(self) -> None:
         self._connection.commit()
+
+    def rollback(self) -> None:
+        self._connection.rollback()
 
     # -- introspection -----------------------------------------------------------
 

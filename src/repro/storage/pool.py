@@ -1,0 +1,167 @@
+"""Thread-safe SQLite access: per-thread readers, one serialized writer.
+
+The paper's serving argument (Section 4.2) is that preference checks are
+*queries* — so a policy server should answer many of them at once.  SQLite
+supports exactly one writer per database but, in write-ahead-log (WAL)
+mode, any number of concurrent readers that never block the writer and
+are never blocked by it.  :class:`ConnectionPool` packages that shape:
+
+* the **writer** is a single :class:`~repro.storage.database.Database`
+  guarded by a re-entrant lock (``pool.write()``); installs and the
+  batched check log serialize through it;
+* **readers** are opened lazily, one per thread (``pool.read()``), so a
+  thread's statement cache stays hot and no locking is needed on the
+  read path;
+* **in-memory** databases are invisible to other connections, so the
+  pool degrades to serializing every access through the writer — the
+  same API, minus the parallelism;
+* every connection keeps its own :class:`~repro.storage.database.
+  QueryStats`; :meth:`ConnectionPool.stats` aggregates them.
+
+Connection hooks (:meth:`add_connect_hook`) run against the writer and
+every reader — present and future — which is how per-connection state
+like the ``like_pattern`` SQL function reaches reader connections.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.database import Database, QueryStats
+
+
+class ConnectionPool:
+    """A WAL-mode connection pool over one SQLite database.
+
+    *database* is either a path (the pool opens and owns the writer) or
+    an existing :class:`Database` to adopt as the writer — adopted
+    writers keep their journal mode unless ``wal=True`` is forced, so
+    legacy single-connection callers see unchanged behavior.
+    """
+
+    def __init__(self, database: Database | str = ":memory:", *,
+                 wal: bool | None = None,
+                 timeout: float = 30.0):
+        if isinstance(database, Database):
+            self.writer = database
+            self.path = database.path
+            if wal is None:
+                wal = False
+        else:
+            self.path = database
+            self.writer = Database(database, timeout=timeout,
+                                   check_same_thread=False)
+            if wal is None:
+                wal = True
+        self.timeout = timeout
+        self._memory = self.path == ":memory:" or "mode=memory" in self.path
+        if wal and not self._memory:
+            self.writer.ensure_wal()
+        self._write_lock = threading.RLock()
+        self._registry_lock = threading.Lock()
+        self._local = threading.local()
+        self._readers: list[Database] = []
+        self._connect_hooks: list[Callable[[Database], None]] = []
+        self._closed = False
+
+    # -- connections ---------------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[Database]:
+        """A connection for queries: this thread's reader.
+
+        On-disk databases hand out a dedicated per-thread connection
+        with no locking (WAL readers never block).  In-memory databases
+        fall back to the writer under the write lock.
+        """
+        if self._closed:
+            raise StorageError("connection pool is closed")
+        if self._memory:
+            with self._write_lock:
+                yield self.writer
+        else:
+            yield self._thread_reader()
+
+    @contextmanager
+    def write(self) -> Iterator[Database]:
+        """The writer connection, exclusively held while the block runs.
+
+        The lock is re-entrant, so code already inside ``write()`` may
+        call helpers that acquire it again (e.g. a log flush during an
+        install).
+        """
+        with self._write_lock:
+            if self._closed:
+                raise StorageError("connection pool is closed")
+            yield self.writer
+
+    def _thread_reader(self) -> Database:
+        db = getattr(self._local, "reader", None)
+        if db is None:
+            db = Database(self.path, timeout=self.timeout,
+                          check_same_thread=False)
+            with self._registry_lock:
+                if self._closed:
+                    db.close()
+                    raise StorageError("connection pool is closed")
+                hooks = list(self._connect_hooks)
+                self._readers.append(db)
+            for hook in hooks:
+                hook(db)
+            self._local.reader = db
+        return db
+
+    def add_connect_hook(self, hook: Callable[[Database], None]) -> None:
+        """Run *hook* on the writer, every open reader, and every reader
+        opened later — for per-connection setup such as registering SQL
+        functions or pragmas."""
+        with self._registry_lock:
+            self._connect_hooks.append(hook)
+            targets = [self.writer, *self._readers]
+        for db in targets:
+            hook(db)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def reader_count(self) -> int:
+        with self._registry_lock:
+            return len(self._readers)
+
+    @property
+    def wal(self) -> bool:
+        return self.writer.wal
+
+    def stats(self) -> QueryStats:
+        """Cumulative statistics summed over the writer and all readers."""
+        with self._registry_lock:
+            connections = [self.writer, *self._readers]
+        total = QueryStats()
+        for db in connections:
+            total.statements += db.stats.statements
+            total.seconds += db.stats.seconds
+            total.last_seconds = max(total.last_seconds,
+                                     db.stats.last_seconds)
+        return total
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every reader and the writer (idempotent)."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            readers, self._readers = self._readers, []
+        for db in readers:
+            db.close()
+        self.writer.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

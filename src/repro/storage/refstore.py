@@ -171,8 +171,14 @@ class ReferenceStore:
         )
 
     def applicable_policy_id(self, site: str, uri: str,
-                             cookie: bool = False) -> int | None:
-        """Run the ApplicablePolicy subquery; None if no policy covers *uri*."""
-        self.register_sql_functions()
-        return self.db.scalar(self.applicable_policy_subquery(site, uri,
-                                                              cookie))
+                             cookie: bool = False,
+                             db: Database | None = None) -> int | None:
+        """Run the ApplicablePolicy subquery; None if no policy covers *uri*.
+
+        Pass *db* to run the lookup on another connection to the same
+        database (e.g. a pooled per-thread reader).
+        """
+        target = db if db is not None else self.db
+        self.register_sql_functions(target)
+        return target.scalar(self.applicable_policy_subquery(site, uri,
+                                                             cookie))

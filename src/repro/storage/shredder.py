@@ -184,13 +184,19 @@ class PolicyStore:
             raise UnknownPolicyError(f"no policy with id {policy_id}")
 
     def policy_id_by_name(self, name: str,
-                          active_only: bool = True) -> int | None:
-        """The newest policy id registered under *name* (None if absent)."""
+                          active_only: bool = True,
+                          db: Database | None = None) -> int | None:
+        """The newest policy id registered under *name* (None if absent).
+
+        Pass *db* to run the lookup on another connection to the same
+        database (e.g. a pooled per-thread reader).
+        """
         sql = "SELECT policy_id FROM policy WHERE name = ?"
         if active_only:
             sql += " AND active = 1"
         sql += " ORDER BY version DESC, policy_id DESC LIMIT 1"
-        return self.db.scalar(sql, (name,))
+        target = db if db is not None else self.db
+        return target.scalar(sql, (name,))
 
     def delete_policy(self, policy_id: int) -> None:
         """Remove *policy_id* and all its rows."""

@@ -18,6 +18,7 @@ class TestRunAll:
         assert set(results) == {
             "meta", "e1_dataset", "e2_preferences", "e3_shredding",
             "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
+            "e8_concurrency",
         }
 
     def test_json_serializable(self, results):
@@ -47,6 +48,14 @@ class TestRunAll:
                  for c in results["e5_figure21"]}
         assert cells[("Medium", "xquery")]["unavailable"]
         assert not cells[("High", "xquery")]["unavailable"]
+
+    def test_concurrency_block(self, results):
+        rows = results["e8_concurrency"]
+        assert {(r["mode"], r["threads"]) for r in rows} == {
+            ("serial", 1), ("pooled", 1), ("pooled", 4), ("pooled", 16),
+        }
+        for row in rows:
+            assert row["checks_per_second"] > 0
 
 
 class TestSaveResults:

@@ -1,0 +1,188 @@
+"""Concurrent serving: N threads hammering PolicyServer.check.
+
+The contract under test: on a shared on-disk database, concurrent
+checks raise no sqlite3 thread errors, agree with a serial run of the
+same requests, and land in the check log exactly once after a flush.
+"""
+
+import threading
+
+import pytest
+
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import VOLGA_REFERENCE_XML, volga_policy
+from repro.server.policy_server import PolicyServer
+
+SITE = "volga.example.com"
+THREADS = 8
+CHECKS_PER_THREAD = 20
+
+
+def _install(server):
+    server.install_policy(volga_policy(), site=SITE)
+    server.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+    return server
+
+
+@pytest.fixture()
+def disk_server(tmp_path):
+    server = _install(PolicyServer(str(tmp_path / "serve.db")))
+    yield server
+    server.close()
+
+
+def _requests():
+    """A mixed workload: every preference level, covered and uncovered
+    URIs, each request distinguishable in the log."""
+    suite = jrc_suite()
+    levels = list(suite.values())
+    requests = []
+    for thread in range(THREADS):
+        for i in range(CHECKS_PER_THREAD):
+            area = "/catalog" if i % 4 else "/legacy"
+            uri = f"{area}/t{thread}-c{i}"
+            requests.append((SITE, uri, levels[(thread + i) % len(levels)]))
+    return requests
+
+
+class TestHammer:
+    def test_threads_hammering_check_directly(self, disk_server):
+        requests = _requests()
+        errors = []
+        results = {}
+
+        def worker(thread_index):
+            try:
+                chunk = requests[thread_index::THREADS]
+                results[thread_index] = [
+                    disk_server.check(site, uri, preference)
+                    for site, uri, preference in chunk
+                ]
+            except Exception as exc:  # includes sqlite3 thread errors
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert sum(len(chunk) for chunk in results.values()) == \
+            len(requests)
+
+        # Exactly once: after a flush every check is logged, and no
+        # check twice (URIs are unique per request).
+        disk_server.flush_log()
+        with disk_server.pool.read() as db:
+            total = db.scalar("SELECT COUNT(*) FROM check_log")
+            distinct = db.scalar("SELECT COUNT(DISTINCT uri) FROM check_log")
+        assert total == len(requests)
+        assert distinct == len(requests)
+
+    def test_concurrent_results_match_serial_run(self, disk_server,
+                                                 tmp_path):
+        requests = _requests()
+        concurrent = disk_server.serve_many(requests, threads=THREADS)
+
+        serial_server = _install(PolicyServer(str(tmp_path / "serial.db")))
+        try:
+            serial = serial_server.serve_many(requests, threads=1)
+        finally:
+            serial_server.close()
+
+        def decisions(results):
+            return [(r.site, r.uri, r.behavior, r.rule_index, r.covered)
+                    for r in results]
+
+        assert decisions(concurrent) == decisions(serial)
+
+    def test_serve_many_preserves_request_order(self, disk_server):
+        requests = _requests()[:40]
+        results = disk_server.serve_many(requests, threads=4)
+        assert [(r.site, r.uri) for r in results] == \
+            [(site, uri) for site, uri, _ in requests]
+
+    def test_serve_many_flushes_before_returning(self, disk_server):
+        requests = _requests()[:30]
+        disk_server.serve_many(requests, threads=4)
+        assert disk_server.log.pending == 0
+        with disk_server.pool.read() as db:
+            assert db.scalar("SELECT COUNT(*) FROM check_log") == \
+                len(requests)
+
+
+class TestInMemoryConcurrency:
+    def test_memory_server_serializes_but_stays_correct(self):
+        """An in-memory pool cannot parallelize, but threaded serving
+        must still be safe and exactly-once."""
+        server = _install(PolicyServer())
+        try:
+            requests = _requests()[:60]
+            results = server.serve_many(requests, threads=4)
+            assert len(results) == len(requests)
+            assert server.check_count() == len(requests)
+        finally:
+            server.close()
+
+
+class TestLogBatching:
+    def test_log_is_buffered_until_batch_size(self, disk_server):
+        suite = jrc_suite()
+        jane_level = next(iter(suite.values()))
+        for i in range(5):
+            disk_server.check(SITE, f"/catalog/b{i}", jane_level)
+        assert disk_server.log.pending == 5
+        with disk_server.pool.read() as db:
+            assert db.scalar("SELECT COUNT(*) FROM check_log") == 0
+        assert disk_server.flush_log() == 5
+        assert disk_server.log.pending == 0
+
+    def test_batch_size_triggers_flush(self, tmp_path):
+        server = _install(PolicyServer(str(tmp_path / "batch.db"),
+                                       log_batch_size=4))
+        try:
+            suite = jrc_suite()
+            level = next(iter(suite.values()))
+            for i in range(4):
+                server.check(SITE, f"/catalog/{i}", level)
+            assert server.log.pending == 0
+            assert server.log.batches == 1
+            assert server.log.written == 4
+        finally:
+            server.close()
+
+    def test_interval_triggers_flush(self, tmp_path):
+        server = _install(PolicyServer(str(tmp_path / "interval.db"),
+                                       log_batch_size=10_000,
+                                       log_flush_interval=0.0))
+        try:
+            suite = jrc_suite()
+            level = next(iter(suite.values()))
+            server.check(SITE, "/catalog/a", level)
+            # interval 0: the first buffered row is already "old".
+            assert server.log.pending == 0
+        finally:
+            server.close()
+
+    def test_close_flushes(self, tmp_path):
+        server = _install(PolicyServer(str(tmp_path / "close.db")))
+        suite = jrc_suite()
+        level = next(iter(suite.values()))
+        server.check(SITE, "/catalog/x", level)
+        assert server.log.pending == 1
+        server.close()
+        # Reopen and confirm the row was committed on close.
+        reopened = PolicyServer(str(tmp_path / "close.db"))
+        try:
+            assert reopened.check_count() == 1
+        finally:
+            reopened.close()
+
+    def test_check_count_flushes_automatically(self, disk_server):
+        suite = jrc_suite()
+        level = next(iter(suite.values()))
+        disk_server.check(SITE, "/catalog/y", level)
+        assert disk_server.check_count() == 1
+        assert disk_server.log.pending == 0

@@ -119,6 +119,7 @@ class TestAnalytics:
     def test_policy_conflicts(self, server, jane, suite):
         for preference in suite.values():
             server.check(SITE, "/catalog/book", preference)
+        server.flush_log()  # the check log is buffered/batched
         reports = policy_conflicts(server.db)
         assert len(reports) == 1
         report = reports[0]
@@ -131,6 +132,7 @@ class TestAnalytics:
     def test_blocking_rules(self, server, suite):
         for preference in suite.values():
             server.check(SITE, "/catalog/book", preference)
+        server.flush_log()
         reports = policy_conflicts(server.db)
         rules = blocking_rules(server.db, reports[0].policy_id)
         assert rules, "expected at least one blocking rule"
@@ -140,6 +142,7 @@ class TestAnalytics:
         server.check(SITE, "/legacy/a", jane)
         server.check(SITE, "/legacy/a", jane)
         server.check(SITE, "/legacy/b", jane)
+        server.flush_log()
         gaps = uncovered_uris(server.db)
         assert gaps[0] == ("/legacy/a", 2)
 

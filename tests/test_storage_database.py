@@ -24,6 +24,44 @@ class TestQuoting:
         assert sql_literal("it's") == "'it''s'"
         assert sql_literal("plain") == "'plain'"
 
+    def test_empty_identifier_quoted(self):
+        assert quote_ident("") == '""'
+
+    def test_uppercase_identifier_quoted(self):
+        # The plain-identifier pattern is lowercase-only, so uppercase
+        # (including uppercase keywords) always gets quoted.
+        assert quote_ident("Policy") == '"Policy"'
+        assert quote_ident("SELECT") == '"SELECT"'
+
+    def test_unicode_identifier_quoted_and_roundtrips(self):
+        name = "pöl_icy"
+        assert quote_ident(name) == f'"{name}"'
+        with Database() as db:
+            db.execute(f"CREATE TABLE {quote_ident(name)} (x INTEGER)")
+            db.execute(f"INSERT INTO {quote_ident(name)} VALUES (1)")
+            assert db.table_count(name) == 1
+
+    def test_every_keyword_roundtrips_as_column_name(self):
+        from repro.storage.database import _SQL_KEYWORDS
+
+        with Database() as db:
+            for index, keyword in enumerate(sorted(_SQL_KEYWORDS)):
+                table = f"t{index}"
+                db.execute(
+                    f"CREATE TABLE {table} ({quote_ident(keyword)} INTEGER)"
+                )
+                db.execute(f"INSERT INTO {table} VALUES (1)")
+                assert db.scalar(
+                    f"SELECT {quote_ident(keyword)} FROM {table}"
+                ) == 1
+
+    def test_sql_literal_edge_cases(self):
+        assert sql_literal("") == "''"
+        assert sql_literal("''") == "''''''"
+        assert sql_literal("naïve — ünïcode") == "'naïve — ünïcode'"
+        with Database() as db:
+            assert db.scalar(f"SELECT {sql_literal(chr(39) * 3)}") == "'''"
+
 
 class TestExecution:
     def test_basic_roundtrip(self):
@@ -50,6 +88,37 @@ class TestExecution:
             with pytest.raises(StorageError):
                 db.execute("SELEKT broken")
 
+    def test_executemany_bad_sql_raises_storage_error(self):
+        with Database() as db:
+            with pytest.raises(StorageError):
+                db.executemany("INSERT INTO missing VALUES (?)", [(1,)])
+
+    def test_executemany_arity_mismatch_raises_storage_error(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER, y INTEGER)")
+            with pytest.raises(StorageError):
+                db.executemany("INSERT INTO t VALUES (?, ?)", [(1, 2), (3,)])
+
+    def test_executemany_constraint_violation_raises_storage_error(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER PRIMARY KEY)")
+            with pytest.raises(StorageError):
+                db.executemany("INSERT INTO t VALUES (?)",
+                               [(1,), (2,), (1,)])
+
+    def test_failed_executemany_records_no_stats(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            before = db.stats.statements
+            with pytest.raises(StorageError):
+                db.executemany("INSERT INTO nowhere VALUES (?)", [(1,)])
+            assert db.stats.statements == before
+
+    def test_executescript_bad_sql_raises_storage_error(self):
+        with Database() as db:
+            with pytest.raises(StorageError):
+                db.executescript("CREATE TABLE ok (x); SELEKT broken;")
+
     def test_table_names(self):
         with Database() as db:
             db.executescript("CREATE TABLE b (x); CREATE TABLE a (x);")
@@ -73,6 +142,48 @@ class TestTransactions:
                 db.execute("INSERT INTO t VALUES (1)")
                 raise RuntimeError("boom")
         assert db.table_count("t") == 0
+
+    def test_swallowed_statement_failure_is_not_committed(self):
+        """Regression: a statement fails inside the block, the caller
+        swallows the error, and the context manager used to commit the
+        half-applied transaction anyway."""
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.commit()
+        with pytest.raises(StorageError, match="rolled back"):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+                try:
+                    db.execute("INSERT INTO missing VALUES (1)")
+                except StorageError:
+                    pass  # swallowed — the transaction must still abort
+        assert db.table_count("t") == 0
+
+    def test_transaction_recovers_after_aborted_predecessor(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.commit()
+        with pytest.raises(StorageError):
+            with db.transaction():
+                try:
+                    db.execute("SELEKT nope")
+                except StorageError:
+                    pass
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (2)")
+        assert db.table_count("t") == 1
+
+    def test_failure_outside_transaction_does_not_poison_next_one(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.commit()
+        try:
+            db.execute("SELEKT nope")
+        except StorageError:
+            pass
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+        assert db.table_count("t") == 1
 
 
 class TestStats:

@@ -1,0 +1,155 @@
+"""ConnectionPool: WAL mode, per-thread readers, serialized writes."""
+
+import threading
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.pool import ConnectionPool
+
+
+@pytest.fixture()
+def disk_pool(tmp_path):
+    pool = ConnectionPool(str(tmp_path / "pool.db"))
+    yield pool
+    pool.close()
+
+
+class TestModes:
+    def test_on_disk_pool_runs_in_wal_mode(self, disk_pool):
+        assert disk_pool.wal
+        with disk_pool.read() as db:
+            assert db.scalar("PRAGMA journal_mode") == "wal"
+
+    def test_memory_pool_has_no_wal(self):
+        with ConnectionPool() as pool:
+            assert not pool.wal
+
+    def test_adopted_database_keeps_its_journal_mode(self, tmp_path):
+        db = Database(str(tmp_path / "legacy.db"))
+        with ConnectionPool(db) as pool:
+            assert pool.writer is db
+            assert not pool.wal
+            assert db.scalar("PRAGMA journal_mode") == "delete"
+
+    def test_adopted_database_can_opt_into_wal(self, tmp_path):
+        db = Database(str(tmp_path / "upgraded.db"))
+        with ConnectionPool(db, wal=True) as pool:
+            assert pool.wal
+
+
+class TestReaders:
+    def test_memory_reads_go_through_the_writer(self):
+        with ConnectionPool() as pool:
+            with pool.read() as db:
+                assert db is pool.writer
+            assert pool.reader_count == 0
+
+    def test_each_thread_gets_its_own_reader(self, disk_pool):
+        with disk_pool.write() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.commit()
+
+        seen = {}
+
+        def observe(name):
+            with disk_pool.read() as first, disk_pool.read() as second:
+                assert first is second  # stable within a thread
+                seen[name] = id(first)
+
+        threads = [threading.Thread(target=observe, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen.values())) == 3
+        assert disk_pool.reader_count == 3
+
+    def test_readers_see_committed_writes(self, disk_pool):
+        with disk_pool.write() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.execute("INSERT INTO t VALUES (7)")
+            db.commit()
+        with disk_pool.read() as db:
+            assert db.scalar("SELECT x FROM t") == 7
+
+    def test_connect_hook_reaches_existing_and_future_readers(self,
+                                                              disk_pool):
+        with disk_pool.read() as db:
+            existing = db
+        disk_pool.add_connect_hook(
+            lambda d: d._connection.create_function("forty_two", 0,
+                                                    lambda: 42)
+        )
+        assert existing.scalar("SELECT forty_two()") == 42
+        assert disk_pool.writer.scalar("SELECT forty_two()") == 42
+
+        result = {}
+
+        def fresh_thread():
+            with disk_pool.read() as db:
+                result["value"] = db.scalar("SELECT forty_two()")
+
+        thread = threading.Thread(target=fresh_thread)
+        thread.start()
+        thread.join()
+        assert result["value"] == 42
+
+
+class TestWriterSerialization:
+    def test_write_lock_makes_read_modify_write_atomic(self, disk_pool):
+        with disk_pool.write() as db:
+            db.execute("CREATE TABLE counter (n INTEGER)")
+            db.execute("INSERT INTO counter VALUES (0)")
+            db.commit()
+
+        def bump():
+            for _ in range(25):
+                with disk_pool.write() as db:
+                    current = db.scalar("SELECT n FROM counter")
+                    db.execute("UPDATE counter SET n = ?", (current + 1,))
+                    db.commit()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with disk_pool.read() as db:
+            assert db.scalar("SELECT n FROM counter") == 100
+
+    def test_write_lock_is_reentrant(self, disk_pool):
+        with disk_pool.write():
+            with disk_pool.write() as db:
+                db.execute("SELECT 1")
+
+
+class TestStats:
+    def test_stats_aggregate_across_connections(self, disk_pool):
+        with disk_pool.write() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.commit()
+        before = disk_pool.stats().statements
+        with disk_pool.read() as db:
+            db.query("SELECT * FROM t")
+        assert disk_pool.stats().statements == before + 1
+
+
+class TestLifecycle:
+    def test_closed_pool_refuses_work(self, tmp_path):
+        pool = ConnectionPool(str(tmp_path / "gone.db"))
+        with pool.read():
+            pass  # cache a reader on this thread before closing
+        pool.close()
+        with pytest.raises(StorageError):
+            with pool.write():
+                pass
+        with pytest.raises(StorageError):
+            with pool.read():
+                pass
+
+    def test_close_is_idempotent(self, disk_pool):
+        disk_pool.close()
+        disk_pool.close()

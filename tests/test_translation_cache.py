@@ -1,0 +1,134 @@
+"""TranslationCache: LRU bounds, eviction order, install invalidation."""
+
+import pytest
+
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import (
+    VOLGA_REFERENCE_XML,
+    jane_preference,
+    volga_policy,
+)
+from repro.server.policy_server import PolicyServer, TranslationCache
+
+SITE = "volga.example.com"
+
+
+class TestLruSemantics:
+    def test_bound_is_enforced(self):
+        cache = TranslationCache(maxsize=3)
+        for i in range(10):
+            cache.put(("pref", i), f"t{i}")
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_least_recently_used_is_evicted_first(self):
+        cache = TranslationCache(maxsize=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.put("d", 4)  # evicts a, the oldest
+        assert "a" not in cache
+        assert cache.keys() == ["b", "c", "d"]
+
+    def test_get_refreshes_recency(self):
+        cache = TranslationCache(maxsize=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == 1  # a is now the most recent
+        cache.put("d", 4)           # so b is evicted instead
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_of_existing_key_refreshes_without_growth(self):
+        cache = TranslationCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)  # evicts b: a was refreshed by the re-put
+        assert cache.keys() == ["a", "c"]
+        assert cache.get("a") == 10
+
+    def test_hit_and_miss_counters(self):
+        cache = TranslationCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_invalidate_by_predicate(self):
+        cache = TranslationCache(maxsize=10)
+        for i in range(6):
+            cache.put(("p", i), i)
+        dropped = cache.invalidate(lambda key: key[1] % 2 == 0)
+        assert dropped == 3
+        assert sorted(key[1] for key in cache.keys()) == [1, 3, 5]
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            TranslationCache(maxsize=0)
+
+
+@pytest.fixture()
+def server():
+    server = PolicyServer()
+    server.install_policy(volga_policy(), site=SITE)
+    server.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+    return server
+
+
+class TestServerCache:
+    def test_cache_stays_within_bound(self):
+        server = PolicyServer(translation_cache_size=2)
+        server.install_policy(volga_policy(), site=SITE)
+        server.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+        for preference in jrc_suite().values():  # 5 distinct preferences
+            server.check(SITE, "/catalog/book", preference)
+        assert server.cache_size() == 2
+
+    def test_cache_hit_skips_retranslation(self, server):
+        jane = jane_preference()
+        server.check(SITE, "/catalog/a", jane)
+        misses = server._translation_cache.misses
+        server.check(SITE, "/catalog/b", jane)
+        assert server._translation_cache.misses == misses
+        assert server._translation_cache.hits >= 1
+
+    def test_version_bump_invalidates_stale_id(self, server):
+        """After a re-install the superseded version's id *survives* in
+        the policy table, but its cached translations must not: checks
+        resolve to the new version, and the old id could even be
+        recycled later."""
+        jane = jane_preference()
+        first = server.check(SITE, "/catalog/book", jane)
+        old_id = first.policy_id
+        assert ((PolicyServer._preference_hash(jane), old_id)
+                in server._translation_cache)
+
+        server.install_policy(volga_policy(), site=SITE)  # version 2
+
+        # The old id is still present (inactive) in the version history…
+        assert server.policies.has_policy(old_id)
+        # …but no translation pinned to it survives.
+        assert all(key[1] != old_id
+                   for key in server._translation_cache.keys())
+
+        second = server.check(SITE, "/catalog/book", jane)
+        assert second.policy_id != old_id
+        assert second.behavior == first.behavior
+
+    def test_unnamed_install_prunes_dead_ids_only(self, server):
+        jane = jane_preference()
+        result = server.check(SITE, "/catalog/book", jane)
+        from dataclasses import replace
+
+        anonymous = replace(volga_policy(), name=None)
+        server.install_policy(anonymous, site="other.example.com")
+        # The active volga translation is untouched.
+        assert ((PolicyServer._preference_hash(jane), result.policy_id)
+                in server._translation_cache)
+
+    def test_cache_size_helper_counts_entries(self, server):
+        assert server.cache_size() == 0
+        server.check(SITE, "/catalog/book", jane_preference())
+        assert server.cache_size() == 1
