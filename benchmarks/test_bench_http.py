@@ -1,0 +1,120 @@
+"""E9: HTTP serving overhead over the in-process serving layer.
+
+E8 measured the serving layer in process; E9 puts the same workload
+behind ``P3PHttpServer`` on loopback and measures what the wire costs:
+JSON encode/decode, one HTTP round trip per check (keep-alive), and the
+admission gate.  Both sides flush the check log inside the timed region
+so durability is equal.
+
+Acceptance ceiling: at 16 client threads the HTTP path must stay within
+3x of the in-process ``serve_many`` baseline — the protocol must not
+dominate the database work the paper is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import http_load_experiment, http_overhead
+from repro.corpus.volga import (
+    VOLGA_POLICY_XML,
+    VOLGA_REFERENCE_XML,
+    jane_preference,
+)
+from repro.net.client import HttpClientAgent
+from repro.net.httpd import serve
+
+THREAD_COUNTS = (1, 4, 16)
+
+
+@pytest.fixture(scope="module")
+def load(tmp_path_factory):
+    """The full E9 grid, computed once."""
+    workdir = tmp_path_factory.mktemp("bench-http")
+    rows = http_load_experiment(directory=str(workdir),
+                                thread_counts=THREAD_COUNTS, checks=320)
+    return {(row.mode, row.threads): row for row in rows}
+
+
+class TestHttpLoadTrajectory:
+    def test_grid_is_complete(self, load):
+        assert set(load) == {
+            (mode, threads)
+            for mode in ("in-process", "http")
+            for threads in THREAD_COUNTS
+        }
+
+    def test_every_cell_served_the_full_batch(self, load):
+        for row in load.values():
+            assert row.checks == 320
+            assert row.seconds > 0
+
+    def test_overhead_at_16_threads_within_3x(self, load):
+        rows = list(load.values())
+        overhead = http_overhead(rows)
+        assert overhead[16] <= 3.0, (
+            f"HTTP@16 is {overhead[16]:.2f}x the in-process baseline"
+        )
+
+    def test_overhead_reported_for_every_thread_count(self, load):
+        overhead = http_overhead(list(load.values()))
+        assert set(overhead) == set(THREAD_COUNTS)
+        for threads, multiple in overhead.items():
+            assert multiple > 1.0, (
+                f"HTTP@{threads} faster than in-process — timing bug?"
+            )
+
+
+class TestExactlyOnceOverHttp:
+    def test_checks_survive_the_wire_exactly_once(self, tmp_path):
+        site = "volga.example.com"
+        server = serve(str(tmp_path / "wire-once.db"))
+        thread = server.run_in_thread()
+        try:
+            with HttpClientAgent(server.base_url,
+                                 jane_preference()) as agent:
+                agent.install_policy(VOLGA_POLICY_XML, site=site,
+                                     reference_file=VOLGA_REFERENCE_XML)
+                uris = [f"/catalog/wire-{i}" for i in range(96)]
+                for chunk in range(0, len(uris), 32):
+                    agent.check_batch(
+                        [(site, uri) for uri in uris[chunk:chunk + 32]])
+            server.policy_server.flush_log()
+            with server.policy_server.pool.read() as db:
+                total = db.scalar("SELECT COUNT(*) FROM check_log")
+                distinct = db.scalar(
+                    "SELECT COUNT(DISTINCT uri) FROM check_log")
+            assert total == len(uris), "dropped or duplicated rows"
+            assert distinct == len(uris), "duplicated rows"
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+
+class TestMicrobenchmarks:
+    """pytest-benchmark samples for the BENCH_*.json trajectory."""
+
+    @pytest.fixture(scope="class")
+    def wire(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench-wire") / "wire.db"
+        server = serve(str(path))
+        thread = server.run_in_thread()
+        agent = HttpClientAgent(server.base_url, jane_preference())
+        agent.install_policy(VOLGA_POLICY_XML, site="volga.example.com",
+                             reference_file=VOLGA_REFERENCE_XML)
+        agent.check("volga.example.com", "/catalog/warm")
+        yield agent
+        agent.close()
+        server.close()
+        thread.join(timeout=5)
+
+    def test_single_check_round_trip(self, benchmark, wire):
+        result = benchmark(wire.check, "volga.example.com",
+                           "/catalog/item-1")
+        assert result.covered
+
+    def test_batch_of_32_round_trip(self, benchmark, wire):
+        batch = [("volga.example.com", f"/catalog/b{i}")
+                 for i in range(32)]
+        results = benchmark(wire.check_batch, batch)
+        assert len(results) == 32

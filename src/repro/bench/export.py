@@ -26,7 +26,7 @@ def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
 
 
 def run_all(seed: int = 2003) -> dict[str, Any]:
-    """Run E1-E8 and return one JSON-serializable results document."""
+    """Run E1-E9 and return one JSON-serializable results document."""
     from repro.corpus.policies import fortune_corpus
     from repro.corpus.preferences import jrc_suite
 
@@ -42,6 +42,8 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
     warm_cold = harness.warm_cold_experiment(policies[:8], suite)
     ablation = harness.ablation_experiment(policies[:10], suite)
     concurrency = harness.concurrency_experiment(checks=200)
+    http_load = harness.http_load_experiment(checks=200)
+    http_overhead = harness.http_overhead(http_load)
 
     return {
         "meta": {
@@ -105,6 +107,20 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
             }
             for row in concurrency
         ],
+        "e9_http_load": {
+            "rows": [
+                {
+                    "mode": row.mode,
+                    "threads": row.threads,
+                    "checks": row.checks,
+                    "seconds": row.seconds,
+                    "checks_per_second": row.checks_per_second,
+                }
+                for row in http_load
+            ],
+            "overhead": {str(threads): multiple
+                         for threads, multiple in http_overhead.items()},
+        },
     }
 
 

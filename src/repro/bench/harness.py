@@ -15,6 +15,11 @@ Experiment ids follow DESIGN.md:
   server (one connection, rollback journal, commit per check) vs the
   pooled WAL server (per-thread readers, batched check log) at 1/4/16
   threads (beyond the paper; ROADMAP's "heavy traffic" north star)
+* E9 — HTTP serving overhead: the same workload driven through
+  :class:`~repro.net.httpd.P3PHttpServer` over loopback by 1/4/16
+  client threads (register-once, then per-check POSTs on kept-alive
+  connections), against the in-process ``serve_many`` numbers on an
+  identical database — isolating what the wire protocol itself costs
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -27,6 +32,7 @@ import os
 import statistics
 import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.appel.engine import AppelEngine
@@ -494,4 +500,125 @@ def concurrency_experiment(directory: str | None = None,
                 ))
         finally:
             pooled.close()
+    return results
+
+
+# -- E9: HTTP serving overhead ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HttpLoadResult:
+    """Throughput of one transport at one client-thread count."""
+
+    mode: str       # "in-process" (serve_many) or "http" (loopback POSTs)
+    threads: int
+    checks: int
+    seconds: float
+
+    @property
+    def checks_per_second(self) -> float:
+        return self.checks / self.seconds if self.seconds > 0 else 0.0
+
+
+def http_overhead(rows: list[HttpLoadResult]) -> dict[int, float]:
+    """Per thread count: HTTP time as a multiple of in-process time."""
+    in_process = {row.threads: row.seconds for row in rows
+                  if row.mode == "in-process"}
+    return {
+        row.threads: row.seconds / in_process[row.threads]
+        for row in rows
+        if row.mode == "http" and in_process.get(row.threads)
+    }
+
+
+def _drive_http(base_url: str, preference, preference_hash: str,
+                requests: list[tuple], threads: int) -> None:
+    """Fan per-check POSTs over *threads* client threads.
+
+    Each thread gets its own :class:`HttpClientAgent` (kept-alive
+    connection per thread) seeded with the already-registered hash, so
+    the measured region contains checks only — registration was paid
+    once, before the clock started.
+    """
+    from repro.net.client import HttpClientAgent
+
+    def worker(chunk: list[tuple]) -> int:
+        with HttpClientAgent(base_url, preference,
+                             preference_hash=preference_hash) as agent:
+            for site, uri, _ in chunk:
+                agent.check(site, uri)
+        return len(chunk)
+
+    chunks = [requests[index::threads] for index in range(threads)]
+    if threads <= 1:
+        worker(requests)
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            list(executor.map(worker, chunks))
+
+
+def http_load_experiment(directory: str | None = None,
+                         thread_counts: tuple[int, ...] = (1, 4, 16),
+                         checks: int = 400,
+                         warmup: int = 32) -> list[HttpLoadResult]:
+    """E9: what does the wire add on top of the in-process server?
+
+    Both transports run the pooled configuration of E8 (WAL pool,
+    batched check log) over identical on-disk databases and the same
+    request stream; the HTTP side pays JSON encode/decode, HTTP parsing
+    and loopback TCP on kept-alive connections.  Every timed region ends
+    with a log flush, so both transports are measured to equal
+    durability.  ``http_overhead`` reduces the rows to the per-thread
+    protocol multiple.
+    """
+    from repro.corpus.volga import jane_preference
+    from repro.net.client import HttpClientAgent
+    from repro.net.httpd import P3PHttpServer
+
+    requests = _concurrency_requests(checks)
+    jane = jane_preference()
+    results: list[HttpLoadResult] = []
+
+    with tempfile.TemporaryDirectory(dir=directory) as workdir:
+        in_process = _concurrency_server(
+            os.path.join(workdir, "inprocess.db"),
+            log_batch_size=256, log_flush_interval=0.05)
+        try:
+            in_process.serve_many(requests[:warmup],
+                                  threads=max(thread_counts))
+            for threads in thread_counts:
+                start = time.perf_counter()
+                in_process.serve_many(requests, threads=threads)
+                results.append(HttpLoadResult(
+                    mode="in-process", threads=threads, checks=checks,
+                    seconds=time.perf_counter() - start,
+                ))
+        finally:
+            in_process.close()
+
+        backend = _concurrency_server(
+            os.path.join(workdir, "http.db"),
+            log_batch_size=256, log_flush_interval=0.05)
+        httpd = P3PHttpServer(backend, ("127.0.0.1", 0),
+                              max_inflight=max(thread_counts) * 4)
+        thread = httpd.run_in_thread()
+        try:
+            bootstrap = HttpClientAgent(httpd.base_url, jane)
+            digest = bootstrap.register_preference()
+            bootstrap.check_batch(
+                [(site, uri) for site, uri, _ in requests[:warmup]])
+            bootstrap.close()
+            for threads in thread_counts:
+                start = time.perf_counter()
+                _drive_http(httpd.base_url, jane, digest,
+                            requests, threads)
+                backend.flush_log()
+                results.append(HttpLoadResult(
+                    mode="http", threads=threads, checks=checks,
+                    seconds=time.perf_counter() - start,
+                ))
+        finally:
+            httpd.close()
+            backend.close()
+            thread.join(timeout=5)
     return results

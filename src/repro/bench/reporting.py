@@ -11,9 +11,11 @@ from repro.bench.harness import (
     AblationResult,
     ConcurrencyResult,
     EngineSummary,
+    HttpLoadResult,
     LevelSummary,
     ShreddingResult,
     WarmColdResult,
+    http_overhead,
 )
 from repro.corpus.policies import CorpusStats
 
@@ -252,5 +254,28 @@ def format_concurrency(rows: list[ConcurrencyResult]) -> str:
         lines.append(
             f"{labels.get(row.mode, row.mode):34s} {row.threads:7d} "
             f"{row.checks_per_second:10.0f} {speedup:>8s}"
+        )
+    return "\n".join(lines)
+
+
+def format_http_load(rows: list[HttpLoadResult]) -> str:
+    """E9: HTTP vs in-process throughput; overhead = HTTP time multiple."""
+    lines = [
+        "HTTP serving overhead (loopback, keep-alive, durable check log)",
+        f"{'Transport':26s} {'Threads':>7s} {'Checks/s':>10s} "
+        f"{'Overhead':>9s}",
+    ]
+    labels = {
+        "in-process": "in-process (serve_many)",
+        "http": "HTTP (POST /v1/check)",
+    }
+    overhead = http_overhead(rows)
+    for row in rows:
+        multiple = ""
+        if row.mode == "http" and row.threads in overhead:
+            multiple = f"{overhead[row.threads]:8.2f}x"
+        lines.append(
+            f"{labels.get(row.mode, row.mode):26s} {row.threads:7d} "
+            f"{row.checks_per_second:10.0f} {multiple:>9s}"
         )
     return "\n".join(lines)

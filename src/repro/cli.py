@@ -11,6 +11,7 @@ Subcommands::
     p3pdb corpus    [-o DIR]              # emit the synthetic workload
     p3pdb report    [POLICY.xml ...]      # corpus analytics
     p3pdb bench     [EXPERIMENT ...] [--markdown] [--json FILE]
+    p3pdb serve     [--db FILE] [--port N] [--max-inflight N]
 """
 
 from __future__ import annotations
@@ -187,7 +188,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
-                      "concurrency")
+                      "concurrency", "http-load")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -226,10 +227,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(bench.format_ablation(bench.ablation_experiment()))
         elif experiment == "concurrency":
             print(bench.format_concurrency(bench.concurrency_experiment()))
+        elif experiment == "http-load":
+            print(bench.format_http_load(bench.http_load_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2
         print()
+    return 0
+
+
+#: Test instrumentation: when set, called with the bound P3PHttpServer
+#: before serve_forever starts (lets tests capture and stop the server).
+_SERVE_STARTED_HOOK = None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.net.httpd import P3PHttpServer
+    from repro.server.policy_server import PolicyServer
+
+    policy_server = PolicyServer(args.db)
+    httpd = P3PHttpServer(policy_server, (args.host, args.port),
+                          max_inflight=args.max_inflight,
+                          owns_policy_server=True)
+    host, port = httpd.server_address[:2]
+    print(f"p3pdb: serving on http://{host}:{port} "
+          f"(db={args.db or ':memory:'}, "
+          f"max-inflight={args.max_inflight}); Ctrl-C to stop")
+    if args.ready_file:
+        Path(args.ready_file).write_text(f"{host} {port}\n",
+                                         encoding="utf-8")
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    # Signal handlers are a main-thread privilege; tests run us on a
+    # worker thread and stop the server through the hook instead.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _terminate)
+    if _SERVE_STARTED_HOOK is not None:
+        _SERVE_STARTED_HOOK(httpd)
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.close()      # stops accepting, flushes the check log
+        print(f"p3pdb: shut down; {policy_server.log.written} "
+              "check-log rows durable")
     return 0
 
 
@@ -309,6 +356,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every experiment and write a JSON "
                               "results document")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser("serve",
+                             help="run the HTTP policy server "
+                                  "(POST /v1/check et al.)")
+    p_serve.add_argument("--db", default=None,
+                         help="SQLite database file (default in-memory; "
+                              "a file enables the WAL reader pool)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="address to bind (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="port to bind; 0 picks an ephemeral port "
+                              "(default 8080)")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="admission-control limit on concurrent "
+                              "checks; beyond it the server sheds load "
+                              "with 503 (default 64)")
+    p_serve.add_argument("--ready-file", default=None,
+                         help="write 'HOST PORT' here once bound "
+                              "(for scripts wrapping an ephemeral port)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -1,0 +1,76 @@
+"""Admission control: a bounded in-flight gate for the check endpoints.
+
+The serving stack deliberately funnels every check-log append through one
+buffered writer; an unbounded burst of HTTP threads would queue behind it
+and time out en masse.  :class:`AdmissionController` caps how many checks
+may be in flight at once — requests beyond the cap are *shed immediately*
+with 503 + ``Retry-After`` (the client's cue to back off) instead of
+being parked on a lock.  Shedding is load-proportional and cheap; the
+writer keeps draining at its own pace.
+
+The gate is a counter, not a ``threading.Semaphore``: acquisition never
+blocks, and the controller keeps the occupancy statistics ``/metrics``
+reports (peak concurrency, admitted/rejected totals).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class AdmissionController:
+    """Admit at most *max_inflight* concurrent requests; shed the rest."""
+
+    def __init__(self, max_inflight: int = 64, *,
+                 retry_after: float = 1.0):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_enter(self) -> bool:
+        """Take a slot if one is free; never blocks."""
+        with self._lock:
+            if self.in_flight >= self.max_inflight:
+                self.rejected += 1
+                return False
+            self.in_flight += 1
+            self.admitted += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            if self.in_flight <= 0:
+                raise RuntimeError("leave() without a matching try_enter()")
+            self.in_flight -= 1
+
+    @contextmanager
+    def admit(self) -> Iterator[bool]:
+        """``with controller.admit() as ok:`` — ok says whether to serve."""
+        ok = self.try_enter()
+        try:
+            yield ok
+        finally:
+            if ok:
+                self.leave()
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Occupancy counters for the metrics endpoint."""
+        with self._lock:
+            return {
+                "limit": self.max_inflight,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "retry_after": self.retry_after,
+            }

@@ -1,0 +1,244 @@
+"""``HttpClientAgent`` — the thin client of the server-centric design.
+
+The paper's Section 4.2 point: the client should *not* re-do document
+processing per check.  Over the wire that becomes: serialize and POST
+the APPEL preference **once** (``/v1/preferences``), keep the returned
+hash, and make every subsequent check a small JSON request.  The agent
+registers lazily on first use and transparently **re-registers** when
+the server answers ``unknown-preference`` — which happens after a server
+restart or a registry eviction — so callers never see the handshake.
+
+Transport is a persistent ``http.client.HTTPConnection`` (keep-alive;
+rebuilt automatically if the server closed it).  One agent is therefore
+**not** thread-safe — give each client thread its own agent, the exact
+analogue of the connection pool's reader-per-thread rule.  Reference
+files are cached with their ETag and revalidated with
+``If-None-Match``, so a fresh copy costs a 304 with no body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import time
+from typing import Any, Iterable, Mapping
+from urllib.parse import quote, urlsplit
+
+from repro.appel.model import Ruleset
+from repro.appel.parser import parse_ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.net import protocol
+from repro.p3p.model import Policy
+from repro.p3p.serializer import serialize_policy
+
+
+class HttpClientAgent:
+    """A P3P user agent speaking the v1 wire protocol to one server."""
+
+    def __init__(self, base_url: str,
+                 preference: Ruleset | str | None = None, *,
+                 preference_hash: str | None = None,
+                 timeout: float = 30.0):
+        split = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(
+                f"unsupported scheme {split.scheme!r} (http only)")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        if isinstance(preference, str):
+            preference = parse_ruleset(preference)
+        self.preference = preference
+        self.preference_hash = preference_hash
+        self.timeout = timeout
+        self.requests_sent = 0
+        self.reregistrations = 0
+        self.revalidations = 0
+        self._connection: http.client.HTTPConnection | None = None
+        #: site -> (etag, xml) for If-None-Match revalidation
+        self._reference_cache: dict[str, tuple[str, str]] = {}
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None,
+                 headers: Mapping[str, str] | None = None
+                 ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip, reusing the kept-alive connection.
+
+        A request that fails on a *reused* connection is retried once on
+        a fresh one (the server may have idled it out between checks);
+        a failure on a fresh connection propagates.
+        """
+        send_headers = {"Content-Type": "application/json",
+                        **(headers or {})}
+        for attempt in (0, 1):
+            fresh = self._connection is None
+            if fresh:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self.timeout)
+                self._connection.connect()
+                # Requests are two writes (headers, body); keep Nagle
+                # from serializing them against the server's ACKs.
+                self._connection.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = self._connection
+            try:
+                connection.request(method, path, body=body,
+                                   headers=send_headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, OSError):
+                connection.close()
+                self._connection = None
+                if fresh or attempt:
+                    raise
+                continue
+            self.requests_sent += 1
+            if response.will_close:
+                connection.close()
+                self._connection = None
+            return (response.status,
+                    {key.lower(): value
+                     for key, value in response.getheaders()},
+                    payload)
+        raise AssertionError("unreachable")
+
+    def _call(self, method: str, path: str,
+              payload: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        body = protocol.encode(payload) if payload is not None else None
+        status, _, raw = self._request(method, path, body)
+        if status >= 400:
+            raise protocol.error_from_http(status, raw)
+        return protocol.decode(raw)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "HttpClientAgent":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- preference lifecycle ------------------------------------------------
+
+    def register_preference(self) -> str:
+        """POST the APPEL document; remember and return its hash."""
+        if self.preference is None:
+            raise ValueError("agent has no preference to register")
+        response = protocol.RegisterPreferenceResponse.from_wire(
+            self._call("POST", "/v1/preferences",
+                       protocol.RegisterPreferenceRequest(
+                           appel=serialize_ruleset(self.preference,
+                                                   indent=False),
+                       ).to_wire()))
+        self.preference_hash = response.preference_hash
+        return response.preference_hash
+
+    def _ensure_registered(self) -> str:
+        if self.preference_hash is None:
+            return self.register_preference()
+        return self.preference_hash
+
+    def _with_reregistration(self, call):
+        """Run *call(hash)*; on ``unknown-preference`` re-register once.
+
+        This is the self-healing half of register-once: a restarted
+        server (empty registry) or an evicting one only costs the agent
+        one extra round trip, not an error surfaced to the caller.
+        """
+        digest = self._ensure_registered()
+        try:
+            return call(digest)
+        except protocol.ProtocolError as exc:
+            if exc.code != protocol.ERR_UNKNOWN_PREFERENCE or \
+                    self.preference is None:
+                raise
+        self.reregistrations += 1
+        return call(self.register_preference())
+
+    # -- checking ------------------------------------------------------------
+
+    def check(self, site: str, uri: str,
+              cookie: bool = False) -> protocol.CheckResponse:
+        """One decision for (site, uri) under the agent's preference."""
+        return self._with_reregistration(
+            lambda digest: protocol.CheckResponse.from_wire(
+                self._call("POST", "/v1/check",
+                           protocol.CheckRequest(
+                               site=site, uri=uri,
+                               preference_hash=digest,
+                               cookie=cookie).to_wire())))
+
+    def check_batch(self, checks: Iterable[tuple[str, str]],
+                    cookie: bool = False) -> list[protocol.CheckResponse]:
+        """Decisions for many (site, uri) pairs, in request order."""
+        checks = tuple(checks)
+        response = self._with_reregistration(
+            lambda digest: protocol.BatchCheckResponse.from_wire(
+                self._call("POST", "/v1/check-batch",
+                           protocol.BatchCheckRequest(
+                               preference_hash=digest,
+                               checks=checks,
+                               cookie=cookie).to_wire())))
+        return list(response.results)
+
+    # -- site administration -------------------------------------------------
+
+    def install_policy(self, policy: Policy | str,
+                       site: str | None = None,
+                       reference_file: str | None = None
+                       ) -> protocol.InstallPolicyResponse:
+        """Install a policy (optionally with its reference file)."""
+        if isinstance(policy, Policy):
+            policy = serialize_policy(policy)
+        return protocol.InstallPolicyResponse.from_wire(
+            self._call("POST", "/v1/policies",
+                       protocol.InstallPolicyRequest(
+                           policy=policy, site=site,
+                           reference_file=reference_file).to_wire()))
+
+    def fetch_reference_file(self, site: str) -> str:
+        """GET /w3c/p3p.xml for *site*, revalidating the cached copy."""
+        headers = {}
+        cached = self._reference_cache.get(site)
+        if cached is not None:
+            headers["If-None-Match"] = cached[0]
+        status, response_headers, body = self._request(
+            "GET", f"/w3c/p3p.xml?site={quote(site)}", headers=headers)
+        if status == 304 and cached is not None:
+            self.revalidations += 1
+            return cached[1]
+        if status >= 400:
+            raise protocol.error_from_http(status, body)
+        xml = body.decode("utf-8")
+        etag = response_headers.get("etag")
+        if etag is not None:
+            self._reference_cache[site] = (etag, xml)
+        return xml
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    def wait_until_healthy(self, timeout: float = 5.0,
+                           interval: float = 0.05) -> bool:
+        """Poll /healthz until the server answers or *timeout* passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.health().get("status") == "ok":
+                    return True
+            except (protocol.ProtocolError, OSError):
+                pass
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(interval)

@@ -1,0 +1,528 @@
+"""The network front-end: ``P3PHttpServer`` over a ``PolicyServer``.
+
+This is the deployment Section 3 sketches: the site's web server answers
+preference checks itself, backed by the policy database.  One process,
+stdlib only:
+
+* ``POST /v1/preferences``  — register an APPEL ruleset once; the
+  response carries its hash.  Parsing (and, lazily, SQL translation) is
+  paid at registration — the paper's pay-once insight moved to the wire.
+* ``POST /v1/check``        — one decision, by preference hash.
+* ``POST /v1/check-batch``  — many decisions through ``serve_many``
+  (results in request order, check log flushed before replying).
+* ``POST /v1/policies``     — install a policy (optionally with its
+  reference file); superseded translation-cache entries are invalidated
+  by :meth:`PolicyServer.install_policy` itself.
+* ``GET /w3c/p3p.xml``      — the site's reference file with a strong
+  ETag; ``If-None-Match`` revalidation answers 304 with no body, so
+  agents refresh caches for the price of a header.
+* ``GET /healthz``          — liveness.
+* ``GET /metrics``          — JSON counters (requests, errors, cache hit
+  rate, check-log pending, admission occupancy).
+
+Requests are handled on a thread per connection (HTTP/1.1 keep-alive —
+``ThreadingHTTPServer``), which maps one-to-one onto the connection
+pool's reader-per-thread design.  The check endpoints sit behind an
+:class:`~repro.net.admission.AdmissionController`; everything else
+(registration, installs, health) bypasses it so operators can always
+look inside an overloaded server.
+
+Shutdown is graceful: :meth:`P3PHttpServer.close` stops accepting,
+then flushes the buffered check log, so exactly-once logging holds
+across the network boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.appel.model import Ruleset
+from repro.appel.parser import parse_ruleset
+from repro.errors import ReproError
+from repro.net import protocol
+from repro.net.admission import AdmissionController
+from repro.p3p.parser import parse_policy
+from repro.server.policy_server import PolicyServer
+
+
+class PreferenceRegistry:
+    """Registered APPEL rulesets, addressable by content hash.
+
+    Bounded LRU, same discipline as the translation cache: a crowd of
+    distinct users cannot grow server memory without limit.  Eviction is
+    safe because the protocol is self-healing — a check whose hash was
+    evicted gets ``unknown-preference`` and the client re-registers.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("registry maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Ruleset] = OrderedDict()
+        self.evictions = 0
+
+    def register(self, preference: Ruleset) -> tuple[str, bool]:
+        """Store *preference*; returns ``(hash, created)``."""
+        digest = PolicyServer._preference_hash(preference)
+        with self._lock:
+            created = digest not in self._entries
+            self._entries[digest] = preference
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return digest, created
+
+    def get(self, preference_hash: str) -> Ruleset | None:
+        with self._lock:
+            preference = self._entries.get(preference_hash)
+            if preference is not None:
+                self._entries.move_to_end(preference_hash)
+            return preference
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, preference_hash: str) -> bool:
+        with self._lock:
+            return preference_hash in self._entries
+
+
+class _Metrics:
+    """Lock-protected request/error counters behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.by_endpoint: dict[str, int] = {}
+        self.errors_total = 0
+        self.by_error_code: dict[str, int] = {}
+        self.checks_served = 0
+        self.not_modified = 0
+
+    def request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.by_endpoint[endpoint] = \
+                self.by_endpoint.get(endpoint, 0) + 1
+
+    def error(self, code: str) -> None:
+        with self._lock:
+            self.errors_total += 1
+            self.by_error_code[code] = self.by_error_code.get(code, 0) + 1
+
+    def checks(self, count: int) -> None:
+        with self._lock:
+            self.checks_served += count
+
+    def revalidated(self) -> None:
+        with self._lock:
+            self.not_modified += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "requests": {
+                    "total": self.requests_total,
+                    "by_endpoint": dict(self.by_endpoint),
+                },
+                "errors": {
+                    "total": self.errors_total,
+                    "by_code": dict(self.by_error_code),
+                },
+                "checks_served": self.checks_served,
+                "reference_not_modified": self.not_modified,
+            }
+
+
+def _etag(body: bytes) -> str:
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+class P3PHttpServer(ThreadingHTTPServer):
+    """An HTTP policy server: bind, then ``serve_forever`` or
+    :meth:`run_in_thread`.  Bind to port 0 for an ephemeral port and
+    read :attr:`base_url` back."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, policy_server: PolicyServer,
+                 address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 max_inflight: int = 64,
+                 retry_after: float = 1.0,
+                 batch_threads: int = 4,
+                 max_body_bytes: int = 4 * 1024 * 1024,
+                 registry_size: int = 4096,
+                 owns_policy_server: bool = False):
+        super().__init__(address, _P3PRequestHandler)
+        self.policy_server = policy_server
+        self.admission = AdmissionController(max_inflight,
+                                             retry_after=retry_after)
+        self.preferences = PreferenceRegistry(registry_size)
+        self.net_metrics = _Metrics()
+        self.batch_threads = batch_threads
+        self.max_body_bytes = max_body_bytes
+        self.owns_policy_server = owns_policy_server
+        self._reference_lock = threading.Lock()
+        #: site -> (raw XML bytes, strong ETag)
+        self._reference_documents: dict[str, tuple[bytes, str]] = {}
+        self._serving = False
+        self._closed = False
+
+    # -- addressing ----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host = self.host
+        if ":" in host:                      # bare IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    # -- reference documents -------------------------------------------------
+
+    def register_reference_document(self, site: str, xml: str) -> None:
+        """Make ``GET /w3c/p3p.xml?site=...`` serve *xml* for *site*."""
+        body = xml.encode("utf-8")
+        with self._reference_lock:
+            self._reference_documents[site] = (body, _etag(body))
+
+    def reference_document(self, site: str) -> tuple[bytes, str] | None:
+        with self._reference_lock:
+            return self._reference_documents.get(site)
+
+    # -- introspection -------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        cache = self.policy_server._translation_cache
+        hits, misses = cache.hits, cache.misses
+        lookups = hits + misses
+        log = self.policy_server.log
+        return {
+            "v": protocol.PROTOCOL_VERSION,
+            **self.net_metrics.snapshot(),
+            "translation_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "size": len(cache),
+            },
+            "check_log": {
+                "pending": log.pending,
+                "appended": log.appended,
+                "written": log.written,
+                "batches": log.batches,
+            },
+            "admission": self.admission.snapshot(),
+            "preferences": {
+                "registered": len(self.preferences),
+                "evictions": self.preferences.evictions,
+            },
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def run_in_thread(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread and return it."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  name="p3p-httpd", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop accepting, flush the check log, release the socket.
+
+        Closes the underlying :class:`PolicyServer` too when this server
+        owns it (the ``serve()`` factory and the CLI set that up).
+        Idempotent.  Call from a different thread than ``serve_forever``
+        (or after it returned), as with ``BaseServer.shutdown``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:          # shutdown() hangs if never serving
+            self.shutdown()
+        self.server_close()
+        if self.owns_policy_server:
+            self.policy_server.close()     # close() flushes first
+        else:
+            self.policy_server.flush_log()
+
+    def __enter__(self) -> "P3PHttpServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve(db: str | None = None, host: str = "127.0.0.1", port: int = 0,
+          **options: Any) -> P3PHttpServer:
+    """Boot an HTTP server over a fresh :class:`PolicyServer` on *db*.
+
+    The returned server owns its PolicyServer: ``close()`` flushes the
+    check log and closes the pool.
+    """
+    policy_server = PolicyServer(db)
+    return P3PHttpServer(policy_server, (host, port),
+                         owns_policy_server=True, **options)
+
+
+class _P3PRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the handlers above; all failures become the
+    protocol's error envelope."""
+
+    server: P3PHttpServer
+    protocol_version = "HTTP/1.1"
+    server_version = "p3pdb"
+    # Responses are two sends (header block, body); without TCP_NODELAY,
+    # Nagle + delayed ACK stalls every reply ~40 ms on loopback.
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass                       # /metrics replaces per-request stderr
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    _GET_ROUTES = {
+        "/healthz": "_handle_healthz",
+        "/metrics": "_handle_metrics",
+        "/w3c/p3p.xml": "_handle_reference",
+    }
+    _POST_ROUTES = {
+        "/v1/preferences": "_handle_register_preference",
+        "/v1/check": "_handle_check",
+        "/v1/check-batch": "_handle_check_batch",
+        "/v1/policies": "_handle_install_policy",
+    }
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        path, query = split.path, parse_qs(split.query)
+        try:
+            body = self._read_body() if method == "POST" else b""
+            routes = self._GET_ROUTES if method == "GET" else \
+                self._POST_ROUTES
+            name = routes.get(path)
+            if name is None:
+                other = self._POST_ROUTES if method == "GET" else \
+                    self._GET_ROUTES
+                if path in other:
+                    raise protocol.ProtocolError(
+                        protocol.ERR_METHOD_NOT_ALLOWED,
+                        f"{path} does not accept {method}",
+                    )
+                raise protocol.ProtocolError(
+                    protocol.ERR_NOT_FOUND, f"no endpoint at {path}",
+                )
+            self.server.net_metrics.request(path)
+            getattr(self, name)(body, query)
+        except protocol.ProtocolError as exc:
+            self._send_protocol_error(exc)
+        except ReproError as exc:
+            # Library-level rejection of the request's content (unknown
+            # policy name in a reference file, vocabulary violations...).
+            self._send_protocol_error(protocol.ProtocolError(
+                protocol.ERR_PARSE, str(exc)))
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as exc:   # noqa: BLE001 — keep the server up
+            self._send_protocol_error(protocol.ProtocolError(
+                protocol.ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}"))
+
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or 0)
+        except ValueError:
+            raise protocol.ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unreadable Content-Length {length_header!r}") from None
+        if length > self.server.max_body_bytes:
+            # Read nothing; the connection is closed with the response.
+            self.close_connection = True
+            raise protocol.ProtocolError(
+                protocol.ERR_PAYLOAD_TOO_LARGE,
+                f"body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit")
+        return self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any],
+                   extra_headers: Mapping[str, str] | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_protocol_error(self, exc: protocol.ProtocolError) -> None:
+        self.server.net_metrics.error(exc.code)
+        headers = {}
+        if exc.retry_after is not None:
+            # Retry-After is delta-seconds; never advertise zero.
+            headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+        try:
+            self._send_json(exc.http_status, exc.envelope().to_wire(),
+                            headers)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _preference(self, preference_hash: str) -> Ruleset:
+        preference = self.server.preferences.get(preference_hash)
+        if preference is None:
+            raise protocol.ProtocolError(
+                protocol.ERR_UNKNOWN_PREFERENCE,
+                f"no preference registered under {preference_hash!r}; "
+                "POST it to /v1/preferences first",
+            )
+        return preference
+
+    def _admitted(self) -> None:
+        if not self.server.admission.try_enter():
+            raise protocol.ProtocolError(
+                protocol.ERR_OVERLOADED,
+                f"server is at its {self.server.admission.max_inflight}"
+                "-request concurrency limit; retry shortly",
+                retry_after=self.server.admission.retry_after,
+            )
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _handle_healthz(self, body: bytes, query: dict) -> None:
+        self._send_json(200, {"v": protocol.PROTOCOL_VERSION,
+                              "status": "ok"})
+
+    def _handle_metrics(self, body: bytes, query: dict) -> None:
+        self._send_json(200, self.server.metrics_snapshot())
+
+    def _handle_reference(self, body: bytes, query: dict) -> None:
+        sites = query.get("site")
+        if sites:
+            site = sites[0]
+        else:
+            # Default to the Host header, as a real deployment would.
+            site = (self.headers.get("Host") or "").split(":")[0]
+        document = self.server.reference_document(site)
+        if document is None:
+            raise protocol.ProtocolError(
+                protocol.ERR_NOT_FOUND,
+                f"no reference file registered for site {site!r}",
+            )
+        xml, etag = document
+        candidates = self.headers.get("If-None-Match")
+        if candidates is not None:
+            matches = {candidate.strip() for candidate
+                       in candidates.split(",")}
+            if "*" in matches or etag in matches:
+                self.server.net_metrics.revalidated()
+                self.send_response(304)
+                self.send_header("ETag", etag)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/xml; charset=utf-8")
+        self.send_header("Content-Length", str(len(xml)))
+        self.send_header("ETag", etag)
+        self.send_header("Cache-Control", "max-age=86400")
+        self.end_headers()
+        self.wfile.write(xml)
+
+    def _handle_register_preference(self, body: bytes,
+                                    query: dict) -> None:
+        request = protocol.RegisterPreferenceRequest.from_wire(
+            protocol.decode(body))
+        preference = parse_ruleset(request.appel)
+        digest, created = self.server.preferences.register(preference)
+        self._send_json(201 if created else 200,
+                        protocol.RegisterPreferenceResponse(
+                            preference_hash=digest,
+                            rules=len(preference.rules),
+                            created=created,
+                        ).to_wire())
+
+    def _handle_check(self, body: bytes, query: dict) -> None:
+        request = protocol.CheckRequest.from_wire(protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            result = self.server.policy_server.check(
+                request.site, request.uri, preference,
+                cookie=request.cookie)
+        finally:
+            self.server.admission.leave()
+        self.server.net_metrics.checks(1)
+        self._send_json(200,
+                        protocol.CheckResponse.from_result(result).to_wire())
+
+    def _handle_check_batch(self, body: bytes, query: dict) -> None:
+        request = protocol.BatchCheckRequest.from_wire(
+            protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            results = self.server.policy_server.serve_many(
+                [(site, uri, preference) for site, uri in request.checks],
+                threads=self.server.batch_threads,
+                cookie=request.cookie)
+        finally:
+            self.server.admission.leave()
+        self.server.net_metrics.checks(len(results))
+        self._send_json(200, protocol.BatchCheckResponse(
+            results=tuple(protocol.CheckResponse.from_result(result)
+                          for result in results)).to_wire())
+
+    def _handle_install_policy(self, body: bytes, query: dict) -> None:
+        request = protocol.InstallPolicyRequest.from_wire(
+            protocol.decode(body))
+        policy = parse_policy(request.policy)
+        report = self.server.policy_server.install_policy(
+            policy, site=request.site)
+        reference_rows = None
+        if request.reference_file is not None:
+            reference_rows = self.server.policy_server \
+                .install_reference_file(request.reference_file,
+                                        request.site)
+            self.server.register_reference_document(
+                request.site, request.reference_file)
+        self._send_json(201, protocol.InstallPolicyResponse(
+            policy_id=report.policy_id,
+            statements=report.statements,
+            data_items=report.data_items,
+            categories=report.categories,
+            seconds=report.seconds,
+            reference_rows=reference_rows,
+        ).to_wire())

@@ -6,6 +6,12 @@ it fetches the site's reference file and policy documents over the
 the full document-processing cost — including base-data-schema category
 augmentation — on every check.  Reference files may be cached
 client-side, the one mitigation Section 4.2 credits to this architecture.
+
+Pass *transport* (an :class:`~repro.net.client.HttpClientAgent`) to turn
+the same agent into a *thin* client of the server-centric deployment:
+checks are delegated to the policy server over HTTP (the preference is
+registered once, by hash), while the :class:`ClientCheckResult` shape —
+and therefore every existing example — stays unchanged.
 """
 
 from __future__ import annotations
@@ -43,14 +49,20 @@ class ClientAgent:
     """A browser-side P3P user agent with a fixed APPEL preference."""
 
     def __init__(self, preference: Ruleset,
-                 cache_reference_files: bool = True):
+                 cache_reference_files: bool = True,
+                 transport=None):
         self.preference = preference
         self.cache_reference_files = cache_reference_files
+        self.transport = transport
+        if transport is not None and transport.preference is None:
+            transport.preference = preference
         self._engine = AppelEngine()
         self._reference_cache: dict[str, object] = {}
 
     def check(self, site: Site, uri: str) -> ClientCheckResult:
         """Decide whether to request *uri* from *site*."""
+        if self.transport is not None:
+            return self._check_remote(site, uri)
         start = time.perf_counter()
         fetches = 0
 
@@ -83,4 +95,29 @@ class ClientAgent:
             rule_index=result.rule_index,
             elapsed_seconds=time.perf_counter() - start,
             fetches=fetches,
+        )
+
+    def _check_remote(self, site: Site, uri: str) -> ClientCheckResult:
+        """Delegate the decision to the policy server over HTTP.
+
+        ``fetches`` counts real HTTP round trips this check cost —
+        usually 1, plus the one-time preference registration and any
+        transparent re-registration after a server restart.
+        """
+        start = time.perf_counter()
+        before = self.transport.requests_sent
+        response = self.transport.check(site.host, uri)
+        # The decision came over the wire; the policy *name* is resolved
+        # locally through the site's reference file (the server logs ids).
+        ref = site.reference_file.applicable_policy(uri)
+        policy_name = ref.policy_name if (response.covered and ref) \
+            else None
+        return ClientCheckResult(
+            site=site.host,
+            uri=uri,
+            policy_name=policy_name,
+            behavior=response.behavior,
+            rule_index=response.rule_index,
+            elapsed_seconds=time.perf_counter() - start,
+            fetches=self.transport.requests_sent - before,
         )

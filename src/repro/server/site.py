@@ -6,6 +6,12 @@ and policy documents from the site; in the server-centric world (Figures
 5/6) the site's owner installs them into the policy database up front.
 :class:`Site` is the fetchable artifact; the two architectures consume it
 differently.
+
+A Site can also be built from a *live* deployment:
+:meth:`Site.from_url` fetches the reference file from a running
+:class:`~repro.net.httpd.P3PHttpServer` (``GET /w3c/p3p.xml``), so
+examples written against the in-memory simulation work over the wire
+unchanged.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import UnknownPolicyError
 from repro.p3p.model import Policy
-from repro.p3p.reference import ReferenceFile
+from repro.p3p.reference import ReferenceFile, parse_reference_file
 from repro.p3p.serializer import serialize_policy
 
 
@@ -60,3 +66,24 @@ class Site:
     @property
     def total_fetches(self) -> int:
         return sum(self.fetch_counts.values())
+
+    @classmethod
+    def from_url(cls, base_url: str, host: str,
+                 policies: dict[str, Policy] | None = None,
+                 transport=None) -> "Site":
+        """Build a Site by fetching *host*'s reference file over HTTP.
+
+        *transport* is an :class:`~repro.net.client.HttpClientAgent`
+        (one is created for *base_url* when omitted).  The HTTP fetch
+        counts in :attr:`fetch_counts` like a simulated one would.
+        """
+        if transport is None:
+            from repro.net.client import HttpClientAgent
+
+            transport = HttpClientAgent(base_url)
+        site = cls(host=host,
+                   reference_file=parse_reference_file(
+                       transport.fetch_reference_file(host)),
+                   policies=dict(policies or {}))
+        site._count("reference")
+        return site

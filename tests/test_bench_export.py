@@ -18,7 +18,7 @@ class TestRunAll:
         assert set(results) == {
             "meta", "e1_dataset", "e2_preferences", "e3_shredding",
             "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
-            "e8_concurrency",
+            "e8_concurrency", "e9_http_load",
         }
 
     def test_json_serializable(self, results):
@@ -56,6 +56,18 @@ class TestRunAll:
         }
         for row in rows:
             assert row["checks_per_second"] > 0
+
+    def test_http_load_block(self, results):
+        block = results["e9_http_load"]
+        assert {(r["mode"], r["threads"]) for r in block["rows"]} == {
+            ("in-process", 1), ("in-process", 4), ("in-process", 16),
+            ("http", 1), ("http", 4), ("http", 16),
+        }
+        for row in block["rows"]:
+            assert row["checks_per_second"] > 0
+        assert set(block["overhead"]) == {"1", "4", "16"}
+        for multiple in block["overhead"].values():
+            assert multiple > 0
 
 
 class TestSaveResults:

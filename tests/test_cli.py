@@ -152,3 +152,93 @@ class TestBench:
 
     def test_unknown_experiment(self, capsys):
         assert main(["bench", "figure99"]) == 2
+
+
+class TestServe:
+    """The serve subcommand, run on a worker thread via the test hook."""
+
+    def _run_server(self, argv, monkeypatch):
+        import threading
+
+        from repro import cli
+
+        started = threading.Event()
+        state = {}
+
+        def hook(httpd):
+            state["httpd"] = httpd
+            started.set()
+
+        monkeypatch.setattr(cli, "_SERVE_STARTED_HOOK", hook)
+
+        def target():
+            state["exit"] = cli.main(argv)
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10), "server never started"
+        return thread, state
+
+    def test_serve_answers_and_shuts_down_cleanly(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.net.client import HttpClientAgent
+
+        ready = tmp_path / "ready"
+        thread, state = self._run_server(
+            ["serve", "--db", str(tmp_path / "serve.db"),
+             "--port", "0", "--ready-file", str(ready)],
+            monkeypatch)
+        httpd = state["httpd"]
+        try:
+            host, port = ready.read_text(encoding="utf-8").split()
+            assert int(port) == httpd.port
+            with HttpClientAgent(f"http://{host}:{port}") as agent:
+                assert agent.wait_until_healthy(timeout=5)
+                assert agent.health()["status"] == "ok"
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=10)
+        assert state["exit"] == 0
+        out = capsys.readouterr().out
+        assert "serving on http://" in out
+        assert "check-log rows durable" in out
+
+    def test_serve_flushes_checks_before_exit(self, tmp_path,
+                                              monkeypatch):
+        import sqlite3
+
+        from repro.corpus.volga import (VOLGA_POLICY_XML,
+                                        VOLGA_REFERENCE_XML,
+                                        jane_preference)
+        from repro.net.client import HttpClientAgent
+
+        db = tmp_path / "durable.db"
+        thread, state = self._run_server(
+            ["serve", "--db", str(db), "--port", "0",
+             "--max-inflight", "8"], monkeypatch)
+        httpd = state["httpd"]
+        try:
+            with HttpClientAgent(httpd.base_url,
+                                 jane_preference()) as agent:
+                agent.install_policy(
+                    VOLGA_POLICY_XML, site="volga.example.com",
+                    reference_file=VOLGA_REFERENCE_XML)
+                for index in range(3):
+                    agent.check("volga.example.com", f"/catalog/{index}")
+            assert httpd.admission.max_inflight == 8
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=10)
+        assert state["exit"] == 0
+        connection = sqlite3.connect(str(db))
+        try:
+            count = connection.execute(
+                "SELECT COUNT(*) FROM check_log").fetchone()[0]
+        finally:
+            connection.close()
+        assert count == 3
+
+    def test_bench_http_load_listed(self):
+        from repro import cli
+
+        assert "http-load" in cli._BENCH_EXPERIMENTS

@@ -1,0 +1,478 @@
+"""The HTTP tier end to end: ephemeral-port server, thin client, admission.
+
+Servers bind port 0 and read the address back — no fixed ports, so the
+suite parallelizes and never collides with the host.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.corpus.policies import fortune_corpus
+from repro.corpus.preferences import jrc_suite
+from repro.corpus.volga import (
+    VOLGA_POLICY_XML,
+    VOLGA_REFERENCE_XML,
+    jane_preference,
+    volga_policy,
+)
+from repro.net import protocol
+from repro.net.admission import AdmissionController
+from repro.net.client import HttpClientAgent
+from repro.net.httpd import P3PHttpServer, PreferenceRegistry, serve
+from repro.server.client import ClientAgent
+from repro.server.policy_server import PolicyServer
+from repro.server.site import Site
+
+SITE = "volga.example.com"
+
+
+@pytest.fixture()
+def httpd(tmp_path):
+    """A disk-backed HTTP server on an ephemeral port, Volga installed."""
+    server = serve(str(tmp_path / "httpd.db"))
+    thread = server.run_in_thread()
+    agent = HttpClientAgent(server.base_url)
+    agent.install_policy(VOLGA_POLICY_XML, site=SITE,
+                         reference_file=VOLGA_REFERENCE_XML)
+    agent.close()
+    yield server
+    server.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def agent(httpd):
+    with HttpClientAgent(httpd.base_url, jane_preference()) as jane:
+        yield jane
+
+
+def raw_request(httpd, method, path, body=None, headers=None):
+    """A request outside HttpClientAgent's conveniences (raw status)."""
+    connection = http.client.HTTPConnection(httpd.host, httpd.port,
+                                            timeout=10)
+    try:
+        connection.request(method, path, body=body,
+                           headers={"Content-Type": "application/json",
+                                    **(headers or {})})
+        response = connection.getresponse()
+        return response.status, dict(
+            (key.lower(), value) for key, value in response.getheaders()
+        ), response.read()
+    finally:
+        connection.close()
+
+
+class TestBasics:
+    def test_healthz(self, agent):
+        assert agent.health()["status"] == "ok"
+
+    def test_ephemeral_port_bound(self, httpd):
+        assert httpd.port != 0
+        assert str(httpd.port) in httpd.base_url
+
+    def test_check_decision_matches_in_process(self, httpd, agent,
+                                               tmp_path):
+        over_wire = agent.check(SITE, "/catalog/book-1")
+        reference = PolicyServer(str(tmp_path / "ref.db"))
+        try:
+            reference.install_policy(volga_policy(), site=SITE)
+            reference.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+            local = reference.check(SITE, "/catalog/book-1",
+                                    jane_preference())
+        finally:
+            reference.close()
+        assert over_wire.decision == (SITE, "/catalog/book-1",
+                                      local.policy_id, local.behavior,
+                                      local.rule_index)
+
+    def test_uncovered_uri(self, agent):
+        result = agent.check(SITE, "/legacy/old-page")
+        assert not result.covered
+        assert result.allowed
+
+    def test_register_is_idempotent(self, httpd, agent):
+        first = agent.register_preference()
+        second = agent.register_preference()
+        assert first == second
+        assert len(httpd.preferences) == 1
+
+    def test_metrics_counters(self, httpd, agent):
+        agent.check(SITE, "/catalog/metrics-probe")
+        metrics = agent.metrics()
+        assert metrics["checks_served"] >= 1
+        assert metrics["requests"]["total"] >= 2
+        assert metrics["admission"]["limit"] == 64
+        assert 0.0 <= metrics["translation_cache"]["hit_rate"] <= 1.0
+        assert metrics["check_log"]["pending"] >= 0
+        assert metrics["preferences"]["registered"] == 1
+
+
+class TestErrors:
+    def test_malformed_json_is_400_bad_json(self, httpd):
+        status, _, body = raw_request(httpd, "POST", "/v1/check",
+                                      body=b"{not json")
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == protocol.ERR_BAD_JSON
+
+    def test_unknown_version_is_400_bad_version(self, httpd):
+        status, _, body = raw_request(
+            httpd, "POST", "/v1/check",
+            body=json.dumps({"v": 99, "site": SITE, "uri": "/x",
+                             "preference_hash": "h"}).encode())
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == \
+            protocol.ERR_BAD_VERSION
+
+    def test_missing_field_is_400_bad_request(self, httpd):
+        status, _, body = raw_request(
+            httpd, "POST", "/v1/check",
+            body=json.dumps({"v": 1, "site": SITE}).encode())
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == \
+            protocol.ERR_BAD_REQUEST
+
+    def test_unknown_endpoint_is_404(self, httpd):
+        status, _, body = raw_request(httpd, "GET", "/v1/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == protocol.ERR_NOT_FOUND
+
+    def test_wrong_method_is_405(self, httpd):
+        status, _, body = raw_request(httpd, "GET", "/v1/check")
+        assert status == 405
+        assert json.loads(body)["error"]["code"] == \
+            protocol.ERR_METHOD_NOT_ALLOWED
+
+    def test_unparseable_appel_is_422(self, httpd):
+        status, _, body = raw_request(
+            httpd, "POST", "/v1/preferences",
+            body=protocol.encode({"appel": "<not-appel/>"}))
+        assert status == 422
+        assert json.loads(body)["error"]["code"] == protocol.ERR_PARSE
+
+    def test_unknown_preference_hash_is_404(self, httpd):
+        status, _, body = raw_request(
+            httpd, "POST", "/v1/check",
+            body=protocol.encode({"site": SITE, "uri": "/x",
+                                  "preference_hash": "f" * 64}))
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == \
+            protocol.ERR_UNKNOWN_PREFERENCE
+
+    def test_oversized_body_is_413(self, tmp_path):
+        server = serve(str(tmp_path / "small.db"), max_body_bytes=512)
+        thread = server.run_in_thread()
+        try:
+            status, _, body = raw_request(
+                server, "POST", "/v1/preferences",
+                body=b"x" * 1024)
+            assert status == 413
+            assert json.loads(body)["error"]["code"] == \
+                protocol.ERR_PAYLOAD_TOO_LARGE
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+
+class TestReferenceFileETag:
+    def test_fetch_and_revalidate(self, httpd):
+        status, headers, body = raw_request(
+            httpd, "GET", f"/w3c/p3p.xml?site={SITE}")
+        assert status == 200
+        assert headers["content-type"].startswith("application/xml")
+        etag = headers["etag"]
+        assert etag.startswith('"') and etag.endswith('"')
+        assert body.decode("utf-8") == VOLGA_REFERENCE_XML
+
+        status, headers, body = raw_request(
+            httpd, "GET", f"/w3c/p3p.xml?site={SITE}",
+            headers={"If-None-Match": etag})
+        assert status == 304
+        assert body == b""
+        assert headers["etag"] == etag
+
+    def test_stale_etag_gets_full_body(self, httpd):
+        status, _, body = raw_request(
+            httpd, "GET", f"/w3c/p3p.xml?site={SITE}",
+            headers={"If-None-Match": '"0000"'})
+        assert status == 200
+        assert body.decode("utf-8") == VOLGA_REFERENCE_XML
+
+    def test_unknown_site_is_404(self, httpd):
+        status, _, body = raw_request(
+            httpd, "GET", "/w3c/p3p.xml?site=nowhere.example")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == protocol.ERR_NOT_FOUND
+
+    def test_client_agent_caches_via_etag(self, httpd, agent):
+        first = agent.fetch_reference_file(SITE)
+        second = agent.fetch_reference_file(SITE)
+        assert first == second == VOLGA_REFERENCE_XML
+        assert agent.revalidations == 1
+        assert agent.metrics()["reference_not_modified"] == 1
+
+    def test_host_header_selects_site(self, httpd):
+        status, _, body = raw_request(httpd, "GET", "/w3c/p3p.xml",
+                                      headers={"Host": f"{SITE}:80"})
+        assert status == 200
+        assert body.decode("utf-8") == VOLGA_REFERENCE_XML
+
+
+class TestAdmissionControl:
+    def test_unit_gate_semantics(self):
+        gate = AdmissionController(2, retry_after=3.0)
+        assert gate.try_enter() and gate.try_enter()
+        assert not gate.try_enter()
+        snapshot = gate.snapshot()
+        assert snapshot["in_flight"] == 2
+        assert snapshot["rejected"] == 1
+        gate.leave()
+        assert gate.try_enter()
+        assert gate.snapshot()["peak_in_flight"] == 2
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_unbalanced_leave_refused(self):
+        gate = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            gate.leave()
+
+    def test_admit_context_manager(self):
+        gate = AdmissionController(1)
+        with gate.admit() as ok:
+            assert ok
+            with gate.admit() as nested:
+                assert not nested
+        assert gate.snapshot()["in_flight"] == 0
+
+    def test_check_sheds_load_with_503_and_retry_after(self, tmp_path):
+        server = serve(str(tmp_path / "tiny.db"), max_inflight=1,
+                       retry_after=2.0)
+        thread = server.run_in_thread()
+        try:
+            agent = HttpClientAgent(server.base_url, jane_preference())
+            agent.install_policy(VOLGA_POLICY_XML, site=SITE,
+                                 reference_file=VOLGA_REFERENCE_XML)
+            agent.check(SITE, "/catalog/warm")     # registers + warms
+
+            assert server.admission.try_enter()    # occupy the only slot
+            try:
+                with pytest.raises(protocol.ProtocolError) as excinfo:
+                    agent.check(SITE, "/catalog/overload")
+                assert excinfo.value.code == protocol.ERR_OVERLOADED
+                assert excinfo.value.http_status == 503
+                assert excinfo.value.retry_after == 2.0
+
+                status, headers, _ = raw_request(
+                    server, "POST", "/v1/check",
+                    body=protocol.encode(protocol.CheckRequest(
+                        site=SITE, uri="/x",
+                        preference_hash=agent.preference_hash,
+                    ).to_wire()))
+                assert status == 503
+                assert headers["retry-after"] == "2"
+            finally:
+                server.admission.leave()
+
+            # The slot is free again: the same request now succeeds.
+            assert agent.check(SITE, "/catalog/after").covered
+            assert server.admission.snapshot()["rejected"] == 2
+            agent.close()
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+    def test_healthz_bypasses_admission(self, tmp_path):
+        server = serve(str(tmp_path / "busy.db"), max_inflight=1)
+        thread = server.run_in_thread()
+        try:
+            assert server.admission.try_enter()
+            try:
+                agent = HttpClientAgent(server.base_url)
+                assert agent.health()["status"] == "ok"
+                assert agent.metrics()["admission"]["in_flight"] == 1
+                agent.close()
+            finally:
+                server.admission.leave()
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+
+class TestRegisterOnceSelfHealing:
+    def test_client_reregisters_after_registry_loss(self, httpd, agent):
+        agent.check(SITE, "/catalog/first")
+        # Simulate a server restart: the registry forgets everything.
+        httpd.preferences._entries.clear()
+        result = agent.check(SITE, "/catalog/second")
+        assert result.covered
+        assert agent.reregistrations == 1
+
+    def test_registry_eviction_is_bounded_and_survivable(self, httpd,
+                                                         agent):
+        registry = PreferenceRegistry(maxsize=2)
+        httpd.preferences = registry
+        suite = jrc_suite()
+        for preference in suite.values():       # 5 levels through size 2
+            registry.register(preference)
+        assert len(registry) == 2
+        assert registry.evictions == 3
+        result = agent.check(SITE, "/catalog/evicted")   # re-registers
+        assert result.covered
+
+
+class TestGracefulShutdown:
+    def test_close_flushes_check_log(self, tmp_path):
+        server = serve(str(tmp_path / "flush.db"))
+        thread = server.run_in_thread()
+        agent = HttpClientAgent(server.base_url, jane_preference())
+        agent.install_policy(VOLGA_POLICY_XML, site=SITE,
+                             reference_file=VOLGA_REFERENCE_XML)
+        for index in range(5):
+            agent.check(SITE, f"/catalog/shutdown-{index}")
+        pending = server.policy_server.log.pending
+        assert pending > 0, "checks should still be buffered"
+        agent.close()
+        server.close()
+        thread.join(timeout=5)
+        assert server.policy_server.log.pending == 0
+        assert server.policy_server.log.written >= pending
+
+    def test_close_is_idempotent(self, tmp_path):
+        server = serve(str(tmp_path / "idem.db"))
+        server.close()
+        server.close()
+
+
+class TestSiteAndClientAgentOverHttp:
+    def test_site_from_url(self, httpd):
+        site = Site.from_url(httpd.base_url, SITE)
+        assert site.host == SITE
+        ref = site.reference_file.applicable_policy("/catalog/x")
+        assert ref is not None and ref.policy_name == "volga"
+        assert site.reference_file.applicable_policy("/legacy/x") is None
+        assert site.fetch_counts["reference"] == 1
+
+    def test_client_agent_delegates_over_the_wire(self, httpd):
+        site = Site.from_url(httpd.base_url, SITE)
+        thin = ClientAgent(jane_preference(),
+                           transport=HttpClientAgent(httpd.base_url))
+        result = thin.check(site, "/catalog/book-9")
+        assert result.policy_name == "volga"
+        assert result.behavior == "request"
+        assert result.allowed
+        # First check pays registration + check; later checks 1 round trip.
+        assert result.fetches == 2
+        assert thin.check(site, "/catalog/book-10").fetches == 1
+
+    def test_wire_and_simulated_agents_agree(self, httpd):
+        from repro.p3p.reference import parse_reference_file
+
+        simulated_site = Site(
+            host=SITE,
+            reference_file=parse_reference_file(VOLGA_REFERENCE_XML),
+            policies={"volga": volga_policy()},
+        )
+        simulated = ClientAgent(jane_preference())
+        wired = ClientAgent(jane_preference(),
+                            transport=HttpClientAgent(httpd.base_url))
+        for uri in ("/catalog/a", "/legacy/b", "/anything"):
+            local = simulated.check(simulated_site, uri)
+            remote = wired.check(simulated_site, uri)
+            assert (local.policy_name, local.behavior) == \
+                (remote.policy_name, remote.behavior)
+
+
+class TestEndToEndAcceptance:
+    """The ISSUE's acceptance scenario, verbatim."""
+
+    THREADS = 4
+
+    def test_batch_checks_match_in_process_byte_for_byte(self, tmp_path):
+        policy = fortune_corpus()[0]
+        reference_xml = (
+            '<META xmlns="http://www.w3.org/2002/01/P3Pv1">\n'
+            "  <POLICY-REFERENCES>\n"
+            f'    <POLICY-REF about="#{policy.name}">\n'
+            "      <INCLUDE>/*</INCLUDE>\n"
+            "      <EXCLUDE>/private/*</EXCLUDE>\n"
+            "    </POLICY-REF>\n"
+            "  </POLICY-REFERENCES>\n"
+            "</META>\n"
+        )
+        corp = "corp.example.com"
+        preference = jrc_suite()["High"]        # a JRC preference
+        requests = [
+            (corp, f"/products/p{i}" if i % 3 else f"/private/p{i}")
+            for i in range(48)
+        ]
+
+        # In-process reference run.
+        local = PolicyServer(str(tmp_path / "local.db"))
+        try:
+            local.install_policy(policy, site=corp)
+            local.install_reference_file(reference_xml, corp)
+            expected = [
+                local.check(site, uri, preference)
+                for site, uri in requests
+            ]
+        finally:
+            local.close()
+
+        # Over-the-wire run: 4 client threads, one batch each.
+        server = serve(str(tmp_path / "wire.db"))
+        thread = server.run_in_thread()
+        try:
+            admin = HttpClientAgent(server.base_url, preference)
+            admin.install_policy(policy, site=corp,
+                                 reference_file=reference_xml)
+            digest = admin.register_preference()
+            admin.close()
+
+            chunks = [requests[i::self.THREADS]
+                      for i in range(self.THREADS)]
+            decisions: dict[int, list] = {}
+            errors: list[Exception] = []
+
+            def worker(index: int) -> None:
+                try:
+                    with HttpClientAgent(server.base_url, preference,
+                                         preference_hash=digest) as c:
+                        decisions[index] = c.check_batch(chunks[index])
+                except Exception as exc:     # pragma: no cover
+                    errors.append(exc)
+
+            workers = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.THREADS)]
+            for worker_thread in workers:
+                worker_thread.start()
+            for worker_thread in workers:
+                worker_thread.join(timeout=30)
+            assert errors == []
+
+            # Stitch the interleaved chunks back into request order.
+            over_wire: list = [None] * len(requests)
+            for index, chunk in decisions.items():
+                for offset, result in enumerate(chunk):
+                    over_wire[index + offset * self.THREADS] = result
+
+            expected_decisions = json.dumps(
+                [(r.site, r.uri, r.policy_id, r.behavior, r.rule_index)
+                 for r in expected])
+            wire_decisions = json.dumps(
+                [list(r.decision) for r in over_wire])
+            assert json.loads(wire_decisions) == \
+                json.loads(expected_decisions)
+            assert wire_decisions.encode("utf-8") == json.dumps(
+                [list(t) for t in json.loads(expected_decisions)]
+            ).encode("utf-8")
+
+            # Exactly-once logging across the network boundary.
+            assert server.policy_server.check_count() == len(requests)
+        finally:
+            server.close()
+            thread.join(timeout=5)
