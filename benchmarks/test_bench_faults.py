@@ -1,0 +1,66 @@
+"""E10: what does the fault-tolerance layer cost?
+
+The retry policy and ``check_key`` stamping ride on every check — if
+they were expensive the serving numbers of E8/E9 would be fiction.  The
+acceptance bound is a zero-fault overhead within 5% of the no-retry
+client; the shape test allows measurement noise on top of that, but a
+retry layer costing a multiple of the baseline fails loudly.  Under
+injected response drops the client must heal every check and the row
+must show it paid for recovery with actual retries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    fault_tolerance_experiment,
+    retry_overhead,
+)
+
+CHECKS = 240
+FAULT_EVERY = 6
+
+
+@pytest.fixture(scope="module")
+def rows(tmp_path_factory):
+    """The full E10 run, computed once."""
+    workdir = tmp_path_factory.mktemp("bench-faults")
+    return fault_tolerance_experiment(directory=str(workdir),
+                                      checks=CHECKS,
+                                      fault_every=FAULT_EVERY)
+
+
+class TestFaultToleranceShape:
+    def test_all_three_modes_reported(self, rows):
+        assert [row.mode for row in rows] == \
+            ["no-retry", "retry", "retry-faults"]
+
+    def test_every_mode_completed_the_full_batch(self, rows):
+        for row in rows:
+            assert row.checks == CHECKS
+            assert row.seconds > 0
+            assert row.per_check_seconds > 0
+
+    def test_zero_fault_modes_injected_nothing(self, rows):
+        by_mode = {row.mode: row for row in rows}
+        assert by_mode["no-retry"].faults_injected == 0
+        assert by_mode["retry"].faults_injected == 0
+
+    def test_retry_overhead_is_reported_and_small(self, rows):
+        overhead = retry_overhead(rows)
+        assert overhead is not None
+        # The acceptance target is <= 1.05; the bench report carries the
+        # real number, the gate here tolerates scheduler noise.
+        assert overhead <= 1.25, (
+            f"zero-fault retry layer costs {overhead:.2f}x the "
+            "no-retry client"
+        )
+
+    def test_faulted_run_recovered_via_retries(self, rows):
+        faulted = rows[-1]
+        assert faulted.mode == "retry-faults"
+        # Every fault_every-th response was dropped after processing …
+        assert faulted.faults_injected >= CHECKS // FAULT_EVERY
+        # … and every drop had to be healed by a re-send.
+        assert faulted.retries >= faulted.faults_injected

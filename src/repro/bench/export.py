@@ -26,7 +26,7 @@ def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
 
 
 def run_all(seed: int = 2003) -> dict[str, Any]:
-    """Run E1-E9 and return one JSON-serializable results document."""
+    """Run E1-E10 and return one JSON-serializable results document."""
     from repro.corpus.policies import fortune_corpus
     from repro.corpus.preferences import jrc_suite
 
@@ -44,6 +44,8 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
     concurrency = harness.concurrency_experiment(checks=200)
     http_load = harness.http_load_experiment(checks=200)
     http_overhead = harness.http_overhead(http_load)
+    fault_tolerance = harness.fault_tolerance_experiment(checks=160)
+    retry_overhead = harness.retry_overhead(fault_tolerance)
 
     return {
         "meta": {
@@ -120,6 +122,20 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
             ],
             "overhead": {str(threads): multiple
                          for threads, multiple in http_overhead.items()},
+        },
+        "e10_fault_tolerance": {
+            "rows": [
+                {
+                    "mode": row.mode,
+                    "checks": row.checks,
+                    "seconds": row.seconds,
+                    "retries": row.retries,
+                    "faults_injected": row.faults_injected,
+                    "per_check_seconds": row.per_check_seconds,
+                }
+                for row in fault_tolerance
+            ],
+            "retry_overhead": retry_overhead,
         },
     }
 

@@ -11,11 +11,13 @@ from repro.bench.harness import (
     AblationResult,
     ConcurrencyResult,
     EngineSummary,
+    FaultToleranceResult,
     HttpLoadResult,
     LevelSummary,
     ShreddingResult,
     WarmColdResult,
     http_overhead,
+    retry_overhead,
 )
 from repro.corpus.policies import CorpusStats
 
@@ -277,5 +279,32 @@ def format_http_load(rows: list[HttpLoadResult]) -> str:
         lines.append(
             f"{labels.get(row.mode, row.mode):26s} {row.threads:7d} "
             f"{row.checks_per_second:10.0f} {multiple:>9s}"
+        )
+    return "\n".join(lines)
+
+
+def format_fault_tolerance(rows: list[FaultToleranceResult]) -> str:
+    """E10: retry-layer pricing (zero-fault overhead, faulted recovery)."""
+    lines = [
+        "Fault tolerance (loopback HTTP, idempotent check_key logging)",
+        f"{'Client':30s} {'Checks':>7s} {'ms/check':>9s} "
+        f"{'Retries':>8s} {'Faults':>7s}",
+    ]
+    labels = {
+        "no-retry": "no retries (PR-2 baseline)",
+        "retry": "retries on, zero faults",
+        "retry-faults": "retries on, faulted server",
+    }
+    for row in rows:
+        lines.append(
+            f"{labels.get(row.mode, row.mode):30s} {row.checks:7d} "
+            f"{row.per_check_seconds * 1000:9.3f} "
+            f"{row.retries:8d} {row.faults_injected:7d}"
+        )
+    overhead = retry_overhead(rows)
+    if overhead is not None:
+        lines.append(
+            f"zero-fault retry-layer overhead: "
+            f"{(overhead - 1.0) * 100:+.1f}% (acceptance: <= 5%)"
         )
     return "\n".join(lines)

@@ -188,7 +188,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
-                      "concurrency", "http-load")
+                      "concurrency", "http-load", "fault-tolerance")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -229,6 +229,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(bench.format_concurrency(bench.concurrency_experiment()))
         elif experiment == "http-load":
             print(bench.format_http_load(bench.http_load_experiment()))
+        elif experiment == "fault-tolerance":
+            print(bench.format_fault_tolerance(
+                bench.fault_tolerance_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2

@@ -14,6 +14,17 @@ rebuilt automatically if the server closed it).  One agent is therefore
 analogue of the connection pool's reader-per-thread rule.  Reference
 files are cached with their ETag and revalidated with
 ``If-None-Match``, so a fresh copy costs a 304 with no body.
+
+**Fault tolerance.**  Idempotent calls (checks, registration, GETs)
+run under a :class:`~repro.net.retry.RetryPolicy` — bounded attempts,
+exponential backoff with deterministic jitter, ``Retry-After`` honored
+on ``overloaded`` — so shed load, dropped connections, truncated
+replies and transient server errors heal without surfacing.  Every
+check is stamped with a generated ``check_key`` and a retry re-sends
+the *same* key, so the server logs the check exactly once even when
+the first response was lost.  Installs are **not** retried (repeating
+one creates a new policy version); pass ``retry=None`` to disable
+retries everywhere.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from __future__ import annotations
 import http.client
 import socket
 import time
+import uuid
 from typing import Any, Iterable, Mapping
 from urllib.parse import quote, urlsplit
 
@@ -28,8 +40,12 @@ from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
 from repro.appel.serializer import serialize_ruleset
 from repro.net import protocol
+from repro.net.retry import RetryPolicy
 from repro.p3p.model import Policy
 from repro.p3p.serializer import serialize_policy
+
+#: Sentinel: "caller did not choose a policy" (None means *no retries*).
+_DEFAULT_RETRY = RetryPolicy()
 
 
 class HttpClientAgent:
@@ -38,7 +54,8 @@ class HttpClientAgent:
     def __init__(self, base_url: str,
                  preference: Ruleset | str | None = None, *,
                  preference_hash: str | None = None,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 retry: RetryPolicy | None = _DEFAULT_RETRY):
         split = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if split.scheme not in ("", "http"):
@@ -51,9 +68,13 @@ class HttpClientAgent:
         self.preference = preference
         self.preference_hash = preference_hash
         self.timeout = timeout
+        self.retry = retry
         self.requests_sent = 0
         self.reregistrations = 0
         self.revalidations = 0
+        self.retries = 0
+        self._check_counter = 0
+        self._agent_id = uuid.uuid4().hex[:16]
         self._connection: http.client.HTTPConnection | None = None
         #: site -> (etag, xml) for If-None-Match revalidation
         self._reference_cache: dict[str, tuple[str, str]] = {}
@@ -94,6 +115,7 @@ class HttpClientAgent:
                 self._connection = None
                 if fresh or attempt:
                     raise
+                self.retries += 1
                 continue
             self.requests_sent += 1
             if response.will_close:
@@ -106,12 +128,31 @@ class HttpClientAgent:
         raise AssertionError("unreachable")
 
     def _call(self, method: str, path: str,
-              payload: Mapping[str, Any] | None = None) -> dict[str, Any]:
+              payload: Mapping[str, Any] | None = None, *,
+              retry_key: str | None = None) -> dict[str, Any]:
+        """One protocol call; retried under the policy when *retry_key*
+        marks it idempotent (the key also seeds the backoff jitter)."""
         body = protocol.encode(payload) if payload is not None else None
-        status, _, raw = self._request(method, path, body)
-        if status >= 400:
-            raise protocol.error_from_http(status, raw)
-        return protocol.decode(raw)
+
+        def attempt() -> dict[str, Any]:
+            status, _, raw = self._request(method, path, body)
+            if status >= 400:
+                raise protocol.error_from_http(status, raw)
+            return protocol.decode(raw)
+
+        if self.retry is None or retry_key is None:
+            return attempt()
+        return self.retry.run(attempt, key=retry_key,
+                              on_retry=self._count_retry)
+
+    def _count_retry(self, exc: BaseException, attempt: int) -> None:
+        self.retries += 1
+
+    def _next_check_key(self) -> str:
+        """A fresh idempotency token; retries of the same logical check
+        re-send the same token, distinct checks never collide."""
+        self._check_counter += 1
+        return f"{self._agent_id}-{self._check_counter:08x}"
 
     def close(self) -> None:
         if self._connection is not None:
@@ -130,12 +171,14 @@ class HttpClientAgent:
         """POST the APPEL document; remember and return its hash."""
         if self.preference is None:
             raise ValueError("agent has no preference to register")
+        # Registration is content-addressed, so retrying it is safe.
         response = protocol.RegisterPreferenceResponse.from_wire(
             self._call("POST", "/v1/preferences",
                        protocol.RegisterPreferenceRequest(
                            appel=serialize_ruleset(self.preference,
                                                    indent=False),
-                       ).to_wire()))
+                       ).to_wire(),
+                       retry_key=f"{self._agent_id}-register"))
         self.preference_hash = response.preference_hash
         return response.preference_hash
 
@@ -165,26 +208,43 @@ class HttpClientAgent:
 
     def check(self, site: str, uri: str,
               cookie: bool = False) -> protocol.CheckResponse:
-        """One decision for (site, uri) under the agent's preference."""
+        """One decision for (site, uri) under the agent's preference.
+
+        The check is stamped with a fresh ``check_key``; retries (shed
+        load, dropped connection, lost response) re-send the same key,
+        so the server logs the check at most once.
+        """
+        check_key = self._next_check_key()
         return self._with_reregistration(
             lambda digest: protocol.CheckResponse.from_wire(
                 self._call("POST", "/v1/check",
                            protocol.CheckRequest(
                                site=site, uri=uri,
                                preference_hash=digest,
-                               cookie=cookie).to_wire())))
+                               cookie=cookie,
+                               check_key=check_key).to_wire(),
+                           retry_key=check_key)))
 
     def check_batch(self, checks: Iterable[tuple[str, str]],
                     cookie: bool = False) -> list[protocol.CheckResponse]:
-        """Decisions for many (site, uri) pairs, in request order."""
+        """Decisions for many (site, uri) pairs, in request order.
+
+        Every check in the batch carries its own ``check_key``, so a
+        retried batch re-logs none of the rows the first attempt
+        already durably recorded.
+        """
         checks = tuple(checks)
+        check_keys = tuple(self._next_check_key() for _ in checks)
         response = self._with_reregistration(
             lambda digest: protocol.BatchCheckResponse.from_wire(
                 self._call("POST", "/v1/check-batch",
                            protocol.BatchCheckRequest(
                                preference_hash=digest,
                                checks=checks,
-                               cookie=cookie).to_wire())))
+                               cookie=cookie,
+                               check_keys=check_keys).to_wire(),
+                           retry_key=check_keys[0] if check_keys
+                           else None)))
         return list(response.results)
 
     # -- site administration -------------------------------------------------
@@ -203,23 +263,34 @@ class HttpClientAgent:
                            reference_file=reference_file).to_wire()))
 
     def fetch_reference_file(self, site: str) -> str:
-        """GET /w3c/p3p.xml for *site*, revalidating the cached copy."""
-        headers = {}
-        cached = self._reference_cache.get(site)
-        if cached is not None:
-            headers["If-None-Match"] = cached[0]
-        status, response_headers, body = self._request(
-            "GET", f"/w3c/p3p.xml?site={quote(site)}", headers=headers)
-        if status == 304 and cached is not None:
-            self.revalidations += 1
-            return cached[1]
-        if status >= 400:
-            raise protocol.error_from_http(status, body)
-        xml = body.decode("utf-8")
-        etag = response_headers.get("etag")
-        if etag is not None:
-            self._reference_cache[site] = (etag, xml)
-        return xml
+        """GET /w3c/p3p.xml for *site*, revalidating the cached copy.
+
+        A GET is idempotent, so transport failures retry under the
+        agent's policy.
+        """
+        def attempt() -> str:
+            headers = {}
+            cached = self._reference_cache.get(site)
+            if cached is not None:
+                headers["If-None-Match"] = cached[0]
+            status, response_headers, body = self._request(
+                "GET", f"/w3c/p3p.xml?site={quote(site)}",
+                headers=headers)
+            if status == 304 and cached is not None:
+                self.revalidations += 1
+                return cached[1]
+            if status >= 400:
+                raise protocol.error_from_http(status, body)
+            xml = body.decode("utf-8")
+            etag = response_headers.get("etag")
+            if etag is not None:
+                self._reference_cache[site] = (etag, xml)
+            return xml
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.run(attempt, key=f"{self._agent_id}-ref",
+                              on_retry=self._count_retry)
 
     # -- introspection -------------------------------------------------------
 

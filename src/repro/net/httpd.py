@@ -175,6 +175,13 @@ class P3PHttpServer(ThreadingHTTPServer):
         self._reference_lock = threading.Lock()
         #: site -> (raw XML bytes, strong ETag)
         self._reference_documents: dict[str, tuple[bytes, str]] = {}
+        #: Test/chaos extension point: ``hook(stage, path) -> action``.
+        #: *stage* is ``"request"`` (routed, before the handler runs) or
+        #: ``"response"`` (before the reply is written); ``"drop"``
+        #: severs the connection, ``"truncate"`` (response only) sends a
+        #: partial body, anything else is a no-op.  See
+        #: repro.testing.faults.
+        self.fault_hook = None
         self._serving = False
         self._closed = False
 
@@ -345,6 +352,10 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
                     protocol.ERR_NOT_FOUND, f"no endpoint at {path}",
                 )
             self.server.net_metrics.request(path)
+            self._route = path
+            hook = self.server.fault_hook
+            if hook is not None and hook("request", path) == "drop":
+                raise ConnectionResetError("injected: connection dropped")
             getattr(self, name)(body, query)
         except protocol.ProtocolError as exc:
             self._send_protocol_error(exc)
@@ -368,6 +379,12 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
             raise protocol.ProtocolError(
                 protocol.ERR_BAD_REQUEST,
                 f"unreadable Content-Length {length_header!r}") from None
+        if length < 0:
+            # A negative length would make rfile.read() read until EOF,
+            # stalling the kept-alive connection until timeout.
+            raise protocol.ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"negative Content-Length {length}")
         if length > self.server.max_body_bytes:
             # Read nothing; the connection is closed with the response.
             self.close_connection = True
@@ -380,12 +397,25 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, payload: Mapping[str, Any],
                    extra_headers: Mapping[str, str] | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        truncate = False
+        hook = self.server.fault_hook
+        if hook is not None:
+            action = hook("response", getattr(self, "_route", self.path))
+            if action == "drop":
+                raise ConnectionResetError("injected: response dropped")
+            truncate = action == "truncate"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        if truncate:
+            # Advertise the full length, deliver half, sever: the client
+            # sees an IncompleteRead, exactly like a mid-reply crash.
+            self.wfile.write(body[:max(1, len(body) // 2)])
+            self.wfile.flush()
+            raise ConnectionResetError("injected: response truncated")
         self.wfile.write(body)
 
     def _send_protocol_error(self, exc: protocol.ProtocolError) -> None:
@@ -481,7 +511,7 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
             preference = self._preference(request.preference_hash)
             result = self.server.policy_server.check(
                 request.site, request.uri, preference,
-                cookie=request.cookie)
+                cookie=request.cookie, check_key=request.check_key)
         finally:
             self.server.admission.leave()
         self.server.net_metrics.checks(1)
@@ -494,8 +524,13 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
         self._admitted()
         try:
             preference = self._preference(request.preference_hash)
+            keys = request.check_keys or (None,) * len(request.checks)
+            # serve_many flushes the check log in a finally, so checks
+            # that completed before a worker failure are durable even
+            # when this handler answers with an error envelope.
             results = self.server.policy_server.serve_many(
-                [(site, uri, preference) for site, uri in request.checks],
+                [(site, uri, preference, key)
+                 for (site, uri), key in zip(request.checks, keys)],
                 threads=self.server.batch_threads,
                 cookie=request.cookie)
         finally:

@@ -198,21 +198,31 @@ class RegisterPreferenceResponse:
 
 @dataclass(frozen=True)
 class CheckRequest:
-    """POST /v1/check — one preference check, by registered hash."""
+    """POST /v1/check — one preference check, by registered hash.
+
+    ``check_key`` is the client-generated idempotency token: a retry of
+    the same logical check re-sends the same key, and the server's log
+    writer deduplicates within a bounded window, so a retry after a
+    lost response cannot double-log.
+    """
 
     site: str
     uri: str
     preference_hash: str
     cookie: bool = False
+    check_key: str | None = None
 
     def to_wire(self) -> dict[str, Any]:
-        return {
+        wire: dict[str, Any] = {
             "v": PROTOCOL_VERSION,
             "site": self.site,
             "uri": self.uri,
             "preference_hash": self.preference_hash,
             "cookie": self.cookie,
         }
+        if self.check_key is not None:
+            wire["check_key"] = self.check_key
+        return wire
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any]) -> "CheckRequest":
@@ -222,6 +232,7 @@ class CheckRequest:
             preference_hash=_field(payload, "preference_hash", str),
             cookie=_field(payload, "cookie", bool,
                           required=False, default=False),
+            check_key=_field(payload, "check_key", str, required=False),
         )
 
 
@@ -289,18 +300,39 @@ class CheckResponse:
 
 @dataclass(frozen=True)
 class BatchCheckRequest:
-    """POST /v1/check-batch — many URIs, one preference hash."""
+    """POST /v1/check-batch — many URIs, one preference hash.
+
+    ``check_keys``, when present, is aligned with ``checks`` (one
+    idempotency token per check) so a retried batch cannot double-log
+    any of its rows even if the first attempt's response was lost.
+    """
 
     preference_hash: str
     checks: tuple[tuple[str, str], ...]   # (site, uri) pairs
     cookie: bool = False
+    check_keys: tuple[str | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.check_keys is not None and \
+                len(self.check_keys) != len(self.checks):
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"{len(self.check_keys)} check_keys for "
+                f"{len(self.checks)} checks",
+            )
 
     def to_wire(self) -> dict[str, Any]:
+        entries = []
+        for index, (site, uri) in enumerate(self.checks):
+            entry: dict[str, Any] = {"site": site, "uri": uri}
+            if self.check_keys is not None and \
+                    self.check_keys[index] is not None:
+                entry["check_key"] = self.check_keys[index]
+            entries.append(entry)
         return {
             "v": PROTOCOL_VERSION,
             "preference_hash": self.preference_hash,
-            "checks": [{"site": site, "uri": uri}
-                       for site, uri in self.checks],
+            "checks": entries,
             "cookie": self.cookie,
         }
 
@@ -314,6 +346,7 @@ class BatchCheckRequest:
                 f"{MAX_BATCH_CHECKS}; split it",
             )
         checks: list[tuple[str, str]] = []
+        keys: list[str | None] = []
         for index, entry in enumerate(raw_checks):
             if not isinstance(entry, dict):
                 raise ProtocolError(
@@ -322,11 +355,14 @@ class BatchCheckRequest:
                 )
             checks.append((_field(entry, "site", str),
                            _field(entry, "uri", str)))
+            keys.append(_field(entry, "check_key", str, required=False))
         return cls(
             preference_hash=_field(payload, "preference_hash", str),
             checks=tuple(checks),
             cookie=_field(payload, "cookie", bool,
                           required=False, default=False),
+            check_keys=tuple(keys) if any(key is not None
+                                          for key in keys) else None,
         )
 
 

@@ -31,7 +31,12 @@ Serving-scale additions beyond the paper:
   should call :meth:`PolicyServer.flush_log` first; ``check_count``
   flushes automatically.
 * :meth:`PolicyServer.serve_many` fans a batch of checks across worker
-  threads and flushes the log once at the end.
+  threads and flushes the log once at the end (in a ``finally``, so
+  completed checks are durable even when the batch fails);
+* checks may carry a client-generated ``check_key``; the log writer
+  deduplicates keys within a bounded window and the table enforces key
+  uniqueness, so a *retried* check (lost response, dropped connection)
+  is logged exactly once — see docs/architecture.md "Failure model".
 """
 
 from __future__ import annotations
@@ -73,9 +78,27 @@ CREATE TABLE IF NOT EXISTS check_log (
   rule_index      INTEGER,
   preference_hash TEXT NOT NULL,
   elapsed_seconds REAL NOT NULL,
-  checked_at      TEXT NOT NULL
+  checked_at      TEXT NOT NULL,
+  check_key       TEXT
 );
 """
+
+#: Partial unique index: the durable half of idempotent logging.  The
+#: in-memory dedupe window stops retried checks from re-buffering; this
+#: index (with INSERT OR IGNORE) stops a retry that crosses a server
+#: restart — where the window is empty — from inserting a second row.
+_CHECK_LOG_KEY_INDEX = (
+    "CREATE UNIQUE INDEX IF NOT EXISTS check_log_check_key "
+    "ON check_log (check_key) WHERE check_key IS NOT NULL"
+)
+
+
+def _migrate_check_log(db: Database) -> None:
+    """Bring a pre-existing check_log table up to the current shape."""
+    columns = {row["name"]
+               for row in db.query("PRAGMA table_info(check_log)")}
+    if columns and "check_key" not in columns:
+        db.execute("ALTER TABLE check_log ADD COLUMN check_key TEXT")
 
 
 @lru_cache(maxsize=1024)
@@ -163,29 +186,51 @@ class CheckLogWriter:
     Concurrent flushes coalesce: whichever thread flushes first carries
     every pending row in its batch, so N threads churning out checks
     share commits instead of queueing N fsyncs.
+
+    **Idempotency.**  Rows carry an optional client-generated
+    ``check_key``.  A key seen within the last *dedupe_window* appends
+    is dropped (a retry of a check whose response was lost must not
+    log twice), and the INSERT is ``OR IGNORE`` against a partial
+    unique index on ``check_key``, so even a retry that crosses a
+    server restart — where the in-memory window is empty — cannot
+    produce a duplicate row.
     """
 
     _INSERT = (
-        "INSERT INTO check_log (site, uri, policy_id, behavior, "
-        "rule_index, preference_hash, elapsed_seconds, checked_at) "
-        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+        "INSERT OR IGNORE INTO check_log (site, uri, policy_id, "
+        "behavior, rule_index, preference_hash, elapsed_seconds, "
+        "checked_at, check_key) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"
     )
 
     def __init__(self, pool: ConnectionPool, *,
                  batch_size: int = 32,
-                 flush_interval: float = 1.0):
+                 flush_interval: float = 1.0,
+                 dedupe_window: int = 4096):
         self.pool = pool
         self.batch_size = max(1, batch_size)
         self.flush_interval = flush_interval
+        self.dedupe_window = max(0, dedupe_window)
         self._lock = threading.Lock()
         self._rows: list[tuple] = []
         self._oldest: float | None = None
+        self._seen_keys: OrderedDict[str, None] = OrderedDict()
         self.appended = 0
         self.written = 0
         self.batches = 0
+        self.deduped = 0
+        self.deferrals = 0
 
-    def append(self, row: tuple) -> None:
+    def append(self, row: tuple, check_key: str | None = None) -> None:
         with self._lock:
+            if check_key is not None and self.dedupe_window:
+                if check_key in self._seen_keys:
+                    self._seen_keys.move_to_end(check_key)
+                    self.deduped += 1
+                    return
+                self._seen_keys[check_key] = None
+                while len(self._seen_keys) > self.dedupe_window:
+                    self._seen_keys.popitem(last=False)
             self._rows.append(row)
             self.appended += 1
             if self._oldest is None:
@@ -198,7 +243,20 @@ class CheckLogWriter:
             self.flush()
 
     def flush(self) -> int:
-        """Write every buffered row in one batch; returns rows written."""
+        """Write every buffered row in one batch; returns rows written.
+
+        Called while the current thread is already inside
+        ``pool.write()`` (a flush during an install, say), the write is
+        *deferred*: committing here would commit the enclosing
+        transaction's half-done work, and rolling back on failure would
+        discard it.  The rows stay buffered for the next top-level
+        flush and 0 is returned.
+        """
+        if self.pool.write_depth > 0:
+            with self._lock:
+                if self._rows:
+                    self.deferrals += 1
+            return 0
         with self._lock:
             rows, self._rows = self._rows, []
             self._oldest = None
@@ -281,6 +339,8 @@ class PolicyServer:
         self.references = ReferenceStore(self.db)
         self.translator = OptimizedSqlTranslator()
         self.db.executescript(_CHECK_LOG_DDL)
+        _migrate_check_log(self.db)
+        self.db.execute(_CHECK_LOG_KEY_INDEX)
         self.db.commit()
         self._translation_cache = TranslationCache(translation_cache_size)
         self.log = CheckLogWriter(pool, batch_size=log_batch_size,
@@ -303,14 +363,18 @@ class PolicyServer:
                 report = self.versions.install(policy, site=site)
                 # Retarget only this site's reference rows — other sites
                 # may use the same policy name for their own, unrelated
-                # policies.
+                # policies.  The name is escaped so LIKE metacharacters
+                # in a policy name (%, _) match literally instead of
+                # retargeting unrelated references.
+                escaped = (policy.name.replace("\\", "\\\\")
+                           .replace("%", "\\%").replace("_", "\\_"))
                 self.db.execute(
                     "UPDATE policyref SET policy_id = ? "
-                    "WHERE (about = ? OR about LIKE ?) "
+                    "WHERE (about = ? OR about LIKE ? ESCAPE '\\') "
                     "  AND meta_id IN (SELECT meta_id FROM meta "
                     "                  WHERE site IS ?)",
                     (report.policy_id, f"#{policy.name}",
-                     f"%#{policy.name}", site),
+                     f"%#{escaped}", site),
                 )
                 self.db.commit()
             else:
@@ -352,11 +416,15 @@ class PolicyServer:
 
     def check(self, site: str, uri: str,
               preference: Ruleset | str,
-              cookie: bool = False) -> CheckResult:
+              cookie: bool = False, *,
+              check_key: str | None = None) -> CheckResult:
         """Match a user's preference against the policy governing *uri*.
 
         Thread-safe: reads run on this thread's pooled reader, the log
-        entry goes through the buffered writer.
+        entry goes through the buffered writer.  *check_key*, when
+        given, makes the log append idempotent: a retried check with
+        the same key evaluates again (reads are harmless) but is
+        logged at most once.
         """
         if isinstance(preference, str):
             preference = parse_ruleset(preference)
@@ -381,32 +449,37 @@ class PolicyServer:
             rule_index=rule_index,
             elapsed_seconds=elapsed,
         )
-        self._log(result, preference)
+        self._log(result, preference, check_key)
         return result
 
     def serve_many(self, requests: Iterable[Sequence],
                    threads: int = 4,
                    cookie: bool = False) -> list[CheckResult]:
-        """Check a batch of ``(site, uri, preference)`` requests.
+        """Check a batch of ``(site, uri, preference)`` requests
+        (a fourth element, an idempotency ``check_key``, is optional).
 
         With ``threads > 1`` the checks fan out over a thread pool —
         each worker reads on its own pooled connection and the log
         batches across all of them.  Results come back in request
-        order, and the log is flushed before returning so every check
-        is durable when the call completes.
+        order, and the log is flushed before returning — in a
+        ``finally``, so the checks that *did* complete are durable
+        even when a worker raises and the batch as a whole fails.
         """
         requests = list(requests)
 
         def run(request: Sequence) -> CheckResult:
-            site, uri, preference = request
-            return self.check(site, uri, preference, cookie=cookie)
+            site, uri, preference, *rest = request
+            return self.check(site, uri, preference, cookie=cookie,
+                              check_key=rest[0] if rest else None)
 
-        if threads <= 1 or len(requests) <= 1:
-            results = [run(request) for request in requests]
-        else:
-            with ThreadPoolExecutor(max_workers=threads) as executor:
-                results = list(executor.map(run, requests))
-        self.flush_log()
+        try:
+            if threads <= 1 or len(requests) <= 1:
+                results = [run(request) for request in requests]
+            else:
+                with ThreadPoolExecutor(max_workers=threads) as executor:
+                    results = list(executor.map(run, requests))
+        finally:
+            self.flush_log()
         return results
 
     def translate(self, preference: Ruleset,
@@ -428,7 +501,8 @@ class PolicyServer:
     def _preference_hash(preference: Ruleset) -> str:
         return _ruleset_hash(preference)
 
-    def _log(self, result: CheckResult, preference: Ruleset) -> None:
+    def _log(self, result: CheckResult, preference: Ruleset,
+             check_key: str | None = None) -> None:
         self.log.append(
             (
                 result.site,
@@ -439,7 +513,9 @@ class PolicyServer:
                 _ruleset_hash(preference),
                 result.elapsed_seconds,
                 datetime.datetime.now(datetime.timezone.utc).isoformat(),
-            )
+                check_key,
+            ),
+            check_key=check_key,
         )
 
     def flush_log(self) -> int:

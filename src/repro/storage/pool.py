@@ -63,7 +63,13 @@ class ConnectionPool:
         self._write_lock = threading.RLock()
         self._registry_lock = threading.Lock()
         self._local = threading.local()
-        self._readers: list[Database] = []
+        #: reader connection -> the thread that owns it.  Handler threads
+        #: come and go (one per HTTP connection); readers whose owner has
+        #: exited are reaped, or the registry grows without bound.
+        self._readers: dict[Database, threading.Thread] = {}
+        #: Stats carried over from reaped readers, so reader churn never
+        #: makes the pool-wide totals go backwards.
+        self._retired_stats = QueryStats()
         self._connect_hooks: list[Callable[[Database], None]] = []
         self._closed = False
 
@@ -91,12 +97,23 @@ class ConnectionPool:
 
         The lock is re-entrant, so code already inside ``write()`` may
         call helpers that acquire it again (e.g. a log flush during an
-        install).
+        install).  :attr:`write_depth` exposes the current thread's
+        nesting so such helpers can tell whether they joined an
+        enclosing transaction (and must not roll it back).
         """
         with self._write_lock:
             if self._closed:
                 raise StorageError("connection pool is closed")
-            yield self.writer
+            self._local.write_depth = self.write_depth + 1
+            try:
+                yield self.writer
+            finally:
+                self._local.write_depth -= 1
+
+    @property
+    def write_depth(self) -> int:
+        """How many ``write()`` blocks the *current thread* is inside."""
+        return getattr(self._local, "write_depth", 0)
 
     def _thread_reader(self) -> Database:
         db = getattr(self._local, "reader", None)
@@ -108,11 +125,38 @@ class ConnectionPool:
                     db.close()
                     raise StorageError("connection pool is closed")
                 hooks = list(self._connect_hooks)
-                self._readers.append(db)
+                self._readers[db] = threading.current_thread()
+                dead = self._reap_locked()
             for hook in hooks:
                 hook(db)
+            for stale in dead:
+                stale.close()
             self._local.reader = db
         return db
+
+    def _reap_locked(self) -> list[Database]:
+        """Unregister readers whose owning thread has exited.
+
+        Caller holds ``_registry_lock`` and closes the returned
+        connections outside it.  A dead thread cannot be using its
+        reader (the connection is thread-local), so closing from
+        another thread is safe.
+        """
+        dead = [db for db, owner in self._readers.items()
+                if not owner.is_alive()]
+        for db in dead:
+            del self._readers[db]
+            self._retired_stats.statements += db.stats.statements
+            self._retired_stats.seconds += db.stats.seconds
+        return dead
+
+    def reap_readers(self) -> int:
+        """Close readers orphaned by exited threads; returns the count."""
+        with self._registry_lock:
+            dead = self._reap_locked()
+        for db in dead:
+            db.close()
+        return len(dead)
 
     def add_connect_hook(self, hook: Callable[[Database], None]) -> None:
         """Run *hook* on the writer, every open reader, and every reader
@@ -129,17 +173,31 @@ class ConnectionPool:
     @property
     def reader_count(self) -> int:
         with self._registry_lock:
-            return len(self._readers)
+            dead = self._reap_locked()
+            count = len(self._readers)
+        for db in dead:
+            db.close()
+        return count
 
     @property
     def wal(self) -> bool:
         return self.writer.wal
 
     def stats(self) -> QueryStats:
-        """Cumulative statistics summed over the writer and all readers."""
+        """Cumulative statistics summed over the writer and all readers.
+
+        Readers orphaned by exited threads are reaped first; their
+        counters are folded into a retained total, so churn never makes
+        the aggregate go backwards.
+        """
         with self._registry_lock:
+            dead = self._reap_locked()
             connections = [self.writer, *self._readers]
-        total = QueryStats()
+            total = QueryStats()
+            total.statements = self._retired_stats.statements
+            total.seconds = self._retired_stats.seconds
+        for db in dead:
+            db.close()
         for db in connections:
             total.statements += db.stats.statements
             total.seconds += db.stats.seconds
@@ -155,7 +213,7 @@ class ConnectionPool:
             if self._closed:
                 return
             self._closed = True
-            readers, self._readers = self._readers, []
+            readers, self._readers = list(self._readers), {}
         for db in readers:
             db.close()
         self.writer.close()

@@ -1,0 +1,23 @@
+"""Deterministic chaos tooling for the serving stack.
+
+:mod:`repro.testing.faults` injects storage and network failures on a
+seeded, reproducible schedule so the fault-tolerance claims (retry with
+backoff, idempotent check logging, WAL crash recovery) are *tested*
+rather than asserted.  Nothing in here is imported by production code —
+the serving stack exposes hooks (``P3PHttpServer.fault_hook``, plain
+method wrapping on the pool's writer) and this package drives them.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    crash_pool,
+    http_fault_hook,
+    install_pool_faults,
+)
+
+__all__ = [
+    "FaultPlan",
+    "crash_pool",
+    "http_fault_hook",
+    "install_pool_faults",
+]

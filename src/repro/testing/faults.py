@@ -1,0 +1,191 @@
+"""Seeded, deterministic fault injection for the serving stack.
+
+Three failure surfaces, mirroring what production actually sees:
+
+* **Storage** — :func:`install_pool_faults` wraps the connection pool's
+  writer so scheduled statements raise ``sqlite3.OperationalError``
+  (the shape of a busy/faulted database) before touching the file;
+* **Network** — :func:`http_fault_hook` builds a
+  ``P3PHttpServer.fault_hook`` that drops connections before the
+  handler runs, drops them after (request processed, response lost —
+  the case idempotent ``check_key`` logging exists for), truncates
+  response bodies mid-write, or delays replies;
+* **Crash** — :func:`crash_pool` abandons every pooled connection
+  without committing or flushing, the in-process equivalent of
+  ``kill -9``: buffered log rows die, committed WAL state survives for
+  the next open.
+
+Schedules are driven by :class:`FaultPlan`: per-kind counters
+(``every`` — fire on every Nth occurrence, reproducible under any
+thread interleaving) or a seeded PRNG (``rates``), with an optional
+global ``max_faults`` budget so a faulted run always drains.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from collections import Counter
+from typing import Callable, Iterable
+
+from repro.storage.pool import ConnectionPool
+
+#: The failure kinds a plan can schedule.
+KINDS = ("sqlite", "request-drop", "response-drop", "response-truncate",
+         "delay")
+
+
+class FaultPlan:
+    """A reproducible schedule deciding which events fail.
+
+    *every* maps a kind to N: every Nth occurrence of that kind faults
+    (per-kind counters under a lock — deterministic fault *counts*
+    regardless of thread interleaving).  *rates* maps a kind to a
+    probability drawn from a PRNG seeded with *seed* — reproducible
+    for single-threaded drivers.  ``max_faults`` caps total injections
+    so a chaos run always finishes.
+    """
+
+    def __init__(self, seed: int = 2003, *,
+                 every: dict[str, int] | None = None,
+                 rates: dict[str, float] | None = None,
+                 max_faults: int | None = None,
+                 delay_seconds: float = 0.0):
+        import random
+        unknown = (set(every or ()) | set(rates or ())) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.every = dict(every or {})
+        self.rates = dict(rates or {})
+        self.max_faults = max_faults
+        self.delay_seconds = delay_seconds
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        self.occurrences: Counter[str] = Counter()
+        self.injected: Counter[str] = Counter()
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    def should(self, kind: str) -> bool:
+        """Record one occurrence of *kind*; True when it must fail."""
+        with self._lock:
+            self.occurrences[kind] += 1
+            if (self.max_faults is not None
+                    and sum(self.injected.values()) >= self.max_faults):
+                return False
+            fire = False
+            step = self.every.get(kind)
+            if step:
+                fire = self.occurrences[kind] % step == 0
+            elif kind in self.rates:
+                fire = self._random.random() < self.rates[kind]
+            if fire:
+                self.injected[kind] += 1
+            return fire
+
+
+def http_fault_hook(plan: FaultPlan,
+                    paths: Iterable[str] = ("/v1/check",
+                                            "/v1/check-batch"),
+                    sleep: Callable[[float], None] = time.sleep):
+    """Build a ``P3PHttpServer.fault_hook`` driven by *plan*.
+
+    Only requests to *paths* are candidates (operators must always be
+    able to reach /healthz and /metrics, and installs are not
+    idempotent, so chaos stays on the check endpoints by default).
+    Assign the result to ``server.fault_hook``; set ``fault_hook =
+    None`` to heal the server.
+    """
+    targets = frozenset(paths)
+
+    def hook(stage: str, path: str) -> str | None:
+        if path not in targets:
+            return None
+        if stage == "request":
+            if plan.should("request-drop"):
+                return "drop"
+        else:
+            if plan.should("response-drop"):
+                return "drop"
+            if plan.should("response-truncate"):
+                return "truncate"
+        if plan.delay_seconds and plan.should("delay"):
+            sleep(plan.delay_seconds)
+        return None
+
+    return hook
+
+
+def install_pool_faults(pool: ConnectionPool, plan: FaultPlan, *,
+                        match: str = "check_log"
+                        ) -> Callable[[], None]:
+    """Make scheduled writer statements raise ``OperationalError``.
+
+    Statements whose SQL contains *match* (default: check-log writes,
+    the serving stack's hot write path) consult ``plan.should("sqlite")``
+    before executing; a scheduled fault raises *before* the statement
+    runs, the shape of a database hitting busy/IO trouble.  Returns an
+    ``uninstall()`` callable restoring the unwrapped methods.
+    """
+    db = pool.writer
+    original_execute = db.execute
+    original_executemany = db.executemany
+
+    def execute(sql, parameters=()):
+        if match in sql and plan.should("sqlite"):
+            raise sqlite3.OperationalError(
+                "injected: database fault (execute)")
+        return original_execute(sql, parameters)
+
+    def executemany(sql, rows):
+        if match in sql and plan.should("sqlite"):
+            raise sqlite3.OperationalError(
+                "injected: database fault (executemany)")
+        return original_executemany(sql, rows)
+
+    db.execute = execute                      # type: ignore[method-assign]
+    db.executemany = executemany              # type: ignore[method-assign]
+
+    def uninstall() -> None:
+        db.execute = original_execute         # type: ignore[method-assign]
+        db.executemany = original_executemany  # type: ignore[method-assign]
+
+    return uninstall
+
+
+def crash_pool(pool: ConnectionPool) -> None:
+    """Simulate a hard crash of the serving process.
+
+    Every pooled connection is abandoned without commit or flush:
+    uncommitted transactions are discarded (as the OS would on process
+    death) and the pool is left unusable.  Data previously committed
+    through WAL must survive a subsequent reopen — that is the recovery
+    property the crash tests assert.
+
+    In-flight statements are interrupted (the only cross-thread-safe
+    sqlite call) and the writer is closed under the write lock, once no
+    thread can be executing on it.  Reader connections are *abandoned*,
+    not closed — closing a connection another thread is using is
+    undefined behavior in SQLite; garbage collection reclaims them when
+    their owning threads exit.
+    """
+    with pool._registry_lock:
+        pool._closed = True
+        readers = list(pool._readers)
+        pool._readers = {}
+    for db in [*readers, pool.writer]:
+        try:
+            db._connection.interrupt()
+        except Exception:
+            pass
+    # Any thread inside pool.write() unwinds on the interrupt; once the
+    # lock is ours nothing can be executing on the writer.
+    with pool._write_lock:
+        try:
+            pool.writer._connection.close()
+        except Exception:
+            pass

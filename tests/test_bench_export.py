@@ -18,7 +18,7 @@ class TestRunAll:
         assert set(results) == {
             "meta", "e1_dataset", "e2_preferences", "e3_shredding",
             "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
-            "e8_concurrency", "e9_http_load",
+            "e8_concurrency", "e9_http_load", "e10_fault_tolerance",
         }
 
     def test_json_serializable(self, results):
@@ -68,6 +68,17 @@ class TestRunAll:
         assert set(block["overhead"]) == {"1", "4", "16"}
         for multiple in block["overhead"].values():
             assert multiple > 0
+
+    def test_fault_tolerance_block(self, results):
+        block = results["e10_fault_tolerance"]
+        assert [r["mode"] for r in block["rows"]] == \
+            ["no-retry", "retry", "retry-faults"]
+        for row in block["rows"]:
+            assert row["per_check_seconds"] > 0
+        faulted = block["rows"][-1]
+        assert faulted["faults_injected"] > 0
+        assert faulted["retries"] >= faulted["faults_injected"]
+        assert block["retry_overhead"] > 0
 
 
 class TestSaveResults:

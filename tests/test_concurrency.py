@@ -112,6 +112,21 @@ class TestHammer:
             assert db.scalar("SELECT COUNT(*) FROM check_log") == \
                 len(requests)
 
+    def test_failed_batch_still_flushes_completed_checks(self,
+                                                         disk_server):
+        """serve_many flushes in a finally: the checks that completed
+        before a worker raised must be durable, not stranded in the
+        buffer behind an exception."""
+        level = next(iter(jrc_suite().values()))
+        requests = [(SITE, "/catalog/ok-1", level),
+                    (SITE, "/catalog/ok-2", level),
+                    (SITE, "/catalog/boom", object())]  # not a Ruleset
+        with pytest.raises(Exception):
+            disk_server.serve_many(requests, threads=1)
+        assert disk_server.log.pending == 0
+        with disk_server.pool.read() as db:
+            assert db.scalar("SELECT COUNT(*) FROM check_log") == 2
+
 
 class TestInMemoryConcurrency:
     def test_memory_server_serializes_but_stays_correct(self):
@@ -186,3 +201,95 @@ class TestLogBatching:
         disk_server.check(SITE, "/catalog/y", level)
         assert disk_server.check_count() == 1
         assert disk_server.log.pending == 0
+
+
+class TestIdempotentLogging:
+    def test_repeated_check_key_logs_once(self, disk_server):
+        level = next(iter(jrc_suite().values()))
+        for _ in range(3):  # a client retrying a lost response
+            disk_server.check(SITE, "/catalog/r", level,
+                              check_key="retry-1")
+        assert disk_server.check_count() == 1
+        assert disk_server.log.deduped == 2
+
+    def test_distinct_keys_and_keyless_checks_all_log(self, disk_server):
+        level = next(iter(jrc_suite().values()))
+        disk_server.check(SITE, "/catalog/a", level, check_key="k-1")
+        disk_server.check(SITE, "/catalog/b", level, check_key="k-2")
+        disk_server.check(SITE, "/catalog/c", level)  # legacy caller
+        disk_server.check(SITE, "/catalog/d", level)
+        assert disk_server.check_count() == 4
+
+    def test_dedupe_survives_a_restart(self, tmp_path):
+        """The in-memory window is empty after a restart; the partial
+        unique index must still reject the replayed key."""
+        path = str(tmp_path / "restart.db")
+        server = _install(PolicyServer(path))
+        level = next(iter(jrc_suite().values()))
+        server.check(SITE, "/catalog/x", level, check_key="carried")
+        server.close()
+
+        reopened = PolicyServer(path)
+        try:
+            reopened.check(SITE, "/catalog/x", level,
+                           check_key="carried")
+            assert reopened.check_count() == 1
+        finally:
+            reopened.close()
+
+    def test_window_is_bounded(self, tmp_path):
+        server = _install(PolicyServer(str(tmp_path / "window.db")))
+        try:
+            assert len(server.log._seen_keys) <= server.log.dedupe_window
+            level = next(iter(jrc_suite().values()))
+            window = server.log.dedupe_window
+            for i in range(window + 50):
+                server.log.append(
+                    (SITE, f"/u{i}", None, None, None, "h", 0.0,
+                     "now", f"k-{i}"), check_key=f"k-{i}")
+            assert len(server.log._seen_keys) == window
+        finally:
+            server.close()
+
+    def test_flush_inside_enclosing_write_defers(self, disk_server):
+        """A flush joining an open write() transaction must not commit
+        (or roll back) the enclosing work — it re-queues instead."""
+        level = next(iter(jrc_suite().values()))
+        disk_server.check(SITE, "/catalog/d", level, check_key="defer")
+        with disk_server.pool.write() as db:
+            db.execute("CREATE TABLE half_done (x INTEGER)")
+            assert disk_server.flush_log() == 0
+            assert disk_server.log.pending == 1
+            db.commit()
+        assert disk_server.log.deferrals == 1
+        assert disk_server.flush_log() == 1
+
+    def test_old_databases_gain_the_check_key_column(self, tmp_path):
+        """A check_log created before the idempotency column migrates
+        in place and keeps its rows."""
+        import sqlite3 as sql
+
+        path = str(tmp_path / "legacy.db")
+        connection = sql.connect(path)
+        connection.execute(
+            "CREATE TABLE check_log ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " site TEXT NOT NULL, uri TEXT NOT NULL,"
+            " policy_id INTEGER, behavior TEXT, rule_index INTEGER,"
+            " preference_hash TEXT NOT NULL,"
+            " elapsed_seconds REAL NOT NULL, checked_at TEXT NOT NULL)")
+        connection.execute(
+            "INSERT INTO check_log (site, uri, preference_hash, "
+            "elapsed_seconds, checked_at) "
+            "VALUES ('s', '/u', 'h', 0.0, 'then')")
+        connection.commit()
+        connection.close()
+
+        server = _install(PolicyServer(path))
+        try:
+            level = next(iter(jrc_suite().values()))
+            server.check(SITE, "/catalog/new", level, check_key="fresh")
+            server.check(SITE, "/catalog/new", level, check_key="fresh")
+            assert server.check_count() == 2  # legacy row + one new
+        finally:
+            server.close()

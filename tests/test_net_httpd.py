@@ -254,7 +254,10 @@ class TestAdmissionControl:
                        retry_after=2.0)
         thread = server.run_in_thread()
         try:
-            agent = HttpClientAgent(server.base_url, jane_preference())
+            # retry=None: this test asserts the raw shedding contract,
+            # not the client-side healing built on top of it.
+            agent = HttpClientAgent(server.base_url, jane_preference(),
+                                    retry=None)
             agent.install_policy(VOLGA_POLICY_XML, site=SITE,
                                  reference_file=VOLGA_REFERENCE_XML)
             agent.check(SITE, "/catalog/warm")     # registers + warms

@@ -53,11 +53,36 @@ class TestRoundTrips:
         assert restored.allowed
         assert not restored.covered
 
+    def test_check_request_carries_its_check_key(self):
+        message = protocol.CheckRequest(
+            site="s", uri="/u", preference_hash="h",
+            check_key="agent-00000001")
+        assert roundtrip(message) == message
+        # Absent key stays absent on the wire (old clients unchanged).
+        bare = protocol.CheckRequest(site="s", uri="/u",
+                                     preference_hash="h")
+        assert "check_key" not in bare.to_wire()
+        assert roundtrip(bare).check_key is None
+
     def test_batch_check_request(self):
         message = protocol.BatchCheckRequest(
             preference_hash="h",
             checks=(("a.example", "/x"), ("b.example", "/y")))
         assert roundtrip(message) == message
+
+    def test_batch_check_request_with_keys(self):
+        message = protocol.BatchCheckRequest(
+            preference_hash="h",
+            checks=(("a.example", "/x"), ("b.example", "/y")),
+            check_keys=("k-1", "k-2"))
+        assert roundtrip(message) == message
+
+    def test_batch_check_keys_must_align_with_checks(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.BatchCheckRequest(
+                preference_hash="h",
+                checks=(("a.example", "/x"),),
+                check_keys=("k-1", "k-2"))
 
     def test_batch_check_response(self):
         message = protocol.BatchCheckResponse(results=(

@@ -110,6 +110,41 @@ class TestPolicyServer:
         assert result_a.behavior == "request"
         assert result_b.behavior == "block"
 
+    def test_like_metacharacters_in_name_retarget_nothing_else(self,
+                                                               volga,
+                                                               jane):
+        """Reinstalling 'vol_a' must not steal 'volga' references: an
+        unescaped LIKE would read the underscore as a wildcard and
+        '%#vol_a' matches '...#volga'."""
+        from repro.corpus.volga import VOLGA_POLICY_NO_OPTIN_XML
+
+        server = PolicyServer()
+        good = server.install_policy(volga, site=SITE)
+        underscore = parse_policy(
+            VOLGA_POLICY_NO_OPTIN_XML.replace('name="volga"',
+                                              'name="vol_a"'))
+        server.install_policy(underscore, site=SITE)
+        server.install_reference_file(
+            """<META xmlns="http://www.w3.org/2002/01/P3Pv1">
+              <POLICY-REFERENCES>
+                <POLICY-REF about="/w3c/policy.xml#volga">
+                  <INCLUDE>/catalog/*</INCLUDE>
+                </POLICY-REF>
+                <POLICY-REF about="/w3c/policy.xml#vol_a">
+                  <INCLUDE>/other/*</INCLUDE>
+                </POLICY-REF>
+              </POLICY-REFERENCES>
+            </META>""", SITE)
+
+        report = server.install_policy(underscore, site=SITE)  # v2
+
+        other = server.check(SITE, "/other/x", jane)
+        catalog = server.check(SITE, "/catalog/x", jane)
+        assert other.policy_id == report.policy_id
+        assert catalog.policy_id == good.policy_id
+        assert catalog.behavior == "request"
+        assert other.behavior == "block"
+
     def test_cookie_check(self, server, jane):
         result = server.check(SITE, "/anything", jane, cookie=True)
         assert result.covered

@@ -52,20 +52,46 @@ class TestReaders:
             db.commit()
 
         seen = {}
+        release = threading.Event()
 
         def observe(name):
             with disk_pool.read() as first, disk_pool.read() as second:
                 assert first is second  # stable within a thread
                 seen[name] = id(first)
+            release.wait(timeout=5)
 
         threads = [threading.Thread(target=observe, args=(i,))
                    for i in range(3)]
         for thread in threads:
             thread.start()
+        while len(seen) < 3:
+            pass
+        assert disk_pool.reader_count == 3  # owners still alive
+        release.set()
         for thread in threads:
             thread.join()
         assert len(set(seen.values())) == 3
-        assert disk_pool.reader_count == 3
+        # Dead threads cannot use their readers; the pool reaps them.
+        assert disk_pool.reader_count == 0
+
+    def test_reader_churn_stays_bounded(self, disk_pool):
+        """200 short-lived connections must not leak 200 readers."""
+        with disk_pool.write() as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.execute("INSERT INTO t VALUES (1)")
+            db.commit()
+
+        def one_check():
+            with disk_pool.read() as db:
+                assert db.scalar("SELECT x FROM t") == 1
+
+        for _ in range(200):
+            thread = threading.Thread(target=one_check)
+            thread.start()
+            thread.join()
+        assert disk_pool.reader_count <= 1
+        # Reaped readers keep contributing to pool-wide statistics.
+        assert disk_pool.stats().statements >= 200
 
     def test_readers_see_committed_writes(self, disk_pool):
         with disk_pool.write() as db:
