@@ -1,0 +1,80 @@
+"""E11: plan compilation — literal per-policy SQL vs compiled plans.
+
+The tentpole claims, pinned as shape assertions:
+
+* a warm compiled-plan check is exactly one SQL round-trip, however
+  many rules the preference has; the literal pipeline pays one per rule
+  probed, so its per-check trip count is at least the plan's;
+* the plan pipeline keeps one translation per preference where the
+  literal pipeline keeps one per (preference, policy) cell — and
+  correspondingly less SQL text pinned in cache memory;
+* both pipelines' statement-cache hit rates are well-formed, and the
+  plan pipeline's is perfect: five statement texts serve the whole
+  grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import plan_compilation_experiment
+from repro.bench.reporting import format_plan_compilation
+
+
+@pytest.fixture(scope="module")
+def rows(corpus, suite):
+    return plan_compilation_experiment(corpus[:8], suite)
+
+
+@pytest.fixture(scope="module")
+def by_mode(rows):
+    return {row.mode: row for row in rows}
+
+
+class TestGridShape:
+    def test_both_pipelines_present(self, by_mode):
+        assert set(by_mode) == {"literal", "plan"}
+
+    def test_same_grid_answered(self, by_mode, suite):
+        literal, plan = by_mode["literal"], by_mode["plan"]
+        assert literal.checks == plan.checks == \
+            literal.policies * len(suite)
+        assert literal.seconds > 0 and plan.seconds > 0
+
+
+class TestRoundTrips:
+    def test_plan_is_exactly_one_trip_per_warm_check(self, by_mode):
+        assert by_mode["plan"].round_trips_per_check == 1.0
+
+    def test_literal_pays_at_least_as_many_trips(self, by_mode):
+        assert by_mode["literal"].round_trips_per_check >= \
+            by_mode["plan"].round_trips_per_check
+
+
+class TestCacheFootprint:
+    def test_one_translation_per_preference_vs_per_cell(self, by_mode,
+                                                        suite):
+        literal, plan = by_mode["literal"], by_mode["plan"]
+        assert plan.translations == len(suite)
+        assert literal.translations == len(suite) * literal.policies
+
+    def test_plan_pins_less_sql_text(self, by_mode):
+        assert by_mode["plan"].cached_sql_chars < \
+            by_mode["literal"].cached_sql_chars
+
+    def test_statement_cache_rates_well_formed(self, by_mode):
+        for row in by_mode.values():
+            assert 0.0 <= row.statement_cache_hit_rate <= 1.0
+
+    def test_plan_statement_cache_is_perfect_when_warm(self, by_mode):
+        # One statement text per preference, all prepared in the warm
+        # pass: the measured region re-executes cached programs only.
+        assert by_mode["plan"].statement_cache_hit_rate == 1.0
+
+
+class TestReporting:
+    def test_formatter_renders_both_rows(self, rows):
+        report = format_plan_compilation(rows)
+        assert "literal" in report
+        assert "compiled" in report
+        assert "one round-trip per check" in report

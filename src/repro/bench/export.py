@@ -26,7 +26,7 @@ def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
 
 
 def run_all(seed: int = 2003) -> dict[str, Any]:
-    """Run E1-E10 and return one JSON-serializable results document."""
+    """Run E1-E11 and return one JSON-serializable results document."""
     from repro.corpus.policies import fortune_corpus
     from repro.corpus.preferences import jrc_suite
 
@@ -46,6 +46,8 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
     http_overhead = harness.http_overhead(http_load)
     fault_tolerance = harness.fault_tolerance_experiment(checks=160)
     retry_overhead = harness.retry_overhead(fault_tolerance)
+    plan_compilation = harness.plan_compilation_experiment(policies[:12],
+                                                           suite)
 
     return {
         "meta": {
@@ -137,6 +139,20 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
             ],
             "retry_overhead": retry_overhead,
         },
+        "e11_plan_compilation": [
+            {
+                "mode": row.mode,
+                "policies": row.policies,
+                "checks": row.checks,
+                "seconds": row.seconds,
+                "round_trips": row.round_trips,
+                "round_trips_per_check": row.round_trips_per_check,
+                "translations": row.translations,
+                "cached_sql_chars": row.cached_sql_chars,
+                "statement_cache_hit_rate": row.statement_cache_hit_rate,
+            }
+            for row in plan_compilation
+        ],
     }
 
 

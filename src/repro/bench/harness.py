@@ -25,6 +25,13 @@ Experiment ids follow DESIGN.md:
   must be ≤ 5%) and what recovery costs when responses are dropped on
   a fixed schedule (per-check latency and retries under injected
   connection drops, decisions still exactly-once in the check log)
+* E11 — plan compilation: the literal per-(preference, policy)
+  translation pipeline (one SQL round-trip per rule probed, one cached
+  translation per policy) against policy-independent
+  :class:`~repro.translate.plan.CompiledPlan` execution (compile once
+  per preference, exactly one parameterized round-trip per check) —
+  round-trips, translation counts, cached-SQL bytes and
+  statement-cache hit rates side by side
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -761,4 +768,131 @@ def fault_tolerance_experiment(directory: str | None = None,
             httpd.close()
             backend.close()
             thread.join(timeout=5)
+    return results
+
+
+# -- E11: plan compilation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanCompilationResult:
+    """One evaluation pipeline's numbers over the same warm database."""
+
+    mode: str              # "literal" (per-policy SQL) or "plan" (compiled)
+    policies: int
+    checks: int
+    seconds: float
+    round_trips: int       # SQL statements issued in the measured region
+    translations: int      # distinct translations the pipeline had to keep
+    cached_sql_chars: int  # memory proxy: total SQL text a cache would hold
+    statement_cache_hits: int
+    statement_cache_misses: int
+
+    @property
+    def round_trips_per_check(self) -> float:
+        return self.round_trips / self.checks if self.checks else 0.0
+
+    @property
+    def checks_per_second(self) -> float:
+        return self.checks / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def statement_cache_hit_rate(self) -> float:
+        lookups = self.statement_cache_hits + self.statement_cache_misses
+        return self.statement_cache_hits / lookups if lookups else 0.0
+
+
+def plan_compilation_experiment(policies: list[Policy] | None = None,
+                                suite: dict[str, Ruleset] | None = None
+                                ) -> list[PlanCompilationResult]:
+    """E11: what does compiling plans buy over literal translation?
+
+    Both pipelines answer the identical check grid (every preference in
+    *suite* against every policy) on one warm on-memory store:
+
+    * ``literal`` — the paper's figures taken literally: each
+      (preference, policy) pair gets its own translation with the policy
+      id spliced in as a constant, and :func:`evaluate_ruleset` probes
+      rule queries one round-trip at a time until one fires.  A cache in
+      front of this pipeline must hold ``preferences × policies``
+      entries, and every policy's SQL is a distinct statement text to
+      the connection's prepared-statement cache.
+    * ``plan`` — ``compile_ruleset`` once per preference: the policy id
+      is a bind parameter, the first-rule-wins loop is folded into a
+      single ``UNION ALL … ORDER BY rule_index LIMIT 1`` statement, and
+      every check is exactly one round-trip executing one cached
+      statement text.
+
+    Both modes run the full grid once unmeasured (warm protocol of
+    Section 6.3.2), then measured with statement counters reset, so
+    ``round_trips`` is the steady-state number.
+    """
+    from repro.translate.appel_to_sql import (
+        OptimizedSqlTranslator,
+        applicable_policy_literal,
+        evaluate_ruleset,
+    )
+
+    if policies is None:
+        policies = fortune_corpus()[:12]
+    if suite is None:
+        suite = jrc_suite()
+
+    store = PolicyStore()
+    db = store.db
+    handles = [store.install_policy(policy).policy_id
+               for policy in policies]
+    translator = OptimizedSqlTranslator()
+    results: list[PlanCompilationResult] = []
+    checks = len(suite) * len(handles)
+
+    try:
+        # literal: one translation per (preference, policy) cell.
+        literal = {
+            (level, handle): translator.translate_ruleset(
+                preference, applicable_policy_literal(handle))
+            for level, preference in suite.items()
+            for handle in handles
+        }
+        chars = sum(len(rule.sql) for translated in literal.values()
+                    for rule in translated.rules)
+        for translated in literal.values():        # warm pass
+            evaluate_ruleset(db, translated)
+        db.stats.reset()
+        start = time.perf_counter()
+        for translated in literal.values():
+            evaluate_ruleset(db, translated)
+        results.append(PlanCompilationResult(
+            mode="literal", policies=len(handles), checks=checks,
+            seconds=time.perf_counter() - start,
+            round_trips=db.stats.statements,
+            translations=len(literal),
+            cached_sql_chars=chars,
+            statement_cache_hits=db.stats.cache_hits,
+            statement_cache_misses=db.stats.cache_misses,
+        ))
+
+        # plan: one compilation per preference, any policy id binds.
+        plans = {level: translator.compile_ruleset(preference)
+                 for level, preference in suite.items()}
+        for plan in plans.values():                # warm pass
+            for handle in handles:
+                plan.execute(db, handle)
+        db.stats.reset()
+        start = time.perf_counter()
+        for plan in plans.values():
+            for handle in handles:
+                plan.execute(db, handle)
+        results.append(PlanCompilationResult(
+            mode="plan", policies=len(handles), checks=checks,
+            seconds=time.perf_counter() - start,
+            round_trips=db.stats.statements,
+            translations=len(plans),
+            cached_sql_chars=sum(plan.size_chars()
+                                 for plan in plans.values()),
+            statement_cache_hits=db.stats.cache_hits,
+            statement_cache_misses=db.stats.cache_misses,
+        ))
+    finally:
+        db.close()
     return results

@@ -14,6 +14,7 @@ from repro.bench.harness import (
     FaultToleranceResult,
     HttpLoadResult,
     LevelSummary,
+    PlanCompilationResult,
     ShreddingResult,
     WarmColdResult,
     http_overhead,
@@ -306,5 +307,34 @@ def format_fault_tolerance(rows: list[FaultToleranceResult]) -> str:
         lines.append(
             f"zero-fault retry-layer overhead: "
             f"{(overhead - 1.0) * 100:+.1f}% (acceptance: <= 5%)"
+        )
+    return "\n".join(lines)
+
+
+def format_plan_compilation(rows: list[PlanCompilationResult]) -> str:
+    """E11: literal per-policy SQL vs compiled parameterized plans."""
+    lines = [
+        "Plan compilation (same check grid, warm store)",
+        f"{'Pipeline':26s} {'Trips/check':>11s} {'Translations':>12s} "
+        f"{'SQL chars':>10s} {'Stmt-cache':>10s} {'Checks/s':>10s}",
+    ]
+    labels = {
+        "literal": "literal (id spliced in)",
+        "plan": "compiled (id bound as ?)",
+    }
+    for row in rows:
+        lines.append(
+            f"{labels.get(row.mode, row.mode):26s} "
+            f"{row.round_trips_per_check:11.2f} "
+            f"{row.translations:12d} {row.cached_sql_chars:10d} "
+            f"{row.statement_cache_hit_rate * 100:9.1f}% "
+            f"{row.checks_per_second:10.0f}"
+        )
+    by_mode = {row.mode: row for row in rows}
+    plan = by_mode.get("plan")
+    if plan is not None:
+        lines.append(
+            f"(plan pipeline: {plan.translations} compilations serve "
+            f"{plan.policies} policies; one round-trip per check)"
         )
     return "\n".join(lines)

@@ -188,7 +188,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
-                      "concurrency", "http-load", "fault-tolerance")
+                      "concurrency", "http-load", "fault-tolerance",
+                      "plans")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -232,6 +233,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif experiment == "fault-tolerance":
             print(bench.format_fault_tolerance(
                 bench.fault_tolerance_experiment()))
+        elif experiment == "plans":
+            print(bench.format_plan_compilation(
+                bench.plan_compilation_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2

@@ -11,14 +11,14 @@ stdlib only:
 * ``POST /v1/check-batch``  — many decisions through ``serve_many``
   (results in request order, check log flushed before replying).
 * ``POST /v1/policies``     — install a policy (optionally with its
-  reference file); superseded translation-cache entries are invalidated
-  by :meth:`PolicyServer.install_policy` itself.
+  reference file); compiled plans are policy-independent, so installs
+  invalidate nothing in the plan cache.
 * ``GET /w3c/p3p.xml``      — the site's reference file with a strong
   ETag; ``If-None-Match`` revalidation answers 304 with no body, so
   agents refresh caches for the price of a header.
 * ``GET /healthz``          — liveness.
-* ``GET /metrics``          — JSON counters (requests, errors, cache hit
-  rate, check-log pending, admission occupancy).
+* ``GET /metrics``          — JSON counters (requests, errors, plan- and
+  statement-cache hit rates, check-log pending, admission occupancy).
 
 Requests are handled on a thread per connection (HTTP/1.1 keep-alive —
 ``ThreadingHTTPServer``), which maps one-to-one onto the connection
@@ -217,18 +217,26 @@ class P3PHttpServer(ThreadingHTTPServer):
     # -- introspection -------------------------------------------------------
 
     def metrics_snapshot(self) -> dict[str, Any]:
+        # "translation_cache" is the compiled-plan cache: keyed by
+        # preference hash alone, one entry serves every installed policy.
         cache = self.policy_server._translation_cache
-        hits, misses = cache.hits, cache.misses
-        lookups = hits + misses
         log = self.policy_server.log
+        pool_stats = self.policy_server.pool.stats()
         return {
             "v": protocol.PROTOCOL_VERSION,
             **self.net_metrics.snapshot(),
             "translation_cache": {
-                "hits": hits,
-                "misses": misses,
-                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "hit_rate": cache.hit_rate(),
                 "size": len(cache),
+                "size_chars": cache.size_chars(),
+            },
+            "statement_cache": {
+                "hits": pool_stats.cache_hits,
+                "misses": pool_stats.cache_misses,
+                "hit_rate": pool_stats.cache_hit_rate,
             },
             "check_log": {
                 "pending": log.pending,

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from repro.appel.model import Ruleset
 from repro.server.policy_server import PolicyServer
 from repro.server.site import Site
-from repro.translate.appel_to_sql import evaluate_ruleset
 
 
 @dataclass(frozen=True)
@@ -62,8 +61,9 @@ class HybridAgent:
         # The client already knows which policy applies, so the server
         # can skip its reference lookup and run the check directly — on
         # this thread's pooled reader, through the server's bounded
-        # translation cache (re-translating per check would defeat the
-        # thin-client argument of Section 4.2).
+        # plan cache (re-compiling per check would defeat the
+        # thin-client argument of Section 4.2).  The compiled plan is
+        # policy-independent; the resolved id binds at execution.
         behavior = None
         rule_index = None
         with self.server.pool.read() as db:
@@ -71,9 +71,8 @@ class HybridAgent:
                 ref.policy_name, db=db
             )
             if policy_id is not None:
-                translated = self.server.translate(self.preference,
-                                                   policy_id)
-                behavior, rule_index = evaluate_ruleset(db, translated)
+                plan = self.server.translate(self.preference)
+                behavior, rule_index = plan.execute(db, policy_id)
         return HybridCheckResult(
             site=site.host,
             uri=uri,

@@ -8,8 +8,15 @@ policy inside the database (Figure 6).
 
 Design choices straight from Section 4.2:
 
-* translated preferences are cached per (preference, policy) pair — thin
-  clients send APPEL (or pre-translated SQL) and the server does the work;
+* preferences are compiled **once** into policy-independent
+  :class:`~repro.translate.plan.CompiledPlan` objects (parameterized
+  SQL; the applicable policy id binds at execution) and cached by
+  preference hash alone — thin clients send APPEL (or pre-translated
+  SQL) and the server pays conversion once per preference, not once
+  per (preference, policy) pair;
+* a check is **one query**: the plan folds the first-rule-wins loop
+  into a single ``UNION ALL ... ORDER BY rule_index LIMIT 1``
+  statement, the paper's "checked ... using a single query";
 * every check is logged, giving site owners the conflict visibility the
   client-centric architecture cannot provide ("Site owners can refine
   their policies if they know what policies have a conflict with the
@@ -22,9 +29,11 @@ Serving-scale additions beyond the paper:
 * checks run on a :class:`~repro.storage.pool.ConnectionPool` — WAL mode
   for on-disk databases, a per-thread reader for every checking thread,
   and a single serialized writer for installs and the log;
-* the translation cache is a bounded, lock-protected LRU
-  (:class:`TranslationCache`), invalidated when a policy name is
-  re-installed (version bump) or a policy disappears;
+* the plan cache is a bounded, lock-protected LRU
+  (:class:`~repro.translate.plan.TranslationCache`).  Because plans
+  carry no policy id, a policy re-install (version bump) invalidates
+  **nothing** — checks simply resolve to the new id and execute the
+  same plan against it;
 * the check log is written by :class:`CheckLogWriter`, which batches
   INSERTs via ``executemany`` and commits on size, age, or close —
   **not** once per check.  Readers of ``check_log`` (analytics, tests)
@@ -49,7 +58,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
@@ -61,12 +70,15 @@ from repro.storage.pool import ConnectionPool
 from repro.storage.refstore import ReferenceStore
 from repro.storage.shredder import PolicyStore, ShredReport
 from repro.storage.versioning import VersionedPolicyStore
-from repro.translate.appel_to_sql import (
-    OptimizedSqlTranslator,
-    TranslatedRuleset,
-    applicable_policy_literal,
-    evaluate_ruleset,
-)
+from repro.translate.appel_to_sql import OptimizedSqlTranslator
+from repro.translate.plan import CompiledPlan, TranslationCache
+
+__all__ = [
+    "CheckLogWriter",
+    "CheckResult",
+    "PolicyServer",
+    "TranslationCache",
+]
 
 _CHECK_LOG_DDL = """
 CREATE TABLE IF NOT EXISTS check_log (
@@ -107,70 +119,6 @@ def _ruleset_hash(preference: Ruleset) -> str:
     whole ruleset per check would dominate a cache-hit check)."""
     text = serialize_ruleset(preference, indent=False)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-class TranslationCache:
-    """A bounded, thread-safe LRU cache for translated rulesets.
-
-    Keys are ``(preference_hash, policy_id)`` pairs.  ``get`` refreshes
-    recency; ``put`` evicts the least recently used entry beyond
-    *maxsize*; ``invalidate`` drops every key matching a predicate
-    (used when a policy version is superseded).
-    """
-
-    def __init__(self, maxsize: int = 256):
-        if maxsize < 1:
-            raise ValueError("cache maxsize must be >= 1")
-        self.maxsize = maxsize
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, TranslatedRuleset] = \
-            OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def get(self, key: Hashable) -> TranslatedRuleset | None:
-        with self._lock:
-            value = self._entries.get(key)
-            if value is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
-
-    def put(self, key: Hashable, value: TranslatedRuleset) -> None:
-        with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-
-    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
-        """Drop every key for which *predicate* is true; returns count."""
-        with self._lock:
-            stale = [key for key in self._entries if predicate(key)]
-            for key in stale:
-                del self._entries[key]
-            return len(stale)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-
-    def keys(self) -> list[Hashable]:
-        """Snapshot of cached keys, least recently used first."""
-        with self._lock:
-            return list(self._entries)
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._entries
 
 
 class CheckLogWriter:
@@ -379,28 +327,12 @@ class PolicyServer:
                 self.db.commit()
             else:
                 report = self.policies.install_policy(policy, site=site)
-            self._invalidate_translations(policy.name)
+        # No plan-cache invalidation: compiled plans are policy-
+        # independent (the policy id is a bind parameter), so a
+        # superseded version only changes what the reference lookup
+        # resolves to — the cached plan executes unchanged against the
+        # new id.
         return report
-
-    def _invalidate_translations(self, name: str | None) -> int:
-        """Drop cached translations made stale by an install.
-
-        Two flavors of staleness: (a) the policy id no longer exists,
-        and (b) the id *survives* but belongs to a superseded version of
-        the just-installed name — checks resolve to the new version, so
-        translations pinned to any older version of the name are dead
-        weight at best and wrong if the id is ever recycled.
-        """
-        superseded: set[int] = set()
-        if name is not None:
-            superseded = {
-                version.policy_id for version in self.versions.history(name)
-                if not version.active
-            }
-        return self._translation_cache.invalidate(
-            lambda key: key[1] in superseded
-            or not self.policies.has_policy(key[1])
-        )
 
     def install_reference_file(self, reference: ReferenceFile | str,
                                site: str) -> int:
@@ -437,8 +369,8 @@ class PolicyServer:
                 site, uri, cookie=cookie, db=db
             )
             if policy_id is not None:
-                translated = self.translate(preference, policy_id)
-                behavior, rule_index = evaluate_ruleset(db, translated)
+                plan = self.translate(preference)
+                behavior, rule_index = plan.execute(db, policy_id)
         elapsed = time.perf_counter() - start
 
         result = CheckResult(
@@ -482,20 +414,19 @@ class PolicyServer:
             self.flush_log()
         return results
 
-    def translate(self, preference: Ruleset,
-                  policy_id: int) -> TranslatedRuleset:
-        """The cached SQL translation of *preference* against *policy_id*."""
-        key = (_ruleset_hash(preference), policy_id)
-        translated = self._translation_cache.get(key)
-        if translated is None:
-            translated = self.translator.translate_ruleset(
-                preference, applicable_policy_literal(policy_id)
-            )
-            self._translation_cache.put(key, translated)
-        return translated
+    def translate(self, preference: Ruleset) -> CompiledPlan:
+        """The cached compiled plan for *preference*.
 
-    # Backwards-compatible alias.
-    _translate = translate
+        Keyed by preference hash alone: the plan's SQL binds the
+        applicable policy id at execution time, so one compilation
+        serves every policy the server will ever check it against.
+        """
+        key = _ruleset_hash(preference)
+        plan = self._translation_cache.get(key)
+        if plan is None:
+            plan = self.translator.compile_ruleset(preference)
+            self._translation_cache.put(key, plan)
+        return plan
 
     @staticmethod
     def _preference_hash(preference: Ruleset) -> str:

@@ -47,21 +47,42 @@ def sql_literal(value: str) -> str:
 
 @dataclass
 class QueryStats:
-    """Cumulative statistics over every statement run on a Database."""
+    """Cumulative statistics over every statement run on a Database.
+
+    ``cache_hits``/``cache_misses`` track the per-connection prepared-
+    statement cache: a *hit* means the statement text was seen recently
+    on this connection, so sqlite3's statement cache re-executes the
+    already-compiled program instead of re-preparing it.
+    """
 
     statements: int = 0
     seconds: float = 0.0
     last_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, elapsed: float) -> None:
         self.statements += 1
         self.seconds += elapsed
         self.last_seconds = elapsed
 
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return (self.cache_hits / lookups) if lookups else 0.0
+
     def reset(self) -> None:
         self.statements = 0
         self.seconds = 0.0
         self.last_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 class Database:
@@ -78,7 +99,8 @@ class Database:
     def __init__(self, path: str = ":memory:", *,
                  timeout: float = 5.0,
                  wal: bool = False,
-                 check_same_thread: bool | None = None):
+                 check_same_thread: bool | None = None,
+                 statement_cache_size: int = 128):
         self.path = path
         if check_same_thread is None:
             # With a serialized (threadsafety == 3) sqlite3 build the C
@@ -86,13 +108,19 @@ class Database:
             # from many threads; only enforce thread affinity when the
             # build cannot guarantee that.
             check_same_thread = sqlite3.threadsafety < 3
+        self.statement_cache_size = max(1, statement_cache_size)
         self._connection = sqlite3.connect(
-            path, timeout=timeout, check_same_thread=check_same_thread
+            path, timeout=timeout, check_same_thread=check_same_thread,
+            cached_statements=self.statement_cache_size,
         )
         self._connection.row_factory = sqlite3.Row
         self.stats = QueryStats()
         self.wal = False
         self._statement_failed = False
+        # Shadow of sqlite3's per-connection prepared-statement cache:
+        # an LRU of recently executed statement texts, sized to match,
+        # so hit/miss counters reflect what the C layer re-prepares.
+        self._statement_lru: "dict[str, None]" = {}
         if wal:
             self.ensure_wal()
 
@@ -121,10 +149,32 @@ class Database:
 
     # -- execution -----------------------------------------------------------
 
+    def _note_statement(self, sql: str) -> None:
+        """Record a statement-cache hit or miss for *sql*.
+
+        Mirrors sqlite3's own LRU (same capacity, same key: the exact
+        statement text), which the module does not expose counters for.
+        Parameterized SQL is what makes this cache effective: a plan
+        executed against 1000 policies is one cached program, where the
+        literal pipeline's 1000 distinct texts are 1000 misses.
+        """
+        lru = self._statement_lru
+        if sql in lru:
+            # dict preserves insertion order; re-insert to refresh.
+            del lru[sql]
+            lru[sql] = None
+            self.stats.record_cache(True)
+            return
+        lru[sql] = None
+        if len(lru) > self.statement_cache_size:
+            del lru[next(iter(lru))]
+        self.stats.record_cache(False)
+
     def execute(self, sql: str,
                 parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Run one statement, recording its wall-clock time."""
         start = time.perf_counter()
+        self._note_statement(sql)
         try:
             cursor = self._connection.execute(sql, parameters)
         except sqlite3.Error as exc:
@@ -136,6 +186,7 @@ class Database:
     def executemany(self, sql: str,
                     rows: Sequence[Sequence[Any]]) -> None:
         start = time.perf_counter()
+        self._note_statement(sql)
         try:
             self._connection.executemany(sql, rows)
         except sqlite3.Error as exc:

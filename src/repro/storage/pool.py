@@ -148,6 +148,8 @@ class ConnectionPool:
             del self._readers[db]
             self._retired_stats.statements += db.stats.statements
             self._retired_stats.seconds += db.stats.seconds
+            self._retired_stats.cache_hits += db.stats.cache_hits
+            self._retired_stats.cache_misses += db.stats.cache_misses
         return dead
 
     def reap_readers(self) -> int:
@@ -187,8 +189,9 @@ class ConnectionPool:
         """Cumulative statistics summed over the writer and all readers.
 
         Readers orphaned by exited threads are reaped first; their
-        counters are folded into a retained total, so churn never makes
-        the aggregate go backwards.
+        counters — statement counts, seconds, and statement-cache
+        hits/misses — are folded into a retained total, so churn never
+        makes the aggregate go backwards.
         """
         with self._registry_lock:
             dead = self._reap_locked()
@@ -196,11 +199,15 @@ class ConnectionPool:
             total = QueryStats()
             total.statements = self._retired_stats.statements
             total.seconds = self._retired_stats.seconds
+            total.cache_hits = self._retired_stats.cache_hits
+            total.cache_misses = self._retired_stats.cache_misses
         for db in dead:
             db.close()
         for db in connections:
             total.statements += db.stats.statements
             total.seconds += db.stats.seconds
+            total.cache_hits += db.stats.cache_hits
+            total.cache_misses += db.stats.cache_misses
             total.last_seconds = max(total.last_seconds,
                                      db.stats.last_seconds)
         return total

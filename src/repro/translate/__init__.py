@@ -1,5 +1,10 @@
 """APPEL preference translators: to SQL (generic and optimized schemas) and
-to the XQuery subset."""
+to the XQuery subset.
+
+Two SQL output shapes: :func:`compile_ruleset` (on either translator)
+emits a policy-independent :class:`CompiledPlan` — parameterized SQL,
+one round-trip per check — while ``translate_ruleset`` keeps the literal
+per-policy pipeline as a pedagogical/differential reference."""
 
 from repro.translate.appel_to_sql import (
     GenericSqlTranslator,
@@ -8,6 +13,13 @@ from repro.translate.appel_to_sql import (
     TranslatedRuleset,
     applicable_policy_literal,
     evaluate_ruleset,
+)
+from repro.translate.plan import (
+    APPLICABLE_POLICY_PARAM,
+    CompiledPlan,
+    PlanRule,
+    TranslationCache,
+    combine_rules,
 )
 from repro.translate.appel_to_xquery import (
     APPLICABLE_POLICY_URI,
@@ -31,6 +43,11 @@ __all__ = [
     "TranslatedRuleset",
     "applicable_policy_literal",
     "evaluate_ruleset",
+    "APPLICABLE_POLICY_PARAM",
+    "CompiledPlan",
+    "PlanRule",
+    "TranslationCache",
+    "combine_rules",
     "XQueryTranslator",
     "TranslatedXQueryRule",
     "TranslatedXQueryRuleset",

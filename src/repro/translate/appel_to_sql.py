@@ -20,6 +20,18 @@ or/and "to simplify exposition" and refers to [2] for the rest).  A rule
 translates to one SELECT returning its behavior when the applicable policy
 matches; rules are executed in preference order and the first non-empty
 result wins.
+
+Each translator offers two output shapes:
+
+* ``compile_ruleset(ruleset)`` — the production path: a policy-
+  independent :class:`~repro.translate.plan.CompiledPlan` whose SQL
+  binds the applicable policy id as a ``?`` parameter and folds the
+  first-rule-wins loop into one statement (one round-trip per check).
+* ``translate_ruleset(ruleset, applicable_policy_sql)`` — the literal
+  pipeline of the paper's figures, kept as the pedagogical and
+  differential reference: the caller splices an ApplicablePolicy
+  subquery (usually :func:`applicable_policy_literal`) and
+  :func:`evaluate_ruleset` runs one round-trip per rule.
 """
 
 from __future__ import annotations
@@ -30,6 +42,12 @@ from repro.appel.model import Expression, Rule, Ruleset
 from repro.errors import TranslationError
 from repro.storage.database import Database, quote_ident, sql_literal
 from repro.translate import sqlgen
+from repro.translate.plan import (
+    APPLICABLE_POLICY_PARAM,
+    CompiledPlan,
+    PlanRule,
+    combine_rules,
+)
 from repro.translate.sqlgen import FALSE_CLAUSE, TRUE_CLAUSE
 from repro.vocab import schema as p3p_schema
 
@@ -64,7 +82,12 @@ def applicable_policy_literal(policy_id: int) -> str:
 def evaluate_ruleset(db: Database, translated: TranslatedRuleset
                      ) -> tuple[str | None, int | None]:
     """Run the rule queries in order; return (behavior, rule index) of the
-    first rule that fires, or (None, None)."""
+    first rule that fires, or (None, None).
+
+    One round-trip per rule probed — the literal pipeline's loop,
+    retained as the differential reference for
+    :meth:`CompiledPlan.execute`'s single-statement evaluation.
+    """
     for index, rule in enumerate(translated.rules):
         row = db.query_one(rule.sql)
         if row is not None:
@@ -72,14 +95,38 @@ def evaluate_ruleset(db: Database, translated: TranslatedRuleset
     return None, None
 
 
-def _rule_header(behavior: str, applicable_policy_sql: str) -> str:
+def _rule_header(behavior: str, applicable_policy_sql: str,
+                 rule_index: int | None = None) -> str:
+    """The SELECT head of one rule query.
+
+    With *rule_index* the projection carries the rule's position too —
+    the column :func:`~repro.translate.plan.combine_rules` orders the
+    UNION ALL members by.
+    """
+    columns = f"SELECT {sql_literal(behavior)} AS behavior"
+    if rule_index is not None:
+        columns += f", {int(rule_index)} AS rule_index"
     return (
-        f"SELECT {sql_literal(behavior)} AS behavior\n"
+        columns + "\n"
         "FROM (\n"
         + sqlgen.indent_block(applicable_policy_sql)
         + "\n) AS applicable_policy\n"
         "WHERE "
     )
+
+
+def _compile_ruleset(translator, ruleset: Ruleset) -> CompiledPlan:
+    """Shared compile-once path: parameterized, indexed, single-query."""
+    rules = tuple(
+        PlanRule(
+            behavior=rule.behavior,
+            rule_index=index,
+            sql=translator.translate_rule(rule, APPLICABLE_POLICY_PARAM,
+                                          rule_index=index),
+        )
+        for index, rule in enumerate(ruleset.rules)
+    )
+    return CompiledPlan(rules=rules, sql=combine_rules(rules))
 
 
 def _root_clauses(rule: Rule, match_top) -> str:
@@ -99,6 +146,10 @@ def _root_clauses(rule: Rule, match_top) -> str:
 class GenericSqlTranslator:
     """Figure 11: APPEL to SQL over the generic (Figure 8) schema."""
 
+    def compile_ruleset(self, ruleset: Ruleset) -> CompiledPlan:
+        """Compile once: parameterized policy id, one query per check."""
+        return _compile_ruleset(self, ruleset)
+
     def translate_ruleset(self, ruleset: Ruleset,
                           applicable_policy_sql: str) -> TranslatedRuleset:
         return TranslatedRuleset(
@@ -111,9 +162,11 @@ class GenericSqlTranslator:
         )
 
     def translate_rule(self, rule: Rule,
-                       applicable_policy_sql: str) -> str:
+                       applicable_policy_sql: str, *,
+                       rule_index: int | None = None) -> str:
         """The main() function of Figure 11."""
-        header = _rule_header(rule.behavior, applicable_policy_sql)
+        header = _rule_header(rule.behavior, applicable_policy_sql,
+                              rule_index)
         if rule.is_catch_all():
             return header + TRUE_CLAUSE
 
@@ -210,6 +263,10 @@ class OptimizedSqlTranslator:
     into a single subquery".
     """
 
+    def compile_ruleset(self, ruleset: Ruleset) -> CompiledPlan:
+        """Compile once: parameterized policy id, one query per check."""
+        return _compile_ruleset(self, ruleset)
+
     def translate_ruleset(self, ruleset: Ruleset,
                           applicable_policy_sql: str) -> TranslatedRuleset:
         return TranslatedRuleset(
@@ -222,8 +279,10 @@ class OptimizedSqlTranslator:
         )
 
     def translate_rule(self, rule: Rule,
-                       applicable_policy_sql: str) -> str:
-        header = _rule_header(rule.behavior, applicable_policy_sql)
+                       applicable_policy_sql: str, *,
+                       rule_index: int | None = None) -> str:
+        header = _rule_header(rule.behavior, applicable_policy_sql,
+                              rule_index)
         if rule.is_catch_all():
             return header + TRUE_CLAUSE
         return header + _root_clauses(rule, self._policy_clause)

@@ -1,0 +1,188 @@
+"""Compile-once preference plans: parameterized SQL, executed many times.
+
+The paper's speedup argument rests on two facts: "the P3P policy could
+be checked ... using a single query" (Section 4) and the preference-
+conversion cost being paid once, not per match (Section 6.3.2).  The
+literal pipeline in :mod:`repro.translate.appel_to_sql` honors neither
+fully — it splices the applicable policy id into the SQL text (so a
+translation is pinned to one policy) and runs one round-trip per rule.
+
+A :class:`CompiledPlan` is the compile-once shape:
+
+* every rule's SQL carries a ``?`` placeholder where the literal
+  pipeline spliced the policy id, so one compilation executes against
+  *any* policy — plan caches become O(preferences), not
+  O(preferences x policies), and installing a new policy version
+  invalidates nothing;
+* the ordered first-rule-wins loop is folded into one compound
+  statement — ``UNION ALL`` members tagged with their rule index,
+  ``ORDER BY rule_index LIMIT 1`` — so a warm check is exactly one SQL
+  round-trip regardless of rule count.
+
+:class:`TranslationCache` (the bounded, thread-safe LRU the serving
+layer shares) lives here too: it caches compiled plans keyed by
+preference content hash alone.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.storage.database import Database
+
+#: The ApplicablePolicy relation with the policy id as a bind parameter.
+#: Each rule embeds this derived table exactly once, so a compiled rule
+#: takes exactly one parameter and a compiled plan takes one per rule
+#: (the same policy id, repeated).
+APPLICABLE_POLICY_PARAM = "SELECT ? AS policy_id"
+
+
+@dataclass(frozen=True)
+class PlanRule:
+    """One APPEL rule compiled to parameterized SQL.
+
+    The SQL selects ``behavior`` and ``rule_index`` columns and carries
+    one ``?`` placeholder for the applicable policy id.
+    """
+
+    behavior: str
+    rule_index: int
+    sql: str
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A full preference compiled once, executable against any policy.
+
+    ``sql`` is the single-round-trip statement: every rule as a
+    ``UNION ALL`` member, ``ORDER BY rule_index LIMIT 1`` picking the
+    first rule that fires.  ``execute`` binds the policy id once per
+    member and runs it as one query.
+    """
+
+    rules: tuple[PlanRule, ...]
+    sql: str
+
+    @property
+    def parameter_count(self) -> int:
+        """Bind parameters the combined statement takes (one per rule)."""
+        return len(self.rules)
+
+    def parameters(self, policy_id: int) -> tuple[int, ...]:
+        """The bind tuple for *policy_id* — the id once per member."""
+        return (int(policy_id),) * len(self.rules)
+
+    def execute(self, db: Database,
+                policy_id: int) -> tuple[str | None, int | None]:
+        """One round-trip: (behavior, rule index) of the first rule that
+        fires against *policy_id*, or (None, None)."""
+        if not self.rules:
+            return None, None
+        row = db.query_one(self.sql, self.parameters(policy_id))
+        if row is None:
+            return None, None
+        return row["behavior"], int(row["rule_index"])
+
+    def execute_serial(self, db: Database,
+                       policy_id: int) -> tuple[str | None, int | None]:
+        """Rule-at-a-time execution (one round-trip per rule probed).
+
+        Differential reference for :meth:`execute`; the serving path
+        never uses it.
+        """
+        for rule in self.rules:
+            if db.query_one(rule.sql, (int(policy_id),)) is not None:
+                return rule.behavior, rule.rule_index
+        return None, None
+
+    def size_chars(self) -> int:
+        """Memory proxy: characters of SQL this plan pins in a cache."""
+        return len(self.sql)
+
+
+def combine_rules(rules: tuple[PlanRule, ...]) -> str:
+    """Fold per-rule SELECTs into the single first-rule-wins statement."""
+    if not rules:
+        return ""
+    members = "\nUNION ALL\n".join(rule.sql for rule in rules)
+    return members + "\nORDER BY rule_index\nLIMIT 1"
+
+
+class TranslationCache:
+    """A bounded, thread-safe LRU cache for compiled preference plans.
+
+    Keys are preference content hashes — a :class:`CompiledPlan` is
+    policy-independent, so one entry serves every policy id and the
+    cache grows as O(preferences).  ``get`` refreshes recency; ``put``
+    evicts the least recently used entry beyond *maxsize*;
+    ``invalidate`` drops keys matching a predicate (plans never go
+    stale when policies change, but callers caching anything
+    policy-derived may still need it).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every key for which *predicate* is true; returns count."""
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of cached keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return (self.hits / lookups) if lookups else 0.0
+
+    def size_chars(self) -> int:
+        """Memory proxy: total SQL characters pinned by cached plans."""
+        with self._lock:
+            return sum(value.size_chars() for value in self._entries.values()
+                       if hasattr(value, "size_chars"))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -19,6 +19,7 @@ class TestRunAll:
             "meta", "e1_dataset", "e2_preferences", "e3_shredding",
             "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
             "e8_concurrency", "e9_http_load", "e10_fault_tolerance",
+            "e11_plan_compilation",
         }
 
     def test_json_serializable(self, results):
@@ -79,6 +80,16 @@ class TestRunAll:
         assert faulted["faults_injected"] > 0
         assert faulted["retries"] >= faulted["faults_injected"]
         assert block["retry_overhead"] > 0
+
+    def test_plan_compilation_block(self, results):
+        rows = {r["mode"]: r for r in results["e11_plan_compilation"]}
+        assert set(rows) == {"literal", "plan"}
+        plan, literal = rows["plan"], rows["literal"]
+        assert plan["round_trips_per_check"] == 1.0
+        assert literal["round_trips_per_check"] >= \
+            plan["round_trips_per_check"]
+        assert plan["translations"] < literal["translations"]
+        assert plan["cached_sql_chars"] < literal["cached_sql_chars"]
 
 
 class TestSaveResults:

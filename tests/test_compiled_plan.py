@@ -1,0 +1,145 @@
+"""CompiledPlan: parameterized single-query plans against the references.
+
+Three independent evaluation pipelines must agree on every (policy,
+preference) decision:
+
+* the native APPEL engine (the paper's client-side reference),
+* the literal SQL pipeline (policy id spliced in, one round-trip per
+  rule — :func:`evaluate_ruleset`),
+* the compiled plan (policy id bound as ``?``, one round-trip per check
+  — :meth:`CompiledPlan.execute`), plus its rule-at-a-time
+  ``execute_serial`` differential twin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appel.engine import AppelEngine
+from repro.storage.generic_shredder import GenericPolicyStore
+from repro.storage.shredder import PolicyStore
+from repro.translate.appel_to_sql import (
+    GenericSqlTranslator,
+    OptimizedSqlTranslator,
+    applicable_policy_literal,
+    evaluate_ruleset,
+)
+from repro.translate.plan import APPLICABLE_POLICY_PARAM
+
+
+@pytest.fixture(scope="module")
+def optimized_store(corpus):
+    store = PolicyStore()
+    handles = [store.install_policy(policy).policy_id
+               for policy in corpus]
+    yield store, handles
+    store.db.close()
+
+
+class TestPlanShape:
+    def test_one_parameter_per_rule(self, suite):
+        translator = OptimizedSqlTranslator()
+        for preference in suite.values():
+            plan = translator.compile_ruleset(preference)
+            assert plan.parameter_count == len(preference.rules)
+            assert plan.sql.count("?") == plan.parameter_count
+
+    def test_rules_carry_their_index(self, suite):
+        plan = OptimizedSqlTranslator().compile_ruleset(suite["High"])
+        assert [rule.rule_index for rule in plan.rules] == \
+            list(range(len(plan.rules)))
+
+    def test_combined_statement_orders_and_limits(self, suite):
+        plan = OptimizedSqlTranslator().compile_ruleset(suite["Low"])
+        assert plan.sql.endswith("ORDER BY rule_index\nLIMIT 1")
+        assert plan.sql.count("UNION ALL") == len(plan.rules) - 1
+
+    def test_parameters_repeat_the_policy_id(self, suite):
+        plan = OptimizedSqlTranslator().compile_ruleset(suite["Medium"])
+        assert plan.parameters(7) == (7,) * len(plan.rules)
+
+    def test_empty_plan_never_touches_the_database(self):
+        from repro.translate.plan import CompiledPlan, combine_rules
+
+        plan = CompiledPlan(rules=(), sql=combine_rules(()))
+        assert plan.sql == ""
+        # db=None proves no query is attempted.
+        assert plan.execute(None, 1) == (None, None)
+
+    def test_param_marker_is_the_applicable_policy_relation(self):
+        assert APPLICABLE_POLICY_PARAM == "SELECT ? AS policy_id"
+
+
+class TestDifferentialFullCorpus:
+    """Every corpus policy x all five JRC preference levels."""
+
+    def test_plan_matches_literal_and_native(self, optimized_store,
+                                             corpus, suite):
+        store, handles = optimized_store
+        translator = OptimizedSqlTranslator()
+        native = AppelEngine()
+        checked = 0
+        for level, preference in suite.items():
+            plan = translator.compile_ruleset(preference)
+            for policy, handle in zip(corpus, handles):
+                literal = translator.translate_ruleset(
+                    preference, applicable_policy_literal(handle))
+                expect = evaluate_ruleset(store.db, literal)
+                got = plan.execute(store.db, handle)
+                assert got == expect, (level, handle)
+                verdict = native.evaluate(policy, preference)
+                assert got == (verdict.behavior, verdict.rule_index), \
+                    (level, handle)
+                checked += 1
+        assert checked == len(corpus) * len(suite)
+
+    def test_single_query_agrees_with_serial_execution(self,
+                                                       optimized_store,
+                                                       suite):
+        store, handles = optimized_store
+        translator = OptimizedSqlTranslator()
+        for preference in suite.values():
+            plan = translator.compile_ruleset(preference)
+            for handle in handles:
+                assert plan.execute(store.db, handle) == \
+                    plan.execute_serial(store.db, handle)
+
+    def test_generic_schema_plans_agree_too(self, small_corpus, suite):
+        store = GenericPolicyStore()
+        handles = [store.install_policy(policy)
+                   for policy in small_corpus]
+        translator = GenericSqlTranslator()
+        try:
+            for preference in suite.values():
+                plan = translator.compile_ruleset(preference)
+                for handle in handles:
+                    literal = translator.translate_ruleset(
+                        preference, applicable_policy_literal(handle))
+                    assert plan.execute(store.db, handle) == \
+                        evaluate_ruleset(store.db, literal)
+        finally:
+            store.db.close()
+
+
+class TestSingleRoundTrip:
+    def test_warm_check_is_exactly_one_statement(self, optimized_store,
+                                                 suite):
+        store, handles = optimized_store
+        plan = OptimizedSqlTranslator().compile_ruleset(suite["High"])
+        plan.execute(store.db, handles[0])       # warm
+        before = store.db.stats.statements
+        plan.execute(store.db, handles[0])
+        assert store.db.stats.statements == before + 1
+
+    def test_literal_pipeline_pays_one_trip_per_rule_probed(
+            self, optimized_store, suite):
+        store, handles = optimized_store
+        translator = OptimizedSqlTranslator()
+        preference = suite["High"]
+        literal = translator.translate_ruleset(
+            preference, applicable_policy_literal(handles[0]))
+        before = store.db.stats.statements
+        behavior, rule_index = evaluate_ruleset(store.db, literal)
+        trips = store.db.stats.statements - before
+        assert trips == (rule_index + 1 if rule_index is not None
+                         else len(literal.rules))

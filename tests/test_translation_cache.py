@@ -1,4 +1,4 @@
-"""TranslationCache: LRU bounds, eviction order, install invalidation."""
+"""TranslationCache: LRU bounds, eviction order, plan reuse across policies."""
 
 import pytest
 
@@ -94,39 +94,56 @@ class TestServerCache:
         assert server._translation_cache.misses == misses
         assert server._translation_cache.hits >= 1
 
-    def test_version_bump_invalidates_stale_id(self, server):
-        """After a re-install the superseded version's id *survives* in
-        the policy table, but its cached translations must not: checks
-        resolve to the new version, and the old id could even be
-        recycled later."""
+    def test_keyed_by_preference_hash_alone(self, server):
+        """Compiled plans are policy-independent, so the cache key is the
+        preference content hash — no policy id component."""
+        jane = jane_preference()
+        server.check(SITE, "/catalog/book", jane)
+        assert server._translation_cache.keys() == \
+            [PolicyServer._preference_hash(jane)]
+
+    def test_plan_reused_across_distinct_policy_ids(self, server):
+        """One compilation serves every installed policy: checks against
+        two distinct policy ids miss the cache exactly once."""
+        from dataclasses import replace
+
+        other_site = "other.example.com"
+        renamed = replace(volga_policy(), name="other-policy")
+        server.install_policy(renamed, site=other_site)
+        server.install_reference_file(
+            VOLGA_REFERENCE_XML.replace("#volga", "#other-policy"),
+            other_site)
+
+        jane = jane_preference()
+        first = server.check(SITE, "/catalog/book", jane)
+        second = server.check(other_site, "/catalog/book", jane)
+        assert first.policy_id != second.policy_id
+        assert first.behavior == second.behavior
+        # One miss (the compile), every later check a hit — across ids.
+        assert server._translation_cache.misses == 1
+        assert server._translation_cache.hits >= 1
+        assert server.cache_size() == 1
+
+    def test_version_bump_invalidates_nothing(self, server):
+        """A re-install supersedes the old policy version, but plans bind
+        the policy id at execution — the cached compilation stays valid
+        and the next check resolves to the new version without a
+        recompile."""
         jane = jane_preference()
         first = server.check(SITE, "/catalog/book", jane)
         old_id = first.policy_id
-        assert ((PolicyServer._preference_hash(jane), old_id)
-                in server._translation_cache)
+        misses = server._translation_cache.misses
 
         server.install_policy(volga_policy(), site=SITE)  # version 2
 
         # The old id is still present (inactive) in the version history…
         assert server.policies.has_policy(old_id)
-        # …but no translation pinned to it survives.
-        assert all(key[1] != old_id
-                   for key in server._translation_cache.keys())
-
+        # …and the plan survives: the new version is a cache hit.
         second = server.check(SITE, "/catalog/book", jane)
         assert second.policy_id != old_id
         assert second.behavior == first.behavior
-
-    def test_unnamed_install_prunes_dead_ids_only(self, server):
-        jane = jane_preference()
-        result = server.check(SITE, "/catalog/book", jane)
-        from dataclasses import replace
-
-        anonymous = replace(volga_policy(), name=None)
-        server.install_policy(anonymous, site="other.example.com")
-        # The active volga translation is untouched.
-        assert ((PolicyServer._preference_hash(jane), result.policy_id)
-                in server._translation_cache)
+        assert server._translation_cache.misses == misses
+        assert server.cache_size() == 1
 
     def test_cache_size_helper_counts_entries(self, server):
         assert server.cache_size() == 0
