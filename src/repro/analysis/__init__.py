@@ -1,0 +1,83 @@
+"""Static analysis of the repo's generated artifacts and its own code.
+
+Three analyzers over the things nobody reads until they fail:
+
+* :mod:`repro.analysis.rules` — APPEL rule reachability under
+  first-rule-wins, with differential confirmation against the native
+  engine;
+* :mod:`repro.analysis.plans` — ``EXPLAIN QUERY PLAN`` auditing of
+  compiled preference plans and literal translations (hot-table scans,
+  SQL taint, bind arity);
+* :mod:`repro.analysis.codelint` — project-invariant lint over the
+  Python sources (connection discipline, SQL construction discipline,
+  cache boundedness), gated by a checked-in baseline.
+
+The expression-level vocabulary checks of
+:func:`repro.appel.analysis.validate_ruleset` are re-exported here so
+callers get every ruleset-facing diagnostic from one module.
+"""
+
+from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.findings import (
+    Finding,
+    count_by_severity,
+    format_findings,
+    load_baseline,
+    save_baseline,
+    sort_findings,
+    split_by_baseline,
+)
+from repro.analysis.plans import (
+    HOT_TABLES,
+    CorpusAuditReport,
+    audit_compiled_plan,
+    audit_corpus,
+    audit_statement,
+    audit_translated_ruleset,
+    scan_findings,
+    taint_findings,
+)
+from repro.analysis.rules import (
+    DifferentialReport,
+    analyze_ruleset,
+    differential_reachability,
+    rule_always_fires,
+    rule_can_fire,
+    rule_subsumes,
+    unreachable_rule_indexes,
+)
+from repro.appel.analysis import (
+    RulesetProblem,
+    ruleset_stats,
+    validate_ruleset,
+)
+
+__all__ = [
+    "CorpusAuditReport",
+    "DifferentialReport",
+    "Finding",
+    "HOT_TABLES",
+    "RulesetProblem",
+    "analyze_ruleset",
+    "audit_compiled_plan",
+    "audit_corpus",
+    "audit_statement",
+    "audit_translated_ruleset",
+    "count_by_severity",
+    "differential_reachability",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "rule_always_fires",
+    "rule_can_fire",
+    "rule_subsumes",
+    "ruleset_stats",
+    "save_baseline",
+    "scan_findings",
+    "sort_findings",
+    "split_by_baseline",
+    "taint_findings",
+    "unreachable_rule_indexes",
+    "validate_ruleset",
+]

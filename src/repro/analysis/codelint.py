@@ -1,0 +1,258 @@
+"""Project-invariant lint over the repo's own Python sources.
+
+The repo has three invariants that are easy to state, easy to break in
+review, and invisible to pytest until they become incidents:
+
+``sqlite-connect`` (error)
+    Only :mod:`repro.storage` may call ``sqlite3.connect``.  Every other
+    layer must go through :class:`~repro.storage.database.Database` /
+    :class:`~repro.storage.pool.ConnectionPool`, or it silently escapes
+    the timing stats, WAL setup, statement cache, and thread-affinity
+    rules the serving layer depends on.
+
+``dynamic-sql`` (error)
+    Outside ``translate/`` and ``storage/`` (the two layers whose *job*
+    is SQL generation, with ``sql_literal``/``quote_ident`` in reach),
+    no dynamically assembled string — f-string, ``%`` formatting,
+    ``.format``, or ``+`` concatenation — may be handed to an
+    ``execute*``/``query*`` call.  Use a ``?`` bind.
+
+``unbounded-cache`` (warning)
+    On serving paths (``server/``, ``net/``) a bare ``{}`` assigned to a
+    ``*cache*`` attribute is an unbounded cache: long-lived processes
+    grow it without eviction.  Use a bounded structure such as
+    :class:`~repro.translate.plan.TranslationCache`.
+
+The pass is :mod:`ast` based — no imports of the linted code, so it runs
+in CI before anything else does.  Pre-existing violations are
+grandfathered through the checked-in baseline (``lint-baseline.json``,
+see :mod:`repro.analysis.findings`); only *new* findings gate the build.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Methods that hand a string to SQLite for execution.
+EXECUTE_METHODS = frozenset({
+    "execute", "executemany", "executescript",
+    "query", "query_one", "scalar", "explain",
+})
+
+#: Directory names (anywhere on the file's path) allowed to call
+#: ``sqlite3.connect`` directly.
+CONNECT_ALLOWED = ("storage",)
+
+#: Directories whose job is SQL text generation; dynamic construction
+#: is the point there, and the helpers live within arm's reach.
+DYNAMIC_SQL_ALLOWED = ("translate", "storage")
+
+#: Serving-path directories where unbounded caches outlive requests.
+SERVER_PATHS = ("server", "net")
+
+
+def _package_parts(path: Path, root: Path) -> tuple[str, ...]:
+    """Path components below *root* (used for the per-layer allowances)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).parts
+    except ValueError:
+        return path.parts
+
+
+def _is_dynamic_string(node: ast.expr) -> bool:
+    """Is *node* a string assembled from runtime parts?
+
+    Call-site detection only: a plain Name is not chased to its
+    assignment (the translate layer returns dynamic SQL through names
+    legitimately everywhere; chasing would drown the signal).  What it
+    does catch is every direct construction idiom:
+
+    * f-strings with interpolations (``JoinedStr`` holding a
+      ``FormattedValue``),
+    * ``"..." % args`` (``BinOp`` ``Mod`` with a string left side),
+    * ``+`` concatenation where a string literal meets a non-literal,
+    * ``"...".format(...)`` and ``str.format(...)``.
+    """
+    if isinstance(node, ast.JoinedStr):
+        return any(isinstance(part, ast.FormattedValue)
+                   for part in node.values)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Mod):
+            return _is_string_like(node.left)
+        if isinstance(node.op, ast.Add):
+            left_static = _is_static_string(node.left)
+            right_static = _is_static_string(node.right)
+            if left_static and right_static:
+                return False  # constant folding: still a static string
+            return ((_is_string_like(node.left)
+                     or _is_string_like(node.right))
+                    and (not left_static or not right_static))
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "format":
+            return _is_string_like(func.value) or isinstance(
+                func.value, ast.Name)
+    return False
+
+
+def _is_static_string(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return not any(isinstance(part, ast.FormattedValue)
+                       for part in node.values)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _is_static_string(node.left) and _is_static_string(node.right)
+    return False
+
+
+def _is_string_like(node: ast.expr) -> bool:
+    """Could *node* plausibly be a string (literal or built from one)?"""
+    if _is_static_string(node) or isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add,
+                                                            ast.Mod)):
+        return _is_string_like(node.left) or _is_string_like(node.right)
+    return False
+
+
+def _is_empty_dict(node: ast.expr) -> bool:
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "dict"
+            and not node.args and not node.keywords)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, parts: tuple[str, ...]):
+        self.rel_path = rel_path
+        self.parts = parts
+        self.findings: list[Finding] = []
+
+    def _report(self, severity: str, code: str, message: str,
+                node: ast.AST) -> None:
+        self.findings.append(Finding(
+            severity, code, message,
+            path=self.rel_path, line=getattr(node, "lineno", None),
+        ))
+
+    # -- sqlite-connect ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr == "connect"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "sqlite3"
+                and not any(part in CONNECT_ALLOWED
+                            for part in self.parts)):
+            self._report(
+                "error", "sqlite-connect",
+                "sqlite3.connect outside storage/: raw connections "
+                "bypass Database timing/WAL/statement-cache setup — go "
+                "through repro.storage.database.Database or the pool",
+                node,
+            )
+        if (isinstance(func, ast.Attribute)
+                and func.attr in EXECUTE_METHODS
+                and node.args
+                and _is_dynamic_string(node.args[0])
+                and not any(part in DYNAMIC_SQL_ALLOWED
+                            for part in self.parts)):
+            self._report(
+                "error", "dynamic-sql",
+                f"dynamically built SQL handed to .{func.attr}() outside "
+                "translate//storage/: interpolated values must go "
+                "through sql_literal/quote_ident or a ? bind",
+                node,
+            )
+        self.generic_visit(node)
+
+    # -- unbounded-cache ----------------------------------------------------
+
+    def _check_cache_assign(self, target: ast.expr,
+                            value: ast.expr | None,
+                            node: ast.AST) -> None:
+        if value is None or not _is_empty_dict(value):
+            return
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id  # class/module-level cache = {}
+        else:
+            return
+        if "cache" not in name.lower():
+            return
+        if not any(part in SERVER_PATHS for part in self.parts):
+            return
+        self._report(
+            "warning", "unbounded-cache",
+            f"attribute {name!r} starts as a bare dict on a "
+            "serving path: a long-lived process grows it without "
+            "eviction — use a bounded cache (e.g. TranslationCache)",
+            node,
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_cache_assign(target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_cache_assign(node.target, node.value, node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str,
+                parts: tuple[str, ...] | None = None) -> list[Finding]:
+    """Lint one module's *source* text (unit-test entry point)."""
+    if parts is None:
+        parts = tuple(Path(rel_path).parts)
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [Finding("error", "syntax-error",
+                        f"cannot parse: {exc.msg}",
+                        path=rel_path, line=exc.lineno)]
+    linter = _Linter(rel_path, parts)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    rel = path.resolve()
+    try:
+        rel_str = rel.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel_str = path.as_posix()
+    return lint_source(path.read_text(encoding="utf-8"), rel_str,
+                       _package_parts(path, root))
+
+
+def iter_python_files(target: Path) -> list[Path]:
+    if target.is_file():
+        return [target]
+    return sorted(p for p in target.rglob("*.py")
+                  if "__pycache__" not in p.parts)
+
+
+def lint_paths(targets: Sequence[str | Path],
+               root: str | Path | None = None) -> list[Finding]:
+    """Lint every Python file under *targets*.
+
+    *root* anchors the repo-relative paths findings carry (and the
+    baseline keys on); it defaults to the current working directory, so
+    running from the repo root matches the checked-in baseline.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for target in targets:
+        for path in iter_python_files(Path(target)):
+            findings.extend(lint_file(path, base))
+    return findings

@@ -1,0 +1,150 @@
+"""The shared finding model of the static-analysis layer.
+
+Every analyzer — APPEL reachability (:mod:`repro.analysis.rules`), the
+EXPLAIN-plan auditor (:mod:`repro.analysis.plans`) and the codebase lint
+(:mod:`repro.analysis.codelint`) — reports :class:`Finding` objects, so
+the CLI, the serving-path audit hook, and the CI gate consume one shape.
+
+A finding's identity for baseline purposes is ``(code, path, line,
+message)``: the codebase lint persists grandfathered findings to a
+checked-in JSON baseline (see :func:`load_baseline`) and only *new*
+findings gate the build.  Analyzer findings over rulesets and plans have
+no path/line; they locate themselves with ``rule_index`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Severity levels, most severe first (the sort order of reports).
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a static analyzer.
+
+    ``code`` is a stable kebab-case identifier (``full-scan``,
+    ``unreachable-rule``, ``dynamic-sql``, ...) documented in
+    docs/static-analysis.md; ``message`` is the human explanation.
+    Source findings carry ``path``/``line``; ruleset and plan findings
+    carry ``rule_index`` and/or a free-form ``where`` label (the plan or
+    preference the finding is about).
+    """
+
+    severity: str
+    code: str
+    message: str
+    path: str | None = None
+    line: int | None = None
+    rule_index: int | None = None
+    where: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        """Human-readable anchor: ``file.py:12``, ``rule[3]``, a label."""
+        parts: list[str] = []
+        if self.path is not None:
+            parts.append(self.path if self.line is None
+                         else f"{self.path}:{self.line}")
+        if self.where is not None:
+            parts.append(self.where)
+        if self.rule_index is not None:
+            parts.append(f"rule[{self.rule_index}]")
+        return "/".join(parts) if parts else "<global>"
+
+    def key(self) -> tuple[str, str, int, str]:
+        """Baseline identity: exact (code, path, line, message)."""
+        return (self.code, self.path or "", self.line or 0, self.message)
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.code}: {self.location}: " \
+               f"{self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Most severe first, then by location, for stable reports."""
+    return sorted(findings,
+                  key=lambda f: (SEVERITIES.index(f.severity),
+                                 f.path or "", f.line or 0,
+                                 f.where or "", f.rule_index or 0,
+                                 f.code))
+
+
+def count_by_severity(findings: Iterable[Finding]) -> dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    ordered = sort_findings(findings)
+    if not ordered:
+        return "no findings"
+    lines = [str(finding) for finding in ordered]
+    counts = count_by_severity(ordered)
+    summary = ", ".join(f"{count} {severity}(s)"
+                        for severity, count in counts.items() if count)
+    lines.append(f"{len(ordered)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+# -- baseline persistence (the codelint grandfather file) ---------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, int, str]]:
+    """Read the checked-in baseline; a missing file is an empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return set()
+    document = json.loads(file.read_text(encoding="utf-8"))
+    if document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {document.get('version')!r} "
+            f"in {file}"
+        )
+    return {
+        (entry["code"], entry["path"], int(entry["line"]),
+         entry["message"])
+        for entry in document.get("findings", ())
+    }
+
+
+def save_baseline(path: str | Path,
+                  findings: Sequence[Finding]) -> None:
+    """Persist *findings* as the new grandfathered baseline."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "code": finding.code,
+                "path": finding.path or "",
+                "line": finding.line or 0,
+                "message": finding.message,
+            }
+            for finding in sort_findings(findings)
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      baseline: set[tuple[str, str, int, str]]
+                      ) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, grandfathered) against *baseline*."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.key() in baseline else new).append(finding)
+    return new, old

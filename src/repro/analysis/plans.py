@@ -1,0 +1,273 @@
+"""EXPLAIN-plan auditing of generated SQL (the Figure 14 fast path).
+
+The paper's performance claim rests on compiled preference SQL being
+*index driven* against the optimized schema: every hot-table access
+(``statement``, ``purpose``, ``recipient``, ``data``, ``category``)
+should resolve through the ``idx_*`` indexes of
+:mod:`repro.storage.optimized_schema` or a primary-key lookup, never a
+full scan.  Nothing in the repo ever verified that — the SQL is a
+generated artifact nobody reads.  This module reads it:
+
+* :func:`audit_statement` runs ``EXPLAIN QUERY PLAN`` (via
+  :meth:`repro.storage.database.Database.explain`) and flags ``SCAN``
+  steps over hot tables (``full-scan`` findings) — a regression in a
+  translator or schema index shows up here before it shows up in a
+  latency chart;
+* :func:`taint_findings` checks that untrusted strings (behaviors,
+  attribute values, policy names...) reach the generated SQL only in a
+  neutralized form — inside a properly quoted region produced by
+  ``sql_literal``/``quote_ident`` or replaced by a ``?`` bind — never
+  as bare SQL text (``tainted-sql`` findings);
+* :func:`audit_compiled_plan` applies both to a
+  :class:`~repro.translate.plan.CompiledPlan` (plus a bind-arity
+  cross-check), :func:`audit_translated_ruleset` to the literal
+  pipeline's per-rule queries;
+* :func:`audit_corpus` is the CI gate: it shreds a policy corpus into
+  a fresh optimized store and audits every preference's compiled plan
+  *and* literal translation against it, also running the
+  reachability analyzers of :mod:`repro.analysis.rules` with their
+  differential confirmation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import analyze_ruleset, differential_reachability
+from repro.appel.model import Ruleset
+from repro.p3p.model import Policy
+from repro.storage.database import Database
+from repro.storage.shredder import PolicyStore
+from repro.translate.appel_to_sql import OptimizedSqlTranslator
+from repro.translate.plan import CompiledPlan
+
+#: Tables on the per-check critical path of the optimized schema.  A full
+#: scan of any of these turns O(index probe) checks into O(corpus) ones.
+HOT_TABLES = frozenset(
+    {"statement", "purpose", "recipient", "data", "category"}
+)
+
+#: Quoted regions of SQL text: string literals (single quotes, with ''
+#: escapes — what ``sql_literal`` emits) and quoted identifiers (double
+#: quotes with "" escapes — what ``quote_ident`` emits).  Text inside
+#: these regions is inert; taint only matters outside them.
+_QUOTED_REGION = re.compile(r"'(?:[^']|'')*'|\"(?:[^\"]|\"\")*\"")
+
+
+def strip_quoted(sql: str) -> str:
+    """Blank out every properly quoted region of *sql*.
+
+    Replacement preserves length with spaces so any reported offsets
+    stay meaningful; what remains is the *live* SQL text where an
+    untrusted string would be interpreted as syntax.
+    """
+    return _QUOTED_REGION.sub(lambda m: " " * len(m.group()), sql)
+
+
+def taint_findings(sql: str, untrusted: Iterable[str],
+                   where: str) -> list[Finding]:
+    """Flag untrusted strings that appear in *sql* outside quotes/binds.
+
+    Digit-only strings are skipped: a numeric value that coincides with
+    a numeric SQL token (``1`` vs the ``1 = 1`` TRUE clause, a rule
+    index, a policy id bound by the caller) is indistinguishable from
+    legitimately generated arithmetic and cannot carry injected syntax
+    by itself.
+    """
+    live = strip_quoted(sql)
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    for value in untrusted:
+        if not value or value in seen:
+            continue
+        seen.add(value)
+        if value.isdigit():
+            continue
+        pattern = (r"(?<![A-Za-z0-9_])" + re.escape(value)
+                   + r"(?![A-Za-z0-9_])")
+        if re.search(pattern, live):
+            findings.append(Finding(
+                "error", "tainted-sql",
+                f"untrusted string {value!r} reaches the SQL text outside "
+                "any quoted literal or ? bind — it must pass through "
+                "sql_literal/quote_ident or a parameter",
+                where=where,
+            ))
+    return findings
+
+
+def scan_findings(db: Database, sql: str, parameters: Sequence = (),
+                  where: str = "<statement>",
+                  hot_tables: frozenset[str] = HOT_TABLES) -> list[Finding]:
+    """Flag full scans of hot tables in the plan SQLite picks for *sql*."""
+    findings: list[Finding] = []
+    for step in db.explain(sql, parameters):
+        if step.is_scan and step.table in hot_tables:
+            findings.append(Finding(
+                "error", "full-scan",
+                f"planner step {step.detail!r} reads every row of hot "
+                f"table {step.table!r} instead of probing an index",
+                where=where,
+            ))
+    return findings
+
+
+def audit_statement(db: Database, sql: str, parameters: Sequence = (),
+                    where: str = "<statement>",
+                    untrusted: Iterable[str] = ()) -> list[Finding]:
+    """Scan audit + taint audit of one SQL statement."""
+    findings = scan_findings(db, sql, parameters, where)
+    findings.extend(taint_findings(sql, untrusted, where))
+    return findings
+
+
+def plan_untrusted_strings(ruleset: Ruleset) -> list[str]:
+    """The strings of a ruleset an attacker (or a sloppy preference
+    author) controls: behaviors and every attribute value in the body."""
+    collected: list[str] = []
+
+    def visit(expr) -> None:
+        for _, value in expr.attributes:
+            collected.append(value)
+        for sub in expr.subexpressions:
+            visit(sub)
+
+    for rule in ruleset.rules:
+        collected.append(rule.behavior)
+        for expr in rule.expressions:
+            visit(expr)
+    return collected
+
+
+def audit_compiled_plan(db: Database, plan: CompiledPlan,
+                        where: str = "<plan>",
+                        untrusted: Iterable[str] = (),
+                        probe_policy_id: int = 1) -> list[Finding]:
+    """Audit one compiled plan: index usage, taint, bind arity.
+
+    ``probe_policy_id`` only parameterizes the EXPLAIN probe; the plan
+    chosen by SQLite does not depend on the bound value.
+    """
+    findings: list[Finding] = []
+    placeholders = strip_quoted(plan.sql).count("?")
+    if placeholders != plan.parameter_count:
+        findings.append(Finding(
+            "error", "bind-arity",
+            f"plan declares {plan.parameter_count} parameter(s) (one per "
+            f"rule) but its SQL carries {placeholders} '?' "
+            "placeholder(s): execute() would mis-bind",
+            where=where,
+        ))
+        return findings  # the EXPLAIN probe below could not bind either
+    if plan.rules:
+        findings.extend(scan_findings(
+            db, plan.sql, plan.parameters(probe_policy_id), where))
+    findings.extend(taint_findings(plan.sql, untrusted, where))
+    return findings
+
+
+def audit_translated_ruleset(db: Database, translated,
+                             where: str = "<literal>",
+                             untrusted: Iterable[str] = ()) -> list[Finding]:
+    """Audit the literal pipeline's per-rule queries (no parameters)."""
+    findings: list[Finding] = []
+    for index, rule in enumerate(translated.rules):
+        label = f"{where}/rule[{index}]"
+        findings.extend(scan_findings(db, rule.sql, (), label))
+        findings.extend(taint_findings(rule.sql, untrusted, label))
+    return findings
+
+
+# -- the corpus-wide gate -----------------------------------------------------
+
+@dataclass(frozen=True)
+class CorpusAuditReport:
+    """Everything ``p3pdb audit`` (and the CI gate) checks in one pass."""
+
+    policies: int
+    preferences: int
+    plans_explained: int
+    statements_explained: int
+    findings: tuple[Finding, ...]
+    reachability: tuple[Finding, ...]
+    differential_ok: bool
+    differential_violations: tuple[tuple[str, str, int], ...] = field(
+        default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return (self.differential_ok
+                and not any(f.severity == "error" for f in self.findings))
+
+
+def audit_corpus(policies: Sequence[Policy],
+                 preferences: Mapping[str, Ruleset],
+                 translator=None,
+                 audit_literal: bool = True) -> CorpusAuditReport:
+    """Shred *policies* into a fresh optimized store and audit every
+    preference's generated SQL against it.
+
+    For each preference: the compiled plan is explained once (it is
+    policy-independent) and, when *audit_literal* is set, the literal
+    translation is explained against every policy id (its SQL splices
+    the id into the text, so each policy yields distinct statements).
+    Reachability findings for each ruleset are differentially confirmed
+    over the whole corpus — see
+    :func:`repro.analysis.rules.differential_reachability`.
+    """
+    if translator is None:
+        translator = OptimizedSqlTranslator()
+    store = PolicyStore(Database())
+    policy_ids = [store.install_policy(policy).policy_id
+                  for policy in policies]
+
+    findings: list[Finding] = []
+    reachability: list[Finding] = []
+    violations: list[tuple[str, str, int]] = []
+    plans = 0
+    statements = 0
+
+    for name, ruleset in preferences.items():
+        untrusted = plan_untrusted_strings(ruleset)
+
+        plan = translator.compile_ruleset(ruleset)
+        findings.extend(audit_compiled_plan(
+            store.db, plan, where=f"{name}/plan", untrusted=untrusted))
+        plans += 1
+        statements += 1
+
+        if audit_literal:
+            from repro.translate.appel_to_sql import (
+                applicable_policy_literal,
+            )
+            for policy_id in policy_ids:
+                translated = translator.translate_ruleset(
+                    ruleset, applicable_policy_literal(policy_id))
+                findings.extend(audit_translated_ruleset(
+                    store.db, translated,
+                    where=f"{name}/literal/policy[{policy_id}]",
+                    untrusted=untrusted))
+                statements += len(translated.rules)
+
+        ruleset_findings = analyze_ruleset(ruleset)
+        for finding in ruleset_findings:
+            reachability.append(Finding(
+                finding.severity, finding.code, finding.message,
+                rule_index=finding.rule_index, where=name))
+        report = differential_reachability(ruleset, policies)
+        for policy_name, rule_index in report.violations:
+            violations.append((name, policy_name, rule_index))
+
+    return CorpusAuditReport(
+        policies=len(policy_ids),
+        preferences=len(preferences),
+        plans_explained=plans,
+        statements_explained=statements,
+        findings=tuple(findings),
+        reachability=tuple(reachability),
+        differential_ok=not violations,
+        differential_violations=tuple(violations),
+    )

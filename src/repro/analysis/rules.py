@@ -1,0 +1,456 @@
+"""APPEL rule reachability under first-rule-wins evaluation.
+
+An APPEL ruleset is an *ordered* list of rules; the first rule whose
+body matches the policy decides the behavior (Section 2.2 of the paper,
+docs/appel-semantics.md).  Ordering makes whole rules dead in ways the
+per-expression vocabulary checks of
+:func:`repro.appel.analysis.validate_ruleset` cannot see:
+
+* every rule after an **unconditional** rule (a catch-all, or a negated
+  connective over patterns that can never match) is unreachable;
+* a rule whose pattern is **subsumed** by an earlier rule's pattern —
+  the earlier rule fires whenever the later one would — is unreachable
+  regardless of either rule's behavior;
+* a rule whose body is **unsatisfiable** (contradictory sibling
+  expressions over single-valued elements, conflicting attribute
+  constraints, dead vocabulary under a conjunctive connective) never
+  fires at all.
+
+Every verdict here is *provable*, not heuristic: a rule this module
+flags unreachable must never be selected by the native APPEL engine on
+any conforming policy.  :func:`differential_reachability` checks exactly
+that, by running :class:`repro.appel.engine.AppelEngine` over a policy
+corpus and confirming no flagged rule ever fires — the cross-check the
+test suite applies over the full 29-policy corpus at all five JRC
+preference levels.
+
+The analysis assumes policies conform to the P3P vocabulary (the same
+assumption :func:`validate_ruleset` makes when it says a pattern "can
+never match"): element names, containment, and attribute domains come
+from :data:`repro.vocab.schema.CATALOG`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.appel.engine import AppelEngine
+from repro.appel.model import Expression, Rule, Ruleset
+from repro.p3p.model import Policy
+from repro.vocab import schema as p3p_schema
+
+#: Virtual context of a rule's top-level expressions: the evidence root.
+#: The native engine matches them against the policy document's root
+#: element, which is always POLICY.
+ROOT_CONTEXT = "#root"
+
+#: Elements whose value children fold into a single column of the
+#: optimized schema — i.e. a policy carries at most ONE of them at a
+#: time (an ACCESS has one value, a STATEMENT has one RETENTION value).
+#: Requiring two distinct values conjunctively is a contradiction.
+SINGLE_VALUED = frozenset(
+    name for name, spec in p3p_schema.CATALOG.items()
+    if spec.children and all(
+        p3p_schema.CATALOG[child].storage in (p3p_schema.PARENT_COLUMN,
+                                              p3p_schema.GRANDPARENT_COLUMN)
+        for child in spec.children
+    )
+)
+
+_CONJUNCTIVE = ("and", "and-exact")
+_DISJUNCTIVE = ("or", "or-exact")
+_NEGATED = ("non-and", "non-or")
+
+
+def _attribute_conflicts(expr: Expression) -> bool:
+    """Same attribute constrained to two different values never matches."""
+    seen: dict[str, str] = {}
+    for name, value in expr.attributes:
+        if name in seen and seen[name] != value:
+            return True
+        seen[name] = value
+    return False
+
+
+def _value_group_conflicts(expr: Expression) -> bool:
+    """Conjunctive constraints on one non-repeatable child that cannot
+    all hold at once.
+
+    A P3P value element (``<contact/>``, ``<indefinitely/>``...) occurs
+    at most once within its parent, so two sibling patterns naming the
+    same value element but pinning an attribute to different values can
+    never both match under an ``and``-family connective.
+    """
+    if expr.connective not in _CONJUNCTIVE:
+        return False
+    pinned: dict[tuple[str, str], str] = {}
+    for sub in expr.subexpressions:
+        spec = p3p_schema.CATALOG.get(sub.name)
+        if spec is None or spec.repeatable or not spec.is_value:
+            continue
+        for name, value in sub.attributes:
+            key = (sub.name, name)
+            if key in pinned and pinned[key] != value:
+                return True
+            pinned[key] = value
+    if expr.name in SINGLE_VALUED:
+        names = {sub.name for sub in expr.subexpressions}
+        if len(names) > 1:
+            return True
+    return False
+
+
+def expression_can_match(expr: Expression, context: str) -> bool:
+    """Can *expr* match any element in *context*, on some conforming
+    policy?  False only when provably unsatisfiable."""
+    spec = p3p_schema.CATALOG.get(expr.name)
+    if spec is None:
+        return False  # not a P3P element: no document node carries it
+    if context == ROOT_CONTEXT:
+        if expr.name != "POLICY":
+            return False  # the evidence root is always POLICY
+    elif expr.name not in p3p_schema.CATALOG[context].children:
+        return False  # can never occur under this parent
+
+    if _attribute_conflicts(expr):
+        return False
+    for name, wanted in expr.attributes:
+        attr_spec = spec.attribute(name)
+        if attr_spec is None:
+            return False  # the element never carries this attribute
+        if attr_spec.values is not None and wanted not in attr_spec.values:
+            return False  # outside the attribute's domain
+
+    if not expr.subexpressions:
+        return True
+
+    results = [expression_can_match(sub, expr.name)
+               for sub in expr.subexpressions]
+    connective = expr.connective
+    if connective in _CONJUNCTIVE:
+        if not all(results):
+            return False
+        if _value_group_conflicts(expr):
+            return False
+        return True
+    if connective in _DISJUNCTIVE:
+        return any(results)
+    # non-and / non-or: dead subpatterns make these EASIER to satisfy
+    # (an unmatched child is exactly what they ask for), so the negated
+    # connectives are never proven unsatisfiable here.
+    return True
+
+
+def rule_can_fire(rule: Rule) -> bool:
+    """Can *rule* fire against some conforming policy?"""
+    if rule.is_catch_all():
+        return True
+    results = [expression_can_match(expr, ROOT_CONTEXT)
+               for expr in rule.expressions]
+    connective = rule.connective
+    if connective in _CONJUNCTIVE:
+        # *-exact at the root needs POLICY among the listed names, which
+        # all(results) already guarantees (only POLICY matches the root).
+        return all(results)
+    if connective in _DISJUNCTIVE:
+        return any(results)
+    return True
+
+
+def rule_always_fires(rule: Rule) -> bool:
+    """Does *rule* fire against EVERY conforming policy?
+
+    True for the catch-all (empty body), and for negated connectives
+    whose operands can never match: ``non-and`` over at least one dead
+    pattern is always true, ``non-or`` over only dead patterns is
+    always true.  A rule like this is *effectively* unconditional —
+    everything after it is dead under first-rule-wins.
+    """
+    if rule.is_catch_all():
+        return True
+    results = [expression_can_match(expr, ROOT_CONTEXT)
+               for expr in rule.expressions]
+    if rule.connective == "non-and" and not all(results):
+        return True
+    if rule.connective == "non-or" and not any(results):
+        return True
+    return False
+
+
+# -- subsumption ---------------------------------------------------------------
+
+def expression_subsumes(general: Expression,
+                        specific: Expression) -> bool:
+    """True only when *general* provably matches every element that
+    *specific* matches.
+
+    Conservative: supports the plain ``and``/``or`` connectives on the
+    general side (exact and negated connectives only ever shrink the
+    match set in ways this check does not model, so they bail to
+    False); on the specific side, exactness is a strictly stronger
+    constraint and is therefore safe to look through.
+    """
+    if general.name != specific.name:
+        return False
+    # Every attribute constraint of the general pattern must be stated
+    # verbatim by the specific one (which may add more).
+    specific_attrs = set(specific.attributes)
+    if any(pair not in specific_attrs for pair in general.attributes):
+        return False
+    if not general.subexpressions:
+        return True  # attribute-only pattern: matches whenever names align
+    if general.connective not in ("and", "or"):
+        return False
+    if specific.connective in _NEGATED:
+        return False
+    if not specific.subexpressions:
+        return False  # specific matches bare elements; general needs children
+
+    # covered[j] = indexes i of general.subexpressions subsumed by
+    # specific.subexpressions[j].
+    def covers(spec_sub: Expression, gen_sub: Expression) -> bool:
+        return expression_subsumes(gen_sub, spec_sub)
+
+    specific_conjunctive = (
+        specific.connective in _CONJUNCTIVE
+        or len(specific.subexpressions) == 1
+    )
+    if general.connective == "and":
+        if specific_conjunctive:
+            # every general child guaranteed by some specific child
+            return all(
+                any(covers(sub, gen) for sub in specific.subexpressions)
+                for gen in general.subexpressions
+            )
+        # specific is a true disjunction: the general conjunction must
+        # hold no matter which disjunct fired.
+        return all(
+            all(covers(sub, gen) for gen in general.subexpressions)
+            for sub in specific.subexpressions
+        )
+    # general.connective == "or": one general disjunct must fire.
+    if specific_conjunctive:
+        return any(
+            any(covers(sub, gen) for sub in specific.subexpressions)
+            for gen in general.subexpressions
+        )
+    return all(
+        any(covers(sub, gen) for gen in general.subexpressions)
+        for sub in specific.subexpressions
+    )
+
+
+def rule_subsumes(earlier: Rule, later: Rule) -> bool:
+    """True only when *earlier* provably fires whenever *later* would —
+    which makes *later* unreachable behind it, whatever the behaviors."""
+    if rule_always_fires(earlier):
+        return True
+    if earlier.is_catch_all():
+        return True
+    if later.is_catch_all():
+        return False  # later fires on everything; earlier is conditional
+    if earlier.connective not in ("and", "or"):
+        return False
+    if later.connective in _NEGATED:
+        return False
+    later_conjunctive = (later.connective in _CONJUNCTIVE
+                         or len(later.expressions) == 1)
+    if earlier.connective == "and":
+        if later_conjunctive:
+            return all(
+                any(expression_subsumes(gen, sub)
+                    for sub in later.expressions)
+                for gen in earlier.expressions
+            )
+        return all(
+            all(expression_subsumes(gen, sub)
+                for gen in earlier.expressions)
+            for sub in later.expressions
+        )
+    if later_conjunctive:
+        return any(
+            any(expression_subsumes(gen, sub)
+                for sub in later.expressions)
+            for gen in earlier.expressions
+        )
+    return all(
+        any(expression_subsumes(gen, sub)
+            for gen in earlier.expressions)
+        for sub in later.expressions
+    )
+
+
+# -- ruleset analysis -----------------------------------------------------------
+
+def _expression_diagnostics(expr: Expression, index: int,
+                            context: str, where: str) -> list[Finding]:
+    """Expression-level warnings that do not decide reachability."""
+    findings: list[Finding] = []
+    if _attribute_conflicts(expr):
+        findings.append(Finding(
+            "warning", "contradictory-siblings",
+            f"{where}: attribute constrained to two different values "
+            f"on {expr.name!r}: the expression never matches",
+            rule_index=index,
+        ))
+    if expr.subexpressions and _value_group_conflicts(expr):
+        findings.append(Finding(
+            "warning", "contradictory-siblings",
+            f"{where}: {expr.connective!r} over mutually exclusive "
+            f"{expr.name} values: the expression never matches",
+            rule_index=index,
+        ))
+    if (expr.connective in _DISJUNCTIVE and expr.subexpressions
+            and expression_can_match(expr, context)):
+        for sub in expr.subexpressions:
+            if not expression_can_match(sub, expr.name):
+                findings.append(Finding(
+                    "warning", "dead-branch",
+                    f"{where}/{sub.name}: disjunct can never match any "
+                    "policy and contributes nothing",
+                    rule_index=index,
+                ))
+    for sub in expr.subexpressions:
+        findings.extend(_expression_diagnostics(
+            sub, index, expr.name, f"{where}/{sub.name}"))
+    return findings
+
+
+def analyze_ruleset(ruleset: Ruleset) -> list[Finding]:
+    """Reachability findings for *ruleset* under first-rule-wins.
+
+    Findings with code ``unreachable-rule`` carry the strong guarantee
+    checked by :func:`differential_reachability`: the native engine
+    never selects that rule on any conforming policy.
+    """
+    findings: list[Finding] = []
+    unconditional_at: int | None = None
+    unreachable: set[int] = set()
+
+    for index, rule in enumerate(ruleset.rules):
+        if unconditional_at is not None:
+            findings.append(Finding(
+                "error", "unreachable-rule",
+                f"shadowed by rule[{unconditional_at}], which fires on "
+                "every policy: first-rule-wins never reaches this rule",
+                rule_index=index,
+            ))
+            unreachable.add(index)
+            continue
+
+        if not rule_can_fire(rule):
+            findings.append(Finding(
+                "error", "unreachable-rule",
+                "the rule body is unsatisfiable: no conforming policy "
+                "can make it fire",
+                rule_index=index,
+            ))
+            unreachable.add(index)
+        else:
+            for earlier in range(index):
+                if earlier in unreachable:
+                    continue
+                if rule_subsumes(ruleset.rules[earlier],
+                                 ruleset.rules[index]):
+                    same = (ruleset.rules[earlier].expressions
+                            == rule.expressions
+                            and ruleset.rules[earlier].connective
+                            == rule.connective)
+                    what = ("duplicates" if same else "subsumes")
+                    findings.append(Finding(
+                        "error", "unreachable-rule",
+                        f"shadowed by rule[{earlier}], whose pattern "
+                        f"{what} this one: whenever this rule would "
+                        "fire, the earlier rule already has",
+                        rule_index=index,
+                    ))
+                    unreachable.add(index)
+                    break
+
+        for expr in rule.expressions:
+            findings.extend(_expression_diagnostics(
+                expr, index, ROOT_CONTEXT, expr.name))
+
+        if rule_always_fires(rule):
+            unconditional_at = index
+            if not rule.is_catch_all():
+                findings.append(Finding(
+                    "warning", "effectively-unconditional",
+                    f"{rule.connective!r} over patterns that can never "
+                    "match makes this rule fire on every policy",
+                    rule_index=index,
+                ))
+
+    return findings
+
+
+def unreachable_rule_indexes(ruleset: Ruleset) -> frozenset[int]:
+    """Indexes of rules the analyzer proves can never be selected."""
+    return frozenset(
+        finding.rule_index for finding in analyze_ruleset(ruleset)
+        if finding.code == "unreachable-rule"
+        and finding.rule_index is not None
+    )
+
+
+# -- differential confirmation ----------------------------------------------------
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of cross-checking reachability against the native engine.
+
+    ``violations`` lists ``(policy_name, rule_index)`` pairs where a
+    rule the analyzer flagged unreachable *did* fire — any entry is an
+    analyzer bug.  ``fired`` counts native selections per rule index
+    over the corpus (evidence of which verdicts were exercised).
+    """
+
+    flagged: frozenset[int]
+    policies_checked: int
+    fired: tuple[tuple[int, int], ...]
+    violations: tuple[tuple[str, int], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def differential_reachability(
+        ruleset: Ruleset,
+        policies: Iterable[Policy],
+        flagged: Sequence[int] | None = None) -> DifferentialReport:
+    """Run the native APPEL engine over *policies* and confirm that no
+    rule flagged unreachable is ever selected.
+
+    *flagged* defaults to :func:`unreachable_rule_indexes`.  The native
+    engine is the semantic ground truth (the paper's client-centric
+    baseline); a violation means the static verdict was wrong, never
+    that the engine is.
+    """
+    if flagged is None:
+        flagged_set = unreachable_rule_indexes(ruleset)
+    else:
+        flagged_set = frozenset(flagged)
+    engine = AppelEngine()
+    fired: Counter[int] = Counter()
+    violations: list[tuple[str, int]] = []
+    checked = 0
+    for policy in policies:
+        checked += 1
+        prepared = engine.prepare(policy)
+        result = engine.evaluate_prepared(prepared, ruleset)
+        if result.rule_index is None:
+            continue
+        fired[result.rule_index] += 1
+        if result.rule_index in flagged_set:
+            violations.append((policy.name or f"<policy {checked}>",
+                               result.rule_index))
+    return DifferentialReport(
+        flagged=flagged_set,
+        policies_checked=checked,
+        fired=tuple(sorted(fired.items())),
+        violations=tuple(violations),
+    )

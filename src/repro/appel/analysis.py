@@ -90,13 +90,7 @@ def validate_ruleset(ruleset: Ruleset) -> list[RulesetProblem]:
 
     for rule_index, rule in enumerate(ruleset.rules):
         location = f"rule[{rule_index}]"
-        if rule.behavior not in terms.BEHAVIOR_SET:
-            problems.append(
-                RulesetProblem(
-                    "warning", location,
-                    f"non-standard behavior {rule.behavior!r}",
-                )
-            )
+        problems.extend(_validate_behavior(rule.behavior, location))
         for expr in rule.expressions:
             problems.extend(_validate_expression(expr, location))
         if rule.is_catch_all() and rule_index != len(ruleset.rules) - 1:
@@ -107,6 +101,32 @@ def validate_ruleset(ruleset: Ruleset) -> list[RulesetProblem]:
                 )
             )
     return problems
+
+
+def _validate_behavior(behavior: str,
+                       location: str) -> list[RulesetProblem]:
+    """Flag rule behaviors outside the APPEL vocabulary.
+
+    A behavior is an opaque action label, so an unknown one is a
+    warning, not an error — the engine will happily return it.  But a
+    near-miss of a standard behavior (case or padding) is almost
+    always a typo that makes downstream behavior comparisons fail
+    silently, so the finding says which standard behavior was meant.
+    """
+    if behavior in terms.BEHAVIOR_SET:
+        return []
+    normalized = behavior.strip().lower()
+    if normalized in terms.BEHAVIOR_SET:
+        return [RulesetProblem(
+            "warning", location,
+            f"non-standard behavior {behavior!r}: did you mean "
+            f"{normalized!r}? (behaviors are compared exactly)",
+        )]
+    return [RulesetProblem(
+        "warning", location,
+        f"non-standard behavior {behavior!r}: not one of "
+        + ", ".join(repr(b) for b in terms.BEHAVIORS),
+    )]
 
 
 def _validate_expression(expr: Expression,

@@ -12,6 +12,8 @@ Subcommands::
     p3pdb report    [POLICY.xml ...]      # corpus analytics
     p3pdb bench     [EXPERIMENT ...] [--markdown] [--json FILE]
     p3pdb serve     [--db FILE] [--port N] [--max-inflight N]
+    p3pdb lint      [PATH ...] [--baseline FILE] [--update-baseline]
+    p3pdb audit     [POLICY.xml ...] [-p PREF.xml ...] [--no-literal]
 """
 
 from __future__ import annotations
@@ -29,6 +31,25 @@ from repro.p3p.validator import validate_policy
 
 def _read(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
+
+
+def _load_preference(path: str):
+    """Parse an APPEL preference file, printing lint findings to stderr.
+
+    Vocabulary problems (misspelled terms, unknown behaviors) and
+    reachability findings (rules shadowed under first-rule-wins) never
+    stop the command — a legal-but-suspect ruleset still deserves
+    translation and matching — but the author sees them every time the
+    file is loaded.
+    """
+    from repro.analysis import analyze_ruleset, validate_ruleset
+
+    preference = parse_ruleset(_read(path))
+    for problem in validate_ruleset(preference):
+        print(f"lint: {path}: {problem}", file=sys.stderr)
+    for finding in analyze_ruleset(preference):
+        print(f"lint: {path}: {finding}", file=sys.stderr)
+    return preference
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -57,7 +78,7 @@ def _cmd_shred(args: argparse.Namespace) -> int:
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    preference = parse_ruleset(_read(args.preference))
+    preference = _load_preference(args.preference)
     if args.dialect == "xquery":
         from repro.translate.appel_to_xquery import XQueryTranslator
 
@@ -101,7 +122,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         "xquery-native": XQueryNativeMatchEngine,
     }
     policy = parse_policy(_read(args.policy))
-    preference = parse_ruleset(_read(args.preference))
+    preference = _load_preference(args.preference)
     engine = factories[args.engine]()
     handle = engine.install(policy)
     outcome = engine.match(handle, preference)
@@ -151,7 +172,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.appel.explain import ExplainingEngine
 
     policy = parse_policy(_read(args.policy))
-    preference = parse_ruleset(_read(args.preference))
+    preference = _load_preference(args.preference)
     explanation = ExplainingEngine().explain(policy, preference)
     print(explanation.render())
     return 0 if explanation.behavior != "block" else 3
@@ -287,6 +308,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default location of the lint grandfather file, relative to the
+#: working directory (the repo root in CI).
+LINT_BASELINE = "lint-baseline.json"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        count_by_severity,
+        lint_paths,
+        load_baseline,
+        save_baseline,
+        sort_findings,
+        split_by_baseline,
+    )
+
+    findings = lint_paths(args.paths or ["src"])
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new, grandfathered = split_by_baseline(findings, baseline)
+    for finding in sort_findings(new):
+        print(finding)
+    if grandfathered:
+        print(f"({len(grandfathered)} grandfathered finding(s) "
+              f"suppressed by {args.baseline})")
+    counts = count_by_severity(new)
+    print(f"{len(new)} new finding(s): {counts['error']} error(s), "
+          f"{counts['warning']} warning(s)")
+    return 1 if new else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import audit_corpus, sort_findings
+
+    if args.policies:
+        policies = [parse_policy(_read(path)) for path in args.policies]
+    else:
+        from repro.corpus.policies import fortune_corpus
+
+        policies = fortune_corpus(seed=args.seed)
+    if args.preference:
+        preferences = {Path(path).stem: parse_ruleset(_read(path))
+                       for path in args.preference}
+    else:
+        from repro.corpus.preferences import jrc_suite
+
+        preferences = jrc_suite()
+
+    report = audit_corpus(policies, preferences,
+                          audit_literal=not args.no_literal)
+    for finding in sort_findings(report.findings + report.reachability):
+        print(finding)
+    for pref, policy, rule_index in report.differential_violations:
+        print(f"DIFFERENTIAL VIOLATION: {pref}: rule[{rule_index}] was "
+              f"flagged unreachable but fired on policy {policy}")
+    scans = sum(1 for f in report.findings if f.code == "full-scan")
+    taints = sum(1 for f in report.findings if f.code == "tainted-sql")
+    unreachable = sum(1 for f in report.reachability
+                      if f.code == "unreachable-rule")
+    print(f"audited {report.preferences} preference(s) against "
+          f"{report.policies} policies: {report.plans_explained} plan(s), "
+          f"{report.statements_explained} statement(s) explained")
+    print(f"full scans of hot tables: {scans}; tainted SQL: {taints}; "
+          f"unreachable rules: {unreachable} "
+          f"(differential {'OK' if report.differential_ok else 'FAILED'})")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="p3pdb",
@@ -383,6 +475,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write 'HOST PORT' here once bound "
                               "(for scripts wrapping an ephemeral port)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_lint = sub.add_parser("lint",
+                            help="static lint of the repo's own sources "
+                                 "(connection/SQL/cache discipline)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--baseline", default=LINT_BASELINE,
+                        help="grandfather file; only findings not in it "
+                             f"fail the run (default {LINT_BASELINE})")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings instead of gating on it")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_audit = sub.add_parser("audit",
+                             help="EXPLAIN-audit compiled preference "
+                                  "plans + differential rule "
+                                  "reachability over a policy corpus")
+    p_audit.add_argument("policies", nargs="*", metavar="POLICY",
+                         help="policy XML files (default: the synthetic "
+                              "29-policy corpus)")
+    p_audit.add_argument("-p", "--preference", action="append",
+                         metavar="PREF",
+                         help="APPEL preference XML (repeatable; default: "
+                              "the five JRC levels)")
+    p_audit.add_argument("--seed", type=int, default=2003)
+    p_audit.add_argument("--no-literal", action="store_true",
+                         help="audit only compiled plans, skipping the "
+                              "per-policy literal translations (faster)")
+    p_audit.set_defaults(func=_cmd_audit)
 
     return parser
 

@@ -36,12 +36,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlsplit
 
+from repro.appel.analysis import validate_ruleset
 from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
 from repro.errors import ReproError
@@ -49,6 +51,8 @@ from repro.net import protocol
 from repro.net.admission import AdmissionController
 from repro.p3p.parser import parse_policy
 from repro.server.policy_server import PolicyServer
+
+logger = logging.getLogger(__name__)
 
 
 class PreferenceRegistry:
@@ -67,9 +71,18 @@ class PreferenceRegistry:
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, Ruleset] = OrderedDict()
         self.evictions = 0
+        self.validation_findings = 0
 
     def register(self, preference: Ruleset) -> tuple[str, bool]:
-        """Store *preference*; returns ``(hash, created)``."""
+        """Store *preference*; returns ``(hash, created)``.
+
+        Newly seen rulesets are run through
+        :func:`repro.appel.analysis.validate_ruleset`; problems are
+        *logged, never rejected* — an APPEL ruleset with a misspelled
+        vocabulary term is legal, it just matches nothing, and the
+        user's agent deserves service while the operator sees why
+        checks keep returning the catch-all behavior.
+        """
         digest = PolicyServer._preference_hash(preference)
         with self._lock:
             created = digest not in self._entries
@@ -78,6 +91,14 @@ class PreferenceRegistry:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+        if created:
+            problems = validate_ruleset(preference)
+            if problems:
+                with self._lock:
+                    self.validation_findings += len(problems)
+                for problem in problems:
+                    logger.warning("preference %s: %s",
+                                   digest[:12], problem)
         return digest, created
 
     def get(self, preference_hash: str) -> Ruleset | None:
@@ -248,6 +269,14 @@ class P3PHttpServer(ThreadingHTTPServer):
             "preferences": {
                 "registered": len(self.preferences),
                 "evictions": self.preferences.evictions,
+                "validation_findings": self.preferences.validation_findings,
+            },
+            # Flag-gated EXPLAIN audits of freshly compiled plans
+            # (PolicyServer(audit_plans=True)); counters ride on the
+            # per-connection QueryStats the pool aggregates.
+            "plan_audit": {
+                "plans_audited": pool_stats.plans_audited,
+                "findings": pool_stats.audit_findings,
             },
         }
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import datetime
 import hashlib
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -60,6 +61,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Sequence
 
+from repro.analysis.plans import audit_compiled_plan, plan_untrusted_strings
 from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
 from repro.appel.serializer import serialize_ruleset
@@ -79,6 +81,8 @@ __all__ = [
     "PolicyServer",
     "TranslationCache",
 ]
+
+logger = logging.getLogger(__name__)
 
 _CHECK_LOG_DDL = """
 CREATE TABLE IF NOT EXISTS check_log (
@@ -277,7 +281,8 @@ class PolicyServer:
                  pool: ConnectionPool | None = None,
                  translation_cache_size: int = 256,
                  log_batch_size: int = 32,
-                 log_flush_interval: float = 1.0):
+                 log_flush_interval: float = 1.0,
+                 audit_plans: bool = False):
         if pool is None:
             pool = ConnectionPool(db if db is not None else ":memory:")
         self.pool = pool
@@ -291,6 +296,11 @@ class PolicyServer:
         self.db.execute(_CHECK_LOG_KEY_INDEX)
         self.db.commit()
         self._translation_cache = TranslationCache(translation_cache_size)
+        #: When set, every cache-miss compilation is EXPLAIN-audited
+        #: against this database before the plan enters the cache; the
+        #: counters surface through ``pool.stats()`` into ``/metrics``.
+        self.audit_plans = audit_plans
+        self.last_audit_findings: tuple = ()
         self.log = CheckLogWriter(pool, batch_size=log_batch_size,
                                   flush_interval=log_flush_interval)
         # Reader connections need the reference store's SQL functions.
@@ -425,8 +435,30 @@ class PolicyServer:
         plan = self._translation_cache.get(key)
         if plan is None:
             plan = self.translator.compile_ruleset(preference)
+            if self.audit_plans:
+                self._audit_plan(key, preference, plan)
             self._translation_cache.put(key, plan)
         return plan
+
+    def _audit_plan(self, key: str, preference: Ruleset,
+                    plan: CompiledPlan) -> None:
+        """EXPLAIN-audit a freshly compiled plan (flag-gated).
+
+        Findings never reject the plan — a full scan is slow, not
+        wrong — but they are logged and counted on the connection's
+        stats, which the pool aggregates into ``/metrics``.  Runs once
+        per compilation (cache misses only), so the audit cost is paid
+        with the translation cost, not per check.
+        """
+        with self.pool.read() as db:
+            findings = audit_compiled_plan(
+                db, plan, where=f"plan:{key[:12]}",
+                untrusted=plan_untrusted_strings(preference),
+            )
+            db.stats.record_audit(len(findings))
+        self.last_audit_findings = tuple(findings)
+        for finding in findings:
+            logger.warning("plan audit: %s", finding)
 
     @staticmethod
     def _preference_hash(preference: Ruleset) -> str:

@@ -53,6 +53,11 @@ class QueryStats:
     statement cache: a *hit* means the statement text was seen recently
     on this connection, so sqlite3's statement cache re-executes the
     already-compiled program instead of re-preparing it.
+
+    ``plans_audited``/``audit_findings`` count runs of the EXPLAIN-plan
+    auditor (:mod:`repro.analysis.plans`) against this connection and
+    the findings those runs produced; the pool folds them into its
+    aggregate so ``GET /metrics`` can expose serving-path audit activity.
     """
 
     statements: int = 0
@@ -60,6 +65,8 @@ class QueryStats:
     last_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    plans_audited: int = 0
+    audit_findings: int = 0
 
     def record(self, elapsed: float) -> None:
         self.statements += 1
@@ -72,6 +79,10 @@ class QueryStats:
         else:
             self.cache_misses += 1
 
+    def record_audit(self, findings: int) -> None:
+        self.plans_audited += 1
+        self.audit_findings += findings
+
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
@@ -83,6 +94,50 @@ class QueryStats:
         self.last_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.plans_audited = 0
+        self.audit_findings = 0
+
+
+@dataclass(frozen=True)
+class ExplainStep:
+    """One row of SQLite's ``EXPLAIN QUERY PLAN`` output.
+
+    ``detail`` is the planner's human-readable step description, e.g.
+    ``SEARCH statement USING INDEX idx_statement_policy (policy_id=?)``
+    or ``SCAN purpose``.  ``is_scan``/``uses_index`` pre-digest the two
+    facts the plan auditor cares about; ``table`` extracts the relation
+    the step touches (None for subquery/compound bookkeeping rows).
+    """
+
+    id: int
+    parent: int
+    detail: str
+
+    _TABLE = re.compile(
+        r"^(?:SCAN|SEARCH)\s+(?:TABLE\s+)?([A-Za-z_][A-Za-z0-9_]*)"
+    )
+
+    @property
+    def is_scan(self) -> bool:
+        """True for a full-table scan step (``SCAN t``, no index)."""
+        return (self.detail.startswith("SCAN")
+                and not self.uses_index
+                and "CONSTANT ROW" not in self.detail)
+
+    @property
+    def uses_index(self) -> bool:
+        return ("USING INDEX" in self.detail
+                or "USING COVERING INDEX" in self.detail
+                or "USING INTEGER PRIMARY KEY" in self.detail
+                or "USING ROWID SEARCH" in self.detail)
+
+    @property
+    def table(self) -> str | None:
+        match = self._TABLE.match(self.detail)
+        return match.group(1) if match else None
+
+    def __str__(self) -> str:
+        return self.detail
 
 
 class Database:
@@ -217,6 +272,28 @@ class Database:
         """Run a SELECT and return the first column of the first row."""
         row = self.query_one(sql, parameters)
         return None if row is None else row[0]
+
+    def explain(self, sql: str,
+                parameters: Sequence[Any] = ()) -> list[ExplainStep]:
+        """Return the query plan SQLite chose for *sql* as structured rows.
+
+        Runs ``EXPLAIN QUERY PLAN`` with the same *parameters* the real
+        statement would use, so parameterized plans (one ``?`` bind per
+        rule) are explained exactly as executed.  The probe bypasses the
+        timing and statement-cache accounting — introspection must not
+        skew the serving metrics it exists to protect.
+        """
+        try:
+            cursor = self._connection.execute(
+                "EXPLAIN QUERY PLAN " + sql, parameters)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"EXPLAIN QUERY PLAN failed: {exc}\n{sql}") from exc
+        return [
+            ExplainStep(id=int(row["id"]), parent=int(row["parent"]),
+                        detail=str(row["detail"]))
+            for row in cursor.fetchall()
+        ]
 
     # -- transactions ----------------------------------------------------------
 

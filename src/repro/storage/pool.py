@@ -150,6 +150,8 @@ class ConnectionPool:
             self._retired_stats.seconds += db.stats.seconds
             self._retired_stats.cache_hits += db.stats.cache_hits
             self._retired_stats.cache_misses += db.stats.cache_misses
+            self._retired_stats.plans_audited += db.stats.plans_audited
+            self._retired_stats.audit_findings += db.stats.audit_findings
         return dead
 
     def reap_readers(self) -> int:
@@ -201,6 +203,8 @@ class ConnectionPool:
             total.seconds = self._retired_stats.seconds
             total.cache_hits = self._retired_stats.cache_hits
             total.cache_misses = self._retired_stats.cache_misses
+            total.plans_audited = self._retired_stats.plans_audited
+            total.audit_findings = self._retired_stats.audit_findings
         for db in dead:
             db.close()
         for db in connections:
@@ -208,6 +212,8 @@ class ConnectionPool:
             total.seconds += db.stats.seconds
             total.cache_hits += db.stats.cache_hits
             total.cache_misses += db.stats.cache_misses
+            total.plans_audited += db.stats.plans_audited
+            total.audit_findings += db.stats.audit_findings
             total.last_seconds = max(total.last_seconds,
                                      db.stats.last_seconds)
         return total

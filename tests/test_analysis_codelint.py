@@ -1,0 +1,171 @@
+"""The codebase lint: invariants, baseline workflow, repo gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    count_by_severity,
+    format_findings,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    save_baseline,
+    sort_findings,
+    split_by_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestSqliteConnect:
+    def test_flagged_outside_storage(self):
+        src = "import sqlite3\nconn = sqlite3.connect(':memory:')\n"
+        findings = lint_source(src, "src/repro/server/x.py")
+        assert codes(findings) == ["sqlite-connect"]
+        assert findings[0].line == 2
+
+    def test_allowed_inside_storage(self):
+        src = "import sqlite3\nconn = sqlite3.connect(':memory:')\n"
+        assert lint_source(src, "src/repro/storage/x.py") == []
+
+
+class TestDynamicSql:
+    def test_fstring_flagged(self):
+        src = 'db.execute(f"SELECT * FROM t WHERE id = {x}")\n'
+        assert codes(lint_source(src, "src/repro/server/x.py")) \
+            == ["dynamic-sql"]
+
+    def test_percent_format_flagged(self):
+        src = 'db.query("SELECT %s" % name)\n'
+        assert codes(lint_source(src, "src/repro/net/x.py")) \
+            == ["dynamic-sql"]
+
+    def test_str_format_flagged(self):
+        src = 'db.query_one("SELECT {}".format(name))\n'
+        assert codes(lint_source(src, "src/repro/engines/x.py")) \
+            == ["dynamic-sql"]
+
+    def test_concat_with_runtime_value_flagged(self):
+        src = 'db.execute("SELECT * FROM " + table)\n'
+        assert codes(lint_source(src, "src/repro/server/x.py")) \
+            == ["dynamic-sql"]
+
+    def test_static_concat_allowed(self):
+        src = 'db.execute("SELECT * FROM t " + "WHERE x = ?", (x,))\n'
+        assert lint_source(src, "src/repro/server/x.py") == []
+
+    def test_fstring_without_interpolation_allowed(self):
+        src = 'db.execute(f"SELECT 1")\n'
+        assert lint_source(src, "src/repro/server/x.py") == []
+
+    def test_parameter_bind_allowed(self):
+        src = 'db.execute("SELECT * FROM t WHERE id = ?", (x,))\n'
+        assert lint_source(src, "src/repro/server/x.py") == []
+
+    def test_allowed_in_translate_and_storage(self):
+        src = 'db.execute(f"SELECT * FROM t WHERE id = {x}")\n'
+        assert lint_source(src, "src/repro/translate/x.py") == []
+        assert lint_source(src, "src/repro/storage/x.py") == []
+
+
+class TestUnboundedCache:
+    def test_bare_dict_cache_on_serving_path(self):
+        src = ("class S:\n"
+               "    def __init__(self):\n"
+               "        self._plan_cache = {}\n")
+        findings = lint_source(src, "src/repro/server/x.py")
+        assert codes(findings) == ["unbounded-cache"]
+        assert findings[0].severity == "warning"
+
+    def test_dict_call_flagged_too(self):
+        src = "class S:\n    cache: dict = dict()\n"
+        assert codes(lint_source(src, "src/repro/net/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_non_cache_attribute_allowed(self):
+        src = "class S:\n    def __init__(self):\n        self._rows = {}\n"
+        assert lint_source(src, "src/repro/server/x.py") == []
+
+    def test_off_serving_path_allowed(self):
+        src = "class S:\n    def __init__(self):\n        self._cache = {}\n"
+        assert lint_source(src, "src/repro/corpus/x.py") == []
+
+
+class TestParsing:
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def f(:\n", "src/repro/x.py")
+        assert codes(findings) == ["syntax-error"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "server").mkdir()
+        (tmp_path / "server" / "bad.py").write_text(
+            "import sqlite3\nsqlite3.connect('x')\n", encoding="utf-8")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert codes(findings) == ["sqlite-connect"]
+        assert findings[0].path == "server/bad.py"
+
+
+class TestFindingModel:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("fatal", "x", "boom")
+
+    def test_sort_is_severity_then_location(self):
+        a = Finding("warning", "w", "m", path="a.py", line=1)
+        b = Finding("error", "e", "m", path="z.py", line=9)
+        assert sort_findings([a, b]) == [b, a]
+
+    def test_counts_and_format(self):
+        findings = [Finding("error", "e", "m", path="a.py", line=1),
+                    Finding("warning", "w", "m", path="a.py", line=2)]
+        assert count_by_severity(findings) == {"error": 1, "warning": 1,
+                                               "info": 0}
+        rendered = format_findings(findings)
+        assert "a.py:1" in rendered and "2 finding(s)" in rendered
+        assert format_findings([]) == "no findings"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [Finding("error", "e", "msg", path="a.py", line=3)]
+        path = tmp_path / "baseline.json"
+        save_baseline(path, findings)
+        assert load_baseline(path) == {("e", "a.py", 3, "msg")}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_split_partitions_on_exact_key(self):
+        old = Finding("error", "e", "msg", path="a.py", line=3)
+        moved = Finding("error", "e", "msg", path="a.py", line=4)
+        baseline = {old.key()}
+        new, grandfathered = split_by_baseline([old, moved], baseline)
+        assert new == [moved]
+        assert grandfathered == [old]
+
+
+class TestRepoGate:
+    def test_src_has_no_findings_beyond_the_baseline(self):
+        """The CI invariant: everything lint finds today is in the
+        checked-in baseline — a new violation shows up here first."""
+        findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        new, _ = split_by_baseline(findings, baseline)
+        assert new == [], format_findings(new)
+
+    def test_baseline_entries_carry_file_and_line(self):
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        for code, path, line, _ in baseline:
+            assert path.endswith(".py") and line > 0, (code, path)

@@ -1,0 +1,248 @@
+"""Rule reachability under first-rule-wins, differentially confirmed.
+
+The strong claim of :mod:`repro.analysis.rules` is that every
+``unreachable-rule`` verdict is *provable*: the native APPEL engine never
+selects a flagged rule on any conforming policy.  The tests here check
+both halves — the analyzer flags what it should on synthetic rulesets,
+and over the full 29-policy corpus at all five JRC preference levels no
+flagged rule ever fires (zero false "unreachable" verdicts).
+"""
+
+from repro.analysis import (
+    analyze_ruleset,
+    differential_reachability,
+    rule_always_fires,
+    rule_can_fire,
+    rule_subsumes,
+    unreachable_rule_indexes,
+)
+from repro.analysis.rules import expression_can_match, expression_subsumes
+from repro.appel.model import expression, rule, ruleset
+
+
+def _pattern(*purpose_values):
+    """POLICY/STATEMENT/PURPOSE wrapper around purpose-value patterns."""
+    return expression(
+        "POLICY",
+        expression("STATEMENT",
+                   expression("PURPOSE", *purpose_values, connective="or")),
+    )
+
+
+class TestCanFire:
+    def test_catch_all_fires(self):
+        assert rule_can_fire(rule("request"))
+
+    def test_realistic_pattern_fires(self):
+        assert rule_can_fire(rule("block", _pattern(
+            expression("telemarketing"))))
+
+    def test_misspelled_element_is_unsatisfiable(self):
+        dead = rule("block", expression(
+            "POLICY", expression("STATEMNT")))
+        assert not rule_can_fire(dead)
+
+    def test_element_under_wrong_parent_is_unsatisfiable(self):
+        # PURPOSE directly under POLICY never occurs in a conforming doc.
+        assert not rule_can_fire(rule("block", expression(
+            "POLICY", expression("PURPOSE"))))
+
+    def test_attribute_outside_domain_is_unsatisfiable(self):
+        assert not rule_can_fire(rule("block", _pattern(
+            expression("telemarketing", required="sometimes"))))
+
+    def test_root_must_be_policy(self):
+        assert not expression_can_match(expression("STATEMENT"), "#root")
+
+    def test_multi_valued_conjunction_is_satisfiable(self):
+        # A STATEMENT may carry several purposes at once.
+        many = expression(
+            "POLICY",
+            expression("STATEMENT", expression(
+                "PURPOSE", expression("contact"), expression("admin"),
+                connective="and")),
+        )
+        assert rule_can_fire(rule("block", many))
+
+    def test_single_valued_conjunction_is_contradictory(self):
+        # RETENTION holds exactly one value; demanding two conjunctively
+        # can never match.
+        contradictory = expression(
+            "POLICY",
+            expression("STATEMENT", expression(
+                "RETENTION", expression("indefinitely"),
+                expression("no-retention"), connective="and")),
+        )
+        assert not rule_can_fire(rule("block", contradictory))
+
+    def test_conflicting_attribute_pins_are_contradictory(self):
+        conflicted = _pattern(
+            expression("contact", required="always"),
+            expression("contact", required="opt-in"),
+        )
+        both = expression(
+            "POLICY",
+            expression("STATEMENT", expression(
+                "PURPOSE",
+                expression("contact", required="always"),
+                expression("contact", required="opt-in"),
+                connective="and")),
+        )
+        assert not rule_can_fire(rule("block", both))
+        # Under "or" the same two patterns are fine.
+        assert rule_can_fire(rule("block", conflicted))
+
+
+class TestAlwaysFires:
+    def test_catch_all(self):
+        assert rule_always_fires(rule("request"))
+
+    def test_non_and_over_dead_pattern(self):
+        assert rule_always_fires(rule(
+            "limited", expression("BOGUS"), connective="non-and"))
+
+    def test_non_or_over_only_dead_patterns(self):
+        assert rule_always_fires(rule(
+            "limited", expression("BOGUS"), expression("ALSO_BOGUS"),
+            connective="non-or"))
+
+    def test_ordinary_conditional_rule_does_not(self):
+        assert not rule_always_fires(rule("block", _pattern(
+            expression("telemarketing"))))
+
+
+class TestSubsumption:
+    def test_fewer_attributes_subsume_more(self):
+        general = expression("telemarketing")
+        specific = expression("telemarketing", required="opt-in")
+        assert expression_subsumes(general, specific)
+        assert not expression_subsumes(specific, general)
+
+    def test_identical_rules(self):
+        r = rule("block", _pattern(expression("telemarketing")))
+        assert rule_subsumes(r, r)
+
+    def test_general_rule_shadows_specific(self):
+        general = rule("block", _pattern(expression("telemarketing")))
+        specific = rule("request", _pattern(
+            expression("telemarketing", required="opt-in")))
+        assert rule_subsumes(general, specific)
+        assert not rule_subsumes(specific, general)
+
+    def test_catch_all_subsumes_everything(self):
+        conditional = rule("block", _pattern(expression("telemarketing")))
+        assert rule_subsumes(rule("request"), conditional)
+        assert not rule_subsumes(conditional, rule("request"))
+
+    def test_wider_disjunction_subsumes_narrower(self):
+        wide = rule("block", _pattern(expression("telemarketing"),
+                                      expression("contact")))
+        narrow = rule("request", _pattern(expression("contact")))
+        assert rule_subsumes(wide, narrow)
+        assert not rule_subsumes(narrow, wide)
+
+
+class TestAnalyzeRuleset:
+    def test_rules_after_catch_all_are_unreachable(self):
+        rs = ruleset(rule("request"),
+                     rule("block", _pattern(expression("telemarketing"))))
+        assert unreachable_rule_indexes(rs) == frozenset({1})
+
+    def test_unsatisfiable_body_flagged(self):
+        rs = ruleset(rule("block", expression(
+            "POLICY", expression("STATEMNT"))), rule("request"))
+        assert unreachable_rule_indexes(rs) == frozenset({0})
+
+    def test_duplicate_rule_flagged_as_duplicate(self):
+        body = _pattern(expression("telemarketing"))
+        rs = ruleset(rule("block", body), rule("request", body),
+                     rule("request"))
+        findings = analyze_ruleset(rs)
+        dead = [f for f in findings if f.code == "unreachable-rule"]
+        assert [f.rule_index for f in dead] == [1]
+        assert "duplicates" in dead[0].message
+
+    def test_subsumed_rule_flagged(self):
+        rs = ruleset(
+            rule("block", _pattern(expression("telemarketing"))),
+            rule("request", _pattern(
+                expression("telemarketing", required="opt-in"))),
+            rule("request"),
+        )
+        assert unreachable_rule_indexes(rs) == frozenset({1})
+
+    def test_effectively_unconditional_warns_and_shadows(self):
+        rs = ruleset(
+            rule("limited", expression("BOGUS"), connective="non-and"),
+            rule("request"),
+        )
+        findings = analyze_ruleset(rs)
+        assert any(f.code == "effectively-unconditional"
+                   and f.rule_index == 0 for f in findings)
+        assert unreachable_rule_indexes(rs) == frozenset({1})
+
+    def test_dead_disjunct_warns_without_killing_the_rule(self):
+        rs = ruleset(
+            rule("block", _pattern(expression("telemarketing"),
+                                   expression("TELEMARKETING"))),
+            rule("request"),
+        )
+        findings = analyze_ruleset(rs)
+        assert any(f.code == "dead-branch" for f in findings)
+        assert unreachable_rule_indexes(rs) == frozenset()
+
+    def test_unreachable_rule_does_not_shadow_later_rules(self):
+        # A dead rule subsumes nothing: later rules stay live.
+        rs = ruleset(
+            rule("block", expression("POLICY", expression("STATEMNT"))),
+            rule("block", _pattern(expression("telemarketing"))),
+            rule("request"),
+        )
+        assert unreachable_rule_indexes(rs) == frozenset({0})
+
+    def test_jrc_suite_is_clean(self, suite):
+        for level, rs in suite.items():
+            assert unreachable_rule_indexes(rs) == frozenset(), level
+
+    def test_jane_is_clean(self, jane):
+        assert unreachable_rule_indexes(jane) == frozenset()
+
+
+class TestDifferential:
+    def test_full_corpus_suite_has_zero_false_verdicts(self, corpus,
+                                                       suite):
+        """Acceptance gate: 29 policies x 5 JRC levels, every flagged
+        rule confirmed never to fire by the native engine."""
+        for level, rs in suite.items():
+            report = differential_reachability(rs, corpus)
+            assert report.policies_checked == len(corpus)
+            assert report.ok, (level, report.violations)
+
+    def test_flagged_rules_never_fire_when_present(self, corpus, suite):
+        """Poison each level with a duplicate of its first rule: the
+        duplicate is flagged, and the engine never selects it."""
+        for level, rs in suite.items():
+            first = rs.rules[0]
+            poisoned = ruleset(*rs.rules[:1],
+                               rule(first.behavior, *first.expressions,
+                                    connective=first.connective),
+                               *rs.rules[1:])
+            flagged = unreachable_rule_indexes(poisoned)
+            assert 1 in flagged, level
+            report = differential_reachability(poisoned, corpus)
+            assert report.ok, (level, report.violations)
+
+    def test_violation_detected_for_falsely_flagged_rule(self, corpus,
+                                                         suite):
+        """Sanity check of the cross-check itself: claiming a live rule
+        is unreachable must surface as a violation."""
+        rs = suite["Very Low"]  # single catch-all rule: always fires
+        report = differential_reachability(rs, corpus, flagged=[0])
+        assert not report.ok
+        assert report.violations
+        assert all(index == 0 for _, index in report.violations)
+
+    def test_fired_census_reports_native_selections(self, corpus, suite):
+        report = differential_reachability(suite["Medium"], corpus)
+        assert sum(count for _, count in report.fired) <= len(corpus)
+        assert report.fired  # something fired somewhere

@@ -92,3 +92,29 @@ class TestValidation:
         rs = ruleset(rule("shrug"))
         problems = validate_ruleset(rs)
         assert any("non-standard behavior" in p.message for p in problems)
+
+
+class TestBehaviorValidation:
+    def test_standard_behaviors_are_clean(self):
+        for behavior in ("request", "limited", "block"):
+            assert validate_ruleset(ruleset(rule(behavior))) == []
+
+    def test_case_near_miss_suggests_the_standard_spelling(self):
+        problems = validate_ruleset(ruleset(rule("Block")))
+        (problem,) = [p for p in problems
+                      if "non-standard behavior" in p.message]
+        assert problem.severity == "warning"
+        assert "did you mean 'block'" in problem.message
+
+    def test_padding_near_miss_suggests_too(self):
+        problems = validate_ruleset(ruleset(rule(" request ")))
+        assert any("did you mean 'request'" in p.message
+                   for p in problems)
+
+    def test_unknown_behavior_lists_the_vocabulary(self):
+        problems = validate_ruleset(ruleset(rule("shrug")))
+        (problem,) = [p for p in problems
+                      if "non-standard behavior" in p.message]
+        assert "'request'" in problem.message
+        assert "'block'" in problem.message
+        assert problem.location == "rule[0]"

@@ -242,3 +242,100 @@ class TestServe:
         from repro import cli
 
         assert "http-load" in cli._BENCH_EXPERIMENTS
+
+
+@pytest.fixture()
+def shadowed_preference_file(tmp_path):
+    """Catch-all first: the second rule is unreachable."""
+    from repro.appel.model import expression, rule, ruleset
+
+    rs = ruleset(
+        rule("request"),
+        rule("block", expression(
+            "POLICY", expression("STATEMENT", expression(
+                "PURPOSE", expression("telemarketing"),
+                connective="or")))),
+    )
+    path = tmp_path / "shadowed.xml"
+    path.write_text(serialize_ruleset(rs), encoding="utf-8")
+    return str(path)
+
+
+class TestLint:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "ok.py").write_text(
+            'db.execute("SELECT * FROM t WHERE id = ?", (x,))\n',
+            encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "ok.py"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_new_finding_exits_nonzero(self, tmp_path, capsys,
+                                       monkeypatch):
+        server = tmp_path / "server"
+        server.mkdir()
+        (server / "bad.py").write_text(
+            "import sqlite3\nsqlite3.connect(':memory:')\n",
+            encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "server"]) == 1
+        out = capsys.readouterr().out
+        assert "sqlite-connect" in out and "bad.py:2" in out
+
+    def test_baseline_grandfathers_findings(self, tmp_path, capsys,
+                                            monkeypatch):
+        server = tmp_path / "server"
+        server.mkdir()
+        (server / "bad.py").write_text(
+            "import sqlite3\nsqlite3.connect(':memory:')\n",
+            encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "server", "--update-baseline"]) == 0
+        assert main(["lint", "server"]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+        # A fresh violation still gates even with the baseline present.
+        (server / "worse.py").write_text(
+            'db.execute(f"SELECT {x}")\n', encoding="utf-8")
+        assert main(["lint", "server"]) == 1
+
+
+class TestAudit:
+    def test_explicit_files_clean(self, policy_file, preference_file,
+                                  capsys):
+        assert main(["audit", policy_file,
+                     "-p", preference_file, "--no-literal"]) == 0
+        out = capsys.readouterr().out
+        assert "full scans of hot tables: 0" in out
+        assert "differential OK" in out
+
+    def test_literal_pipeline_audited_by_default(self, policy_file,
+                                                 preference_file, capsys):
+        assert main(["audit", policy_file, "-p", preference_file]) == 0
+        assert "statement(s) explained" in capsys.readouterr().out
+
+    def test_unreachable_rule_reported(self, policy_file,
+                                       shadowed_preference_file, capsys):
+        code = main(["audit", policy_file,
+                     "-p", shadowed_preference_file, "--no-literal"])
+        out = capsys.readouterr().out
+        assert "unreachable-rule" in out
+        assert "differential OK" in out
+        assert code == 0  # informational: the plans themselves are clean
+
+
+class TestPreferenceLoadWarnings:
+    def test_translate_prints_lint_to_stderr(self, tmp_path, capsys,
+                                             shadowed_preference_file):
+        assert main(["translate", shadowed_preference_file]) == 0
+        err = capsys.readouterr().err
+        assert "unreachable-rule" in err
+
+    def test_match_prints_lint_to_stderr(self, policy_file, capsys,
+                                         shadowed_preference_file):
+        main(["match", policy_file, shadowed_preference_file])
+        assert "unreachable-rule" in capsys.readouterr().err
+
+    def test_clean_preference_is_silent(self, policy_file,
+                                        preference_file, capsys):
+        main(["match", policy_file, preference_file])
+        assert "lint:" not in capsys.readouterr().err

@@ -479,3 +479,54 @@ class TestEndToEndAcceptance:
         finally:
             server.close()
             thread.join(timeout=5)
+
+
+class TestStaticAnalysisSurface:
+    def test_metrics_expose_audit_and_validation_counters(self, agent):
+        metrics = agent.metrics()
+        assert metrics["plan_audit"] == {"plans_audited": 0,
+                                         "findings": 0}
+        assert metrics["preferences"]["validation_findings"] == 0
+
+    def test_registry_logs_bad_ruleset_without_rejecting(self, caplog):
+        from repro.appel.model import expression, rule, ruleset
+
+        registry = PreferenceRegistry()
+        suspect = ruleset(rule("blokk", expression(
+            "POLICY", expression("STATEMNT"))))
+        with caplog.at_level("WARNING", logger="repro.net.httpd"):
+            digest, created = registry.register(suspect)
+        assert created and registry.get(digest) is suspect
+        assert registry.validation_findings > 0
+        messages = " ".join(record.message for record in caplog.records)
+        assert "blokk" in messages
+        assert "STATEMNT" in messages
+
+    def test_revalidation_skipped_for_known_ruleset(self):
+        from repro.appel.model import rule, ruleset
+
+        registry = PreferenceRegistry()
+        suspect = ruleset(rule("blokk"))
+        registry.register(suspect)
+        before = registry.validation_findings
+        registry.register(suspect)  # same content hash: no re-validation
+        assert registry.validation_findings == before
+
+    def test_audited_server_over_http(self, tmp_path):
+        policy_server = PolicyServer(str(tmp_path / "audited.db"),
+                                     audit_plans=True)
+        server = P3PHttpServer(policy_server, ("127.0.0.1", 0),
+                               owns_policy_server=True)
+        thread = server.run_in_thread()
+        try:
+            with HttpClientAgent(server.base_url,
+                                 jane_preference()) as agent:
+                agent.install_policy(VOLGA_POLICY_XML, site=SITE,
+                                     reference_file=VOLGA_REFERENCE_XML)
+                agent.check(SITE, "/catalog/book-1")
+                metrics = agent.metrics()
+                assert metrics["plan_audit"]["plans_audited"] == 1
+                assert metrics["plan_audit"]["findings"] == 0
+        finally:
+            server.close()
+            thread.join(timeout=5)

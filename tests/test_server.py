@@ -235,3 +235,23 @@ class TestHybridAgent:
                 site, "/catalog/book")
             assert server_result.behavior == client_result.behavior \
                 == hybrid_result.behavior, level
+
+
+class TestPlanAudit:
+    def test_audit_runs_on_cache_miss_only(self, volga, jane):
+        server = PolicyServer(audit_plans=True)
+        server.install_policy(volga, site=SITE)
+        server.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+        server.check(SITE, "/catalog/book", jane)
+        stats = server.pool.stats()
+        assert stats.plans_audited == 1
+        assert stats.audit_findings == 0  # suite plans are index-driven
+        assert server.last_audit_findings == ()
+        # Warm path: the cached plan is not re-audited.
+        server.check(SITE, "/catalog/other", jane)
+        assert server.pool.stats().plans_audited == 1
+        server.close()
+
+    def test_audit_off_by_default(self, server, jane):
+        server.check(SITE, "/catalog/book", jane)
+        assert server.pool.stats().plans_audited == 0

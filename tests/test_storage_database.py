@@ -201,3 +201,62 @@ class TestStats:
         db.stats.reset()
         assert db.stats.statements == 0
         assert db.stats.seconds == 0.0
+
+
+class TestExplain:
+    @pytest.fixture()
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+                   "grp INTEGER)")
+        db.execute("CREATE INDEX idx_t_grp ON t(grp)")
+        db.executemany("INSERT INTO t (name, grp) VALUES (?, ?)",
+                       [(f"row{i}", i % 4) for i in range(64)])
+        db.commit()
+        return db
+
+    def test_index_probe_reported_as_search(self, db):
+        steps = db.explain("SELECT * FROM t WHERE grp = ?", (2,))
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.uses_index and not step.is_scan
+        assert step.table == "t"
+        assert "idx_t_grp" in step.detail
+
+    def test_primary_key_lookup_is_not_a_scan(self, db):
+        (step,) = db.explain("SELECT * FROM t WHERE id = ?", (7,))
+        assert step.uses_index and not step.is_scan
+
+    def test_full_scan_reported_as_scan(self, db):
+        (step,) = db.explain("SELECT * FROM t WHERE name = ?", ("row3",))
+        assert step.is_scan and not step.uses_index
+        assert step.table == "t"
+
+    def test_parameters_optional(self, db):
+        (step,) = db.explain("SELECT COUNT(*) FROM t")
+        assert step.table == "t"
+
+    def test_invalid_sql_raises_storage_error(self, db):
+        with pytest.raises(StorageError):
+            db.explain("SELECT * FROM missing_table")
+
+    def test_explain_does_not_skew_query_stats(self, db):
+        db.stats.reset()
+        db.explain("SELECT * FROM t WHERE grp = ?", (1,))
+        assert db.stats.statements == 0
+
+    def test_str_is_planner_detail(self, db):
+        (step,) = db.explain("SELECT * FROM t WHERE grp = 1")
+        assert str(step) == step.detail
+
+
+class TestAuditCounters:
+    def test_record_audit_accumulates_and_resets(self):
+        db = Database()
+        db.stats.record_audit(2)
+        db.stats.record_audit(0)
+        assert db.stats.plans_audited == 2
+        assert db.stats.audit_findings == 2
+        db.stats.reset()
+        assert db.stats.plans_audited == 0
+        assert db.stats.audit_findings == 0
