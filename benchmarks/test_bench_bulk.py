@@ -1,0 +1,72 @@
+"""E12: set-at-a-time corpus matching vs the materialized cache.
+
+The tentpole claims, pinned as shape assertions:
+
+* per-policy matching pays one round trip per corpus policy; the bulk
+  plan decides the whole corpus in exactly one statement, and the
+  cached mode reads the materialized decisions in exactly one;
+* all three modes agree on the decision set (the experiment itself
+  raises if they disagree — these tests also pin the counts);
+* the cached read beats the per-policy sweep by a wide margin even at
+  smoke scale (the acceptance bar is 5x at 1000 policies; at 150 we
+  only insist it is not slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bulk_matching_experiment
+from repro.bench.reporting import format_bulk_matching
+
+SMOKE_CORPUS = 150
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return bulk_matching_experiment(corpus_size=SMOKE_CORPUS)
+
+
+@pytest.fixture(scope="module")
+def by_mode(rows):
+    return {row.mode: row for row in rows}
+
+
+class TestGridShape:
+    def test_all_three_modes_present(self, by_mode):
+        assert set(by_mode) == {"per-policy", "bulk", "cached"}
+
+    def test_same_corpus_answered(self, by_mode):
+        policies = {row.policies for row in by_mode.values()}
+        assert policies == {SMOKE_CORPUS}
+
+    def test_modes_agree_on_decision_count(self, by_mode):
+        decisions = {row.decisions for row in by_mode.values()}
+        assert len(decisions) == 1
+        assert 0 < decisions.pop() <= SMOKE_CORPUS
+
+
+class TestRoundTrips:
+    def test_per_policy_pays_one_trip_per_policy(self, by_mode):
+        assert by_mode["per-policy"].round_trips == SMOKE_CORPUS
+
+    def test_bulk_is_exactly_one_statement(self, by_mode):
+        assert by_mode["bulk"].round_trips == 1
+
+    def test_cached_is_exactly_one_statement(self, by_mode):
+        assert by_mode["cached"].round_trips == 1
+
+
+class TestSpeedup:
+    def test_cached_not_slower_than_per_policy(self, by_mode):
+        # The acceptance criterion (>= 5x at 1000 policies) is run by
+        # `p3pdb bench bulk`; a smoke corpus only pins the direction.
+        assert by_mode["cached"].seconds <= by_mode["per-policy"].seconds
+
+
+class TestReporting:
+    def test_formatter_renders_all_modes_and_the_bar(self, rows):
+        report = format_bulk_matching(rows)
+        for mode in ("per-policy", "bulk", "cached"):
+            assert mode in report
+        assert "acceptance" in report

@@ -30,8 +30,10 @@ from repro.analysis.findings import (
 from repro.analysis.plans import (
     HOT_TABLES,
     CorpusAuditReport,
+    audit_bulk_plan,
     audit_compiled_plan,
     audit_corpus,
+    audit_decision_lookup,
     audit_statement,
     audit_translated_ruleset,
     scan_findings,
@@ -59,8 +61,10 @@ __all__ = [
     "HOT_TABLES",
     "RulesetProblem",
     "analyze_ruleset",
+    "audit_bulk_plan",
     "audit_compiled_plan",
     "audit_corpus",
+    "audit_decision_lookup",
     "audit_statement",
     "audit_translated_ruleset",
     "count_by_severity",

@@ -20,8 +20,14 @@ generated artifact nobody reads.  This module reads it:
   as bare SQL text (``tainted-sql`` findings);
 * :func:`audit_compiled_plan` applies both to a
   :class:`~repro.translate.plan.CompiledPlan` (plus a bind-arity
-  cross-check), :func:`audit_translated_ruleset` to the literal
-  pipeline's per-rule queries;
+  cross-check), :func:`audit_bulk_plan` to a set-at-a-time
+  :class:`~repro.translate.plan.BulkPlan`, and
+  :func:`audit_translated_ruleset` to the literal pipeline's per-rule
+  queries;
+* :func:`audit_decision_lookup` holds the decision cache to its own
+  bar: a ``decision_cache`` access that is not an index point lookup
+  is a ``cache-scan`` error — a cache read slower than the computation
+  it memoizes;
 * :func:`audit_corpus` is the CI gate: it shreds a policy corpus into
   a fresh optimized store and audits every preference's compiled plan
   *and* literal translation against it, also running the
@@ -42,13 +48,18 @@ from repro.p3p.model import Policy
 from repro.storage.database import Database
 from repro.storage.shredder import PolicyStore
 from repro.translate.appel_to_sql import OptimizedSqlTranslator
-from repro.translate.plan import CompiledPlan
+from repro.translate.plan import BulkPlan, CompiledPlan
 
 #: Tables on the per-check critical path of the optimized schema.  A full
 #: scan of any of these turns O(index probe) checks into O(corpus) ones.
 HOT_TABLES = frozenset(
     {"statement", "purpose", "recipient", "data", "category"}
 )
+
+#: Tables whose whole point is O(1) access: a cache that the planner
+#: reads by scanning is slower than not having the cache at all.  Any
+#: access to these that is not an index probe is an error finding.
+CACHE_TABLES = frozenset({"decision_cache"})
 
 #: Quoted regions of SQL text: string literals (single quotes, with ''
 #: escapes — what ``sql_literal`` emits) and quoted identifiers (double
@@ -169,6 +180,60 @@ def audit_compiled_plan(db: Database, plan: CompiledPlan,
     return findings
 
 
+def audit_bulk_plan(db: Database, plan: BulkPlan,
+                    where: str = "<bulk>",
+                    untrusted: Iterable[str] = ()) -> list[Finding]:
+    """Audit one bulk plan: index usage, taint, bind arity.
+
+    A bulk plan deliberately enumerates every applicable policy, so a
+    scan of the ``policy`` table is expected; the hot shredded tables
+    must still be probed through their indexes per policy.  For a
+    micro-batch plan the EXPLAIN probe binds synthetic ids — the plan
+    SQLite picks does not depend on the bound values.
+    """
+    findings: list[Finding] = []
+    placeholders = strip_quoted(plan.sql).count("?")
+    if placeholders != plan.parameter_count:
+        findings.append(Finding(
+            "error", "bind-arity",
+            f"bulk plan declares {plan.parameter_count} parameter(s) "
+            f"({plan.batch_size} batch id(s) per rule) but its SQL "
+            f"carries {placeholders} '?' placeholder(s): execute() "
+            "would mis-bind",
+            where=where,
+        ))
+        return findings  # the EXPLAIN probe below could not bind either
+    if plan.rules:
+        probe_ids = tuple(range(1, plan.batch_size + 1))
+        findings.extend(scan_findings(
+            db, plan.sql, plan.parameters(probe_ids), where))
+    findings.extend(taint_findings(plan.sql, untrusted, where))
+    return findings
+
+
+def audit_decision_lookup(db: Database, sql: str,
+                          parameters: Sequence = (),
+                          where: str = "<cache>") -> list[Finding]:
+    """Flag any ``decision_cache`` access that is not an index probe.
+
+    The scan audit alone would miss this — ``decision_cache`` is not a
+    hot shredded table — but the cache's contract is stricter than
+    "no full scan of hot tables": every read of it must go through its
+    primary-key index, or the materialization is pure overhead.
+    """
+    findings = scan_findings(db, sql, parameters, where)
+    for step in db.explain(sql, parameters):
+        if step.table in CACHE_TABLES and not step.uses_index:
+            findings.append(Finding(
+                "error", "cache-scan",
+                f"planner step {step.detail!r} reads decision cache "
+                f"table {step.table!r} without an index probe — the "
+                "cache read would cost more than the match it memoizes",
+                where=where,
+            ))
+    return findings
+
+
 def audit_translated_ruleset(db: Database, translated,
                              where: str = "<literal>",
                              untrusted: Iterable[str] = ()) -> list[Finding]:
@@ -196,6 +261,8 @@ class CorpusAuditReport:
     differential_ok: bool
     differential_violations: tuple[tuple[str, str, int], ...] = field(
         default_factory=tuple)
+    bulk_plans_explained: int = 0
+    cache_lookups_explained: int = 0
 
     @property
     def ok(self) -> bool:
@@ -210,7 +277,8 @@ def audit_corpus(policies: Sequence[Policy],
     """Shred *policies* into a fresh optimized store and audit every
     preference's generated SQL against it.
 
-    For each preference: the compiled plan is explained once (it is
+    For each preference: the compiled plan and its bulk forms (full
+    corpus and a two-id micro-batch) are explained once each (they are
     policy-independent) and, when *audit_literal* is set, the literal
     translation is explained against every policy id (its SQL splices
     the id into the text, so each policy yields distinct statements).
@@ -224,11 +292,28 @@ def audit_corpus(policies: Sequence[Policy],
     policy_ids = [store.install_policy(policy).policy_id
                   for policy in policies]
 
+    from repro.storage.decision_cache import DecisionCache
+    cache = DecisionCache()
+    cache.ensure_schema(store.db)
+
     findings: list[Finding] = []
     reachability: list[Finding] = []
     violations: list[tuple[str, str, int]] = []
     plans = 0
+    bulk_plans = 0
     statements = 0
+
+    #: The cache's own statements are static SQL — audit them once
+    #: against the fresh store, with representative binds.
+    cache_statements = (
+        ("cache/lookup", DecisionCache.LOOKUP_SQL, ("probe", 1)),
+        ("cache/match", DecisionCache.MATCH_SQL, ("probe",)),
+    )
+    for label, sql, parameters in cache_statements:
+        findings.extend(audit_decision_lookup(
+            store.db, sql, parameters, where=label))
+    cache_lookups = len(cache_statements)
+    statements += cache_lookups
 
     for name, ruleset in preferences.items():
         untrusted = plan_untrusted_strings(ruleset)
@@ -238,6 +323,15 @@ def audit_corpus(policies: Sequence[Policy],
             store.db, plan, where=f"{name}/plan", untrusted=untrusted))
         plans += 1
         statements += 1
+
+        for batch_size in (0, 2):
+            bulk = translator.compile_bulk(ruleset, batch_size)
+            findings.extend(audit_bulk_plan(
+                store.db, bulk,
+                where=f"{name}/bulk[batch={batch_size}]",
+                untrusted=untrusted))
+            bulk_plans += 1
+            statements += 1
 
         if audit_literal:
             from repro.translate.appel_to_sql import (
@@ -270,4 +364,6 @@ def audit_corpus(policies: Sequence[Policy],
         reachability=tuple(reachability),
         differential_ok=not violations,
         differential_violations=tuple(violations),
+        bulk_plans_explained=bulk_plans,
+        cache_lookups_explained=cache_lookups,
     )

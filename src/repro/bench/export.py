@@ -26,7 +26,7 @@ def _aggregate(aggregate: harness.Aggregate) -> dict[str, float]:
 
 
 def run_all(seed: int = 2003) -> dict[str, Any]:
-    """Run E1-E11 and return one JSON-serializable results document."""
+    """Run E1-E12 and return one JSON-serializable results document."""
     from repro.corpus.policies import fortune_corpus
     from repro.corpus.preferences import jrc_suite
 
@@ -48,6 +48,11 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
     retry_overhead = harness.retry_overhead(fault_tolerance)
     plan_compilation = harness.plan_compilation_experiment(policies[:12],
                                                            suite)
+    # 300 policies keeps the document's runtime tolerable while still
+    # showing the set-at-a-time scaling; `p3pdb bench bulk` runs the
+    # full 1000-policy acceptance configuration.
+    bulk_matching = harness.bulk_matching_experiment(corpus_size=300,
+                                                     seed=seed)
 
     return {
         "meta": {
@@ -152,6 +157,17 @@ def run_all(seed: int = 2003) -> dict[str, Any]:
                 "statement_cache_hit_rate": row.statement_cache_hit_rate,
             }
             for row in plan_compilation
+        ],
+        "e12_bulk_matching": [
+            {
+                "mode": row.mode,
+                "policies": row.policies,
+                "seconds": row.seconds,
+                "round_trips": row.round_trips,
+                "decisions": row.decisions,
+                "policies_per_second": row.policies_per_second,
+            }
+            for row in bulk_matching
         ],
     }
 

@@ -32,6 +32,11 @@ Experiment ids follow DESIGN.md:
   per preference, exactly one parameterized round-trip per check) —
   round-trips, translation counts, cached-SQL bytes and
   statement-cache hit rates side by side
+* E12 — bulk matching: one preference against a large corpus, three
+  ways — N per-policy compiled-plan executions, one set-at-a-time
+  :class:`~repro.translate.plan.BulkPlan` round trip, and one indexed
+  read of the materialized decision cache (populated untimed) — the
+  scaling argument for ``match_all`` and ``POST /v1/match``
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -893,6 +898,129 @@ def plan_compilation_experiment(policies: list[Policy] | None = None,
             statement_cache_hits=db.stats.cache_hits,
             statement_cache_misses=db.stats.cache_misses,
         ))
+    finally:
+        db.close()
+    return results
+
+
+# -- E12: bulk matching ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BulkMatchingResult:
+    """One corpus-matching strategy's numbers over the same warm store."""
+
+    mode: str              # "per-policy", "bulk", or "cached"
+    policies: int
+    seconds: float
+    round_trips: int       # SQL statements issued in the measured region
+    decisions: int         # policies a rule fired against
+
+    @property
+    def policies_per_second(self) -> float:
+        return self.policies / self.seconds if self.seconds > 0 else 0.0
+
+
+def bulk_matching_experiment(corpus_size: int = 1000,
+                             level: str = "High",
+                             seed: int = 2003
+                             ) -> list[BulkMatchingResult]:
+    """E12: what does set-at-a-time matching buy at corpus scale?
+
+    One preference (*level* of the JRC suite) against *corpus_size*
+    synthetic policies on a warm in-memory store, three ways:
+
+    * ``per-policy`` — the E11 winner taken to the corpus: the compiled
+      plan executed once per policy, N round trips;
+    * ``bulk`` — one :class:`~repro.translate.plan.BulkPlan` execution:
+      the whole corpus decided in a single statement (window-function
+      first-rule-wins), one round trip;
+    * ``cached`` — the bulk result materialized into ``decision_cache``
+      (populate untimed, the pay-once moment), then the timed region is
+      one indexed read of :data:`DecisionCache.MATCH_SQL` — what a warm
+      ``match_all`` actually executes.
+
+    Every mode runs once unmeasured, then measured with statement
+    counters reset; all three must agree on the decisions.
+    """
+    from repro.storage.decision_cache import (
+        DecisionCache,
+        decision_rows,
+        utc_now_iso,
+    )
+    from repro.translate.appel_to_sql import OptimizedSqlTranslator
+
+    preference = jrc_suite()[level]
+    store = PolicyStore()
+    db = store.db
+    handles = [store.install_policy(policy).policy_id
+               for policy in fortune_corpus(seed=seed, count=corpus_size)]
+    translator = OptimizedSqlTranslator()
+    results: list[BulkMatchingResult] = []
+
+    try:
+        plan = translator.compile_ruleset(preference)
+        for handle in handles:                     # warm pass
+            plan.execute(db, handle)
+        db.stats.reset()
+        start = time.perf_counter()
+        fired_serial = {}
+        for handle in handles:
+            behavior, rule_index = plan.execute(db, handle)
+            if behavior is not None:
+                fired_serial[handle] = (behavior, rule_index)
+        results.append(BulkMatchingResult(
+            mode="per-policy", policies=len(handles),
+            seconds=time.perf_counter() - start,
+            round_trips=db.stats.statements,
+            decisions=len(fired_serial),
+        ))
+
+        bulk = translator.compile_bulk(preference)
+        bulk.execute(db)                           # warm pass
+        db.stats.reset()
+        start = time.perf_counter()
+        fired_bulk = bulk.execute(db)
+        results.append(BulkMatchingResult(
+            mode="bulk", policies=len(handles),
+            seconds=time.perf_counter() - start,
+            round_trips=db.stats.statements,
+            decisions=len(fired_bulk),
+        ))
+        if fired_bulk != fired_serial:
+            raise AssertionError(
+                "bulk plan disagrees with per-policy execution")
+
+        cache = DecisionCache()
+        cache.ensure_schema(db)
+        pref_hash = "bench-e12"
+        actives = [(int(row["policy_id"]), int(row["version"]))
+                   for row in db.query(
+                       "SELECT policy_id, version FROM policy "
+                       "WHERE active = 1")]
+        with db.transaction():                     # populate, untimed
+            cache.store_rows(db, decision_rows(
+                pref_hash, actives, fired_bulk,
+                computed_at=utc_now_iso()))
+        cache.match_rows(db, pref_hash)            # warm pass
+        db.stats.reset()
+        start = time.perf_counter()
+        rows = cache.match_rows(db, pref_hash)
+        seconds = time.perf_counter() - start
+        fired_cached = {
+            int(row["policy_id"]): (row["behavior"],
+                                    int(row["rule_index"]))
+            for row in rows if row["behavior"] is not None
+        }
+        results.append(BulkMatchingResult(
+            mode="cached", policies=len(handles),
+            seconds=seconds,
+            round_trips=db.stats.statements,
+            decisions=len(fired_cached),
+        ))
+        if fired_cached != fired_bulk:
+            raise AssertionError(
+                "materialized decisions disagree with the bulk plan")
     finally:
         db.close()
     return results

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.bench.harness import (
     AblationResult,
+    BulkMatchingResult,
     ConcurrencyResult,
     EngineSummary,
     FaultToleranceResult,
@@ -336,5 +337,34 @@ def format_plan_compilation(rows: list[PlanCompilationResult]) -> str:
         lines.append(
             f"(plan pipeline: {plan.translations} compilations serve "
             f"{plan.policies} policies; one round-trip per check)"
+        )
+    return "\n".join(lines)
+
+
+def format_bulk_matching(rows: list[BulkMatchingResult]) -> str:
+    """E12: per-policy plans vs one bulk statement vs the warm cache."""
+    lines = [
+        "Bulk matching (one preference, whole corpus, warm store)",
+        f"{'Strategy':30s} {'Policies':>8s} {'Trips':>6s} "
+        f"{'Time ms':>9s} {'Policies/s':>11s}",
+    ]
+    labels = {
+        "per-policy": "per-policy compiled plans",
+        "bulk": "one bulk statement",
+        "cached": "materialized decision cache",
+    }
+    for row in rows:
+        lines.append(
+            f"{labels.get(row.mode, row.mode):30s} {row.policies:8d} "
+            f"{row.round_trips:6d} {row.seconds * 1000:9.3f} "
+            f"{row.policies_per_second:11.0f}"
+        )
+    by_mode = {row.mode: row for row in rows}
+    serial, cached = by_mode.get("per-policy"), by_mode.get("cached")
+    if serial is not None and cached is not None and cached.seconds > 0:
+        lines.append(
+            f"cached corpus match is {serial.seconds / cached.seconds:.1f}x "
+            "faster than per-policy execution (acceptance: >= 5x at "
+            "corpus >= 1000)"
         )
     return "\n".join(lines)

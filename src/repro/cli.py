@@ -7,6 +7,7 @@ Subcommands::
     p3pdb shred     POLICY.xml [-o DB]    # shred into the optimized schema
     p3pdb translate PREF.xml [--dialect]  # show the SQL / XQuery
     p3pdb match     POLICY.xml PREF.xml [--engine]   # one check
+    p3pdb match     --all PREF.xml [--corpus-size N] # whole-corpus match
     p3pdb explain   POLICY.xml PREF.xml   # trace why rules fire
     p3pdb corpus    [-o DIR]              # emit the synthetic workload
     p3pdb report    [POLICY.xml ...]      # corpus analytics
@@ -106,6 +107,12 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
+    if args.all:
+        return _match_all(args)
+    if args.preference is None:
+        print("match: a PREFERENCE file is required unless --all "
+              "matches against the synthetic corpus", file=sys.stderr)
+        return 2
     from repro.engines import (
         GenericSqlMatchEngine,
         NativeAppelMatchEngine,
@@ -134,6 +141,48 @@ def _cmd_match(args: argparse.Namespace) -> int:
           f"convert={outcome.convert_seconds * 1000:.3f}ms "
           f"query={outcome.query_seconds * 1000:.3f}ms")
     return 0 if outcome.behavior != "block" else 3
+
+
+def _match_all(args: argparse.Namespace) -> int:
+    """``p3pdb match --all PREF.xml``: one preference, whole corpus.
+
+    Installs the synthetic corpus into an in-memory server, registers
+    the preference (materializing its decisions), and runs the
+    set-at-a-time match — the second match in the output demonstrates
+    the fully-cached path.
+    """
+    from repro.corpus.policies import fortune_corpus
+    from repro.server.policy_server import PolicyServer
+
+    # With --all the single positional is the preference file.
+    path = args.preference or args.policy
+    preference = _load_preference(path)
+    server = PolicyServer()
+    try:
+        for policy in fortune_corpus(seed=args.seed,
+                                     count=args.corpus_size):
+            server.install_policy(policy)
+        cached = server.register_preference(preference)
+        result = server.match_all(preference)
+        print(f"{'policy':24s} {'version':>7s} {'behavior':>8s} "
+              f"{'rule':>4s} {'cached':>6s}")
+        for decision in result.decisions:
+            behavior = decision.behavior or "-"
+            rule = "-" if decision.rule_index is None \
+                else str(decision.rule_index)
+            print(f"{decision.name or '?':24s} {decision.version:7d} "
+                  f"{behavior:>8s} {rule:>4s} "
+                  f"{'yes' if decision.cached else 'no':>6s}")
+        blocked = sum(1 for d in result.decisions
+                      if d.behavior == "block")
+        print(f"\n{len(result.decisions)} policies, {blocked} blocked; "
+              f"{cached} decisions materialized; "
+              f"match: {result.cache_hits} hit(s), "
+              f"{result.cache_misses} miss(es), "
+              f"{result.elapsed_seconds * 1000:.3f}ms")
+        return 0
+    finally:
+        server.close()
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -210,7 +259,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
                       "concurrency", "http-load", "fault-tolerance",
-                      "plans")
+                      "plans", "bulk")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -257,6 +306,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif experiment == "plans":
             print(bench.format_plan_compilation(
                 bench.plan_compilation_experiment()))
+        elif experiment == "bulk":
+            print(bench.format_bulk_matching(
+                bench.bulk_matching_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2
@@ -408,12 +460,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_translate.set_defaults(func=_cmd_translate)
 
     p_match = sub.add_parser("match",
-                             help="match a preference against a policy")
-    p_match.add_argument("policy")
-    p_match.add_argument("preference")
+                             help="match a preference against a policy "
+                                  "(or, with --all, the whole corpus)")
+    p_match.add_argument("policy",
+                         help="policy XML file (with --all: the "
+                              "preference file)")
+    p_match.add_argument("preference", nargs="?", default=None)
     p_match.add_argument("--engine", default="sql",
                          choices=("appel", "sql", "sql-generic", "xquery",
                                   "xquery-native"))
+    p_match.add_argument("--all", action="store_true",
+                         help="set-at-a-time: match the preference "
+                              "against every policy of the synthetic "
+                              "corpus through the decision cache")
+    p_match.add_argument("--corpus-size", type=int, default=None,
+                         dest="corpus_size",
+                         help="with --all: corpus size (default: the "
+                              "full synthetic corpus)")
+    p_match.add_argument("--seed", type=int, default=2003,
+                         help="with --all: corpus generator seed")
     p_match.set_defaults(func=_cmd_match)
 
     p_corpus = sub.add_parser("corpus",

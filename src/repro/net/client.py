@@ -247,6 +247,20 @@ class HttpClientAgent:
                            else None)))
         return list(response.results)
 
+    def match_corpus(self) -> protocol.MatchCorpusResponse:
+        """The whole corpus matched against the agent's preference.
+
+        One round trip returns a decision for every installed policy;
+        matching is read-only (any cache write-back on the server is
+        idempotent), so transport retries are safe.
+        """
+        return self._with_reregistration(
+            lambda digest: protocol.MatchCorpusResponse.from_wire(
+                self._call("POST", "/v1/match",
+                           protocol.MatchCorpusRequest(
+                               preference_hash=digest).to_wire(),
+                           retry_key=f"{self._agent_id}-match")))
+
     # -- site administration -------------------------------------------------
 
     def install_policy(self, policy: Policy | str,

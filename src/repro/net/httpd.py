@@ -10,6 +10,11 @@ stdlib only:
 * ``POST /v1/check``        — one decision, by preference hash.
 * ``POST /v1/check-batch``  — many decisions through ``serve_many``
   (results in request order, check log flushed before replying).
+* ``POST /v1/match``        — one preference against the *whole* corpus
+  (``match_all``): answered from the materialized decision cache where
+  possible, misses repaired set-at-a-time by a bulk plan.  Registering
+  a preference eagerly populates its cache rows, so the first match
+  after registration is already warm.
 * ``POST /v1/policies``     — install a policy (optionally with its
   reference file); compiled plans are policy-independent, so installs
   invalidate nothing in the plan cache.
@@ -278,6 +283,10 @@ class P3PHttpServer(ThreadingHTTPServer):
                 "plans_audited": pool_stats.plans_audited,
                 "findings": pool_stats.audit_findings,
             },
+            # The materialized decision cache behind check() and
+            # /v1/match: hit rate, populate/invalidate volume, and
+            # best-effort write-back failures.
+            "decision_cache": self.policy_server.decisions.snapshot(),
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -366,6 +375,7 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
         "/v1/preferences": "_handle_register_preference",
         "/v1/check": "_handle_check",
         "/v1/check-batch": "_handle_check_batch",
+        "/v1/match": "_handle_match_corpus",
         "/v1/policies": "_handle_install_policy",
     }
 
@@ -534,12 +544,47 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
             protocol.decode(body))
         preference = parse_ruleset(request.appel)
         digest, created = self.server.preferences.register(preference)
+        if created and self.server.policy_server.cache_decisions:
+            # Eagerly materialize this preference's decision for every
+            # installed policy — the pay-once moment.  Best-effort: a
+            # failed populate costs the first match a repair pass, it
+            # must not fail the registration.
+            try:
+                self.server.policy_server.register_preference(preference)
+            except Exception:      # noqa: BLE001 — populate is advisory
+                self.server.policy_server.decisions.record_write_error()
+                logger.warning("decision-cache populate failed for %s",
+                               digest[:12], exc_info=True)
         self._send_json(201 if created else 200,
                         protocol.RegisterPreferenceResponse(
                             preference_hash=digest,
                             rules=len(preference.rules),
                             created=created,
                         ).to_wire())
+
+    def _handle_match_corpus(self, body: bytes, query: dict) -> None:
+        request = protocol.MatchCorpusRequest.from_wire(
+            protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            result = self.server.policy_server.match_all(preference)
+        finally:
+            self.server.admission.leave()
+        self.server.net_metrics.checks(len(result.decisions))
+        self._send_json(200, protocol.MatchCorpusResponse(
+            results=tuple(protocol.MatchCorpusEntry(
+                policy_id=decision.policy_id,
+                name=decision.name,
+                version=decision.version,
+                behavior=decision.behavior,
+                rule_index=decision.rule_index,
+                cached=decision.cached,
+            ) for decision in result.decisions),
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            elapsed_seconds=result.elapsed_seconds,
+        ).to_wire())
 
     def _handle_check(self, body: bytes, query: dict) -> None:
         request = protocol.CheckRequest.from_wire(protocol.decode(body))

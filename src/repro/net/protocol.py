@@ -396,6 +396,108 @@ class BatchCheckResponse:
 
 
 @dataclass(frozen=True)
+class MatchCorpusRequest:
+    """POST /v1/match — one preference against every installed policy.
+
+    Set-at-a-time: the server answers from its materialized decision
+    cache where it can and repairs the misses with a bulk plan, so the
+    response covers the whole corpus in a bounded number of statements
+    regardless of how many policies are installed.
+    """
+
+    preference_hash: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "v": PROTOCOL_VERSION,
+            "preference_hash": self.preference_hash,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "MatchCorpusRequest":
+        return cls(preference_hash=_field(payload, "preference_hash", str))
+
+
+@dataclass(frozen=True)
+class MatchCorpusEntry:
+    """One policy's decision within a corpus match."""
+
+    policy_id: int
+    name: str | None
+    version: int
+    behavior: str | None
+    rule_index: int | None
+    cached: bool
+
+    @property
+    def decision(self) -> tuple:
+        """The comparable decision, independent of cache temperature."""
+        return (self.policy_id, self.behavior, self.rule_index)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "policy_id": self.policy_id,
+            "name": self.name,
+            "version": self.version,
+            "behavior": self.behavior,
+            "rule_index": self.rule_index,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "MatchCorpusEntry":
+        return cls(
+            policy_id=_field(payload, "policy_id", int),
+            name=_field(payload, "name", str, required=False),
+            version=_field(payload, "version", int),
+            behavior=_field(payload, "behavior", str, required=False),
+            rule_index=_field(payload, "rule_index", int, required=False),
+            cached=_field(payload, "cached", bool,
+                          required=False, default=False),
+        )
+
+
+@dataclass(frozen=True)
+class MatchCorpusResponse:
+    """Every active policy's decision, ordered by policy id."""
+
+    results: tuple[MatchCorpusEntry, ...]
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "v": PROTOCOL_VERSION,
+            "results": [entry.to_wire() for entry in self.results],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]
+                  ) -> "MatchCorpusResponse":
+        raw = _field(payload, "results", list)
+        results = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, dict):
+                raise ProtocolError(ERR_BAD_REQUEST,
+                                    f"results[{index}] must be an object")
+            results.append(MatchCorpusEntry.from_wire(entry))
+        return cls(
+            results=tuple(results),
+            cache_hits=_field(payload, "cache_hits", int,
+                              required=False, default=0),
+            cache_misses=_field(payload, "cache_misses", int,
+                                required=False, default=0),
+            elapsed_seconds=_field(payload, "elapsed_seconds",
+                                   (int, float), required=False,
+                                   default=0.0),
+        )
+
+
+@dataclass(frozen=True)
 class InstallPolicyRequest:
     """POST /v1/policies — shred a policy (and optionally its reference
     file) into the store; supersedes earlier versions of the same name."""

@@ -46,6 +46,15 @@ Serving-scale additions beyond the paper:
   deduplicates keys within a bounded window and the table enforces key
   uniqueness, so a *retried* check (lost response, dropped connection)
   is logged exactly once — see docs/architecture.md "Failure model".
+* decisions are **materialized**: registering a preference
+  (:meth:`PolicyServer.register_preference`) runs one set-at-a-time
+  :class:`~repro.translate.plan.BulkPlan` over every active policy and
+  stores the results in the ``decision_cache`` table
+  (:mod:`repro.storage.decision_cache`), so a warm check — and a warm
+  corpus match (:meth:`PolicyServer.match_all`) — is an indexed point
+  lookup, no plan execution at all.  Version bumps invalidate only the
+  superseded version's rows, inside the install transaction; see
+  docs/architecture.md "Decision cache".
 """
 
 from __future__ import annotations
@@ -61,26 +70,43 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Sequence
 
-from repro.analysis.plans import audit_compiled_plan, plan_untrusted_strings
+from repro.analysis.plans import (
+    audit_bulk_plan,
+    audit_compiled_plan,
+    plan_untrusted_strings,
+)
 from repro.appel.model import Ruleset
 from repro.appel.parser import parse_ruleset
 from repro.appel.serializer import serialize_ruleset
 from repro.p3p.model import Policy
 from repro.p3p.reference import ReferenceFile, parse_reference_file
 from repro.storage.database import Database
+from repro.storage.decision_cache import (
+    DecisionCache,
+    decision_rows,
+    utc_now_iso,
+)
 from repro.storage.pool import ConnectionPool
 from repro.storage.refstore import ReferenceStore
 from repro.storage.shredder import PolicyStore, ShredReport
 from repro.storage.versioning import VersionedPolicyStore
 from repro.translate.appel_to_sql import OptimizedSqlTranslator
-from repro.translate.plan import CompiledPlan, TranslationCache
+from repro.translate.plan import BulkPlan, CompiledPlan, TranslationCache
 
 __all__ = [
     "CheckLogWriter",
     "CheckResult",
+    "MatchAllResult",
+    "MatchDecision",
     "PolicyServer",
     "TranslationCache",
 ]
+
+#: Cache-miss repair during :meth:`PolicyServer.match_all` uses batched
+#: bulk plans of at most this many policy ids per statement — bounded
+#: bind arity (ids × rules) regardless of corpus size, and at most a
+#: handful of distinct batch shapes in the translation cache.
+MATCH_BATCH_SIZE = 64
 
 logger = logging.getLogger(__name__)
 
@@ -111,10 +137,7 @@ _CHECK_LOG_KEY_INDEX = (
 
 def _migrate_check_log(db: Database) -> None:
     """Bring a pre-existing check_log table up to the current shape."""
-    columns = {row["name"]
-               for row in db.query("PRAGMA table_info(check_log)")}
-    if columns and "check_key" not in columns:
-        db.execute("ALTER TABLE check_log ADD COLUMN check_key TEXT")
+    db.ensure_columns("check_log", {"check_key": "TEXT"})
 
 
 @lru_cache(maxsize=1024)
@@ -267,6 +290,36 @@ class CheckResult:
         return self.policy_id is not None
 
 
+@dataclass(frozen=True)
+class MatchDecision:
+    """One policy's decision within a corpus match."""
+
+    policy_id: int
+    name: str | None
+    version: int
+    behavior: str | None
+    rule_index: int | None
+    cached: bool
+
+    @property
+    def decision(self) -> tuple:
+        """The comparable decision, independent of cache provenance."""
+        return (self.policy_id, self.behavior, self.rule_index)
+
+
+@dataclass(frozen=True)
+class MatchAllResult:
+    """A preference matched against every active policy at once."""
+
+    decisions: tuple[MatchDecision, ...]
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+
+    def by_policy_id(self) -> dict[int, MatchDecision]:
+        return {entry.policy_id: entry for entry in self.decisions}
+
+
 class PolicyServer:
     """A database-backed P3P server for one or many sites.
 
@@ -282,7 +335,8 @@ class PolicyServer:
                  translation_cache_size: int = 256,
                  log_batch_size: int = 32,
                  log_flush_interval: float = 1.0,
-                 audit_plans: bool = False):
+                 audit_plans: bool = False,
+                 cache_decisions: bool = True):
         if pool is None:
             pool = ConnectionPool(db if db is not None else ":memory:")
         self.pool = pool
@@ -294,6 +348,12 @@ class PolicyServer:
         self.db.executescript(_CHECK_LOG_DDL)
         _migrate_check_log(self.db)
         self.db.execute(_CHECK_LOG_KEY_INDEX)
+        #: The materialized decision cache.  ``cache_decisions=False``
+        #: turns the server back into the always-execute configuration
+        #: (benchmarks compare the two).
+        self.cache_decisions = cache_decisions
+        self.decisions = DecisionCache()
+        self.decisions.ensure_schema(self.db)
         self.db.commit()
         self._translation_cache = TranslationCache(translation_cache_size)
         #: When set, every cache-miss compilation is EXPLAIN-audited
@@ -334,6 +394,15 @@ class PolicyServer:
                     (report.policy_id, f"#{policy.name}",
                      f"%#{escaped}", site),
                 )
+                # Incremental decision-cache invalidation: only the
+                # superseded (now inactive) versions of this name lose
+                # their cached decisions, in the same transaction as
+                # the install — an observer never sees the new version
+                # active with the old version's decisions still
+                # serveable through it.  (The new policy_id has no rows
+                # yet, so its first check/match recomputes.)
+                self.decisions.invalidate_inactive(self.db, policy.name,
+                                                   site)
                 self.db.commit()
             else:
                 report = self.policies.install_policy(policy, site=site)
@@ -374,13 +443,35 @@ class PolicyServer:
         start = time.perf_counter()
         behavior: str | None = None
         rule_index: int | None = None
+        key = _ruleset_hash(preference)
+        write_back: tuple | None = None
         with self.pool.read() as db:
             policy_id = self.references.applicable_policy_id(
                 site, uri, cookie=cookie, db=db
             )
             if policy_id is not None:
-                plan = self.translate(preference)
-                behavior, rule_index = plan.execute(db, policy_id)
+                # Fast path: the materialized decision, if any version-
+                # guarded row exists (a registered preference, or any
+                # earlier check against this policy version).
+                cached = (self.decisions.lookup(db, key, policy_id)
+                          if self.cache_decisions else None)
+                if cached is not None:
+                    behavior, rule_index = cached
+                else:
+                    plan = self.translate(preference)
+                    behavior, rule_index = plan.execute(db, policy_id)
+                    if self.cache_decisions:
+                        version = db.scalar(
+                            "SELECT version FROM policy "
+                            "WHERE policy_id = ?", (policy_id,))
+                        if version is not None:
+                            write_back = (key, int(policy_id),
+                                          int(version), behavior,
+                                          rule_index, utc_now_iso())
+        if write_back is not None:
+            # Best-effort: a failed cache write must never fail the
+            # check it would have accelerated.
+            self._store_decisions([write_back], best_effort=True)
         elapsed = time.perf_counter() - start
 
         result = CheckResult(
@@ -423,6 +514,143 @@ class PolicyServer:
         finally:
             self.flush_log()
         return results
+
+    # -- set-at-a-time matching (the corpus as one query) ------------------------
+
+    def register_preference(self, preference: Ruleset | str) -> int:
+        """Materialize the whole corpus decision for *preference*.
+
+        One bulk plan execution decides every active policy at once;
+        the rows — negatives included, so later misses are only ever
+        *new* policies — are stored in a single transaction (a crash
+        mid-populate leaves nothing, see tests/test_decision_cache.py).
+        The paper's pay-once insight applied to the corpus: after this,
+        every check and corpus match for the preference is an indexed
+        point lookup.  Returns the number of rows cached.
+        """
+        if isinstance(preference, str):
+            preference = parse_ruleset(preference)
+        key = _ruleset_hash(preference)
+        plan = self.translate_bulk(preference)
+        with self.pool.write() as db:
+            with db.transaction():
+                actives = [(int(row["policy_id"]), int(row["version"]))
+                           for row in db.query(
+                               "SELECT policy_id, version FROM policy "
+                               "WHERE active = 1")]
+                fired = plan.execute(db, ())
+                rows = decision_rows(key, actives, fired)
+                self.decisions.store_rows(db, rows)
+        return len(rows)
+
+    def match_all(self, preference: Ruleset | str) -> MatchAllResult:
+        """Match *preference* against every active policy.
+
+        Warm (registered preference, no installs since): one indexed
+        statement — every active policy LEFT JOINed to its cached,
+        version-guarded decision.  Cache misses (new policies, or a
+        never-registered preference) are repaired set-at-a-time: the
+        full bulk plan when nothing is cached, ``policy_id IN (...)``
+        micro-batches of at most :data:`MATCH_BATCH_SIZE` otherwise,
+        and the repaired rows are written back (best-effort).
+        """
+        if isinstance(preference, str):
+            preference = parse_ruleset(preference)
+        key = _ruleset_hash(preference)
+        start = time.perf_counter()
+        fired: dict[int, tuple] = {}
+        with self.pool.read() as db:
+            rows = self.decisions.match_rows(db, key)
+            missing = [(int(row["policy_id"]), int(row["version"]))
+                       for row in rows if not row["cached"]]
+            if missing and len(missing) == len(rows):
+                fired = self.translate_bulk(preference).execute(db, ())
+            elif missing:
+                ids = [policy_id for policy_id, _ in missing]
+                for offset in range(0, len(ids), MATCH_BATCH_SIZE):
+                    chunk = tuple(ids[offset:offset + MATCH_BATCH_SIZE])
+                    plan = self.translate_bulk(preference,
+                                               batch_size=len(chunk))
+                    fired.update(plan.execute(db, chunk))
+        self.decisions.record_hits(len(rows) - len(missing),
+                                   len(missing))
+        if missing and self.cache_decisions:
+            self._store_decisions(decision_rows(key, missing, fired),
+                                  best_effort=True)
+        decisions: list[MatchDecision] = []
+        for row in rows:
+            policy_id = int(row["policy_id"])
+            if row["cached"]:
+                behavior = row["behavior"]
+                rule_index = (int(row["rule_index"])
+                              if row["rule_index"] is not None else None)
+            else:
+                behavior, rule_index = fired.get(policy_id, (None, None))
+            decisions.append(MatchDecision(
+                policy_id=policy_id,
+                name=row["name"],
+                version=int(row["version"]),
+                behavior=behavior,
+                rule_index=rule_index,
+                cached=bool(row["cached"]),
+            ))
+        return MatchAllResult(
+            decisions=tuple(decisions),
+            cache_hits=len(rows) - len(missing),
+            cache_misses=len(missing),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def translate_bulk(self, preference: Ruleset,
+                       batch_size: int = 0) -> BulkPlan:
+        """The cached bulk plan for *preference* (full corpus, or a
+        ``batch_size``-id micro-batch shape).
+
+        Shares the translation cache with :meth:`translate` under a
+        distinct key; like compiled plans, bulk plans embed no policy
+        id, so installs invalidate nothing here.
+        """
+        key = (_ruleset_hash(preference), "bulk", batch_size)
+        plan = self._translation_cache.get(key)
+        if plan is None:
+            plan = self.translator.compile_bulk(preference, batch_size)
+            if self.audit_plans:
+                self._audit_bulk(key, preference, plan)
+            self._translation_cache.put(key, plan)
+        return plan
+
+    def _store_decisions(self, rows: list[tuple],
+                         best_effort: bool = False) -> int:
+        """Write decision rows through the serialized writer, atomically.
+
+        ``best_effort`` swallows (and counts) failures — cache writes
+        on the check path are an optimization, never a reason to fail
+        the check.
+        """
+        try:
+            with self.pool.write() as db:
+                with db.transaction():
+                    return self.decisions.store_rows(db, rows)
+        except Exception:
+            if not best_effort:
+                raise
+            self.decisions.record_write_error()
+            logger.warning("decision-cache write-back failed",
+                           exc_info=True)
+            return 0
+
+    def _audit_bulk(self, key, preference: Ruleset,
+                    plan: BulkPlan) -> None:
+        """EXPLAIN-audit a freshly compiled bulk plan (flag-gated)."""
+        with self.pool.read() as db:
+            findings = audit_bulk_plan(
+                db, plan, where=f"bulk:{key[0][:12]}",
+                untrusted=plan_untrusted_strings(preference),
+            )
+            db.stats.record_audit(len(findings))
+        self.last_audit_findings = tuple(findings)
+        for finding in findings:
+            logger.warning("bulk plan audit: %s", finding)
 
     def translate(self, preference: Ruleset) -> CompiledPlan:
         """The cached compiled plan for *preference*.

@@ -338,5 +338,34 @@ class Database:
         )
         return [row["name"] for row in rows]
 
+    def table_columns(self, table: str) -> list[str]:
+        """Column names of *table*, in declaration order (empty when the
+        table does not exist)."""
+        rows = self.query(f"PRAGMA table_info({quote_ident(table)})")
+        return [row["name"] for row in rows]
+
+    def ensure_columns(self, table: str,
+                       columns: "dict[str, str]") -> list[str]:
+        """Migrate *table* forward: ``ALTER TABLE ADD COLUMN`` for every
+        column of *columns* (name -> type/default declaration) it lacks.
+
+        Returns the names added.  A missing table is left alone — the
+        caller's CREATE TABLE IF NOT EXISTS already carries the full
+        shape, so there is nothing to migrate.
+        """
+        existing = set(self.table_columns(table))
+        if not existing:
+            return []
+        added: list[str] = []
+        for name, declaration in columns.items():
+            if name in existing:
+                continue
+            self.execute(
+                f"ALTER TABLE {quote_ident(table)} "
+                f"ADD COLUMN {quote_ident(name)} {declaration}"
+            )
+            added.append(name)
+        return added
+
     def table_count(self, table: str) -> int:
         return int(self.scalar(f"SELECT COUNT(*) FROM {quote_ident(table)}"))

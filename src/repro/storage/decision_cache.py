@@ -1,0 +1,241 @@
+"""The materialized decision cache: corpus matching as a point lookup.
+
+A ``decision_cache`` row is one *decided* (preference, policy-version)
+cell: ``(pref_hash, policy_id, policy_version) -> (behavior,
+rule_index)``, with ``behavior IS NULL`` recording a *negative* decision
+(no rule fired) — row-present-with-NULLs and row-absent are different
+facts, so a cache miss is always observable.
+
+**Why this can never serve a stale decision.**  The versioned store
+never updates a policy in place: installing a new version of a name
+creates a *new* ``policy_id`` and deactivates the old row, so the policy
+content behind a given ``policy_id`` is immutable and a decision keyed
+by it cannot rot.  Two structural defenses back that argument up:
+
+* the lookup joins ``policy`` on ``policy_id`` *and*
+  ``version = policy_version`` — a row written against a different
+  version of the same id (impossible today, cheap to guard) simply
+  misses;
+* :meth:`DecisionCache.invalidate_inactive` deletes the rows of every
+  superseded (inactive) version of a name at install time, inside the
+  installer's write transaction — incremental garbage collection, not a
+  correctness requirement.
+
+All SQL here is static text over storage-layer tables; the serving
+layer calls these methods with a pooled connection and never assembles
+cache SQL itself.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+from typing import Any, Iterable, Sequence
+
+from repro.storage.database import Database
+
+DECISION_CACHE_DDL = """
+CREATE TABLE IF NOT EXISTS decision_cache (
+  pref_hash       TEXT NOT NULL,
+  policy_id       INTEGER NOT NULL,
+  policy_version  INTEGER NOT NULL,
+  behavior        TEXT,
+  rule_index      INTEGER,
+  computed_at     TEXT NOT NULL,
+  PRIMARY KEY (pref_hash, policy_id, policy_version)
+);
+"""
+
+#: Columns added after the table first shipped (forward migration).
+_MIGRATED_COLUMNS = {
+    "computed_at": "TEXT NOT NULL DEFAULT ''",
+}
+
+
+def utc_now_iso() -> str:
+    """The ``computed_at`` timestamp format (UTC ISO-8601)."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+class DecisionCache:
+    """Reads, writes and counters over the ``decision_cache`` table.
+
+    The object itself holds no connection — every method takes the
+    :class:`Database` the caller is already holding (a pooled reader
+    for lookups, the serialized writer for populate/invalidate), so the
+    pool's locking discipline is preserved.  Counters are process-local
+    and lock-protected; :meth:`snapshot` feeds ``GET /metrics``.
+    """
+
+    #: The hot-path point lookup: both accesses must be index probes —
+    #: the cache row by its primary key prefix ``(pref_hash,
+    #: policy_id)``, the version guard by the policy table's integer
+    #: primary key.  ``repro.analysis.plans.audit_decision_lookup``
+    #: gates on exactly that.
+    LOOKUP_SQL = (
+        "SELECT dc.behavior, dc.rule_index\n"
+        "FROM decision_cache AS dc\n"
+        "JOIN policy ON policy.policy_id = dc.policy_id\n"
+        "           AND policy.version = dc.policy_version\n"
+        "WHERE dc.pref_hash = ? AND dc.policy_id = ?"
+    )
+
+    #: The warm corpus match: every active policy LEFT JOINed to its
+    #: cached decision in one statement.  ``cached = 0`` rows are the
+    #: misses the caller must compute (and may write back).
+    MATCH_SQL = (
+        "SELECT policy.policy_id AS policy_id,\n"
+        "       policy.name AS name,\n"
+        "       policy.version AS version,\n"
+        "       dc.behavior AS behavior,\n"
+        "       dc.rule_index AS rule_index,\n"
+        "       dc.pref_hash IS NOT NULL AS cached\n"
+        "FROM policy\n"
+        "LEFT JOIN decision_cache AS dc\n"
+        "       ON dc.pref_hash = ?\n"
+        "      AND dc.policy_id = policy.policy_id\n"
+        "      AND dc.policy_version = policy.version\n"
+        "WHERE policy.active = 1\n"
+        "ORDER BY policy.policy_id"
+    )
+
+    _INSERT = (
+        "INSERT OR REPLACE INTO decision_cache "
+        "(pref_hash, policy_id, policy_version, behavior, rule_index, "
+        "computed_at) VALUES (?, ?, ?, ?, ?, ?)"
+    )
+
+    _INVALIDATE = (
+        "DELETE FROM decision_cache WHERE policy_id IN ("
+        "SELECT policy_id FROM policy "
+        "WHERE name = ? AND site IS ? AND active = 0)"
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.populated = 0
+        self.invalidated = 0
+        self.write_errors = 0
+
+    # -- schema ---------------------------------------------------------------
+
+    def ensure_schema(self, db: Database) -> None:
+        """Create the table (and migrate an older one forward)."""
+        db.executescript(DECISION_CACHE_DDL)
+        db.ensure_columns("decision_cache", _MIGRATED_COLUMNS)
+
+    # -- reads ----------------------------------------------------------------
+
+    def lookup(self, db: Database, pref_hash: str, policy_id: int
+               ) -> tuple[str | None, int | None] | None:
+        """The cached decision for one (preference, policy) cell.
+
+        Returns ``None`` on a miss; on a hit, the ``(behavior,
+        rule_index)`` pair — possibly ``(None, None)``, a cached
+        negative decision.
+        """
+        row = db.query_one(self.LOOKUP_SQL, (pref_hash, int(policy_id)))
+        with self._lock:
+            if row is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        if row is None:
+            return None
+        return (
+            row["behavior"],
+            int(row["rule_index"]) if row["rule_index"] is not None
+            else None,
+        )
+
+    def match_rows(self, db: Database, pref_hash: str) -> list[Any]:
+        """One statement: every active policy with its cached decision
+        (or ``cached = 0`` where none is materialized).  Hit/miss
+        counters are the caller's to record — it knows which misses it
+        goes on to compute."""
+        return db.query(self.MATCH_SQL, (pref_hash,))
+
+    def row_count(self, db: Database, pref_hash: str | None = None) -> int:
+        if pref_hash is None:
+            return int(db.scalar("SELECT COUNT(*) FROM decision_cache"))
+        return int(db.scalar(
+            "SELECT COUNT(*) FROM decision_cache WHERE pref_hash = ?",
+            (pref_hash,)))
+
+    # -- writes ---------------------------------------------------------------
+
+    def store_rows(self, db: Database,
+                   rows: Sequence[tuple]) -> int:
+        """Materialize decided cells: ``(pref_hash, policy_id,
+        policy_version, behavior, rule_index, computed_at)`` tuples.
+
+        The caller owns transaction scope (population must be atomic —
+        a crash mid-populate may not leave partial rows; see
+        ``tests/test_decision_cache.py``).
+        """
+        if not rows:
+            return 0
+        db.executemany(self._INSERT, rows)
+        with self._lock:
+            self.populated += len(rows)
+        return len(rows)
+
+    def invalidate_inactive(self, db: Database, name: str,
+                            site: str | None) -> int:
+        """Drop the cached decisions of every superseded version of
+        (*name*, *site*); returns rows deleted.
+
+        Called by the installer inside its write transaction, right
+        after a version bump deactivates the old ``policy_id`` — the
+        delete and the install commit or roll back together.
+        """
+        cursor = db.execute(self._INVALIDATE, (name, site))
+        deleted = max(0, cursor.rowcount)
+        with self._lock:
+            self.invalidated += deleted
+        return deleted
+
+    def record_hits(self, hits: int, misses: int) -> None:
+        """Fold a bulk match's hit/miss split into the counters."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+
+    def record_write_error(self) -> None:
+        with self._lock:
+            self.write_errors += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "populated": self.populated,
+                "invalidated": self.invalidated,
+                "write_errors": self.write_errors,
+            }
+
+
+def decision_rows(pref_hash: str,
+                  actives: Iterable[tuple[int, int]],
+                  fired: dict[int, tuple[str, int]],
+                  computed_at: str | None = None) -> list[tuple]:
+    """Build INSERT tuples for every active policy, negatives included.
+
+    *actives* is ``(policy_id, version)`` pairs; *fired* the bulk
+    plan's ``{policy_id: (behavior, rule_index)}``.  Policies absent
+    from *fired* become cached negative decisions (NULL behavior).
+    """
+    stamp = computed_at if computed_at is not None else utc_now_iso()
+    rows: list[tuple] = []
+    for policy_id, version in actives:
+        behavior, rule_index = fired.get(int(policy_id), (None, None))
+        rows.append((pref_hash, int(policy_id), int(version),
+                     behavior, rule_index, stamp))
+    return rows

@@ -44,8 +44,11 @@ from repro.storage.database import Database, quote_ident, sql_literal
 from repro.translate import sqlgen
 from repro.translate.plan import (
     APPLICABLE_POLICY_PARAM,
+    BulkPlan,
     CompiledPlan,
     PlanRule,
+    batched_policy_source,
+    combine_bulk_rules,
     combine_rules,
 )
 from repro.translate.sqlgen import FALSE_CLAUSE, TRUE_CLAUSE
@@ -96,18 +99,25 @@ def evaluate_ruleset(db: Database, translated: TranslatedRuleset
 
 
 def _rule_header(behavior: str, applicable_policy_sql: str,
-                 rule_index: int | None = None) -> str:
+                 rule_index: int | None = None, *,
+                 project_policy_id: bool = False) -> str:
     """The SELECT head of one rule query.
 
     With *rule_index* the projection carries the rule's position too —
     the column :func:`~repro.translate.plan.combine_rules` orders the
-    UNION ALL members by.
+    UNION ALL members by.  With *project_policy_id* it also carries the
+    applicable policy's id, which the bulk form's window function
+    partitions by (the ApplicablePolicy relation is then many rows —
+    the whole corpus or a micro-batch — not a single id).
     """
-    columns = f"SELECT {sql_literal(behavior)} AS behavior"
+    parts: list[str] = []
+    if project_policy_id:
+        parts.append("applicable_policy.policy_id AS policy_id")
+    parts.append(f"{sql_literal(behavior)} AS behavior")
     if rule_index is not None:
-        columns += f", {int(rule_index)} AS rule_index"
+        parts.append(f"{int(rule_index)} AS rule_index")
     return (
-        columns + "\n"
+        "SELECT " + ", ".join(parts) + "\n"
         "FROM (\n"
         + sqlgen.indent_block(applicable_policy_sql)
         + "\n) AS applicable_policy\n"
@@ -129,6 +139,33 @@ def _compile_ruleset(translator, ruleset: Ruleset) -> CompiledPlan:
     return CompiledPlan(rules=rules, sql=combine_rules(rules))
 
 
+def _compile_bulk(translator, ruleset: Ruleset,
+                  batch_size: int = 0) -> BulkPlan:
+    """Shared set-at-a-time compile: one statement, every policy at once.
+
+    The ApplicablePolicy relation is the translator's
+    ``BULK_POLICY_SOURCE`` (all installed — for the optimized schema,
+    all *active* — policies); with ``batch_size > 0`` it is narrowed to
+    a ``policy_id IN (?, ...)`` micro-batch.  Each rule member projects
+    the policy id so :func:`~repro.translate.plan.combine_bulk_rules`
+    can pick the first firing rule per policy.
+    """
+    source = translator.BULK_POLICY_SOURCE
+    if batch_size:
+        source = batched_policy_source(source, batch_size)
+    rules = tuple(
+        PlanRule(
+            behavior=rule.behavior,
+            rule_index=index,
+            sql=translator.translate_rule(rule, source, rule_index=index,
+                                          project_policy_id=True),
+        )
+        for index, rule in enumerate(ruleset.rules)
+    )
+    return BulkPlan(rules=rules, sql=combine_bulk_rules(rules),
+                    batch_size=batch_size)
+
+
 def _root_clauses(rule: Rule, match_top) -> str:
     """Combine a rule's top-level expressions (root must be POLICY)."""
     clauses: list[str] = []
@@ -146,9 +183,19 @@ def _root_clauses(rule: Rule, match_top) -> str:
 class GenericSqlTranslator:
     """Figure 11: APPEL to SQL over the generic (Figure 8) schema."""
 
+    #: All installed policies (the generic schema has no versioning, so
+    #: every ``policy`` row is live).
+    BULK_POLICY_SOURCE = "SELECT policy_id FROM policy"
+
     def compile_ruleset(self, ruleset: Ruleset) -> CompiledPlan:
         """Compile once: parameterized policy id, one query per check."""
         return _compile_ruleset(self, ruleset)
+
+    def compile_bulk(self, ruleset: Ruleset,
+                     batch_size: int = 0) -> BulkPlan:
+        """Compile set-at-a-time: every policy (or a micro-batch) in
+        one statement."""
+        return _compile_bulk(self, ruleset, batch_size)
 
     def translate_ruleset(self, ruleset: Ruleset,
                           applicable_policy_sql: str) -> TranslatedRuleset:
@@ -163,10 +210,12 @@ class GenericSqlTranslator:
 
     def translate_rule(self, rule: Rule,
                        applicable_policy_sql: str, *,
-                       rule_index: int | None = None) -> str:
+                       rule_index: int | None = None,
+                       project_policy_id: bool = False) -> str:
         """The main() function of Figure 11."""
         header = _rule_header(rule.behavior, applicable_policy_sql,
-                              rule_index)
+                              rule_index,
+                              project_policy_id=project_policy_id)
         if rule.is_catch_all():
             return header + TRUE_CLAUSE
 
@@ -263,9 +312,19 @@ class OptimizedSqlTranslator:
     into a single subquery".
     """
 
+    #: All *active* policies: the versioned store keeps superseded
+    #: versions as inactive rows, which a corpus match must not see.
+    BULK_POLICY_SOURCE = "SELECT policy_id FROM policy WHERE active = 1"
+
     def compile_ruleset(self, ruleset: Ruleset) -> CompiledPlan:
         """Compile once: parameterized policy id, one query per check."""
         return _compile_ruleset(self, ruleset)
+
+    def compile_bulk(self, ruleset: Ruleset,
+                     batch_size: int = 0) -> BulkPlan:
+        """Compile set-at-a-time: every active policy (or a
+        micro-batch) in one statement."""
+        return _compile_bulk(self, ruleset, batch_size)
 
     def translate_ruleset(self, ruleset: Ruleset,
                           applicable_policy_sql: str) -> TranslatedRuleset:
@@ -280,9 +339,11 @@ class OptimizedSqlTranslator:
 
     def translate_rule(self, rule: Rule,
                        applicable_policy_sql: str, *,
-                       rule_index: int | None = None) -> str:
+                       rule_index: int | None = None,
+                       project_policy_id: bool = False) -> str:
         header = _rule_header(rule.behavior, applicable_policy_sql,
-                              rule_index)
+                              rule_index,
+                              project_policy_id=project_policy_id)
         if rule.is_catch_all():
             return header + TRUE_CLAUSE
         return header + _root_clauses(rule, self._policy_clause)

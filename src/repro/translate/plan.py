@@ -19,6 +19,16 @@ A :class:`CompiledPlan` is the compile-once shape:
   ``ORDER BY rule_index LIMIT 1`` — so a warm check is exactly one SQL
   round-trip regardless of rule count.
 
+A :class:`BulkPlan` generalizes the compiled plan from policy-at-a-time
+to **set-at-a-time**: the ``?`` bind is dropped and the ApplicablePolicy
+relation becomes *every installed policy*, so one statement returns
+``(policy_id, behavior, rule_index)`` for the whole corpus.  First-rule-
+wins per policy is expressed with a window function —
+``MIN(rule_index) OVER (PARTITION BY policy_id)`` — instead of
+``ORDER BY rule_index LIMIT 1``, which only works for a single policy.
+A batched variant (``batch_size > 0``) narrows the same statement to a
+``policy_id IN (?, ...)`` micro-batch for the serving tier.
+
 :class:`TranslationCache` (the bounded, thread-safe LRU the serving
 layer shares) lives here too: it caches compiled plans keyed by
 preference content hash alone.
@@ -109,6 +119,99 @@ def combine_rules(rules: tuple[PlanRule, ...]) -> str:
         return ""
     members = "\nUNION ALL\n".join(rule.sql for rule in rules)
     return members + "\nORDER BY rule_index\nLIMIT 1"
+
+
+@dataclass(frozen=True)
+class BulkPlan:
+    """A preference compiled against the *whole* policy corpus at once.
+
+    ``sql`` returns one ``(policy_id, behavior, rule_index)`` row per
+    matching policy — the first rule that fires for each, selected via
+    ``MIN(rule_index) OVER (PARTITION BY policy_id)``.  Policies no
+    rule fires against produce no row; :meth:`execute` returns a dict,
+    so absence is observable.
+
+    ``batch_size == 0`` is the full-corpus form: zero bind parameters,
+    every installed (active) policy evaluated in one round trip.
+    ``batch_size == n`` is the micro-batch form: each rule member
+    embeds a ``policy_id IN (?, ...)`` restriction of *n* placeholders,
+    so the statement takes ``n × rules`` parameters (the same ids
+    repeated per member, like :meth:`CompiledPlan.parameters`).
+    """
+
+    rules: tuple[PlanRule, ...]
+    sql: str
+    batch_size: int = 0
+
+    @property
+    def parameter_count(self) -> int:
+        """Bind parameters the statement takes (batch ids × rules)."""
+        return self.batch_size * len(self.rules)
+
+    def parameters(self, policy_ids: tuple[int, ...] = ()
+                   ) -> tuple[int, ...]:
+        """The bind tuple for one micro-batch (ids repeated per rule)."""
+        ids = tuple(int(policy_id) for policy_id in policy_ids)
+        if len(ids) != self.batch_size:
+            raise ValueError(
+                f"bulk plan compiled for a batch of {self.batch_size} "
+                f"policy id(s), got {len(ids)}"
+            )
+        return ids * len(self.rules)
+
+    def execute(self, db: Database, policy_ids: tuple[int, ...] = ()
+                ) -> dict[int, tuple[str, int]]:
+        """One round trip: ``{policy_id: (behavior, rule_index)}`` for
+        every policy a rule fired against (others are absent)."""
+        if not self.rules:
+            return {}
+        rows = db.query(self.sql, self.parameters(policy_ids))
+        return {
+            int(row["policy_id"]): (row["behavior"],
+                                    int(row["rule_index"]))
+            for row in rows
+        }
+
+    def size_chars(self) -> int:
+        """Memory proxy: characters of SQL this plan pins in a cache."""
+        return len(self.sql)
+
+
+def combine_bulk_rules(rules: tuple[PlanRule, ...]) -> str:
+    """Fold bulk rule members into the set-at-a-time statement.
+
+    ``ORDER BY rule_index LIMIT 1`` cannot express first-rule-wins for
+    many policies at once; the window function computes each policy's
+    winning rule index across the UNION ALL members, and the outer
+    filter keeps exactly that row per policy (rule indexes are unique
+    within a policy, so no ties).
+    """
+    if not rules:
+        return ""
+    members = "\nUNION ALL\n".join(rule.sql for rule in rules)
+    return (
+        "SELECT policy_id, behavior, rule_index\n"
+        "FROM (\n"
+        "SELECT policy_id, behavior, rule_index,\n"
+        "       MIN(rule_index) OVER (PARTITION BY policy_id)"
+        " AS first_rule_index\n"
+        "FROM (\n" + members + "\n) AS fired\n"
+        ") AS ranked\n"
+        "WHERE rule_index = first_rule_index\n"
+        "ORDER BY policy_id"
+    )
+
+
+def batched_policy_source(source: str, batch_size: int) -> str:
+    """Restrict an all-policies ApplicablePolicy *source* to a
+    ``? IN (...)`` micro-batch of *batch_size* placeholders."""
+    if batch_size < 1:
+        raise ValueError("a micro-batch needs at least one policy id")
+    marks = ", ".join("?" * batch_size)
+    return (
+        "SELECT policy_id FROM (\n" + source + "\n)\n"
+        f"WHERE policy_id IN ({marks})"
+    )
 
 
 class TranslationCache:

@@ -4,8 +4,10 @@ import pytest
 
 from repro.analysis import (
     HOT_TABLES,
+    audit_bulk_plan,
     audit_compiled_plan,
     audit_corpus,
+    audit_decision_lookup,
     audit_statement,
     audit_translated_ruleset,
     scan_findings,
@@ -13,12 +15,13 @@ from repro.analysis import (
 )
 from repro.analysis.plans import plan_untrusted_strings, strip_quoted
 from repro.storage.database import Database
+from repro.storage.decision_cache import DecisionCache
 from repro.storage.shredder import PolicyStore
 from repro.translate.appel_to_sql import (
     OptimizedSqlTranslator,
     applicable_policy_literal,
 )
-from repro.translate.plan import CompiledPlan, PlanRule
+from repro.translate.plan import BulkPlan, CompiledPlan, PlanRule
 
 
 @pytest.fixture()
@@ -143,6 +146,59 @@ class TestCompiledPlanAudit:
         assert any(value == "always" for value in collected)
 
 
+class TestBulkPlanAudit:
+    def test_suite_bulk_plans_are_clean(self, store, suite):
+        translator = OptimizedSqlTranslator()
+        for level, rs in suite.items():
+            for batch_size in (0, 2):
+                plan = translator.compile_bulk(rs, batch_size=batch_size)
+                findings = audit_bulk_plan(
+                    store.db, plan, where=f"{level}/bulk[{batch_size}]",
+                    untrusted=plan_untrusted_strings(rs))
+                assert findings == [], (level, batch_size)
+
+    def test_bind_arity_mismatch_detected(self, store, suite):
+        plan = OptimizedSqlTranslator().compile_bulk(suite["Low"],
+                                                     batch_size=2)
+        doctored = BulkPlan(rules=plan.rules, sql=plan.sql, batch_size=3)
+        findings = audit_bulk_plan(store.db, doctored)
+        assert [f.code for f in findings] == ["bind-arity"]
+        assert findings[0].severity == "error"
+
+    def test_empty_bulk_plan_is_clean(self, store):
+        assert audit_bulk_plan(store.db,
+                               BulkPlan(rules=(), sql="")) == []
+
+
+class TestDecisionLookupAudit:
+    @pytest.fixture()
+    def cache_db(self, store):
+        cache = DecisionCache()
+        cache.ensure_schema(store.db)
+        return cache, store.db
+
+    def test_lookup_and_match_statements_are_clean(self, cache_db):
+        cache, db = cache_db
+        assert audit_decision_lookup(db, cache.LOOKUP_SQL,
+                                     ("probe", 1)) == []
+        assert audit_decision_lookup(db, cache.MATCH_SQL, ("probe",)) == []
+
+    def test_unindexed_cache_read_is_flagged(self, cache_db):
+        _, db = cache_db
+        findings = audit_decision_lookup(
+            db, "SELECT * FROM decision_cache WHERE behavior = 'block'")
+        assert [f.code for f in findings] == ["cache-scan"]
+        assert findings[0].severity == "error"
+
+    def test_cache_scan_is_stricter_than_hot_table_scan(self, cache_db):
+        # scan_findings alone would pass this statement — the cache
+        # table is not in HOT_TABLES; the cache audit must not.
+        _, db = cache_db
+        sql = "SELECT * FROM decision_cache WHERE behavior = 'block'"
+        assert scan_findings(db, sql) == []
+        assert audit_decision_lookup(db, sql) != []
+
+
 class TestCorpusGate:
     def test_small_corpus_audit_is_clean(self, small_corpus, suite):
         report = audit_corpus(small_corpus, suite)
@@ -157,7 +213,12 @@ class TestCorpusGate:
                                                  suite):
         report = audit_corpus(small_corpus, suite, audit_literal=False)
         assert report.ok
-        assert report.statements_explained == len(suite)
+        # Per preference: one compiled plan + two bulk forms (full
+        # corpus and a micro-batch); plus the two static cache
+        # statements audited once.
+        assert report.bulk_plans_explained == 2 * len(suite)
+        assert report.cache_lookups_explained == 2
+        assert report.statements_explained == 3 * len(suite) + 2
 
     def test_unreachable_rule_surfaces_in_report(self, small_corpus,
                                                  suite):

@@ -19,7 +19,7 @@ class TestRunAll:
             "meta", "e1_dataset", "e2_preferences", "e3_shredding",
             "e4_figure20", "e5_figure21", "e6_warm_cold", "e7_ablation",
             "e8_concurrency", "e9_http_load", "e10_fault_tolerance",
-            "e11_plan_compilation",
+            "e11_plan_compilation", "e12_bulk_matching",
         }
 
     def test_json_serializable(self, results):
@@ -90,6 +90,15 @@ class TestRunAll:
             plan["round_trips_per_check"]
         assert plan["translations"] < literal["translations"]
         assert plan["cached_sql_chars"] < literal["cached_sql_chars"]
+
+    def test_bulk_matching_block(self, results):
+        rows = {r["mode"]: r for r in results["e12_bulk_matching"]}
+        assert set(rows) == {"per-policy", "bulk", "cached"}
+        assert rows["bulk"]["round_trips"] == 1
+        assert rows["cached"]["round_trips"] == 1
+        assert rows["per-policy"]["round_trips"] == \
+            rows["per-policy"]["policies"]
+        assert len({r["decisions"] for r in rows.values()}) == 1
 
 
 class TestSaveResults:

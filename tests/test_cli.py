@@ -93,6 +93,18 @@ class TestMatch:
         assert main(["match", policy_file, str(pref)]) == 3
         assert "behavior=block" in capsys.readouterr().out
 
+    def test_match_all_runs_the_corpus(self, preference_file, capsys):
+        assert main(["match", "--all", preference_file,
+                     "--corpus-size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "6 policies" in out
+        assert "6 decisions materialized" in out
+        assert "6 hit(s), 0 miss(es)" in out
+
+    def test_match_without_preference_errors(self, policy_file, capsys):
+        assert main(["match", policy_file]) == 2
+        assert "PREFERENCE file is required" in capsys.readouterr().err
+
 
 class TestCorpus:
     def test_emits_files(self, tmp_path, capsys):

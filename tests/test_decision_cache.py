@@ -1,0 +1,321 @@
+"""The materialized decision cache: correctness, staleness, crashes.
+
+Three layers of proof that the cache never serves a wrong decision:
+
+* unit tests over :class:`DecisionCache` (hit/miss/negative rows, the
+  version-guarded lookup, install-time invalidation, forward migration);
+* a hypothesis state machine interleaving installs, registrations and
+  corpus matches on a live :class:`PolicyServer`, checking every served
+  decision against the native APPEL engine — the cache is invisible
+  except in the counters;
+* chaos: a crash mid-populate must leave *no* partial rows after
+  recovery (population is one transaction), and a faulting cache write
+  must never fail the check it would have accelerated.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.appel.engine import AppelEngine
+from repro.corpus.preferences import jrc_suite
+from repro.p3p.model import Policy, PurposeValue, RecipientValue, Statement
+from repro.server.policy_server import PolicyServer
+from repro.storage.database import Database
+from repro.storage.decision_cache import (
+    DecisionCache,
+    decision_rows,
+    utc_now_iso,
+)
+from repro.storage.shredder import PolicyStore
+from repro.testing.faults import FaultPlan, crash_pool, install_pool_faults
+
+_NAMES = ("alpha", "beta")
+_RETENTIONS = ("no-retention", "stated-purpose", "indefinitely")
+_LEVELS = ("Very High", "Low")
+
+
+def _policy(name: str, retention: str) -> Policy:
+    return Policy(
+        name=name,
+        discuri=f"http://{name}.example.com/p",
+        statements=(
+            Statement(
+                purposes=(PurposeValue("current"),),
+                recipients=(RecipientValue("ours"),),
+                retention=retention,
+            ),
+        ),
+    )
+
+
+@pytest.fixture()
+def store():
+    store = PolicyStore(Database())
+    yield store
+    store.db.close()
+
+
+@pytest.fixture()
+def cache(store):
+    cache = DecisionCache()
+    cache.ensure_schema(store.db)
+    return cache
+
+
+class TestCacheTable:
+    def test_lookup_misses_then_hits(self, store, cache):
+        policy_id = store.install_policy(_policy("a", "no-retention"),
+                                         version=1).policy_id
+        assert cache.lookup(store.db, "h", policy_id) is None
+        cache.store_rows(store.db,
+                         [("h", policy_id, 1, "block", 0, utc_now_iso())])
+        assert cache.lookup(store.db, "h", policy_id) == ("block", 0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_negative_decision_is_a_hit_not_a_miss(self, store, cache):
+        policy_id = store.install_policy(_policy("a", "no-retention"),
+                                         version=1).policy_id
+        cache.store_rows(store.db,
+                         [("h", policy_id, 1, None, None, utc_now_iso())])
+        # Row-present-with-NULLs: "no rule fires" is a cached fact.
+        assert cache.lookup(store.db, "h", policy_id) == (None, None)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_version_guard_rejects_mismatched_rows(self, store, cache):
+        policy_id = store.install_policy(_policy("a", "no-retention"),
+                                         version=2).policy_id
+        cache.store_rows(store.db,
+                         [("h", policy_id, 1, "block", 0, utc_now_iso())])
+        # A row written against version 1 of an id whose live version is
+        # 2 must miss (defense-in-depth; ids are immutable in practice).
+        assert cache.lookup(store.db, "h", policy_id) is None
+
+    def test_invalidate_only_inactive_versions(self, store, cache):
+        old = store.install_policy(_policy("a", "no-retention"),
+                                   version=1, active=False).policy_id
+        new = store.install_policy(_policy("a", "indefinitely"),
+                                   version=2).policy_id
+        stamp = utc_now_iso()
+        cache.store_rows(store.db, [("h", old, 1, "block", 0, stamp),
+                                    ("h", new, 2, "request", 1, stamp)])
+        assert cache.invalidate_inactive(store.db, "a", None) == 1
+        assert cache.lookup(store.db, "h", new) == ("request", 1)
+        assert cache.row_count(store.db) == 1
+        assert cache.invalidated == 1
+
+    def test_decision_rows_fill_negatives(self):
+        rows = decision_rows("h", [(1, 1), (2, 1)], {1: ("block", 0)},
+                             computed_at="t")
+        assert rows == [("h", 1, 1, "block", 0, "t"),
+                        ("h", 2, 1, None, None, "t")]
+
+    def test_schema_migrates_computed_at_forward(self, store):
+        store.db.executescript(
+            "CREATE TABLE decision_cache ("
+            " pref_hash TEXT NOT NULL,"
+            " policy_id INTEGER NOT NULL,"
+            " policy_version INTEGER NOT NULL,"
+            " behavior TEXT, rule_index INTEGER,"
+            " PRIMARY KEY (pref_hash, policy_id, policy_version));")
+        DecisionCache().ensure_schema(store.db)
+        assert "computed_at" in store.db.table_columns("decision_cache")
+
+    def test_snapshot_reports_hit_rate(self, cache):
+        cache.record_hits(3, 1)
+        snapshot = cache.snapshot()
+        assert snapshot["hits"] == 3 and snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == pytest.approx(0.75)
+
+
+class TestServerIntegration:
+    def test_register_then_match_is_all_hits(self, corpus, suite):
+        server = PolicyServer()
+        try:
+            for policy in corpus[:8]:
+                server.install_policy(policy)
+            preference = suite["High"]
+            assert server.register_preference(preference) == 8
+            result = server.match_all(preference)
+            assert len(result.decisions) == 8
+            assert result.cache_hits == 8 and result.cache_misses == 0
+            assert all(decision.cached for decision in result.decisions)
+        finally:
+            server.close()
+
+    def test_unregistered_match_repairs_and_warms(self, corpus, suite):
+        server = PolicyServer()
+        try:
+            for policy in corpus[:6]:
+                server.install_policy(policy)
+            preference = suite["Medium"]
+            cold = server.match_all(preference)
+            assert cold.cache_misses == 6 and cold.cache_hits == 0
+            warm = server.match_all(preference)
+            assert warm.cache_misses == 0 and warm.cache_hits == 6
+            assert [d.decision for d in warm.decisions] == \
+                [d.decision for d in cold.decisions]
+        finally:
+            server.close()
+
+    def test_reinstall_invalidates_exactly_that_name(self, corpus, suite):
+        server = PolicyServer()
+        try:
+            for policy in corpus[:5]:
+                server.install_policy(policy)
+            preference = suite["High"]
+            server.register_preference(preference)
+            server.install_policy(corpus[0])      # version bump
+            result = server.match_all(preference)
+            assert result.cache_misses == 1
+            missed = [d for d in result.decisions if not d.cached]
+            assert [d.name for d in missed] == [corpus[0].name]
+            assert missed[0].version == 2
+        finally:
+            server.close()
+
+    def test_cache_decisions_off_bypasses_the_table(self, corpus, suite):
+        server = PolicyServer(cache_decisions=False)
+        try:
+            for policy in corpus[:4]:
+                server.install_policy(policy)
+            result = server.match_all(suite["Low"])
+            assert len(result.decisions) == 4
+            # Without write-back every match recomputes.
+            again = server.match_all(suite["Low"])
+            assert again.cache_misses == 4
+            assert [d.decision for d in again.decisions] == \
+                [d.decision for d in result.decisions]
+        finally:
+            server.close()
+
+
+class TestChaos:
+    def test_crash_mid_populate_leaves_no_partial_rows(self, tmp_path,
+                                                       corpus, suite):
+        """Population is one transaction: a crash between the cache
+        INSERTs and the commit must recover to *zero* rows, never some."""
+        path = str(tmp_path / "p3p.db")
+        server = PolicyServer(path)
+        for policy in corpus[:6]:
+            server.install_policy(policy)
+        pool = server.pool
+        original = pool.writer.executemany
+
+        def crash_after_write(sql, rows):
+            result = original(sql, rows)
+            if "decision_cache" in sql:
+                # Rows are in the open transaction; die before commit.
+                crash_pool(pool)
+                raise sqlite3.OperationalError("injected: crashed")
+            return result
+
+        pool.writer.executemany = crash_after_write
+        with pytest.raises(Exception):
+            server.register_preference(suite["High"])
+
+        recovered = Database(path)
+        try:
+            assert recovered.scalar(
+                "SELECT COUNT(*) FROM decision_cache") == 0
+            assert recovered.scalar(
+                "SELECT COUNT(*) FROM policy") == 6
+        finally:
+            recovered.close()
+
+    def test_faulting_write_back_never_fails_the_check(self, corpus,
+                                                       suite):
+        """check() must survive a decision-cache write failure — the
+        cache is an optimization, and the error is counted, not raised."""
+        server = PolicyServer()
+        try:
+            for policy in corpus[:3]:
+                server.install_policy(policy)
+            plan = FaultPlan(every={"sqlite": 1})
+            # Match the INSERT alone: in-memory reads share the writer
+            # connection, and the warm-path SELECT names the table too.
+            uninstall = install_pool_faults(
+                server.pool, plan,
+                match="INSERT OR REPLACE INTO decision_cache")
+            try:
+                result = server.match_all(suite["High"])
+                assert result.cache_misses == 3
+                assert server.decisions.write_errors >= 1
+                # Still correct, still recomputing (nothing cached).
+                again = server.match_all(suite["High"])
+                assert again.cache_misses == 3
+                assert [d.decision for d in again.decisions] == \
+                    [d.decision for d in result.decisions]
+            finally:
+                uninstall()
+            # Healed: the next match repairs and the one after hits.
+            server.match_all(suite["High"])
+            assert server.match_all(suite["High"]).cache_misses == 0
+        finally:
+            server.close()
+
+
+class DecisionCacheMachine(RuleBasedStateMachine):
+    """Installs, registrations and matches in random order: every
+    decision the server returns — cached or computed — must equal the
+    native APPEL engine's verdict on the currently active version."""
+
+    def __init__(self):
+        super().__init__()
+        self.server = PolicyServer()
+        self.native = AppelEngine()
+        self.suite = {level: jrc_suite()[level] for level in _LEVELS}
+        self.model: dict[str, Policy] = {}
+
+    @rule(name=st.sampled_from(_NAMES),
+          retention=st.sampled_from(_RETENTIONS))
+    def install(self, name, retention):
+        policy = _policy(name, retention)
+        self.server.install_policy(policy)
+        self.model[name] = policy
+
+    @precondition(lambda self: self.model)
+    @rule(level=st.sampled_from(_LEVELS))
+    def register(self, level):
+        cached = self.server.register_preference(self.suite[level])
+        assert cached == len(self.model)
+
+    @precondition(lambda self: self.model)
+    @rule(level=st.sampled_from(_LEVELS))
+    def match(self, level):
+        result = self.server.match_all(self.suite[level])
+        by_name = {decision.name: decision
+                   for decision in result.decisions}
+        assert set(by_name) == set(self.model)
+        for name, policy in self.model.items():
+            verdict = self.native.evaluate(policy, self.suite[level])
+            decision = by_name[name]
+            assert (decision.behavior, decision.rule_index) == \
+                (verdict.behavior, verdict.rule_index), (name, level)
+
+    @precondition(lambda self: self.model)
+    @rule(level=st.sampled_from(_LEVELS))
+    def match_twice_is_stable(self, level):
+        first = self.server.match_all(self.suite[level])
+        second = self.server.match_all(self.suite[level])
+        assert [d.decision for d in second.decisions] == \
+            [d.decision for d in first.decisions]
+        assert second.cache_misses == 0
+
+    def teardown(self):
+        self.server.close()
+
+
+DecisionCacheMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None,
+)
+TestDecisionCacheMachine = DecisionCacheMachine.TestCase

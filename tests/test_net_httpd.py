@@ -481,6 +481,143 @@ class TestEndToEndAcceptance:
             thread.join(timeout=5)
 
 
+class TestMatchCorpus:
+    def test_match_covers_every_installed_policy(self, httpd):
+        with HttpClientAgent(httpd.base_url, jane_preference()) as agent:
+            response = agent.match_corpus()
+            names = [entry.name for entry in response.results]
+            assert "volga" in names
+            # Registration eagerly populated the cache, so the first
+            # match is already warm.
+            assert response.cache_misses == 0
+            assert all(entry.cached for entry in response.results)
+
+    def test_metrics_expose_decision_cache(self, httpd):
+        with HttpClientAgent(httpd.base_url, jane_preference()) as agent:
+            agent.match_corpus()
+            cache = agent.metrics()["decision_cache"]
+            assert cache["populated"] >= 1
+            assert cache["write_errors"] == 0
+            assert cache["hits"] >= 1
+
+    def test_unknown_hash_gets_unknown_preference(self, httpd):
+        status, _, body = raw_request(
+            httpd, "POST", "/v1/match",
+            body=protocol.encode({"preference_hash": "nope"}))
+        assert status == 404
+        envelope = protocol.ErrorEnvelope.from_wire(json.loads(body))
+        assert envelope.code == protocol.ERR_UNKNOWN_PREFERENCE
+
+
+class TestMatchCorpusConcurrency:
+    """4 matcher threads against a thread of version-bumping installs:
+    every served (version, decision) pair must be internally consistent
+    — the decision the native engine gives for exactly that version —
+    so no interleaving can expose a stale cache row."""
+
+    MATCHERS = 4
+    MATCHES_EACH = 10
+    VERSIONS = 8
+
+    @staticmethod
+    def _flux(retention):
+        from repro.p3p.model import (
+            Policy,
+            PurposeValue,
+            RecipientValue,
+            Statement,
+        )
+
+        return Policy(
+            name="flux",
+            discuri="http://flux.example.com/p",
+            statements=(
+                Statement(
+                    purposes=(PurposeValue("current"),),
+                    recipients=(RecipientValue("ours"),),
+                    retention=retention,
+                ),
+            ),
+        )
+
+    def test_every_response_consistent_with_some_install_order(
+            self, httpd):
+        from repro.appel.engine import AppelEngine
+        from repro.p3p.serializer import serialize_policy
+
+        retentions = ("no-retention", "stated-purpose", "indefinitely")
+        preference = jrc_suite()["Very High"]
+        native = AppelEngine()
+        retention_for = {
+            version: retentions[(version - 1) % len(retentions)]
+            for version in range(1, self.VERSIONS + 1)
+        }
+        expected_by_version = {
+            version: (verdict.behavior, verdict.rule_index)
+            for version, retention in retention_for.items()
+            for verdict in (native.evaluate(self._flux(retention),
+                                            preference),)
+        }
+        # The interleaving only proves something if versions disagree.
+        assert len(set(expected_by_version.values())) > 1
+
+        with HttpClientAgent(httpd.base_url, preference) as admin:
+            admin.install_policy(
+                serialize_policy(self._flux(retention_for[1])))
+            admin.register_preference()
+
+        barrier = threading.Barrier(self.MATCHERS + 1)
+        observed: list[tuple] = []
+        lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def matcher() -> None:
+            try:
+                with HttpClientAgent(httpd.base_url, preference) as c:
+                    barrier.wait(timeout=10)
+                    for _ in range(self.MATCHES_EACH):
+                        for entry in c.match_corpus().results:
+                            if entry.name == "flux":
+                                with lock:
+                                    observed.append(
+                                        (entry.version, entry.behavior,
+                                         entry.rule_index))
+            except Exception as exc:     # pragma: no cover
+                errors.append(exc)
+
+        def installer() -> None:
+            try:
+                with HttpClientAgent(httpd.base_url, preference) as c:
+                    barrier.wait(timeout=10)
+                    for version in range(2, self.VERSIONS + 1):
+                        c.install_policy(serialize_policy(
+                            self._flux(retention_for[version])))
+            except Exception as exc:     # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=matcher)
+                   for _ in range(self.MATCHERS)]
+        threads.append(threading.Thread(target=installer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        # A versioned install inserts the new active version before
+        # deactivating the old one (a reader never sees *zero* active
+        # versions), so a match racing an install may carry both — at
+        # least one "flux" entry per match, never more than two.
+        floor = self.MATCHERS * self.MATCHES_EACH
+        assert floor <= len(observed) <= 2 * floor
+
+        # Serializability: whatever version a response carried, its
+        # decision is that version's — never another version's through
+        # a stale cache row.
+        for version, behavior, rule_index in set(observed):
+            assert (behavior, rule_index) == \
+                expected_by_version[version], version
+
+
 class TestStaticAnalysisSurface:
     def test_metrics_expose_audit_and_validation_counters(self, agent):
         metrics = agent.metrics()

@@ -91,6 +91,20 @@ class TestServerCache:
         server.check(SITE, "/catalog/a", jane)
         misses = server._translation_cache.misses
         server.check(SITE, "/catalog/b", jane)
+        # Never recompiled — and with the decision cache in front, the
+        # repeat check resolves from the materialized decision without
+        # even consulting the plan cache.
+        assert server._translation_cache.misses == misses
+        assert server.decisions.hits >= 1
+
+    def test_decision_cache_off_reuses_plan(self):
+        server = PolicyServer(cache_decisions=False)
+        server.install_policy(volga_policy(), site=SITE)
+        server.install_reference_file(VOLGA_REFERENCE_XML, SITE)
+        jane = jane_preference()
+        server.check(SITE, "/catalog/a", jane)
+        misses = server._translation_cache.misses
+        server.check(SITE, "/catalog/b", jane)
         assert server._translation_cache.misses == misses
         assert server._translation_cache.hits >= 1
 
