@@ -1,0 +1,92 @@
+"""E13: check throughput scaling across a sharded cluster.
+
+E9 measured one HTTP server; E13 puts the same check workload against a
+sharded, replicated cluster behind the consistent-hash router and asks
+how aggregate throughput scales with shard count.
+
+Acceptance: at 4 shards the cluster must serve >= 2.5x the 1-shard
+check throughput — **on a host with at least 4 cores**.  Shards are
+processes; on fewer cores they time-slice one another and the curve is
+flat by physics, not by defect, so the strict assertion is gated on
+``os.cpu_count()`` (and ``BENCH_E13.json`` records the count for the
+same reason).  The shape assertions below run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.export import cluster_results
+from repro.bench.harness import cluster_experiment, cluster_speedups
+from repro.bench.reporting import format_cluster
+
+SHARD_COUNTS = (1, 2, 4)
+MANY_CORES = (os.cpu_count() or 1) >= 4
+
+
+@pytest.fixture(scope="module")
+def rows(tmp_path_factory):
+    """The E13 grid, computed once.
+
+    Real spawned workers when the host has the cores to scale onto
+    (that run backs the acceptance assertion); in-process workers
+    otherwise — same code paths, fraction of the start-up cost.
+    """
+    workdir = tmp_path_factory.mktemp("bench-cluster")
+    return cluster_experiment(shard_counts=SHARD_COUNTS,
+                              corpus_size=12, users=4,
+                              checks_per_user=25,
+                              directory=str(workdir),
+                              in_process=not MANY_CORES)
+
+
+class TestClusterTrajectory:
+    def test_grid_is_complete(self, rows):
+        assert [row.shards for row in rows] == list(SHARD_COUNTS)
+
+    def test_every_row_did_real_work(self, rows):
+        for row in rows:
+            assert row.checks == 4 * 25
+            assert row.seconds > 0
+            assert row.checks_per_second > 0
+
+    def test_checks_route_directly_not_through_fallback(self, rows):
+        """The topology-aware clients should serve the storm on the
+        direct path; the router fallback is for failures, of which a
+        healthy cluster has none."""
+        for row in rows:
+            assert row.direct_checks == row.checks
+            assert row.router_fallbacks == 0
+
+    def test_speedups_anchor_at_one_shard(self, rows):
+        speedups = cluster_speedups(rows)
+        assert speedups[1] == pytest.approx(1.0)
+        assert set(speedups) == set(SHARD_COUNTS)
+
+    @pytest.mark.skipif(not MANY_CORES,
+                        reason="scaling needs >= 4 cores; shards "
+                               "time-slice on fewer")
+    def test_four_shards_reach_2_5x(self, rows):
+        """The PR's acceptance bar: near-linear scaling to 4 shards."""
+        assert cluster_speedups(rows)[4] >= 2.5
+
+    def test_report_renders(self, rows):
+        table = format_cluster(rows)
+        assert "Shards" in table
+        for shards in SHARD_COUNTS:
+            assert f" {shards} " in table
+
+
+class TestClusterExport:
+    def test_document_shape(self, tmp_path):
+        document = cluster_results(shard_counts=(1,), corpus_size=4,
+                                   users=2, checks_per_user=4,
+                                   in_process=True)
+        assert document["meta"]["cpu_count"] == os.cpu_count()
+        assert document["meta"]["in_process"] is True
+        (row,) = document["e13_cluster"]["rows"]
+        assert row["shards"] == 1
+        assert row["checks"] == 8
+        assert document["e13_cluster"]["speedups"] == {"1": 1.0}

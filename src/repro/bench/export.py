@@ -179,3 +179,65 @@ def save_results(path: str, seed: int = 2003) -> dict[str, Any]:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return results
+
+
+def cluster_results(shard_counts: tuple[int, ...] = (1, 2, 4),
+                    replicas: int = 0,
+                    corpus_size: int = 24,
+                    users: int = 8,
+                    checks_per_user: int = 50,
+                    seed: int = 2003,
+                    in_process: bool = False) -> dict[str, Any]:
+    """Run E13 and return its JSON document (``BENCH_E13.json``).
+
+    Kept out of :func:`run_all`: the cluster experiment spawns worker
+    processes per shard count, which is a different weight class from
+    the in-process experiments.  The document records ``cpu_count``
+    because the scaling claim is conditional on it — shards beyond the
+    core count serialize on the scheduler, and a reader comparing runs
+    needs to know which regime produced the numbers.
+    """
+    import os
+
+    rows = harness.cluster_experiment(
+        shard_counts=shard_counts, replicas=replicas,
+        corpus_size=corpus_size, users=users,
+        checks_per_user=checks_per_user, seed=seed,
+        in_process=in_process)
+    speedups = harness.cluster_speedups(rows)
+    return {
+        "meta": {
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "corpus_size": corpus_size,
+            "in_process": in_process,
+        },
+        "e13_cluster": {
+            "rows": [
+                {
+                    "shards": row.shards,
+                    "replicas": row.replicas,
+                    "users": row.users,
+                    "checks": row.checks,
+                    "seconds": row.seconds,
+                    "checks_per_second": row.checks_per_second,
+                    "direct_checks": row.direct_checks,
+                    "router_fallbacks": row.router_fallbacks,
+                }
+                for row in rows
+            ],
+            "speedups": {str(shards): multiple
+                         for shards, multiple in speedups.items()},
+        },
+    }
+
+
+def save_cluster_results(path: str, **options: Any) -> dict[str, Any]:
+    """Run E13 and write ``BENCH_E13.json``-style output to *path*."""
+    results = cluster_results(**options)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return results

@@ -37,6 +37,12 @@ Experiment ids follow DESIGN.md:
   :class:`~repro.translate.plan.BulkPlan` round trip, and one indexed
   read of the materialized decision cache (populated untimed) — the
   scaling argument for ``match_all`` and ``POST /v1/match``
+* E13 — cluster scaling: the same check workload driven by concurrent
+  simulated users against :class:`~repro.cluster.router.P3PCluster`
+  deployments of growing shard counts (per-shard worker processes,
+  optional backup-API read replicas, consistent-hash routing) — the
+  aggregate checks/sec trajectory as the corpus is partitioned,
+  against the single-shard deployment as baseline
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -1023,4 +1029,160 @@ def bulk_matching_experiment(corpus_size: int = 1000,
                 "materialized decisions disagree with the bulk plan")
     finally:
         db.close()
+    return results
+
+
+# -- E13: cluster scaling ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """One cluster deployment's check throughput under concurrent users."""
+
+    shards: int
+    replicas: int
+    users: int
+    checks: int
+    seconds: float
+    direct_checks: int       # served by the topology-aware direct path
+    router_fallbacks: int    # checks that fell back through the router
+
+    @property
+    def checks_per_second(self) -> float:
+        return self.checks / self.seconds if self.seconds > 0 else 0.0
+
+
+def cluster_speedups(rows: list[ClusterResult]) -> dict[int, float]:
+    """Per shard count: throughput as a multiple of the 1-shard row."""
+    baseline = next((row for row in rows if row.shards == 1), None)
+    if baseline is None or baseline.checks_per_second <= 0:
+        return {}
+    return {
+        row.shards: row.checks_per_second / baseline.checks_per_second
+        for row in rows
+    }
+
+
+_CLUSTER_REFERENCE_XML = """\
+<META xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <POLICY-REFERENCES>
+    <EXPIRY max-age="86400"/>
+    <POLICY-REF about="/w3c/policy.xml#{name}">
+      <INCLUDE>/*</INCLUDE>
+      <COOKIE-INCLUDE>/*</COOKIE-INCLUDE>
+    </POLICY-REF>
+  </POLICY-REFERENCES>
+</META>
+"""
+
+
+def cluster_corpus(corpus_size: int = 24, seed: int = 2003
+                   ) -> list[tuple[str, str, str]]:
+    """(site, policy XML, reference XML) per synthetic corpus policy.
+
+    Every policy gets its own site — the unit the consistent-hash ring
+    partitions by — and a reference file covering the whole site, so a
+    routed check resolves to a real decision, not "uncovered".
+    """
+    from repro.p3p.serializer import serialize_policy
+
+    entries: list[tuple[str, str, str]] = []
+    for policy in fortune_corpus(seed=seed, count=corpus_size):
+        site = f"www.{policy.name}.example.com"
+        entries.append((
+            site,
+            serialize_policy(policy),
+            _CLUSTER_REFERENCE_XML.format(name=policy.name),
+        ))
+    return entries
+
+
+def cluster_experiment(shard_counts: tuple[int, ...] = (1, 2, 4),
+                       replicas: int = 0,
+                       corpus_size: int = 24,
+                       users: int = 8,
+                       checks_per_user: int = 50,
+                       warmup: int = 1,
+                       seed: int = 2003,
+                       directory: str | None = None,
+                       in_process: bool = False
+                       ) -> list[ClusterResult]:
+    """E13: how does check throughput scale with shard count?
+
+    For each shard count the same corpus (each site owned by exactly
+    one shard under the consistent-hash ring) is installed through the
+    router, then *users* concurrent simulated users — one
+    :class:`~repro.cluster.client.ClusterClient` per thread, the
+    reader-per-thread discipline yet again — each issue
+    *checks_per_user* checks round-robin across the sites.  The timed
+    region is the concurrent check storm only: installs, preference
+    broadcast and *warmup* passes are paid beforehand.
+
+    Workers are real processes by default (``in_process=True`` collapses
+    them onto threads — useful under test, meaningless as a scaling
+    measurement).  Near-linear scaling needs cores to scale onto: on an
+    N-core host, expect the curve to flatten past N shards.
+    """
+    from repro.appel.serializer import serialize_ruleset
+    from repro.cluster import ClusterClient, P3PCluster
+    from repro.corpus.volga import jane_preference
+
+    entries = cluster_corpus(corpus_size, seed)
+    appel = serialize_ruleset(jane_preference(), indent=False)
+    results: list[ClusterResult] = []
+
+    for shards in shard_counts:
+        with tempfile.TemporaryDirectory(dir=directory) as workdir:
+            cluster = P3PCluster(shards=shards, replicas=replicas,
+                                 db_dir=workdir,
+                                 in_process=in_process).start()
+            clients: list[ClusterClient] = []
+            try:
+                admin = ClusterClient(cluster.base_url, appel)
+                clients.append(admin)
+                for site, policy_xml, reference in entries:
+                    admin.install_policy(policy_xml, site=site,
+                                         reference_file=reference)
+                if replicas:
+                    # Let every replica refresh past the installs, so
+                    # the storm reads a complete corpus either path.
+                    time.sleep(2.5 * cluster.primaries[0]
+                               .config.refresh_interval)
+                for _ in range(warmup):
+                    for site, _, _ in entries:
+                        admin.check(site, "/catalog/item-0")
+
+                clients.extend(ClusterClient(cluster.base_url, appel)
+                               for _ in range(users))
+                workers = clients[1:]
+                for client in workers:   # register + fetch topology
+                    client.check(entries[0][0], "/catalog/item-0")
+
+                def drive(user: int) -> int:
+                    client = workers[user]
+                    for i in range(checks_per_user):
+                        site = entries[(user + i) % len(entries)][0]
+                        client.check(site, f"/catalog/item-{i % 8}")
+                    return checks_per_user
+
+                base_direct = sum(c.direct_checks for c in workers)
+                base_fallbacks = sum(c.router_fallbacks for c in workers)
+                start = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=users) as executor:
+                    total = sum(executor.map(drive, range(users)))
+                seconds = time.perf_counter() - start
+
+                results.append(ClusterResult(
+                    shards=shards, replicas=replicas, users=users,
+                    checks=total, seconds=seconds,
+                    direct_checks=sum(c.direct_checks
+                                      for c in workers) - base_direct,
+                    router_fallbacks=sum(c.router_fallbacks
+                                         for c in workers)
+                    - base_fallbacks,
+                ))
+            finally:
+                for client in clients:
+                    client.close()
+                cluster.close()
     return results

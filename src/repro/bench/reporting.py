@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.bench.harness import (
     AblationResult,
     BulkMatchingResult,
+    ClusterResult,
     ConcurrencyResult,
     EngineSummary,
     FaultToleranceResult,
@@ -18,6 +19,7 @@ from repro.bench.harness import (
     PlanCompilationResult,
     ShreddingResult,
     WarmColdResult,
+    cluster_speedups,
     http_overhead,
     retry_overhead,
 )
@@ -367,4 +369,30 @@ def format_bulk_matching(rows: list[BulkMatchingResult]) -> str:
             "faster than per-policy execution (acceptance: >= 5x at "
             "corpus >= 1000)"
         )
+    return "\n".join(lines)
+
+
+def format_cluster(rows: list[ClusterResult]) -> str:
+    """E13: aggregate check throughput as the shard count grows."""
+    lines = [
+        "Cluster scaling (process workers, consistent-hash router, "
+        "concurrent users)",
+        f"{'Shards':>6s} {'Replicas':>8s} {'Users':>5s} {'Checks':>7s} "
+        f"{'Checks/s':>10s} {'Speedup':>8s} {'Direct':>7s} {'Fallbk':>6s}",
+    ]
+    speedups = cluster_speedups(rows)
+    for row in rows:
+        speedup = ""
+        if row.shards in speedups:
+            speedup = f"{speedups[row.shards]:7.2f}x"
+        lines.append(
+            f"{row.shards:6d} {row.replicas:8d} {row.users:5d} "
+            f"{row.checks:7d} {row.checks_per_second:10.0f} "
+            f"{speedup:>8s} {row.direct_checks:7d} "
+            f"{row.router_fallbacks:6d}"
+        )
+    lines.append(
+        "(speedup is relative to the 1-shard deployment; near-linear "
+        "scaling needs one core per shard)"
+    )
     return "\n".join(lines)

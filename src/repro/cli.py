@@ -13,6 +13,7 @@ Subcommands::
     p3pdb report    [POLICY.xml ...]      # corpus analytics
     p3pdb bench     [EXPERIMENT ...] [--markdown] [--json FILE]
     p3pdb serve     [--db FILE] [--port N] [--max-inflight N]
+    p3pdb cluster   [--shards N] [--replicas M] [--db-dir DIR] [--port N]
     p3pdb lint      [PATH ...] [--baseline FILE] [--update-baseline]
     p3pdb audit     [POLICY.xml ...] [-p PREF.xml ...] [--no-literal]
 """
@@ -259,7 +260,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
                       "concurrency", "http-load", "fault-tolerance",
-                      "plans", "bulk")
+                      "plans", "bulk", "cluster")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -269,6 +270,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         results = bench.save_results(args.json)
         print(f"wrote results for {len(results) - 1} experiments "
               f"to {args.json}")
+        return 0
+    if args.cluster_json:
+        results = bench.save_cluster_results(args.cluster_json)
+        rows = results["e13_cluster"]["rows"]
+        print(f"wrote E13 cluster results ({len(rows)} deployments) "
+              f"to {args.cluster_json}")
         return 0
 
     wanted = args.experiments or list(_BENCH_EXPERIMENTS)
@@ -309,6 +316,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif experiment == "bulk":
             print(bench.format_bulk_matching(
                 bench.bulk_matching_experiment()))
+        elif experiment == "cluster":
+            print(bench.format_cluster(bench.cluster_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2
@@ -357,6 +366,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         httpd.close()      # stops accepting, flushes the check log
         print(f"p3pdb: shut down; {policy_server.log.written} "
               "check-log rows durable")
+    return 0
+
+
+#: Test instrumentation: when set, called with the started P3PCluster
+#: before the command blocks (lets tests capture and stop the cluster).
+_CLUSTER_STARTED_HOOK = None
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster import P3PCluster
+
+    cluster = P3PCluster(
+        shards=args.shards,
+        replicas=args.replicas,
+        db_dir=args.db_dir,
+        in_process=args.in_process,
+        host=args.host,
+        router_port=args.port,
+        max_inflight=args.max_inflight,
+    )
+    cluster.start()
+    stop = threading.Event()
+    try:
+        print(f"p3pdb: cluster router on {cluster.base_url} "
+              f"({args.shards} shard(s) x {args.replicas} replica(s), "
+              f"db-dir={cluster.db_dir}); Ctrl-C to stop")
+        for shard in cluster.topology.shard_ids():
+            replicas = ", ".join(cluster.replica_urls(shard)) or "-"
+            print(f"  shard {shard}: primary {cluster.primary_url(shard)} "
+                  f"replicas [{replicas}]")
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                f"{cluster.router.host} {cluster.router.port}\n",
+                encoding="utf-8")
+
+        def _terminate(signum, frame):
+            stop.set()
+
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, _terminate)
+        if _CLUSTER_STARTED_HOOK is not None:
+            _CLUSTER_STARTED_HOOK(cluster, stop)
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.close()      # router, then graceful worker drains
+        print("p3pdb: cluster shut down")
     return 0
 
 
@@ -519,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", metavar="FILE", default=None,
                          help="run every experiment and write a JSON "
                               "results document")
+    p_bench.add_argument("--cluster-json", metavar="FILE", default=None,
+                         dest="cluster_json",
+                         help="run only E13 (spawns worker processes) "
+                              "and write its JSON document, e.g. "
+                              "BENCH_E13.json")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_serve = sub.add_parser("serve",
@@ -540,6 +605,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write 'HOST PORT' here once bound "
                               "(for scripts wrapping an ephemeral port)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_cluster = sub.add_parser("cluster",
+                               help="run the sharded, replicated cluster "
+                                    "(consistent-hash router + workers)")
+    p_cluster.add_argument("--shards", type=int, default=2,
+                           help="number of shard primaries (default 2)")
+    p_cluster.add_argument("--replicas", type=int, default=0,
+                           help="read replicas per shard (default 0)")
+    p_cluster.add_argument("--db-dir", default=None, dest="db_dir",
+                           help="directory for the per-shard SQLite files "
+                                "(default: a temporary directory removed "
+                                "on shutdown)")
+    p_cluster.add_argument("--host", default="127.0.0.1",
+                           help="address to bind (default 127.0.0.1)")
+    p_cluster.add_argument("--port", type=int, default=8080,
+                           help="router port; 0 picks an ephemeral port "
+                                "(default 8080)")
+    p_cluster.add_argument("--max-inflight", type=int, default=64,
+                           help="per-worker admission limit (default 64)")
+    p_cluster.add_argument("--in-process", action="store_true",
+                           dest="in_process",
+                           help="run workers on threads instead of "
+                                "processes (debugging)")
+    p_cluster.add_argument("--ready-file", default=None,
+                           help="write 'HOST PORT' of the router here "
+                                "once every worker is up")
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_lint = sub.add_parser("lint",
                             help="static lint of the repo's own sources "

@@ -1,0 +1,55 @@
+"""The cluster tier: shard the corpus, replicate the reads, route.
+
+One policy database scales a long way (see E9/E10), but it is still one
+write lock and one process.  This package turns the single-process
+server into a deployment:
+
+* :mod:`repro.cluster.topology` — who owns what: a consistent-hash
+  ring mapping sites to shards, with deterministic rebalancing math;
+* :mod:`repro.cluster.worker` — per-shard serving processes (spawned
+  and supervised, graceful SIGTERM drain) or in-process thread workers
+  for tests;
+* :mod:`repro.cluster.replica` — read replicas kept fresh with
+  SQLite's online backup API, lag visible in ``/metrics``;
+* :mod:`repro.cluster.router` — the HTTP front door: routes by ring,
+  fails reads over replica-first, scatter-gathers corpus matches,
+  aggregates metrics; plus :class:`P3PCluster`, the supervisor that
+  owns the whole arrangement;
+* :mod:`repro.cluster.client` — a topology-aware client that skips
+  the proxy hop for checks and self-corrects on ``wrong-shard``.
+
+`p3pdb cluster --shards N --replicas M` boots the real thing from the
+command line; the E13 benchmark measures how check throughput scales
+with shard count.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.replica import ShardReplica
+from repro.cluster.router import ClusterRouter, P3PCluster
+from repro.cluster.topology import (
+    DEFAULT_VNODES,
+    RebalancePlan,
+    Topology,
+    rebalance_plan,
+)
+from repro.cluster.worker import (
+    InProcessWorker,
+    ProcessWorker,
+    WorkerConfig,
+    build_worker_stack,
+)
+
+__all__ = [
+    "ClusterClient",
+    "ClusterRouter",
+    "DEFAULT_VNODES",
+    "InProcessWorker",
+    "P3PCluster",
+    "ProcessWorker",
+    "RebalancePlan",
+    "ShardReplica",
+    "Topology",
+    "WorkerConfig",
+    "build_worker_stack",
+    "rebalance_plan",
+]

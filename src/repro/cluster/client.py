@@ -1,0 +1,249 @@
+"""``ClusterClient`` — a topology-aware agent over a P3P cluster.
+
+The plain :class:`~repro.net.client.HttpClientAgent` pointed at the
+router already works (the router hides the sharding entirely); this
+client goes one step further and skips the proxy hop for the hot path:
+
+* it fetches ``GET /v1/topology`` once — the consistent-hash ring in
+  wire form plus each shard's backend addresses — and routes *checks*
+  straight to the owning shard, replicas first;
+* every direct call carries the shard-identity headers, so a stale
+  ring is *detected*, not suffered: the backend answers ``wrong-shard``
+  (421), the client refreshes the topology and re-routes — once; a
+  second mismatch propagates (something is genuinely misconfigured);
+* registration, corpus matches and installs go through the router
+  regardless — registration must reach *every* backend (the router
+  broadcasts), a match must span every shard (the router
+  scatter-gathers), and installs need the router's primary-only,
+  never-retry discipline.
+
+The direct path degrades gracefully: when every backend of the owning
+shard fails, the check falls back to the router — same payload, same
+``check_key``, so even a check that half-executed on a dying backend
+cannot double-log.
+
+Like the underlying agents, one ``ClusterClient`` is **not**
+thread-safe; give each thread its own (the E13 harness does exactly
+that, one client per simulated user).
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Iterable
+
+from repro.appel.model import Ruleset
+from repro.net import protocol
+from repro.net.client import HttpClientAgent
+from repro.net.retry import TRANSPORT_ERRORS, RetryPolicy
+
+from repro.cluster.topology import Topology
+
+__all__ = ["ClusterClient"]
+
+#: Backend failures worth trying the next backend for (the same set the
+#: router fails over on).
+_FAILOVER_CODES = frozenset({protocol.ERR_INTERNAL,
+                             protocol.ERR_OVERLOADED,
+                             protocol.ERR_SHARD_UNAVAILABLE})
+
+
+class ClusterClient:
+    """A user agent that understands the cluster's topology."""
+
+    def __init__(self, router_url: str,
+                 preference: Ruleset | str | None = None, *,
+                 timeout: float = 30.0,
+                 retry: RetryPolicy | None = None):
+        #: The router agent carries the preference and the full
+        #: self-healing machinery; it is also the fallback data path.
+        self.router = HttpClientAgent(router_url, preference,
+                                      timeout=timeout,
+                                      **({"retry": retry}
+                                         if retry is not None else {}))
+        self.timeout = timeout
+        self.topology: Topology | None = None
+        #: shard (str) -> {"primary": url | None, "replicas": [urls]}
+        self.backends: dict[str, Any] = {}
+        self._agents: dict[str, HttpClientAgent] = {}
+        self._client_id = uuid.uuid4().hex[:16]
+        self._check_counter = 0
+        self.direct_checks = 0
+        self.router_fallbacks = 0
+        self.topology_refreshes = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def refresh_topology(self) -> Topology:
+        """Fetch the ring and backend map; drop stale backend agents."""
+        response = self.router.call("GET", "/v1/topology",
+                                    retry_key=f"{self._client_id}-topo")
+        self.topology = Topology.from_wire(response["topology"])
+        self.backends = dict(response.get("backends", {}))
+        for agent in self._agents.values():
+            agent.close()
+        self._agents.clear()
+        self.topology_refreshes += 1
+        return self.topology
+
+    def _ensure_topology(self) -> Topology:
+        if self.topology is None:
+            return self.refresh_topology()
+        return self.topology
+
+    def _backend_agent(self, url: str, shard: int) -> HttpClientAgent:
+        agent = self._agents.get(url)
+        if agent is None:
+            # Direct agents never retry: failover (next backend, then
+            # the router) is this client's retry story.
+            agent = HttpClientAgent(
+                url, timeout=self.timeout, retry=None,
+                default_headers={
+                    protocol.SHARD_HEADER: str(shard),
+                    protocol.TOPOLOGY_HEADER:
+                        str(self._ensure_topology().version),
+                })
+            self._agents[url] = agent
+        return agent
+
+    def _read_candidates(self, shard: int) -> list[str]:
+        entry = self.backends.get(str(shard), {})
+        candidates = list(entry.get("replicas", []))
+        if entry.get("primary"):
+            candidates.append(entry["primary"])
+        return candidates
+
+    # -- preference lifecycle ------------------------------------------------
+
+    def _ensure_registered(self) -> str:
+        """Register through the router (which broadcasts to every
+        backend) and remember the hash for direct calls."""
+        if self.router.preference_hash is None:
+            self.router.register_preference()
+        return self.router.preference_hash
+
+    def _next_check_key(self) -> str:
+        self._check_counter += 1
+        return f"{self._client_id}-{self._check_counter:08x}"
+
+    # -- checking ------------------------------------------------------------
+
+    def check(self, site: str, uri: str,
+              cookie: bool = False) -> protocol.CheckResponse:
+        """One decision, routed straight to the owning shard.
+
+        Direct attempts walk the shard's backends (replicas first); a
+        ``wrong-shard`` rejection triggers one topology refresh and
+        re-route; if every backend fails, the same payload — same
+        ``check_key``, so the check still logs at most once — goes
+        through the router, which has its own failover.
+        """
+        digest = self._ensure_registered()
+        check_key = self._next_check_key()
+        payload = protocol.CheckRequest(
+            site=site, uri=uri, preference_hash=digest,
+            cookie=cookie, check_key=check_key).to_wire()
+
+        for round_trip in (0, 1):
+            topology = self._ensure_topology()
+            shard = topology.owner_shard(site)
+            stale = False
+            for url in self._read_candidates(shard):
+                agent = self._backend_agent(url, shard)
+                for attempt in (0, 1):
+                    try:
+                        response = agent.call("POST", "/v1/check",
+                                              payload,
+                                              retry_key=check_key)
+                    except protocol.ProtocolError as exc:
+                        if exc.code == protocol.ERR_WRONG_SHARD:
+                            stale = True
+                            break                   # refresh + re-route
+                        if (exc.code == protocol.ERR_UNKNOWN_PREFERENCE
+                                and attempt == 0):
+                            # This backend missed the broadcast (it
+                            # restarted); heal it and retry here once.
+                            try:
+                                agent.call("POST", "/v1/preferences",
+                                           {"appel": _appel_text(
+                                               self.router)},
+                                           retry_key=None)
+                            except (protocol.ProtocolError,
+                                    *TRANSPORT_ERRORS):
+                                break               # next backend
+                            continue
+                        if exc.code in _FAILOVER_CODES:
+                            break                   # next backend
+                        raise
+                    except TRANSPORT_ERRORS:
+                        break                       # next backend
+                    self.direct_checks += 1
+                    return protocol.CheckResponse.from_wire(response)
+                if stale:
+                    break
+            if stale and round_trip == 0:
+                self.refresh_topology()
+                continue
+            break
+
+        # Every direct path failed: the router is the failover of last
+        # resort (it may know backends this client's map predates).
+        self.router_fallbacks += 1
+        return protocol.CheckResponse.from_wire(
+            self.router.call("POST", "/v1/check", payload,
+                             retry_key=check_key))
+
+    def check_batch(self, checks: Iterable[tuple[str, str]],
+                    cookie: bool = False) -> list[protocol.CheckResponse]:
+        """Batched decisions via the router (it splits by shard)."""
+        self._ensure_registered()
+        return self.router.check_batch(checks, cookie=cookie)
+
+    def match_corpus(self) -> dict[str, Any]:
+        """The whole corpus, scatter-gathered by the router.
+
+        Returns the merged wire response (entries carry a ``shard``
+        field on top of the single-server match entry shape).
+        """
+        digest = self._ensure_registered()
+        return self.router.call(
+            "POST", "/v1/match",
+            protocol.MatchCorpusRequest(preference_hash=digest).to_wire(),
+            retry_key=f"{self._client_id}-match")
+
+    # -- administration ------------------------------------------------------
+
+    def install_policy(self, policy: str, site: str,
+                       reference_file: str | None = None
+                       ) -> protocol.InstallPolicyResponse:
+        """Install via the router (primary-only, never retried)."""
+        return self.router.install_policy(policy, site=site,
+                                          reference_file=reference_file)
+
+    def metrics(self) -> dict[str, Any]:
+        """The router's aggregated cluster metrics."""
+        return self.router.metrics()
+
+    def close(self) -> None:
+        for agent in self._agents.values():
+            agent.close()
+        self._agents.clear()
+        self.router.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _appel_text(router_agent: HttpClientAgent) -> str:
+    """The serialized preference the router agent registered with."""
+    from repro.appel.serializer import serialize_ruleset
+    if router_agent.preference is None:
+        raise protocol.ProtocolError(
+            protocol.ERR_UNKNOWN_PREFERENCE,
+            "backend lost the preference and this client holds no "
+            "APPEL text to re-register",
+        )
+    return serialize_ruleset(router_agent.preference, indent=False)

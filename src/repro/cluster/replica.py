@@ -1,0 +1,157 @@
+"""Read replicas: a shard's database, copied on a refresh loop.
+
+A replica is a *separate serving endpoint* (its own
+:class:`~repro.server.policy_server.PolicyServer` over its own SQLite
+file), kept current by SQLite's online backup API
+(:meth:`repro.storage.database.Database.restore_backup`): every
+``refresh_interval`` seconds the loop copies a consistent committed
+snapshot of the primary's file over the replica's.  The backup API
+reads transactionally, so refreshing while the primary commits is safe
+— the replica sees the corpus as of some recent commit, never a torn
+page.
+
+**The replication contract** (documented in docs/architecture.md):
+
+* replicas serve *reads* — checks and corpus matches — at most
+  ``lag_seconds`` behind the primary;
+* replicas never own durable state: the replica's ``PolicyServer`` is
+  built with ``log_checks=False`` because every refresh overwrites the
+  file wholesale — a check log row written there would silently vanish.
+  Replica-served checks are visible in the replica's ``/metrics``
+  (``checks_served``), not in any ``check_log`` table;
+* installs never touch a replica; they serialize on the shard primary
+  and arrive here on the next refresh.
+
+``generation`` (refresh count) and ``lag_seconds`` are exported into
+the replica's ``/metrics`` under a ``"replication"`` block via the
+server's ``metrics_extensions`` hook, so an operator — or the E13
+harness — can see exactly how stale each replica is.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any
+
+from repro.server.policy_server import PolicyServer
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ShardReplica"]
+
+
+class ShardReplica:
+    """One read replica of one shard primary.
+
+    Owns the replica-side :class:`PolicyServer` (exposed as
+    :attr:`policy_server` for the HTTP layer to serve from) and the
+    background refresh loop.  ``close()`` stops the loop and closes the
+    server.
+    """
+
+    def __init__(self, primary_path: str, replica_path: str, *,
+                 refresh_interval: float = 0.25,
+                 audit_plans: bool = False):
+        if refresh_interval <= 0:
+            raise ValueError("refresh_interval must be > 0")
+        self.primary_path = primary_path
+        self.replica_path = replica_path
+        self.refresh_interval = refresh_interval
+        self.policy_server = PolicyServer(replica_path,
+                                          audit_plans=audit_plans,
+                                          log_checks=False)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.generation = 0
+        self.refresh_errors = 0
+        self.last_refresh_seconds = 0.0
+        self._last_refresh_monotonic: float | None = None
+
+    # -- refreshing ----------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Copy the primary's current snapshot over the replica file.
+
+        Serialized through the replica pool's write lock, so a refresh
+        never interleaves with the decision-cache write-backs the
+        replica's own checks may attempt.  Returns True on success;
+        failures are counted, logged, and left for the next tick — a
+        replica that cannot refresh keeps serving its last good
+        snapshot (staleness is visible as growing ``lag_seconds``).
+        """
+        start = time.monotonic()
+        try:
+            with self.policy_server.pool.write() as db:
+                db.restore_backup(self.primary_path)
+        except Exception:
+            with self._lock:
+                self.refresh_errors += 1
+            logger.warning("replica refresh from %s failed",
+                           self.primary_path, exc_info=True)
+            return False
+        with self._lock:
+            self.generation += 1
+            self.last_refresh_seconds = time.monotonic() - start
+            self._last_refresh_monotonic = time.monotonic()
+        return True
+
+    @property
+    def lag_seconds(self) -> float | None:
+        """Seconds since the last successful refresh (None: never)."""
+        with self._lock:
+            if self._last_refresh_monotonic is None:
+                return None
+            return time.monotonic() - self._last_refresh_monotonic
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.refresh()
+            self._stop.wait(self.refresh_interval)
+
+    def start(self) -> "ShardReplica":
+        """Take the first snapshot synchronously, then refresh on a
+        daemon thread — the replica is serveable the moment this
+        returns."""
+        if self._thread is not None:
+            return self
+        self.refresh()
+        self._thread = threading.Thread(target=self._run,
+                                        name="p3p-replica-refresh",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``"replication"`` block for the replica's ``/metrics``."""
+        with self._lock:
+            lag = (time.monotonic() - self._last_refresh_monotonic
+                   if self._last_refresh_monotonic is not None else None)
+            return {
+                "replication": {
+                    "source": self.primary_path,
+                    "generation": self.generation,
+                    "lag_seconds": lag,
+                    "refresh_interval": self.refresh_interval,
+                    "last_refresh_seconds": self.last_refresh_seconds,
+                    "refresh_errors": self.refresh_errors,
+                }
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ShardReplica":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,203 @@
+"""Consistent-hash ring: which shard owns a policy/site key.
+
+The cluster partitions the policy corpus by **site** (every policy,
+reference file, check and install for a site lives on exactly one
+shard).  Ownership is decided by a consistent-hash ring in the
+classic Karger construction:
+
+* every shard contributes :data:`DEFAULT_VNODES` *virtual nodes* —
+  points on a 64-bit ring at ``sha256("shard:{id}:vnode:{i}")``;
+* a key hashes to a point at ``sha256(key)`` and is owned by the first
+  virtual node clockwise from it (wrapping past the top).
+
+Two properties make this the right structure for a growing cluster,
+both verified in tests/test_cluster_topology.py:
+
+* **balance** — with enough virtual nodes, keys spread near-uniformly
+  across shards without any lookup table;
+* **minimal movement** — growing N shards to N+1 moves only the keys
+  the new shard's virtual nodes capture, ~1/(N+1) of the total; every
+  other key keeps its owner.  :func:`rebalance_plan` computes exactly
+  which keys move, deterministically, so a resharding migration is a
+  dry-run-able list, not a surprise.
+
+The topology is a frozen value object with a monotonically increasing
+``version``; servers embed the version in their shard-identity headers
+(:class:`repro.net.protocol.ShardIdentity`) so a client holding a stale
+ring is *told* so (``wrong-shard``) instead of silently reading from —
+or worse, installing into — the wrong shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "Topology",
+    "RebalancePlan",
+    "rebalance_plan",
+]
+
+#: Virtual nodes per shard.  64 keeps the max/min shard load within
+#: ~2x of even for realistic corpus sizes while the ring stays small
+#: enough (shards x 64 points) to rebuild on every topology change.
+DEFAULT_VNODES = 64
+
+_RING_BITS = 64
+_RING_SIZE = 2 ** _RING_BITS
+
+
+def _hash64(text: str) -> int:
+    """A stable 64-bit ring position for *text* (first 8 sha256 bytes).
+
+    Stability matters more than speed here: the ring must agree across
+    processes, Python versions and runs — ``hash()`` (randomized) and
+    anything seed-dependent are disqualified.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The cluster's shape: shard count, replica count, ring version.
+
+    Frozen: evolving the topology goes through :meth:`with_shards` /
+    :meth:`with_replicas`, which bump ``version`` — the number the
+    shard-identity headers carry, so every wire conversation names the
+    ring it was routed under.
+    """
+
+    shards: int
+    replicas: int = 0
+    version: int = 1
+    vnodes: int = DEFAULT_VNODES
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("a topology needs at least 1 shard")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.version < 1:
+            raise ValueError("version must be >= 1")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+
+    @cached_property
+    def _ring(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(sorted ring positions, shard id at each position)``."""
+        points: list[tuple[int, int]] = []
+        for shard in range(self.shards):
+            for vnode in range(self.vnodes):
+                points.append((_hash64(f"shard:{shard}:vnode:{vnode}"),
+                               shard))
+        points.sort()
+        positions = tuple(position for position, _ in points)
+        owners = tuple(owner for _, owner in points)
+        return positions, owners
+
+    def owner_shard(self, key: str) -> int:
+        """The shard owning *key* (a site or policy name)."""
+        positions, owners = self._ring
+        index = bisect.bisect_right(positions, _hash64(key))
+        if index == len(positions):       # wrap past the top of the ring
+            index = 0
+        return owners[index]
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, int]:
+        """Owner shard for every key, in one pass."""
+        return {key: self.owner_shard(key) for key in keys}
+
+    def shard_ids(self) -> range:
+        return range(self.shards)
+
+    # -- evolution -----------------------------------------------------------
+
+    def with_shards(self, shards: int) -> "Topology":
+        """A new topology with *shards* shards and a bumped version."""
+        return Topology(shards=shards, replicas=self.replicas,
+                        version=self.version + 1, vnodes=self.vnodes)
+
+    def with_replicas(self, replicas: int) -> "Topology":
+        """A new topology with *replicas* replicas per shard."""
+        return Topology(shards=self.shards, replicas=replicas,
+                        version=self.version + 1, vnodes=self.vnodes)
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "replicas": self.replicas,
+            "version": self.version,
+            "vnodes": self.vnodes,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Topology":
+        for name in ("shards", "replicas", "version", "vnodes"):
+            value = payload.get(name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"topology field {name!r} must be an int, "
+                    f"got {value!r}")
+        return cls(shards=payload["shards"],
+                   replicas=payload["replicas"],
+                   version=payload["version"],
+                   vnodes=payload["vnodes"])
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The deterministic diff between two topologies over a key set."""
+
+    old: Topology
+    new: Topology
+    #: key -> (old shard, new shard), only for keys whose owner changed.
+    moves: dict[str, tuple[int, int]] = field(default_factory=dict)
+    total_keys: int = 0
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the key set that changes owner (0.0 when empty).
+
+        Consistent hashing's contract: growing N shards to N+1 should
+        land near 1/(N+1); a naive ``hash(key) % N`` scheme would move
+        ~(N)/(N+1) — nearly everything.
+        """
+        if not self.total_keys:
+            return 0.0
+        return len(self.moves) / self.total_keys
+
+    def keys_into(self, shard: int) -> list[str]:
+        """Keys that must migrate *to* shard (sorted, reproducible)."""
+        return sorted(key for key, (_, dst) in self.moves.items()
+                      if dst == shard)
+
+    def keys_out_of(self, shard: int) -> list[str]:
+        """Keys that must migrate *off* shard (sorted, reproducible)."""
+        return sorted(key for key, (src, _) in self.moves.items()
+                      if src == shard)
+
+
+def rebalance_plan(old: Topology, new: Topology,
+                   keys: Iterable[str]) -> RebalancePlan:
+    """Which of *keys* change owner going from *old* to *new*.
+
+    Pure ring math — no I/O; run it against the site list before a
+    resharding migration to know exactly what will move.
+    """
+    keys = list(keys)
+    moves: dict[str, tuple[int, int]] = {}
+    for key in keys:
+        src = old.owner_shard(key)
+        dst = new.owner_shard(key)
+        if src != dst:
+            moves[key] = (src, dst)
+    return RebalancePlan(old=old, new=new, moves=moves,
+                         total_keys=len(keys))

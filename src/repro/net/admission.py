@@ -17,23 +17,43 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
 
 class AdmissionController:
-    """Admit at most *max_inflight* concurrent requests; shed the rest."""
+    """Admit at most *max_inflight* concurrent requests; shed the rest.
+
+    ``retry_after`` is the default back-off a shed request advertises;
+    ``retry_after_by_class`` overrides it per *operation class* (the
+    serving layer uses ``"check"`` for reads and ``"install"`` for
+    writes), so a front door can tell writers to back off harder than
+    readers — an install retried too eagerly queues behind the single
+    shard writer, while a shed check can come back almost immediately.
+    """
 
     def __init__(self, max_inflight: int = 64, *,
-                 retry_after: float = 1.0):
+                 retry_after: float = 1.0,
+                 retry_after_by_class: Mapping[str, float] | None = None):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.max_inflight = max_inflight
         self.retry_after = retry_after
+        self.retry_after_by_class = dict(retry_after_by_class or {})
+        for op_class, value in self.retry_after_by_class.items():
+            if value < 0:
+                raise ValueError(
+                    f"retry_after for {op_class!r} must be >= 0")
         self._lock = threading.Lock()
         self.in_flight = 0
         self.peak_in_flight = 0
         self.admitted = 0
         self.rejected = 0
+
+    def retry_after_for(self, op_class: str | None = None) -> float:
+        """The advertised back-off for *op_class* (default otherwise)."""
+        if op_class is None:
+            return self.retry_after
+        return self.retry_after_by_class.get(op_class, self.retry_after)
 
     def try_enter(self) -> bool:
         """Take a slot if one is free; never blocks."""
@@ -73,4 +93,5 @@ class AdmissionController:
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "retry_after": self.retry_after,
+                "retry_after_by_class": dict(self.retry_after_by_class),
             }

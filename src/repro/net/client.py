@@ -55,7 +55,8 @@ class HttpClientAgent:
                  preference: Ruleset | str | None = None, *,
                  preference_hash: str | None = None,
                  timeout: float = 30.0,
-                 retry: RetryPolicy | None = _DEFAULT_RETRY):
+                 retry: RetryPolicy | None = _DEFAULT_RETRY,
+                 default_headers: Mapping[str, str] | None = None):
         split = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if split.scheme not in ("", "http"):
@@ -69,6 +70,10 @@ class HttpClientAgent:
         self.preference_hash = preference_hash
         self.timeout = timeout
         self.retry = retry
+        #: Sent with every request (cluster clients stamp the shard-
+        #: identity headers here, so a misrouted call is *rejected* by
+        #: the receiving server instead of silently answered).
+        self.default_headers = dict(default_headers or {})
         self.requests_sent = 0
         self.reregistrations = 0
         self.revalidations = 0
@@ -92,6 +97,7 @@ class HttpClientAgent:
         a failure on a fresh connection propagates.
         """
         send_headers = {"Content-Type": "application/json",
+                        **self.default_headers,
                         **(headers or {})}
         for attempt in (0, 1):
             fresh = self._connection is None
@@ -144,6 +150,18 @@ class HttpClientAgent:
             return attempt()
         return self.retry.run(attempt, key=retry_key,
                               on_retry=self._count_retry)
+
+    def call(self, method: str, path: str,
+             payload: Mapping[str, Any] | None = None, *,
+             retry_key: str | None = None) -> dict[str, Any]:
+        """One raw protocol call: encode, send, decode, raise on error.
+
+        The cluster router and topology-aware clients forward already-
+        decoded wire payloads through this without re-modeling them as
+        dataclasses; *retry_key* marks the call idempotent and enables
+        the agent's retry policy (installs must pass None).
+        """
+        return self._call(method, path, payload, retry_key=retry_key)
 
     def _count_retry(self, exc: BaseException, attempt: int) -> None:
         self.retries += 1

@@ -42,7 +42,10 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import os
 import threading
+import time
+import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
@@ -185,19 +188,35 @@ class P3PHttpServer(ThreadingHTTPServer):
                  address: tuple[str, int] = ("127.0.0.1", 0), *,
                  max_inflight: int = 64,
                  retry_after: float = 1.0,
+                 retry_after_by_class: Mapping[str, float] | None = None,
                  batch_threads: int = 4,
                  max_body_bytes: int = 4 * 1024 * 1024,
                  registry_size: int = 4096,
+                 identity: protocol.ShardIdentity | None = None,
                  owns_policy_server: bool = False):
         super().__init__(address, _P3PRequestHandler)
         self.policy_server = policy_server
-        self.admission = AdmissionController(max_inflight,
-                                             retry_after=retry_after)
+        self.admission = AdmissionController(
+            max_inflight, retry_after=retry_after,
+            retry_after_by_class=retry_after_by_class)
         self.preferences = PreferenceRegistry(registry_size)
         self.net_metrics = _Metrics()
         self.batch_threads = batch_threads
         self.max_body_bytes = max_body_bytes
         self.owns_policy_server = owns_policy_server
+        #: Stable within the process lifetime: lets aggregated cluster
+        #: metrics attribute a snapshot to one server instance even
+        #: when several share a host (and distinguishes a restarted
+        #: worker from its predecessor).
+        self.server_id = uuid.uuid4().hex[:16]
+        self.started_monotonic = time.monotonic()
+        #: Cluster deployments set this: responses carry the shard-
+        #: identity headers and mismatched requests get ``wrong-shard``.
+        self.identity = identity
+        #: Extra top-level blocks merged into ``metrics_snapshot()``
+        #: (zero-argument callables returning a mapping) — the replica
+        #: refresh loop reports its generation/lag through this.
+        self.metrics_extensions: list = []
         self._reference_lock = threading.Lock()
         #: site -> (raw XML bytes, strong ETag)
         self._reference_documents: dict[str, tuple[bytes, str]] = {}
@@ -248,8 +267,18 @@ class P3PHttpServer(ThreadingHTTPServer):
         cache = self.policy_server._translation_cache
         log = self.policy_server.log
         pool_stats = self.policy_server.pool.stats()
-        return {
+        server: dict[str, Any] = {
+            "server_id": self.server_id,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+        }
+        if self.identity is not None:
+            server["shard"] = self.identity.shard_id
+            server["role"] = self.identity.role
+            server["topology_version"] = self.identity.topology_version
+        snapshot = {
             "v": protocol.PROTOCOL_VERSION,
+            "server": server,
             **self.net_metrics.snapshot(),
             "translation_cache": {
                 "hits": cache.hits,
@@ -288,6 +317,9 @@ class P3PHttpServer(ThreadingHTTPServer):
             # best-effort write-back failures.
             "decision_cache": self.policy_server.decisions.snapshot(),
         }
+        for extension in self.metrics_extensions:
+            snapshot.update(extension())
+        return snapshot
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -400,6 +432,7 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
                 )
             self.server.net_metrics.request(path)
             self._route = path
+            self._check_shard_identity(path)
             hook = self.server.fault_hook
             if hook is not None and hook("request", path) == "drop":
                 raise ConnectionResetError("injected: connection dropped")
@@ -454,6 +487,14 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(protocol.SERVER_ID_HEADER, self.server.server_id)
+        identity = self.server.identity
+        if identity is not None:
+            self.send_header(protocol.SHARD_HEADER,
+                             str(identity.shard_id))
+            self.send_header(protocol.TOPOLOGY_HEADER,
+                             str(identity.topology_version))
+            self.send_header(protocol.ROLE_HEADER, identity.role)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -487,13 +528,45 @@ class _P3PRequestHandler(BaseHTTPRequestHandler):
             )
         return preference
 
-    def _admitted(self) -> None:
+    def _admitted(self, op_class: str = "check") -> None:
         if not self.server.admission.try_enter():
             raise protocol.ProtocolError(
                 protocol.ERR_OVERLOADED,
                 f"server is at its {self.server.admission.max_inflight}"
                 "-request concurrency limit; retry shortly",
-                retry_after=self.server.admission.retry_after,
+                retry_after=self.server.admission.retry_after_for(
+                    op_class),
+            )
+
+    def _check_shard_identity(self, path: str) -> None:
+        """Reject a request addressed to a shard this server is not.
+
+        A misrouted request must get a *redirect-shaped* error, never a
+        wrong answer: a client holding a stale topology would otherwise
+        read decisions (or install policies!) against the wrong shard's
+        corpus.  Only ``/v1/*`` traffic is checked — health probes and
+        metrics scrapes are deliberately shard-agnostic.
+        """
+        identity = self.server.identity
+        if identity is None or not path.startswith("/v1/"):
+            return
+        claimed = self.headers.get(protocol.SHARD_HEADER)
+        if claimed is not None and claimed != str(identity.shard_id):
+            raise protocol.ProtocolError(
+                protocol.ERR_WRONG_SHARD,
+                f"request addressed shard {claimed} but this server "
+                f"owns shard {identity.shard_id} (topology "
+                f"v{identity.topology_version}); refresh the topology "
+                "and re-route",
+            )
+        version = self.headers.get(protocol.TOPOLOGY_HEADER)
+        if version is not None and \
+                version != str(identity.topology_version):
+            raise protocol.ProtocolError(
+                protocol.ERR_WRONG_SHARD,
+                f"request carries topology v{version} but this server "
+                f"is at v{identity.topology_version}; refresh the "
+                "topology and re-route",
             )
 
     # -- endpoints -----------------------------------------------------------

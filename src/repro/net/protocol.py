@@ -17,9 +17,20 @@ code                      status  meaning
 ``not-found``             404     no such endpoint / reference document
 ``method-not-allowed``    405     endpoint exists, verb is wrong
 ``payload-too-large``     413     body exceeds the server's size limit
+``wrong-shard``           421     request addressed to a shard this server
+                                  does not own (stale topology)
 ``overloaded``            503     admission control shed the request
+``shard-unavailable``     503     the owning shard has no reachable backend
 ``internal-error``        500     unexpected server-side failure
 ========================  ======  =============================================
+
+**Shard identity.**  Cluster deployments (see :mod:`repro.cluster`)
+stamp every response with the shard-identity headers below, and a
+request *may* carry them to assert which shard (at which topology
+version) it believes it is talking to.  A mismatch is answered with
+``wrong-shard`` (421 Misdirected Request) — the response headers name
+the shard the server actually owns, so a smart client refreshes its
+topology and re-routes instead of acting on a wrong answer.
 
 Messages are frozen dataclasses with ``to_wire()`` / ``from_wire()``;
 ``from_wire`` validates shape and raises :class:`ProtocolError` (never a
@@ -48,7 +59,9 @@ ERR_UNKNOWN_PREFERENCE = "unknown-preference"
 ERR_NOT_FOUND = "not-found"
 ERR_METHOD_NOT_ALLOWED = "method-not-allowed"
 ERR_PAYLOAD_TOO_LARGE = "payload-too-large"
+ERR_WRONG_SHARD = "wrong-shard"
 ERR_OVERLOADED = "overloaded"
+ERR_SHARD_UNAVAILABLE = "shard-unavailable"
 ERR_INTERNAL = "internal-error"
 
 #: Default HTTP status per error code (a ProtocolError may override).
@@ -61,9 +74,32 @@ HTTP_STATUS = {
     ERR_NOT_FOUND: 404,
     ERR_METHOD_NOT_ALLOWED: 405,
     ERR_PAYLOAD_TOO_LARGE: 413,
+    ERR_WRONG_SHARD: 421,
     ERR_OVERLOADED: 503,
+    ERR_SHARD_UNAVAILABLE: 503,
     ERR_INTERNAL: 500,
 }
+
+#: Shard-identity headers.  Servers stamp responses with all three;
+#: requests may carry SHARD/TOPOLOGY to assert the intended target.
+SHARD_HEADER = "X-P3P-Shard"
+TOPOLOGY_HEADER = "X-P3P-Topology-Version"
+SERVER_ID_HEADER = "X-P3P-Server-Id"
+ROLE_HEADER = "X-P3P-Role"
+
+
+@dataclass(frozen=True)
+class ShardIdentity:
+    """Which shard a server claims, at which topology version.
+
+    Handed to :class:`~repro.net.httpd.P3PHttpServer` by the cluster's
+    worker supervisor; a standalone server has no identity and skips
+    the shard checks entirely.
+    """
+
+    shard_id: int
+    topology_version: int
+    role: str = "primary"
 
 
 class ProtocolError(ReproError):

@@ -42,7 +42,13 @@ from typing import Any, Callable
 from repro.net import protocol
 
 #: Protocol codes that indicate a transient server-side condition.
+#: ``shard-unavailable`` is transient by construction: the router sends
+#: it while a shard's backends are down, and the cluster supervisor's
+#: job is to bring one back.  ``wrong-shard`` is deliberately absent —
+#: retrying the same request at the same server cannot fix a routing
+#: mistake; the caller must refresh its topology first.
 TRANSIENT_CODES = frozenset({protocol.ERR_OVERLOADED,
+                             protocol.ERR_SHARD_UNAVAILABLE,
                              protocol.ERR_INTERNAL})
 
 #: Transport-level exceptions worth a second attempt (connection reset,

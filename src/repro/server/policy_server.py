@@ -336,7 +336,8 @@ class PolicyServer:
                  log_batch_size: int = 32,
                  log_flush_interval: float = 1.0,
                  audit_plans: bool = False,
-                 cache_decisions: bool = True):
+                 cache_decisions: bool = True,
+                 log_checks: bool = True):
         if pool is None:
             pool = ConnectionPool(db if db is not None else ":memory:")
         self.pool = pool
@@ -361,6 +362,12 @@ class PolicyServer:
         #: counters surface through ``pool.stats()`` into ``/metrics``.
         self.audit_plans = audit_plans
         self.last_audit_findings: tuple = ()
+        #: Read replicas set ``log_checks=False``: the check log is
+        #: authoritative on the shard primary only — a replica's file is
+        #: overwritten wholesale by every backup refresh, so rows logged
+        #: there would silently vanish.  Replica-served checks are
+        #: counted in the replica's ``/metrics`` instead.
+        self.log_checks = log_checks
         self.log = CheckLogWriter(pool, batch_size=log_batch_size,
                                   flush_interval=log_flush_interval)
         # Reader connections need the reference store's SQL functions.
@@ -694,6 +701,8 @@ class PolicyServer:
 
     def _log(self, result: CheckResult, preference: Ruleset,
              check_key: str | None = None) -> None:
+        if not self.log_checks:
+            return
         self.log.append(
             (
                 result.site,

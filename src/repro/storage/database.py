@@ -193,6 +193,25 @@ class Database:
         self.wal = row[0] == "wal"
         return self.wal
 
+    def restore_backup(self, source_path: str, *,
+                       timeout: float = 30.0) -> None:
+        """Replace this database's contents with *source_path*'s.
+
+        SQLite's online backup API copies a consistent committed
+        snapshot of the source even while another process is writing it
+        (the read is transactional), which is what the cluster's read
+        replicas refresh with.  The destination — this connection —
+        must not be inside an open transaction.
+        """
+        source = sqlite3.connect(source_path, timeout=timeout)
+        try:
+            source.backup(self._connection)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"backup from {source_path!r} failed: {exc}") from exc
+        finally:
+            source.close()
+
     def close(self) -> None:
         self._connection.close()
 

@@ -1,0 +1,138 @@
+"""The consistent-hash ring: determinism, balance, minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import (
+    DEFAULT_VNODES,
+    Topology,
+    rebalance_plan,
+)
+
+KEYS = [f"www.site-{i}.example.com" for i in range(2000)]
+
+
+class TestTopologyValidation:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            Topology(shards=0)
+
+    def test_rejects_negative_replicas(self):
+        with pytest.raises(ValueError):
+            Topology(shards=1, replicas=-1)
+
+    def test_rejects_nonpositive_version(self):
+        with pytest.raises(ValueError):
+            Topology(shards=1, version=0)
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ValueError):
+            Topology(shards=1, vnodes=0)
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        """Two independently built rings must agree on every key — the
+        property that lets router, workers and clients each build their
+        own ring from the same wire config."""
+        a = Topology(shards=5)
+        b = Topology(shards=5)
+        assert [a.owner_shard(k) for k in KEYS] == \
+            [b.owner_shard(k) for k in KEYS]
+
+    def test_owner_always_a_valid_shard(self):
+        topology = Topology(shards=7)
+        owners = {topology.owner_shard(key) for key in KEYS}
+        assert owners <= set(range(7))
+
+    def test_single_shard_owns_everything(self):
+        topology = Topology(shards=1)
+        assert all(topology.owner_shard(key) == 0 for key in KEYS)
+
+    def test_assignments_matches_owner_shard(self):
+        topology = Topology(shards=3)
+        assigned = topology.assignments(KEYS[:100])
+        assert assigned == {key: topology.owner_shard(key)
+                            for key in KEYS[:100]}
+
+    def test_balance_within_vnode_tolerance(self):
+        """With 64 vnodes/shard the max/min shard load stays within a
+        small factor of even — the property that makes the ring usable
+        without a lookup table."""
+        topology = Topology(shards=4)
+        counts = [0] * 4
+        for key in KEYS:
+            counts[topology.owner_shard(key)] += 1
+        assert min(counts) > 0
+        assert max(counts) / min(counts) < 3.0
+        # And no shard is a hot spot holding most of the keyspace.
+        assert max(counts) < 0.5 * len(KEYS)
+
+
+class TestEvolution:
+    def test_with_shards_bumps_version(self):
+        topology = Topology(shards=2)
+        grown = topology.with_shards(3)
+        assert grown.shards == 3
+        assert grown.version == topology.version + 1
+        assert grown.vnodes == topology.vnodes
+
+    def test_with_replicas_bumps_version(self):
+        topology = Topology(shards=2, replicas=0)
+        replicated = topology.with_replicas(2)
+        assert replicated.replicas == 2
+        assert replicated.version == topology.version + 1
+
+    def test_minimal_movement_on_growth(self):
+        """Growing N -> N+1 shards must move about 1/(N+1) of the keys
+        and nothing else — the consistent-hashing contract; hash(key)%N
+        would move nearly all of them."""
+        old = Topology(shards=4)
+        plan = rebalance_plan(old, old.with_shards(5), KEYS)
+        expected = 1 / 5
+        assert 0 < plan.moved_fraction < 2.5 * expected
+        # Every move lands on the new shard — existing shards do not
+        # trade keys among themselves.
+        assert all(dst == 4 for _, dst in plan.moves.values())
+
+    def test_rebalance_plan_is_exact_and_reproducible(self):
+        old = Topology(shards=2)
+        new = old.with_shards(3)
+        plan_a = rebalance_plan(old, new, KEYS)
+        plan_b = rebalance_plan(old, new, KEYS)
+        assert plan_a.moves == plan_b.moves
+        assert plan_a.total_keys == len(KEYS)
+        into = plan_a.keys_into(2)
+        assert into == sorted(into)
+        assert set(into) == {key for key, (_, dst) in plan_a.moves.items()
+                             if dst == 2}
+        for key in plan_a.keys_out_of(0):
+            assert plan_a.moves[key][0] == 0
+
+    def test_identical_topologies_move_nothing(self):
+        topology = Topology(shards=3)
+        plan = rebalance_plan(topology, Topology(shards=3), KEYS)
+        assert plan.moves == {}
+        assert plan.moved_fraction == 0.0
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        topology = Topology(shards=3, replicas=2, version=7, vnodes=32)
+        assert Topology.from_wire(topology.to_wire()) == topology
+
+    def test_from_wire_rejects_non_ints(self):
+        wire = Topology(shards=2).to_wire()
+        wire["shards"] = "2"
+        with pytest.raises(ValueError):
+            Topology.from_wire(wire)
+
+    def test_from_wire_rejects_bools(self):
+        wire = Topology(shards=2).to_wire()
+        wire["replicas"] = True
+        with pytest.raises(ValueError):
+            Topology.from_wire(wire)
+
+    def test_default_vnodes(self):
+        assert Topology(shards=1).vnodes == DEFAULT_VNODES
