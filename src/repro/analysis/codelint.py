@@ -18,7 +18,9 @@ review, and invisible to pytest until they become incidents:
     ``execute*``/``query*`` call.  Use a ``?`` bind.
 
 ``unbounded-cache`` (warning)
-    On serving paths (``server/``, ``net/``) a bare ``{}`` assigned to a
+    On serving paths (``server/``, ``net/``, ``cluster/``) a bare
+    ``{}`` — or a plain-dict idiom hiding behind a constructor:
+    ``dict()``, ``OrderedDict()``, ``defaultdict(...)`` — assigned to a
     ``*cache*`` attribute is an unbounded cache: long-lived processes
     grow it without eviction.  Use a bounded structure such as
     :class:`~repro.translate.plan.TranslationCache`.
@@ -52,7 +54,13 @@ CONNECT_ALLOWED = ("storage",)
 DYNAMIC_SQL_ALLOWED = ("translate", "storage")
 
 #: Serving-path directories where unbounded caches outlive requests.
-SERVER_PATHS = ("server", "net")
+SERVER_PATHS = ("server", "net", "cluster")
+
+#: Constructors that build an unbounded mapping when called with no
+#: sizing discipline of their own (``OrderedDict()`` alone is not an
+#: LRU — it only becomes one next to an eviction loop, which the
+#: bounded wrappers provide).
+UNBOUNDED_MAPPING_CALLS = frozenset({"dict", "OrderedDict", "defaultdict"})
 
 
 def _package_parts(path: Path, root: Path) -> tuple[str, ...]:
@@ -121,12 +129,26 @@ def _is_string_like(node: ast.expr) -> bool:
 
 
 def _is_empty_dict(node: ast.expr) -> bool:
+    """An empty mapping with no bound: ``{}``, ``dict()``, and the
+    plain-dict idioms that hide behind a constructor name —
+    ``OrderedDict()`` / ``collections.OrderedDict()`` /
+    ``defaultdict(...)`` with no eviction in sight."""
     if isinstance(node, ast.Dict) and not node.keys:
         return True
-    return (isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "dict"
-            and not node.args and not node.keywords)
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):     # collections.OrderedDict()
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return False
+    if name not in UNBOUNDED_MAPPING_CALLS:
+        return False
+    if name == "defaultdict":               # the factory arg is fine
+        return len(node.args) <= 1 and not node.keywords
+    return not node.args and not node.keywords
 
 
 class _Linter(ast.NodeVisitor):

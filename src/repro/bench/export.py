@@ -241,3 +241,66 @@ def save_cluster_results(path: str, **options: Any) -> dict[str, Any]:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return results
+
+
+def async_results(connections: int = 16,
+                  multiplier: int = 10,
+                  threads: int = 16,
+                  checks: int = 400) -> dict[str, Any]:
+    """Run E14 and return its JSON document (``BENCH_E14.json``).
+
+    Like E13, kept out of :func:`run_all`: both halves hold dozens to
+    hundreds of live sockets and time a concurrent storm, so the
+    numbers are only meaningful on hosts with cores to spare — the
+    document records ``cpu_count`` so readers know which regime
+    produced it (the acceptance assertions gate on ≥ 4 cores).
+    """
+    import os
+
+    scaling = harness.connection_scaling_experiment(
+        connections=connections, multiplier=multiplier)
+    batching = harness.batching_load_experiment(
+        threads=threads, checks=checks)
+    return {
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "connections": connections,
+            "multiplier": multiplier,
+        },
+        "e14_async": {
+            "connection_scaling": [
+                {
+                    "frontend": row.frontend,
+                    "connections": row.connections,
+                    "thread_delta": row.thread_delta,
+                    "threads_per_connection": row.threads_per_connection,
+                    "est_stack_bytes": row.est_stack_bytes,
+                }
+                for row in scaling
+            ],
+            "batching": [
+                {
+                    "mode": row.mode,
+                    "threads": row.threads,
+                    "checks": row.checks,
+                    "seconds": row.seconds,
+                    "checks_per_second": row.checks_per_second,
+                    "batches": row.batches,
+                    "coalesced": row.coalesced,
+                }
+                for row in batching
+            ],
+            "batching_speedup": harness.batching_speedup(batching),
+        },
+    }
+
+
+def save_async_results(path: str, **options: Any) -> dict[str, Any]:
+    """Run E14 and write ``BENCH_E14.json``-style output to *path*."""
+    results = async_results(**options)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return results

@@ -43,6 +43,14 @@ Experiment ids follow DESIGN.md:
   optional backup-API read replicas, consistent-hash routing) — the
   aggregate checks/sec trajectory as the corpus is partitioned,
   against the single-shard deployment as baseline
+* E14 — async front end: (a) connection scaling — server-side thread
+  growth when N idle-but-open keep-alive connections each complete a
+  check, threaded front end at N vs
+  :class:`~repro.net.aio.AsyncP3PServer` at 10×N (the async loop plus
+  its bounded executor must stay flat); (b) batching throughput — the
+  E9 skewed workload (one preference, eight URIs) over the async
+  server with the cross-connection micro-batching window open vs
+  closed, decision cache off so every check reaches plan execution
 
 Absolute numbers differ from the paper's 2002 hardware + DB2 setup by
 orders of magnitude; the harness exists to reproduce the *shape* —
@@ -51,9 +59,12 @@ orderings, ratios, and failure cells (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
+import socket
 import statistics
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -1185,4 +1196,235 @@ def cluster_experiment(shard_counts: tuple[int, ...] = (1, 2, 4),
                 for client in clients:
                     client.close()
                 cluster.close()
+    return results
+
+
+# -- E14: async front end ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConnectionScalingResult:
+    """Server-side thread cost of holding open client connections.
+
+    ``thread_delta`` is how many threads the server process grew by
+    while *connections* keep-alive clients each completed one check and
+    then stayed connected.  The threaded front end dedicates a handler
+    thread per connection; the async front end serves every connection
+    from one event loop plus its fixed executor pool, so its delta is
+    bounded by configuration, not by load.  ``est_stack_bytes`` prices
+    that delta at the platform's default thread stack size — the memory
+    the connection army reserves before serving a single byte.
+    """
+
+    frontend: str       # "threaded" or "async"
+    connections: int
+    thread_delta: int
+    est_stack_bytes: int
+
+    @property
+    def threads_per_connection(self) -> float:
+        if self.connections <= 0:
+            return 0.0
+        return self.thread_delta / self.connections
+
+
+#: Stack reservation used to price a handler thread when the platform
+#: reports no explicit ``threading.stack_size()`` (0 means "default",
+#: which is 8 MiB on mainstream Linux/glibc).
+_DEFAULT_THREAD_STACK = 8 * 1024 * 1024
+
+
+def _open_checking_connection(host: str, port: int,
+                              payload: bytes) -> "socket.socket":
+    """One keep-alive connection that has completed one check.
+
+    Sends a single ``POST /v1/check`` and reads the full response, so
+    by the time this returns the server has committed whatever
+    per-connection resources it keeps for the socket's lifetime — then
+    leaves the connection open for the caller to hold.
+    """
+    conn = socket.create_connection((host, port), timeout=10.0)
+    head = (f"POST /v1/check HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n\r\n").encode("ascii")
+    conn.sendall(head + payload)
+    reader = conn.makefile("rb")
+    status = reader.readline()
+    if not status.startswith(b"HTTP/1.1 200"):
+        raise RuntimeError(f"check failed: {status!r}")
+    length = 0
+    while True:
+        line = reader.readline().strip()
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    reader.read(length)
+    reader.close()
+    return conn
+
+
+def connection_scaling_experiment(
+        directory: str | None = None,
+        connections: int = 16,
+        multiplier: int = 10) -> list[ConnectionScalingResult]:
+    """E14a: what does a held-open connection cost each front end?
+
+    The threaded server is measured at *connections* concurrent
+    keep-alive clients; the async server at ``multiplier`` times as
+    many.  Each client completes one real check (so handler state is
+    fully materialized) and then stays connected while the server
+    process's ``threading.active_count()`` is read.  Both servers run
+    in this process, so the deltas are directly comparable.
+    """
+    from repro.corpus.volga import jane_preference
+    from repro.net import protocol
+    from repro.net.aio import AsyncP3PServer
+    from repro.net.client import HttpClientAgent
+    from repro.net.httpd import P3PHttpServer
+
+    jane = jane_preference()
+    results: list[ConnectionScalingResult] = []
+    stack = threading.stack_size() or _DEFAULT_THREAD_STACK
+
+    plans = [
+        ("threaded", connections,
+         lambda backend, count: P3PHttpServer(
+             backend, ("127.0.0.1", 0), max_inflight=count * 2)),
+        ("async", connections * multiplier,
+         lambda backend, count: AsyncP3PServer(
+             backend, ("127.0.0.1", 0), max_inflight=count * 2)),
+    ]
+    with tempfile.TemporaryDirectory(dir=directory) as workdir:
+        for frontend, count, build in plans:
+            backend = _concurrency_server(
+                os.path.join(workdir, f"{frontend}.db"),
+                log_batch_size=256, log_flush_interval=0.05)
+            httpd = build(backend, count)
+            thread = httpd.run_in_thread()
+            held: list = []
+            try:
+                bootstrap = HttpClientAgent(httpd.base_url, jane)
+                digest = bootstrap.register_preference()
+                bootstrap.check("volga.example.com", "/catalog/item-0")
+                bootstrap.close()
+                payload = json.dumps(protocol.CheckRequest(
+                    site="volga.example.com", uri="/catalog/item-0",
+                    preference_hash=digest,
+                ).to_wire()).encode("utf-8")
+
+                before = threading.active_count()
+                with ThreadPoolExecutor(max_workers=32) as opener:
+                    held.extend(opener.map(
+                        lambda _: _open_checking_connection(
+                            httpd.host, httpd.port, payload),
+                        range(count)))
+                delta = max(0, threading.active_count() - before)
+                results.append(ConnectionScalingResult(
+                    frontend=frontend, connections=count,
+                    thread_delta=delta,
+                    est_stack_bytes=delta * stack,
+                ))
+            finally:
+                for conn in held:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                httpd.close()
+                backend.close()
+                thread.join(timeout=10)
+    return results
+
+
+@dataclass(frozen=True)
+class BatchingLoadResult:
+    """E9's skewed workload against the async server, one window mode."""
+
+    mode: str       # "batched" (window open) or "unbatched" (window=0)
+    threads: int
+    checks: int
+    seconds: float
+    batches: int        # micro-batches flushed by the executor
+    coalesced: int      # requests that shared a batch with another
+
+    @property
+    def checks_per_second(self) -> float:
+        return self.checks / self.seconds if self.seconds > 0 else 0.0
+
+
+def batching_speedup(rows: list[BatchingLoadResult]) -> float | None:
+    """Batched throughput as a multiple of the unbatched async run."""
+    by_mode = {row.mode: row for row in rows}
+    batched = by_mode.get("batched")
+    unbatched = by_mode.get("unbatched")
+    if batched is None or unbatched is None or batched.seconds <= 0:
+        return None
+    return unbatched.seconds / batched.seconds
+
+
+def batching_load_experiment(directory: str | None = None,
+                             threads: int = 16,
+                             checks: int = 400,
+                             warmup: int = 32,
+                             window: float = 0.001,
+                             max_batch: int = 32
+                             ) -> list[BatchingLoadResult]:
+    """E14b: does cross-connection micro-batching pay under skew?
+
+    The E9 request stream is maximally favourable to batching — every
+    client shares one preference and eight URIs — so concurrent checks
+    pile onto the same ``(preference, cookie)`` batch key.  Both runs
+    use the async front end over identical databases with the decision
+    cache off (every check must reach plan execution, the cost batching
+    amortizes); only the window differs: *window* seconds for the
+    batched run, zero (flush-per-request) for the baseline.  Timed
+    regions end with a log flush, as in E8/E9.
+    """
+    from repro.corpus.volga import jane_preference
+    from repro.net.aio import AsyncP3PServer
+    from repro.net.client import HttpClientAgent
+
+    requests = _concurrency_requests(checks)
+    jane = jane_preference()
+    results: list[BatchingLoadResult] = []
+
+    with tempfile.TemporaryDirectory(dir=directory) as workdir:
+        for mode, batch_window in (("unbatched", 0.0),
+                                   ("batched", window)):
+            backend = _concurrency_server(
+                os.path.join(workdir, f"{mode}.db"),
+                cache_decisions=False,
+                log_batch_size=256, log_flush_interval=0.05)
+            httpd = AsyncP3PServer(backend, ("127.0.0.1", 0),
+                                   max_inflight=threads * 4,
+                                   batch_window=batch_window,
+                                   batch_max=max_batch)
+            thread = httpd.run_in_thread()
+            try:
+                bootstrap = HttpClientAgent(httpd.base_url, jane)
+                digest = bootstrap.register_preference()
+                bootstrap.check_batch(
+                    [(site, uri) for site, uri, _ in requests[:warmup]])
+                bootstrap.close()
+                base = httpd.batching_snapshot()
+                start = time.perf_counter()
+                _drive_http(httpd.base_url, jane, digest,
+                            requests, threads)
+                backend.flush_log()
+                seconds = time.perf_counter() - start
+                after = httpd.batching_snapshot()
+                results.append(BatchingLoadResult(
+                    mode=mode, threads=threads, checks=checks,
+                    seconds=seconds,
+                    batches=after["batches"] - base["batches"],
+                    coalesced=after["coalesced"] - base["coalesced"],
+                ))
+            finally:
+                httpd.close()
+                backend.close()
+                thread.join(timeout=10)
     return results

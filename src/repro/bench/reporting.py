@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from repro.bench.harness import (
     AblationResult,
+    BatchingLoadResult,
     BulkMatchingResult,
     ClusterResult,
     ConcurrencyResult,
+    ConnectionScalingResult,
     EngineSummary,
     FaultToleranceResult,
     HttpLoadResult,
@@ -19,6 +21,7 @@ from repro.bench.harness import (
     PlanCompilationResult,
     ShreddingResult,
     WarmColdResult,
+    batching_speedup,
     cluster_speedups,
     http_overhead,
     retry_overhead,
@@ -395,4 +398,38 @@ def format_cluster(rows: list[ClusterResult]) -> str:
         "(speedup is relative to the 1-shard deployment; near-linear "
         "scaling needs one core per shard)"
     )
+    return "\n".join(lines)
+
+
+def format_async(scaling: list[ConnectionScalingResult],
+                 batching: list[BatchingLoadResult]) -> str:
+    """E14: connection cost per front end + the batching window's win."""
+    lines = [
+        "Async front end (connection cost, then micro-batching "
+        "throughput)",
+        f"{'Frontend':>8s} {'Conns':>6s} {'Thr +':>6s} {'Thr/conn':>9s} "
+        f"{'Stack est':>10s}",
+    ]
+    for row in scaling:
+        mib = row.est_stack_bytes / (1024 * 1024)
+        lines.append(
+            f"{row.frontend:>8s} {row.connections:6d} "
+            f"{row.thread_delta:6d} {row.threads_per_connection:9.3f} "
+            f"{mib:8.0f}Mi"
+        )
+    lines.append("")
+    lines.append(
+        f"{'Mode':>9s} {'Threads':>7s} {'Checks':>7s} {'Checks/s':>10s} "
+        f"{'Batches':>8s} {'Coalesced':>9s}"
+    )
+    for row in batching:
+        lines.append(
+            f"{row.mode:>9s} {row.threads:7d} {row.checks:7d} "
+            f"{row.checks_per_second:10.0f} {row.batches:8d} "
+            f"{row.coalesced:9d}"
+        )
+    speedup = batching_speedup(batching)
+    if speedup is not None:
+        lines.append(f"(batching window win: {speedup:.2f}x over the "
+                     "unbatched async run; decision cache disabled)")
     return "\n".join(lines)

@@ -12,8 +12,9 @@ Subcommands::
     p3pdb corpus    [-o DIR]              # emit the synthetic workload
     p3pdb report    [POLICY.xml ...]      # corpus analytics
     p3pdb bench     [EXPERIMENT ...] [--markdown] [--json FILE]
-    p3pdb serve     [--db FILE] [--port N] [--max-inflight N]
+    p3pdb serve     [--db FILE] [--port N] [--max-inflight N] [--async]
     p3pdb cluster   [--shards N] [--replicas M] [--db-dir DIR] [--port N]
+                    [--async]
     p3pdb lint      [PATH ...] [--baseline FILE] [--update-baseline]
     p3pdb audit     [POLICY.xml ...] [-p PREF.xml ...] [--no-literal]
 """
@@ -260,7 +261,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
                       "concurrency", "http-load", "fault-tolerance",
-                      "plans", "bulk", "cluster")
+                      "plans", "bulk", "cluster", "async")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -276,6 +277,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = results["e13_cluster"]["rows"]
         print(f"wrote E13 cluster results ({len(rows)} deployments) "
               f"to {args.cluster_json}")
+        return 0
+    if args.async_json:
+        results = bench.save_async_results(args.async_json)
+        rows = results["e14_async"]["batching"]
+        print(f"wrote E14 async results ({len(rows)} batching rows) "
+              f"to {args.async_json}")
         return 0
 
     wanted = args.experiments or list(_BENCH_EXPERIMENTS)
@@ -318,6 +325,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 bench.bulk_matching_experiment()))
         elif experiment == "cluster":
             print(bench.format_cluster(bench.cluster_experiment()))
+        elif experiment == "async":
+            print(bench.format_async(
+                bench.connection_scaling_experiment(),
+                bench.batching_load_experiment()))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2
@@ -334,16 +345,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.net.aio import AsyncP3PServer
     from repro.net.httpd import P3PHttpServer
     from repro.server.policy_server import PolicyServer
 
     policy_server = PolicyServer(args.db)
-    httpd = P3PHttpServer(policy_server, (args.host, args.port),
-                          max_inflight=args.max_inflight,
-                          owns_policy_server=True)
-    host, port = httpd.server_address[:2]
+    server_class = AsyncP3PServer if args.async_frontend else P3PHttpServer
+    httpd = server_class(policy_server, (args.host, args.port),
+                         max_inflight=args.max_inflight,
+                         max_body_bytes=args.max_body_bytes,
+                         owns_policy_server=True)
+    host, port = httpd.host, httpd.port
+    frontend = "async" if args.async_frontend else "threaded"
     print(f"p3pdb: serving on http://{host}:{port} "
-          f"(db={args.db or ':memory:'}, "
+          f"(db={args.db or ':memory:'}, frontend={frontend}, "
           f"max-inflight={args.max_inflight}); Ctrl-C to stop")
     if args.ready_file:
         Path(args.ready_file).write_text(f"{host} {port}\n",
@@ -388,6 +403,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         host=args.host,
         router_port=args.port,
         max_inflight=args.max_inflight,
+        frontend="async" if args.async_frontend else "threaded",
     )
     cluster.start()
     stop = threading.Event()
@@ -579,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", metavar="FILE", default=None,
                          help="run every experiment and write a JSON "
                               "results document")
+    p_bench.add_argument("--async-json", metavar="FILE", default=None,
+                         dest="async_json",
+                         help="run E14 (async front end: connection "
+                              "scaling + micro-batching throughput) and "
+                              "write BENCH_E14.json-style output")
     p_bench.add_argument("--cluster-json", metavar="FILE", default=None,
                          dest="cluster_json",
                          help="run only E13 (spawns worker processes) "
@@ -597,6 +618,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8080,
                          help="port to bind; 0 picks an ephemeral port "
                               "(default 8080)")
+    p_serve.add_argument("--async", action="store_true",
+                         dest="async_frontend",
+                         help="serve through the asyncio front end with "
+                              "cross-connection micro-batching instead "
+                              "of the thread-per-connection server")
+    p_serve.add_argument("--max-body-bytes", type=int,
+                         default=4 * 1024 * 1024, dest="max_body_bytes",
+                         help="largest accepted request body; beyond it "
+                              "the server answers 413 payload-too-large "
+                              "(default 4 MiB)")
     p_serve.add_argument("--max-inflight", type=int, default=64,
                          help="admission-control limit on concurrent "
                               "checks; beyond it the server sheds load "
@@ -622,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--port", type=int, default=8080,
                            help="router port; 0 picks an ephemeral port "
                                 "(default 8080)")
+    p_cluster.add_argument("--async", action="store_true",
+                           dest="async_frontend",
+                           help="front every shard with the asyncio "
+                                "server (micro-batched plan execution) "
+                                "instead of the threaded one")
     p_cluster.add_argument("--max-inflight", type=int, default=64,
                            help="per-worker admission limit (default 64)")
     p_cluster.add_argument("--in-process", action="store_true",

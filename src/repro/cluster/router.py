@@ -365,7 +365,15 @@ class ClusterRouter(ThreadingHTTPServer):
         }
 
     def scatter_match(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """POST /v1/match on every shard in parallel; merge by name."""
+        """POST /v1/match on every shard in parallel; merge by name.
+
+        A failing shard must not silently shrink the corpus: its error
+        becomes a per-shard entry under ``shard_errors`` and the merged
+        response carries ``partial: true``, so a caller can tell "the
+        corpus is this big" from "this is what the healthy shards
+        know".  Only when *every* shard fails does the match itself
+        fail (``shard-unavailable``).
+        """
         shards = list(self.cluster.topology.shard_ids())
         futures = {
             shard: self._executor.submit(
@@ -374,10 +382,22 @@ class ClusterRouter(ThreadingHTTPServer):
             for shard in shards
         }
         merged: list[dict[str, Any]] = []
+        shard_errors: dict[str, dict[str, str]] = {}
         cache_hits = cache_misses = 0
         elapsed = 0.0
         for shard in shards:
-            response = futures[shard].result()
+            try:
+                response = futures[shard].result()
+            except protocol.ProtocolError as exc:
+                shard_errors[str(shard)] = {"code": exc.code,
+                                            "message": str(exc)}
+                continue
+            except TRANSPORT_ERRORS as exc:
+                shard_errors[str(shard)] = {
+                    "code": protocol.ERR_SHARD_UNAVAILABLE,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+                continue
             for entry in response.get("results", []):
                 entry = dict(entry)
                 entry["shard"] = shard
@@ -386,6 +406,12 @@ class ClusterRouter(ThreadingHTTPServer):
             cache_misses += int(response.get("cache_misses", 0))
             elapsed = max(elapsed,
                           float(response.get("elapsed_seconds", 0.0)))
+        if shard_errors and len(shard_errors) == len(shards):
+            raise protocol.ProtocolError(
+                protocol.ERR_SHARD_UNAVAILABLE,
+                "no shard answered the corpus match",
+                retry_after=self.admission.retry_after_for("check"),
+            )
         merged.sort(key=lambda entry: (entry.get("name") or "",
                                        entry.get("shard", -1),
                                        entry.get("policy_id", -1)))
@@ -395,6 +421,8 @@ class ClusterRouter(ThreadingHTTPServer):
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
             "elapsed_seconds": elapsed,
+            "partial": bool(shard_errors),
+            "shard_errors": shard_errors,
         }
 
     # -- introspection -------------------------------------------------------
@@ -642,7 +670,8 @@ class P3PCluster:
                  retry_after_check: float = 0.5,
                  retry_after_install: float = 2.0,
                  refresh_interval: float = 0.25,
-                 audit_plans: bool = False):
+                 audit_plans: bool = False,
+                 frontend: str = "threaded"):
         self.topology = topology if topology is not None else \
             Topology(shards=shards, replicas=replicas)
         self._owned_tmpdir: tempfile.TemporaryDirectory | None = None
@@ -667,6 +696,7 @@ class P3PCluster:
             retry_after_install=retry_after_install,
             refresh_interval=refresh_interval,
             audit_plans=audit_plans,
+            frontend=frontend,
         )
         self.primaries: list[Any] = []
         self.replicas: dict[int, list[Any]] = {}

@@ -33,6 +33,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
+from repro.net.aio import AsyncP3PServer
 from repro.net.httpd import P3PHttpServer
 from repro.net.protocol import ShardIdentity
 from repro.server.policy_server import PolicyServer
@@ -70,12 +71,18 @@ class WorkerConfig:
     retry_after_install: float = 2.0
     refresh_interval: float = 0.25
     audit_plans: bool = False
+    #: "threaded" (ThreadingHTTPServer) or "async" (the asyncio front
+    #: end with the batching executor) — both speak the same protocol,
+    #: so the router and clients are none the wiser.
+    frontend: str = "threaded"
 
     def __post_init__(self) -> None:
         if self.role not in ("primary", "replica"):
             raise ValueError(f"unknown worker role {self.role!r}")
         if self.role == "replica" and self.primary_path is None:
             raise ValueError("a replica needs a primary_path")
+        if self.frontend not in ("threaded", "async"):
+            raise ValueError(f"unknown frontend {self.frontend!r}")
 
     @property
     def identity(self) -> ShardIdentity:
@@ -86,13 +93,16 @@ class WorkerConfig:
 
 def build_worker_stack(
         config: WorkerConfig
-) -> tuple[P3PHttpServer, ShardReplica | None]:
+) -> tuple[P3PHttpServer | AsyncP3PServer, ShardReplica | None]:
     """Build (and for replicas, start refreshing) one worker's stack.
 
     The returned server *owns* its PolicyServer — closing it flushes
     the check log and closes the pool.  Replicas additionally return
     the :class:`ShardReplica` whose refresh loop is already running and
-    whose generation/lag counters are wired into ``/metrics``.
+    whose generation/lag counters are wired into ``/metrics``.  With
+    ``frontend="async"`` the shard is fronted by the asyncio server
+    (same protocol, same lifecycle surface), so a cluster can serve
+    checks through the batching executor per shard.
     """
     replica: ShardReplica | None = None
     if config.role == "replica":
@@ -106,7 +116,9 @@ def build_worker_stack(
     else:
         policy_server = PolicyServer(config.db_path,
                                      audit_plans=config.audit_plans)
-    httpd = P3PHttpServer(
+    server_class = (AsyncP3PServer if config.frontend == "async"
+                    else P3PHttpServer)
+    httpd = server_class(
         policy_server,
         (config.host, config.port),
         max_inflight=config.max_inflight,
@@ -244,7 +256,7 @@ class InProcessWorker:
 
     def __init__(self, config: WorkerConfig):
         self.config = config
-        self.httpd: P3PHttpServer | None = None
+        self.httpd: P3PHttpServer | AsyncP3PServer | None = None
         self.replica: ShardReplica | None = None
         self._thread: threading.Thread | None = None
         self.base_url: str | None = None

@@ -1,0 +1,948 @@
+"""The asyncio front end: one event loop, many connections, batched plans.
+
+The threaded front end (:mod:`repro.net.httpd`) spends a thread per
+connection and executes one compiled plan per ``/v1/check``.  This
+module carries the paper's set-at-a-time idea across *connections*:
+
+* :class:`AsyncP3PServer` — an asyncio HTTP/1.1 server speaking the
+  same versioned JSON protocol, reusing :class:`PreferenceRegistry`,
+  :class:`~repro.net.admission.AdmissionController` and
+  :class:`~repro.server.policy_server.PolicyServer` unchanged.  The
+  event loop owns parsing, routing and admission; every blocking
+  SQLite call is confined to a small :class:`ThreadPoolExecutor`
+  (bounded threads → bounded pooled readers), so ten thousand idle
+  keep-alive connections cost file descriptors, not thread stacks.
+* :class:`BatchingExecutor` — concurrent ``check()`` requests for the
+  same preference hash are held for a bounded window (a couple of
+  milliseconds, or until the batch fills) and serviced together: one
+  reader resolves every request's applicable policy, consults the
+  materialized decision cache, and repairs all misses with a single
+  ``policy_id IN (...)`` micro-batch
+  (:meth:`PolicyServer.translate_bulk` over
+  ``batched_policy_source``), writing the repaired rows back
+  best-effort.  Results are split back to their waiting requests, and
+  every request is logged through the idempotent check-log writer with
+  its own ``check_key`` — retries that land in different batches still
+  log at most once.
+
+Fairness and liveness: a batch never waits longer than the window (the
+first request arms a timer) and never grows past ``max_batch`` (the
+filling request flushes it), so a lone request pays at most the window
+and a storm pays amortized one statement per ``max_batch`` checks.
+
+``GET /metrics`` serves the same document as the threaded front end
+plus a ``batching`` block: batch depth, window occupancy, coalesced
+request counters, and a bounded per-preference depth map.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import logging
+import socket
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.appel.model import Ruleset
+from repro.appel.parser import parse_ruleset
+from repro.errors import ReproError
+from repro.net import protocol
+from repro.net.admission import AdmissionController
+from repro.net.httpd import (
+    PreferenceRegistry,
+    _etag,
+    _Metrics,
+    snapshot_metrics,
+)
+from repro.p3p.parser import parse_policy
+from repro.server.policy_server import (
+    MATCH_BATCH_SIZE,
+    CheckResult,
+    PolicyServer,
+)
+from repro.storage.decision_cache import utc_now_iso
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["AsyncP3PServer", "BatchingExecutor", "serve_async"]
+
+#: Longest accepted request/header line; longer lines are a 400.
+_MAX_LINE_BYTES = 16 * 1024
+#: Most header lines accepted on one request.
+_MAX_HEADERS = 100
+
+
+def _bucket(size: int) -> int:
+    """The micro-batch shape for *size* distinct policy ids.
+
+    Rounded up to a power of two so a preference compiles at most
+    ``log2(MATCH_BATCH_SIZE)`` bulk-plan shapes instead of one per
+    observed batch depth — the id list is padded by repeating the last
+    id, which is harmless under ``policy_id IN (...)``.
+    """
+    shape = 1
+    while shape < size:
+        shape *= 2
+    return min(shape, MATCH_BATCH_SIZE)
+
+
+@dataclass
+class _Batch:
+    """One open coalescing window for a (preference, cookie) pair."""
+
+    preference: Ruleset
+    cookie: bool
+    opened: float
+    items: list[tuple[str, str, str | None, asyncio.Future]] = \
+        field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class BatchingExecutor:
+    """Coalesces concurrent same-preference checks into one bulk plan.
+
+    Loop-affine: :meth:`check`, the flush path and :meth:`snapshot` all
+    run on the owning event loop, so the counters need no lock.  Only
+    :meth:`_execute` — the blocking SQLite work — runs on the executor
+    pool, on its own pooled reader connection.
+    """
+
+    def __init__(self, policy_server: PolicyServer,
+                 executor: ThreadPoolExecutor,
+                 loop: asyncio.AbstractEventLoop, *,
+                 window: float = 0.0015,
+                 max_batch: int = 32,
+                 preference_depths: int = 32):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.policy_server = policy_server
+        self.window = window
+        self.max_batch = max_batch
+        self._executor = executor
+        self._loop = loop
+        self._pending: dict[tuple[str, bool], _Batch] = {}
+        # -- counters (loop-affine) --
+        self.requests_total = 0
+        self.batches = 0
+        self.coalesced = 0           # requests that shared their batch
+        self.singleton_batches = 0
+        self.depth_max = 0
+        self.depth_sum = 0
+        self.window_flushes = 0      # timer fired before the batch filled
+        self.full_flushes = 0        # max_batch reached inside the window
+        #: Bounded per-preference depth map (most recent preferences
+        #: only — the same LRU discipline as the registries).
+        self._preference_depths: OrderedDict[str, dict] = OrderedDict()
+        self._preference_depths_size = preference_depths
+
+    # -- submission (event loop) ----------------------------------------------
+
+    async def check(self, preference_hash: str, preference: Ruleset, *,
+                    site: str, uri: str, cookie: bool = False,
+                    check_key: str | None = None) -> CheckResult:
+        """One decision, possibly served by a shared micro-batch."""
+        future: asyncio.Future = self._loop.create_future()
+        key = (preference_hash, cookie)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _Batch(preference=preference, cookie=cookie,
+                           opened=self._loop.time())
+            self._pending[key] = batch
+            if self.window > 0:
+                batch.timer = self._loop.call_later(
+                    self.window, self._flush, key, "window")
+        batch.items.append((site, uri, check_key, future))
+        self.requests_total += 1
+        if len(batch.items) >= self.max_batch:
+            self._flush(key, "full")
+        elif self.window <= 0:
+            # Batching disabled: each request is its own batch (the
+            # benchmark baseline, and the safest failure posture).
+            self._flush(key, "window")
+        return await future
+
+    def _flush(self, key: tuple[str, bool], reason: str) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        depth = len(batch.items)
+        self.batches += 1
+        self.depth_sum += depth
+        self.depth_max = max(self.depth_max, depth)
+        if depth > 1:
+            self.coalesced += depth
+        else:
+            self.singleton_batches += 1
+        if reason == "full":
+            self.full_flushes += 1
+        else:
+            self.window_flushes += 1
+        self._record_depth(key[0], depth)
+        self._loop.create_task(self._service(batch))
+
+    def _record_depth(self, preference_hash: str, depth: int) -> None:
+        label = preference_hash[:12]
+        entry = self._preference_depths.get(label)
+        if entry is None:
+            entry = {"requests": 0, "batches": 0, "depth_max": 0}
+            self._preference_depths[label] = entry
+        entry["requests"] += depth
+        entry["batches"] += 1
+        entry["depth_max"] = max(entry["depth_max"], depth)
+        self._preference_depths.move_to_end(label)
+        while len(self._preference_depths) > self._preference_depths_size:
+            self._preference_depths.popitem(last=False)
+
+    async def _service(self, batch: _Batch) -> None:
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self._execute, batch)
+        except Exception as exc:     # noqa: BLE001 — fail the waiters, not the loop
+            for _, _, _, future in batch.items:
+                if not future.done():
+                    future.set_exception(protocol.ProtocolError(
+                        protocol.ERR_INTERNAL,
+                        f"{type(exc).__name__}: {exc}"))
+            return
+        for (_, _, _, future), result in zip(batch.items, results):
+            if not future.done():
+                future.set_result(result)
+
+    # -- execution (executor thread) ------------------------------------------
+
+    def _execute(self, batch: _Batch) -> list[CheckResult]:
+        """Decide every request in *batch* with one reader and (at
+        most) one micro-batch statement per :func:`_bucket` chunk.
+
+        The decision logic is exactly :meth:`PolicyServer.check`
+        factored over a set: reference lookup per request, decision-
+        cache probe per distinct policy, one ``policy_id IN (...)``
+        bulk execution for the misses, best-effort write-back, and one
+        idempotent log append per request.  ``elapsed_seconds`` is the
+        batch's wall time — the latency every coalesced waiter actually
+        paid.
+        """
+        server = self.policy_server
+        start = time.perf_counter()
+        key = PolicyServer._preference_hash(batch.preference)
+        resolved: list[int | None] = []
+        decided: dict[int, tuple[str | None, int | None]] = {}
+        write_back: list[tuple] = []
+        with server.pool.read() as db:
+            for site, uri, _, _ in batch.items:
+                resolved.append(server.references.applicable_policy_id(
+                    site, uri, cookie=batch.cookie, db=db))
+            distinct = list(dict.fromkeys(
+                pid for pid in resolved if pid is not None))
+            missing: list[int] = []
+            for policy_id in distinct:
+                cached = (server.decisions.lookup(db, key, policy_id)
+                          if server.cache_decisions else None)
+                if cached is not None:
+                    decided[policy_id] = cached
+                else:
+                    missing.append(policy_id)
+            for offset in range(0, len(missing), MATCH_BATCH_SIZE):
+                chunk = missing[offset:offset + MATCH_BATCH_SIZE]
+                shape = _bucket(len(chunk))
+                padded = tuple(chunk) + (chunk[-1],) * (shape - len(chunk))
+                plan = server.translate_bulk(batch.preference,
+                                             batch_size=shape)
+                fired = plan.execute(db, padded)
+                point_plan = None
+                for policy_id in chunk:
+                    if policy_id in fired:
+                        decided[policy_id] = fired[policy_id]
+                        continue
+                    # The bulk plan's policy source is ``active = 1``,
+                    # so an install racing this batch can deactivate a
+                    # policy between the reference lookup above and the
+                    # bulk execute.  The point plan has no active filter
+                    # (version rows persist), so it decides exactly what
+                    # the threaded front end's per-request check would
+                    # have served — and still returns (None, None) for a
+                    # policy no rule genuinely fires against.
+                    if point_plan is None:
+                        point_plan = server.translate(batch.preference)
+                    decided[policy_id] = point_plan.execute(db, policy_id)
+            if missing and server.cache_decisions:
+                stamp = utc_now_iso()
+                for policy_id in missing:
+                    version = db.scalar(
+                        "SELECT version FROM policy WHERE policy_id = ?",
+                        (policy_id,))
+                    if version is not None:
+                        behavior, rule_index = decided[policy_id]
+                        write_back.append((key, int(policy_id),
+                                           int(version), behavior,
+                                           rule_index, stamp))
+        if write_back:
+            server._store_decisions(write_back, best_effort=True)
+        elapsed = time.perf_counter() - start
+        results: list[CheckResult] = []
+        for (site, uri, check_key, _), policy_id in zip(batch.items,
+                                                        resolved):
+            behavior, rule_index = (decided.get(policy_id, (None, None))
+                                    if policy_id is not None
+                                    else (None, None))
+            result = CheckResult(site=site, uri=uri, policy_id=policy_id,
+                                 behavior=behavior, rule_index=rule_index,
+                                 elapsed_seconds=elapsed)
+            server._log(result, batch.preference, check_key)
+            results.append(result)
+        return results
+
+    # -- introspection (event loop) -------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "window_seconds": self.window,
+            "max_batch": self.max_batch,
+            "requests": self.requests_total,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "singleton_batches": self.singleton_batches,
+            "depth_max": self.depth_max,
+            "depth_avg": (self.depth_sum / self.batches
+                          if self.batches else 0.0),
+            # Fraction of the batch capacity the windows actually used:
+            # 1.0 means every flush was full, ~0 means no coalescing.
+            "window_occupancy": (self.depth_sum
+                                 / (self.batches * self.max_batch)
+                                 if self.batches else 0.0),
+            "window_flushes": self.window_flushes,
+            "full_flushes": self.full_flushes,
+            "by_preference": {label: dict(entry) for label, entry
+                              in self._preference_depths.items()},
+        }
+
+
+@dataclass
+class _Response:
+    """One HTTP response the connection loop writes out."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Mapping[str, str] | None = None
+    close: bool = False
+
+
+def _json_response(status: int, payload: Mapping[str, Any],
+                   headers: Mapping[str, str] | None = None) -> _Response:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _Response(status, body, headers=headers)
+
+
+class AsyncP3PServer:
+    """The asyncio twin of :class:`~repro.net.httpd.P3PHttpServer`.
+
+    Same constructor surface (plus the batching knobs), same endpoints,
+    same error envelopes and shard-identity headers, same lifecycle
+    (``serve_forever`` / ``run_in_thread`` / ``shutdown`` / ``close``)
+    — the cluster worker and the CLI treat the two interchangeably.
+    The listening socket is bound in the constructor (port 0 works), so
+    ``base_url`` is valid before the loop starts, exactly like the
+    threaded server.
+    """
+
+    def __init__(self, policy_server: PolicyServer,
+                 address: tuple[str, int] = ("127.0.0.1", 0), *,
+                 max_inflight: int = 64,
+                 retry_after: float = 1.0,
+                 retry_after_by_class: Mapping[str, float] | None = None,
+                 batch_threads: int = 4,
+                 max_body_bytes: int = 4 * 1024 * 1024,
+                 registry_size: int = 4096,
+                 identity: protocol.ShardIdentity | None = None,
+                 owns_policy_server: bool = False,
+                 executor_threads: int = 4,
+                 batch_window: float = 0.0015,
+                 batch_max: int = 32):
+        self.policy_server = policy_server
+        self.admission = AdmissionController(
+            max_inflight, retry_after=retry_after,
+            retry_after_by_class=retry_after_by_class)
+        self.preferences = PreferenceRegistry(registry_size)
+        self.net_metrics = _Metrics()
+        self.batch_threads = batch_threads
+        self.max_body_bytes = max_body_bytes
+        self.owns_policy_server = owns_policy_server
+        self.server_id = uuid.uuid4().hex[:16]
+        self.started_monotonic = time.monotonic()
+        self.identity = identity
+        self.metrics_extensions: list = []
+        self.executor_threads = executor_threads
+        self.batch_window = batch_window
+        self.batch_max = batch_max
+        self._reference_lock = threading.Lock()
+        self._reference_documents: dict[str, tuple[bytes, str]] = {}
+        self._socket = socket.create_server(address, reuse_port=False)
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="p3p-aio-db")
+        self.batching: BatchingExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._serving = False
+        self._closed = False
+
+    # -- addressing ----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._socket.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._socket.getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        host = self.host
+        if ":" in host:                      # bare IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    # -- reference documents -------------------------------------------------
+
+    def register_reference_document(self, site: str, xml: str) -> None:
+        body = xml.encode("utf-8")
+        with self._reference_lock:
+            self._reference_documents[site] = (body, _etag(body))
+
+    def reference_document(self, site: str) -> tuple[bytes, str] | None:
+        with self._reference_lock:
+            return self._reference_documents.get(site)
+
+    # -- introspection -------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        snapshot = snapshot_metrics(self)
+        snapshot["server"]["frontend"] = "async"
+        snapshot["batching"] = self.batching_snapshot()
+        return snapshot
+
+    def batching_snapshot(self) -> dict[str, Any]:
+        """The executor's counters (zeros before the loop starts)."""
+        if self.batching is None:
+            return {"requests": 0, "batches": 0, "coalesced": 0,
+                    "singleton_batches": 0, "depth_max": 0}
+        return self.batching.snapshot()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float | None = None) -> None:
+        """Run the event loop on the calling thread until ``shutdown``.
+
+        *poll_interval* is accepted (and ignored) for signature parity
+        with ``ThreadingHTTPServer.serve_forever`` — the worker entry
+        point calls both the same way.
+        """
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stopped.clear()
+        try:
+            loop.run_until_complete(self._serve(loop))
+        except BaseException as exc:
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            raise
+        finally:
+            pending = [task for task in self._tasks if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(
+                    *pending, return_exceptions=True))
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._loop = None
+            self._serving = False
+            self._stopped.set()
+
+    async def _serve(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.batching = BatchingExecutor(
+            self.policy_server, self._executor, loop,
+            window=self.batch_window, max_batch=self.batch_max)
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle_connection,
+                                            sock=self._socket)
+        self._serving = True
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            # The listening socket outlives the loop (close() owns it),
+            # so a stopped server can be restarted in tests if needed.
+            try:
+                await server.wait_closed()
+            except OSError:
+                pass
+
+    def run_in_thread(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread and return it."""
+        thread = threading.Thread(target=self._run_guarded,
+                                  name="p3p-aio", daemon=True)
+        self._thread = thread
+        thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("async server did not start within 10s")
+        if self._startup_error is not None:
+            raise RuntimeError("async server failed to start") \
+                from self._startup_error
+        return thread
+
+    def _run_guarded(self) -> None:
+        try:
+            self.serve_forever()
+        except Exception:            # noqa: BLE001 — surfaced via _startup_error
+            logger.exception("async server loop failed")
+
+    def shutdown(self) -> None:
+        """Stop serving; blocks until the loop has exited (parity with
+        ``BaseServer.shutdown``).  Thread-safe, idempotent."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+            self._stopped.wait(10)
+
+    def server_close(self) -> None:
+        """Release the listening socket (the crash-shaped teardown —
+        no drain, no flush; pairs with ``InProcessWorker.kill``)."""
+        self._socket.close()
+
+    def close(self) -> None:
+        """Graceful: stop the loop, drain the executor, flush the log,
+        release the socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(10)
+            self._thread = None
+        self._executor.shutdown(wait=True)
+        self._socket.close()
+        if self.owns_policy_server:
+            self.policy_server.close()     # close() flushes first
+        else:
+            self.policy_server.flush_log()
+
+    def __enter__(self) -> "AsyncP3PServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers = request
+                response = await self._respond(method, target, headers,
+                                               reader)
+                writer.write(self._render(response))
+                await writer.drain()
+                if response.close or \
+                        headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError, TimeoutError):
+            pass
+        except Exception:
+            writer.close()
+            raise
+        except asyncio.CancelledError:
+            # Server teardown with the connection mid-read: drop the
+            # socket and finish *normally* (no awaits past this point),
+            # so the streams machinery's done-callback — which calls
+            # ``task.exception()`` — doesn't spray CancelledError
+            # tracebacks for every held-open keep-alive connection.
+            writer.close()
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError):
+            # CancelledError here is server teardown racing a graceful
+            # close that was already underway — finish normally, as
+            # above.
+            pass
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str]] | None:
+        """Parse one request line + header block; ``None`` on EOF."""
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise ConnectionResetError("request line too long") from None
+        if len(line) > _MAX_LINE_BYTES:
+            raise ConnectionResetError("request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ConnectionResetError(f"malformed request line {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readuntil(b"\n")
+            if line in (b"\r\n", b"\n"):
+                break
+            if len(line) > _MAX_LINE_BYTES or len(headers) >= _MAX_HEADERS:
+                raise ConnectionResetError("header block too large")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Mapping[str, str]) -> bytes:
+        """The async twin of the threaded ``_read_body``: same error
+        codes, same refuse-before-reading posture on oversized
+        payloads."""
+        length_header = headers.get("content-length")
+        try:
+            length = int(length_header or 0)
+        except ValueError:
+            raise protocol.ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unreadable Content-Length {length_header!r}") from None
+        if length < 0:
+            raise protocol.ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"negative Content-Length {length}")
+        if length > self.max_body_bytes:
+            # Read nothing; the connection is closed with the response.
+            raise protocol.ProtocolError(
+                protocol.ERR_PAYLOAD_TOO_LARGE,
+                f"body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit")
+        if not length:
+            return b""
+        return await reader.readexactly(length)
+
+    _GET_ROUTES = {
+        "/healthz": "_handle_healthz",
+        "/metrics": "_handle_metrics",
+        "/w3c/p3p.xml": "_handle_reference",
+    }
+    _POST_ROUTES = {
+        "/v1/preferences": "_handle_register_preference",
+        "/v1/check": "_handle_check",
+        "/v1/check-batch": "_handle_check_batch",
+        "/v1/match": "_handle_match_corpus",
+        "/v1/policies": "_handle_install_policy",
+    }
+
+    async def _respond(self, method: str, target: str,
+                       headers: dict[str, str],
+                       reader: asyncio.StreamReader) -> _Response:
+        split = urlsplit(target)
+        path, query = split.path, parse_qs(split.query)
+        try:
+            body = await self._read_body(reader, headers) \
+                if method == "POST" else b""
+            routes = self._GET_ROUTES if method == "GET" else \
+                self._POST_ROUTES
+            name = routes.get(path)
+            if name is None:
+                other = self._POST_ROUTES if method == "GET" else \
+                    self._GET_ROUTES
+                if path in other:
+                    raise protocol.ProtocolError(
+                        protocol.ERR_METHOD_NOT_ALLOWED,
+                        f"{path} does not accept {method}")
+                raise protocol.ProtocolError(
+                    protocol.ERR_NOT_FOUND, f"no endpoint at {path}")
+            self.net_metrics.request(path)
+            self._check_shard_identity(path, headers)
+            handler: Callable[..., Awaitable[_Response]] = \
+                getattr(self, name)
+            return await handler(body, query, headers)
+        except protocol.ProtocolError as exc:
+            return self._protocol_error(exc)
+        except ReproError as exc:
+            return self._protocol_error(protocol.ProtocolError(
+                protocol.ERR_PARSE, str(exc)))
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError, asyncio.IncompleteReadError):
+            raise
+        except Exception as exc:     # noqa: BLE001 — keep the server up
+            return self._protocol_error(protocol.ProtocolError(
+                protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"))
+
+    def _protocol_error(self, exc: protocol.ProtocolError) -> _Response:
+        self.net_metrics.error(exc.code)
+        headers = {}
+        if exc.retry_after is not None:
+            headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+        response = _json_response(exc.http_status, exc.envelope().to_wire(),
+                                  headers)
+        # An oversized body was never read off the socket — the framing
+        # is gone, so the connection must close with the 413.
+        response.close = exc.code == protocol.ERR_PAYLOAD_TOO_LARGE
+        return response
+
+    def _render(self, response: _Response) -> bytes:
+        reason = http.client.responses.get(response.status, "")
+        headers = {
+            "Content-Type": response.content_type,
+            "Content-Length": str(len(response.body)),
+            protocol.SERVER_ID_HEADER: self.server_id,
+        }
+        if self.identity is not None:
+            headers[protocol.SHARD_HEADER] = str(self.identity.shard_id)
+            headers[protocol.TOPOLOGY_HEADER] = \
+                str(self.identity.topology_version)
+            headers[protocol.ROLE_HEADER] = self.identity.role
+        headers.update(response.headers or {})
+        if response.close:
+            headers["Connection"] = "close"
+        head = f"HTTP/1.1 {response.status} {reason}\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        ) + "\r\n"
+        return head.encode("latin-1") + response.body
+
+    def _check_shard_identity(self, path: str,
+                              headers: Mapping[str, str]) -> None:
+        identity = self.identity
+        if identity is None or not path.startswith("/v1/"):
+            return
+        claimed = headers.get(protocol.SHARD_HEADER.lower())
+        if claimed is not None and claimed != str(identity.shard_id):
+            raise protocol.ProtocolError(
+                protocol.ERR_WRONG_SHARD,
+                f"request addressed shard {claimed} but this server "
+                f"owns shard {identity.shard_id} (topology "
+                f"v{identity.topology_version}); refresh the topology "
+                "and re-route")
+        version = headers.get(protocol.TOPOLOGY_HEADER.lower())
+        if version is not None and \
+                version != str(identity.topology_version):
+            raise protocol.ProtocolError(
+                protocol.ERR_WRONG_SHARD,
+                f"request carries topology v{version} but this server "
+                f"is at v{identity.topology_version}; refresh the "
+                "topology and re-route")
+
+    def _preference(self, preference_hash: str) -> Ruleset:
+        preference = self.preferences.get(preference_hash)
+        if preference is None:
+            raise protocol.ProtocolError(
+                protocol.ERR_UNKNOWN_PREFERENCE,
+                f"no preference registered under {preference_hash!r}; "
+                "POST it to /v1/preferences first")
+        return preference
+
+    def _admitted(self, op_class: str = "check") -> None:
+        if not self.admission.try_enter():
+            raise protocol.ProtocolError(
+                protocol.ERR_OVERLOADED,
+                f"server is at its {self.admission.max_inflight}"
+                "-request concurrency limit; retry shortly",
+                retry_after=self.admission.retry_after_for(op_class))
+
+    async def _in_executor(self, work: Callable[[], Any]) -> Any:
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._executor, work)
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def _handle_healthz(self, body: bytes, query: dict,
+                              headers: dict) -> _Response:
+        return _json_response(200, {"v": protocol.PROTOCOL_VERSION,
+                                    "status": "ok"})
+
+    async def _handle_metrics(self, body: bytes, query: dict,
+                              headers: dict) -> _Response:
+        return _json_response(200, self.metrics_snapshot())
+
+    async def _handle_reference(self, body: bytes, query: dict,
+                                headers: dict) -> _Response:
+        sites = query.get("site")
+        if sites:
+            site = sites[0]
+        else:
+            site = (headers.get("host") or "").split(":")[0]
+        document = self.reference_document(site)
+        if document is None:
+            raise protocol.ProtocolError(
+                protocol.ERR_NOT_FOUND,
+                f"no reference file registered for site {site!r}")
+        xml, etag = document
+        candidates = headers.get("if-none-match")
+        if candidates is not None:
+            matches = {candidate.strip()
+                       for candidate in candidates.split(",")}
+            if "*" in matches or etag in matches:
+                self.net_metrics.revalidated()
+                return _Response(304, b"", headers={"ETag": etag})
+        return _Response(200, xml,
+                         content_type="application/xml; charset=utf-8",
+                         headers={"ETag": etag,
+                                  "Cache-Control": "max-age=86400"})
+
+    async def _handle_register_preference(self, body: bytes, query: dict,
+                                          headers: dict) -> _Response:
+        request = protocol.RegisterPreferenceRequest.from_wire(
+            protocol.decode(body))
+
+        def work() -> tuple[int, dict]:
+            preference = parse_ruleset(request.appel)
+            digest, created = self.preferences.register(preference)
+            if created and self.policy_server.cache_decisions:
+                try:
+                    self.policy_server.register_preference(preference)
+                except Exception:    # noqa: BLE001 — populate is advisory
+                    self.policy_server.decisions.record_write_error()
+                    logger.warning(
+                        "decision-cache populate failed for %s",
+                        digest[:12], exc_info=True)
+            return (201 if created else 200,
+                    protocol.RegisterPreferenceResponse(
+                        preference_hash=digest,
+                        rules=len(preference.rules),
+                        created=created).to_wire())
+
+        status, payload = await self._in_executor(work)
+        return _json_response(status, payload)
+
+    async def _handle_check(self, body: bytes, query: dict,
+                            headers: dict) -> _Response:
+        request = protocol.CheckRequest.from_wire(protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            assert self.batching is not None
+            result = await self.batching.check(
+                request.preference_hash, preference,
+                site=request.site, uri=request.uri,
+                cookie=request.cookie, check_key=request.check_key)
+        finally:
+            self.admission.leave()
+        self.net_metrics.checks(1)
+        return _json_response(
+            200, protocol.CheckResponse.from_result(result).to_wire())
+
+    async def _handle_check_batch(self, body: bytes, query: dict,
+                                  headers: dict) -> _Response:
+        request = protocol.BatchCheckRequest.from_wire(
+            protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            keys = request.check_keys or (None,) * len(request.checks)
+            assert self.batching is not None
+            results = await asyncio.gather(*[
+                self.batching.check(
+                    request.preference_hash, preference,
+                    site=site, uri=uri, cookie=request.cookie,
+                    check_key=key)
+                for (site, uri), key in zip(request.checks, keys)
+            ])
+            # Same durability contract as the threaded endpoint: the
+            # log is flushed before the batch reply goes out.
+            await self._in_executor(self.policy_server.flush_log)
+        finally:
+            self.admission.leave()
+        self.net_metrics.checks(len(results))
+        return _json_response(200, protocol.BatchCheckResponse(
+            results=tuple(protocol.CheckResponse.from_result(result)
+                          for result in results)).to_wire())
+
+    async def _handle_match_corpus(self, body: bytes, query: dict,
+                                   headers: dict) -> _Response:
+        request = protocol.MatchCorpusRequest.from_wire(
+            protocol.decode(body))
+        self._admitted()
+        try:
+            preference = self._preference(request.preference_hash)
+            result = await self._in_executor(
+                lambda: self.policy_server.match_all(preference))
+        finally:
+            self.admission.leave()
+        self.net_metrics.checks(len(result.decisions))
+        return _json_response(200, protocol.MatchCorpusResponse(
+            results=tuple(protocol.MatchCorpusEntry(
+                policy_id=decision.policy_id,
+                name=decision.name,
+                version=decision.version,
+                behavior=decision.behavior,
+                rule_index=decision.rule_index,
+                cached=decision.cached,
+            ) for decision in result.decisions),
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            elapsed_seconds=result.elapsed_seconds,
+        ).to_wire())
+
+    async def _handle_install_policy(self, body: bytes, query: dict,
+                                     headers: dict) -> _Response:
+        request = protocol.InstallPolicyRequest.from_wire(
+            protocol.decode(body))
+
+        def work() -> dict:
+            policy = parse_policy(request.policy)
+            report = self.policy_server.install_policy(
+                policy, site=request.site)
+            reference_rows = None
+            if request.reference_file is not None:
+                reference_rows = self.policy_server \
+                    .install_reference_file(request.reference_file,
+                                            request.site)
+                self.register_reference_document(
+                    request.site, request.reference_file)
+            return protocol.InstallPolicyResponse(
+                policy_id=report.policy_id,
+                statements=report.statements,
+                data_items=report.data_items,
+                categories=report.categories,
+                seconds=report.seconds,
+                reference_rows=reference_rows,
+            ).to_wire()
+
+        return _json_response(201, await self._in_executor(work))
+
+
+def serve_async(db: str | None = None, host: str = "127.0.0.1",
+                port: int = 0, **options: Any) -> AsyncP3PServer:
+    """Boot an async server over a fresh :class:`PolicyServer` on *db*.
+
+    The returned server owns its PolicyServer: ``close()`` flushes the
+    check log and closes the pool.  The twin of :func:`repro.net.httpd.serve`.
+    """
+    policy_server = PolicyServer(db)
+    return AsyncP3PServer(policy_server, (host, port),
+                          owns_policy_server=True, **options)

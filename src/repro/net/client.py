@@ -43,6 +43,7 @@ from repro.net import protocol
 from repro.net.retry import RetryPolicy
 from repro.p3p.model import Policy
 from repro.p3p.serializer import serialize_policy
+from repro.translate.plan import TranslationCache
 
 #: Sentinel: "caller did not choose a policy" (None means *no retries*).
 _DEFAULT_RETRY = RetryPolicy()
@@ -56,7 +57,8 @@ class HttpClientAgent:
                  preference_hash: str | None = None,
                  timeout: float = 30.0,
                  retry: RetryPolicy | None = _DEFAULT_RETRY,
-                 default_headers: Mapping[str, str] | None = None):
+                 default_headers: Mapping[str, str] | None = None,
+                 reference_cache_size: int = 64):
         split = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if split.scheme not in ("", "http"):
@@ -81,8 +83,10 @@ class HttpClientAgent:
         self._check_counter = 0
         self._agent_id = uuid.uuid4().hex[:16]
         self._connection: http.client.HTTPConnection | None = None
-        #: site -> (etag, xml) for If-None-Match revalidation
-        self._reference_cache: dict[str, tuple[str, str]] = {}
+        #: site -> (etag, xml) for If-None-Match revalidation.  Bounded
+        #: LRU: an agent crawling many sites revalidates the hot ones
+        #: and refetches the cold ones instead of growing forever.
+        self._reference_cache = TranslationCache(reference_cache_size)
 
     # -- transport -----------------------------------------------------------
 
@@ -316,7 +320,7 @@ class HttpClientAgent:
             xml = body.decode("utf-8")
             etag = response_headers.get("etag")
             if etag is not None:
-                self._reference_cache[site] = (etag, xml)
+                self._reference_cache.put(site, (etag, xml))
             return xml
 
         if self.retry is None:
@@ -342,6 +346,10 @@ class HttpClientAgent:
                     return True
             except (protocol.ProtocolError, OSError):
                 pass
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 return False
-            time.sleep(interval)
+            # Clamp the final sleep: overshooting the deadline by a
+            # full interval turns "poll for 5s" into "poll for 5s and
+            # change", which callers budgeting startup time notice.
+            time.sleep(min(interval, remaining))

@@ -176,6 +176,76 @@ def _etag(body: bytes) -> str:
     return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
 
 
+def snapshot_metrics(server: Any) -> dict[str, Any]:
+    """The ``GET /metrics`` document for any front end over a
+    :class:`PolicyServer`.
+
+    Shared by the threaded server and the asyncio front end
+    (:mod:`repro.net.aio`): both expose the same attribute surface
+    (``policy_server``, ``net_metrics``, ``admission``, ``preferences``,
+    ``identity``, ``metrics_extensions``), so operators read one schema
+    regardless of which front end answered the scrape.
+    """
+    # "translation_cache" is the compiled-plan cache: keyed by
+    # preference hash alone, one entry serves every installed policy.
+    cache = server.policy_server._translation_cache
+    log = server.policy_server.log
+    pool_stats = server.policy_server.pool.stats()
+    server_block: dict[str, Any] = {
+        "server_id": server.server_id,
+        "pid": os.getpid(),
+        "uptime_seconds": time.monotonic() - server.started_monotonic,
+    }
+    if server.identity is not None:
+        server_block["shard"] = server.identity.shard_id
+        server_block["role"] = server.identity.role
+        server_block["topology_version"] = server.identity.topology_version
+    snapshot = {
+        "v": protocol.PROTOCOL_VERSION,
+        "server": server_block,
+        **server.net_metrics.snapshot(),
+        "translation_cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "hit_rate": cache.hit_rate(),
+            "size": len(cache),
+            "size_chars": cache.size_chars(),
+        },
+        "statement_cache": {
+            "hits": pool_stats.cache_hits,
+            "misses": pool_stats.cache_misses,
+            "hit_rate": pool_stats.cache_hit_rate,
+        },
+        "check_log": {
+            "pending": log.pending,
+            "appended": log.appended,
+            "written": log.written,
+            "batches": log.batches,
+        },
+        "admission": server.admission.snapshot(),
+        "preferences": {
+            "registered": len(server.preferences),
+            "evictions": server.preferences.evictions,
+            "validation_findings": server.preferences.validation_findings,
+        },
+        # Flag-gated EXPLAIN audits of freshly compiled plans
+        # (PolicyServer(audit_plans=True)); counters ride on the
+        # per-connection QueryStats the pool aggregates.
+        "plan_audit": {
+            "plans_audited": pool_stats.plans_audited,
+            "findings": pool_stats.audit_findings,
+        },
+        # The materialized decision cache behind check() and
+        # /v1/match: hit rate, populate/invalidate volume, and
+        # best-effort write-back failures.
+        "decision_cache": server.policy_server.decisions.snapshot(),
+    }
+    for extension in server.metrics_extensions:
+        snapshot.update(extension())
+    return snapshot
+
+
 class P3PHttpServer(ThreadingHTTPServer):
     """An HTTP policy server: bind, then ``serve_forever`` or
     :meth:`run_in_thread`.  Bind to port 0 for an ephemeral port and
@@ -262,64 +332,7 @@ class P3PHttpServer(ThreadingHTTPServer):
     # -- introspection -------------------------------------------------------
 
     def metrics_snapshot(self) -> dict[str, Any]:
-        # "translation_cache" is the compiled-plan cache: keyed by
-        # preference hash alone, one entry serves every installed policy.
-        cache = self.policy_server._translation_cache
-        log = self.policy_server.log
-        pool_stats = self.policy_server.pool.stats()
-        server: dict[str, Any] = {
-            "server_id": self.server_id,
-            "pid": os.getpid(),
-            "uptime_seconds": time.monotonic() - self.started_monotonic,
-        }
-        if self.identity is not None:
-            server["shard"] = self.identity.shard_id
-            server["role"] = self.identity.role
-            server["topology_version"] = self.identity.topology_version
-        snapshot = {
-            "v": protocol.PROTOCOL_VERSION,
-            "server": server,
-            **self.net_metrics.snapshot(),
-            "translation_cache": {
-                "hits": cache.hits,
-                "misses": cache.misses,
-                "evictions": cache.evictions,
-                "hit_rate": cache.hit_rate(),
-                "size": len(cache),
-                "size_chars": cache.size_chars(),
-            },
-            "statement_cache": {
-                "hits": pool_stats.cache_hits,
-                "misses": pool_stats.cache_misses,
-                "hit_rate": pool_stats.cache_hit_rate,
-            },
-            "check_log": {
-                "pending": log.pending,
-                "appended": log.appended,
-                "written": log.written,
-                "batches": log.batches,
-            },
-            "admission": self.admission.snapshot(),
-            "preferences": {
-                "registered": len(self.preferences),
-                "evictions": self.preferences.evictions,
-                "validation_findings": self.preferences.validation_findings,
-            },
-            # Flag-gated EXPLAIN audits of freshly compiled plans
-            # (PolicyServer(audit_plans=True)); counters ride on the
-            # per-connection QueryStats the pool aggregates.
-            "plan_audit": {
-                "plans_audited": pool_stats.plans_audited,
-                "findings": pool_stats.audit_findings,
-            },
-            # The materialized decision cache behind check() and
-            # /v1/match: hit rate, populate/invalidate volume, and
-            # best-effort write-back failures.
-            "decision_cache": self.policy_server.decisions.snapshot(),
-        }
-        for extension in self.metrics_extensions:
-            snapshot.update(extension())
-        return snapshot
+        return snapshot_metrics(self)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -108,6 +108,11 @@ __all__ = [
 #: handful of distinct batch shapes in the translation cache.
 MATCH_BATCH_SIZE = 64
 
+#: How many times :meth:`PolicyServer.match_all` re-reads when a racing
+#: install deactivates a listed policy version between the cache listing
+#: and the repair query (the bulk plan only sees active policies).
+MATCH_RACE_RETRIES = 3
+
 logger = logging.getLogger(__name__)
 
 _CHECK_LOG_DDL = """
@@ -565,20 +570,46 @@ class PolicyServer:
             preference = parse_ruleset(preference)
         key = _ruleset_hash(preference)
         start = time.perf_counter()
-        fired: dict[int, tuple] = {}
-        with self.pool.read() as db:
-            rows = self.decisions.match_rows(db, key)
-            missing = [(int(row["policy_id"]), int(row["version"]))
-                       for row in rows if not row["cached"]]
-            if missing and len(missing) == len(rows):
-                fired = self.translate_bulk(preference).execute(db, ())
-            elif missing:
-                ids = [policy_id for policy_id, _ in missing]
-                for offset in range(0, len(ids), MATCH_BATCH_SIZE):
-                    chunk = tuple(ids[offset:offset + MATCH_BATCH_SIZE])
-                    plan = self.translate_bulk(preference,
-                                               batch_size=len(chunk))
-                    fired.update(plan.execute(db, chunk))
+        for _attempt in range(MATCH_RACE_RETRIES + 1):
+            fired: dict[int, tuple] = {}
+            with self.pool.read() as db:
+                rows = self.decisions.match_rows(db, key)
+                missing = [(int(row["policy_id"]), int(row["version"]))
+                           for row in rows if not row["cached"]]
+                if missing and len(missing) == len(rows):
+                    fired = self.translate_bulk(preference).execute(db, ())
+                elif missing:
+                    ids = [policy_id for policy_id, _ in missing]
+                    for offset in range(0, len(ids), MATCH_BATCH_SIZE):
+                        chunk = tuple(ids[offset:offset + MATCH_BATCH_SIZE])
+                        plan = self.translate_bulk(preference,
+                                                   batch_size=len(chunk))
+                        fired.update(plan.execute(db, chunk))
+                # The bulk plan's policy source is ``active = 1``, and
+                # reads here are not one snapshot: an install committing
+                # between the listing above and the repair query can
+                # deactivate a listed version, which would otherwise be
+                # served with no decision at all.  Absence from *fired*
+                # alone doesn't prove that (a policy no rule fires
+                # against is legitimately absent), so re-check
+                # activeness and re-read when a listed version is gone.
+                stale = {
+                    policy_id for policy_id, _ in missing
+                    if policy_id not in fired and db.scalar(
+                        "SELECT active FROM policy WHERE policy_id = ?",
+                        (policy_id,)) != 1
+                }
+            if not stale:
+                break
+            self.decisions.record_repair_race(len(stale))
+        else:
+            # Installs kept racing every re-read: serve without the
+            # superseded versions rather than retry unboundedly.
+            rows = [row for row in rows
+                    if int(row["policy_id"]) not in stale]
+            missing = [(policy_id, version)
+                       for policy_id, version in missing
+                       if policy_id not in stale]
         self.decisions.record_hits(len(rows) - len(missing),
                                    len(missing))
         if missing and self.cache_decisions:

@@ -118,6 +118,7 @@ class DecisionCache:
         self.populated = 0
         self.invalidated = 0
         self.write_errors = 0
+        self.repair_races = 0
 
     # -- schema ---------------------------------------------------------------
 
@@ -207,6 +208,13 @@ class DecisionCache:
         with self._lock:
             self.write_errors += 1
 
+    def record_repair_race(self, stale: int) -> None:
+        """Count listed policy versions a racing install deactivated
+        before the miss-repair query could decide them (each one forces
+        the match to re-read)."""
+        with self._lock:
+            self.repair_races += stale
+
     # -- introspection --------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -219,6 +227,7 @@ class DecisionCache:
                 "populated": self.populated,
                 "invalidated": self.invalidated,
                 "write_errors": self.write_errors,
+                "repair_races": self.repair_races,
             }
 
 

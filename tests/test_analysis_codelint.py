@@ -96,6 +96,49 @@ class TestUnboundedCache:
         src = "class S:\n    def __init__(self):\n        self._cache = {}\n"
         assert lint_source(src, "src/repro/corpus/x.py") == []
 
+    def test_ordereddict_cache_flagged(self):
+        src = ("from collections import OrderedDict\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._reference_cache = OrderedDict()\n")
+        assert codes(lint_source(src, "src/repro/net/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_qualified_ordereddict_cache_flagged(self):
+        src = ("import collections\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._cache = collections.OrderedDict()\n")
+        assert codes(lint_source(src, "src/repro/server/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_defaultdict_cache_flagged(self):
+        src = ("from collections import defaultdict\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._entry_cache = defaultdict(list)\n")
+        assert codes(lint_source(src, "src/repro/cluster/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_cluster_is_a_serving_path(self):
+        src = "class S:\n    def __init__(self):\n        self._cache = {}\n"
+        assert codes(lint_source(src, "src/repro/cluster/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_annotated_bare_dict_cache_flagged(self):
+        src = ("class S:\n"
+               "    def __init__(self):\n"
+               "        self._reference_cache: dict[str, str] = {}\n")
+        assert codes(lint_source(src, "src/repro/net/x.py")) \
+            == ["unbounded-cache"]
+
+    def test_bounded_cache_allowed(self):
+        src = ("from repro.translate.plan import TranslationCache\n"
+               "class S:\n"
+               "    def __init__(self):\n"
+               "        self._reference_cache = TranslationCache(64)\n")
+        assert lint_source(src, "src/repro/net/x.py") == []
+
 
 class TestParsing:
     def test_syntax_error_is_a_finding(self):

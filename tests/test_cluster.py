@@ -362,6 +362,48 @@ class TestFailover:
             assert duplicates == []
 
 
+class TestPartialMatch:
+    def test_dead_shard_is_reported_not_silently_dropped(self):
+        """scatter_match with one dead shard (no replicas to fail over
+        to) must answer with the live shard's results, ``partial:
+        true``, and a per-shard error entry — not a silently smaller
+        corpus, and not a hard failure."""
+        with P3PCluster(shards=2, replicas=0,
+                        in_process=True).start() as cluster:
+            with ClusterClient(cluster.base_url, JANE) as admin:
+                install_entries(admin)
+
+            with ClusterClient(cluster.base_url, JANE) as client:
+                complete = client.match_corpus()
+                assert complete["partial"] is False
+                assert complete["shard_errors"] == {}
+                full_names = {e["name"] for e in complete["results"]}
+
+                dead = cluster.owner_shard(ENTRIES[0][0])
+                cluster.kill_primary(dead)
+
+                merged = client.match_corpus()
+                assert merged["partial"] is True
+                assert set(merged["shard_errors"]) == {str(dead)}
+                error = merged["shard_errors"][str(dead)]
+                assert error["code"] == protocol.ERR_SHARD_UNAVAILABLE
+                assert error["message"]
+
+                live_shards = {e["shard"] for e in merged["results"]}
+                assert merged["results"]          # live shard answered
+                assert dead not in live_shards
+                surviving = {e["name"] for e in merged["results"]}
+                assert surviving < full_names     # strictly partial
+
+                # Every shard dead: now the match itself fails.
+                for shard in cluster.topology.shard_ids():
+                    if shard != dead:
+                        cluster.kill_primary(shard)
+                with pytest.raises(protocol.ProtocolError) as err:
+                    client.match_corpus()
+                assert err.value.code == protocol.ERR_SHARD_UNAVAILABLE
+
+
 class TestProcessMode:
     def test_spawned_cluster_serves_and_shuts_down_cleanly(self):
         """The real deployment shape: spawned worker processes, graceful

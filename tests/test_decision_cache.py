@@ -183,6 +183,85 @@ class TestServerIntegration:
         finally:
             server.close()
 
+    def test_racing_install_between_listing_and_repair_rereads(
+            self, suite, monkeypatch):
+        """The bulk repair plan only sees active policies, and the
+        listing and the repair are separate statements: an install
+        committing between them deactivates a listed version, which
+        (before the re-read) was served with no decision at all."""
+        server = PolicyServer()
+        try:
+            server.install_policy(_policy("alpha", "no-retention"))
+            server.install_policy(_policy("beta", "no-retention"))
+            preference = suite["Very High"]
+            server.register_preference(preference)
+            # v2: beta stays cached, alpha's new version is the miss
+            # the repair query must decide.
+            server.install_policy(_policy("alpha", "stated-purpose"))
+
+            real = server.decisions.match_rows
+            state = {"calls": 0}
+
+            def racing(db, pref_hash):
+                rows = real(db, pref_hash)
+                state["calls"] += 1
+                if state["calls"] == 1:
+                    # v3 lands after the listing, before the repair —
+                    # deactivating the v2 the listing just returned.
+                    server.install_policy(
+                        _policy("alpha", "indefinitely"))
+                return rows
+
+            monkeypatch.setattr(server.decisions, "match_rows", racing)
+            result = server.match_all(preference)
+
+            assert state["calls"] == 2
+            assert server.decisions.repair_races == 1
+            alpha = [d for d in result.decisions if d.name == "alpha"]
+            assert [d.version for d in alpha] == [3]
+            verdict = AppelEngine().evaluate(
+                _policy("alpha", "indefinitely"), preference)
+            assert (alpha[0].behavior, alpha[0].rule_index) == \
+                (verdict.behavior, verdict.rule_index)
+            assert all(d.behavior is not None for d in result.decisions)
+        finally:
+            server.close()
+
+    def test_sustained_racing_installs_never_loop_forever(
+            self, suite, monkeypatch):
+        """When every re-read races yet another install, the match
+        serves without the vanished versions instead of retrying
+        unboundedly."""
+        from repro.server.policy_server import MATCH_RACE_RETRIES
+
+        server = PolicyServer()
+        try:
+            server.install_policy(_policy("alpha", "no-retention"))
+            server.install_policy(_policy("beta", "no-retention"))
+            preference = suite["Very High"]
+            server.register_preference(preference)
+            server.install_policy(_policy("alpha", "stated-purpose"))
+
+            real = server.decisions.match_rows
+            retentions = _RETENTIONS
+
+            def always_racing(db, pref_hash):
+                rows = real(db, pref_hash)
+                version = server.decisions.repair_races + 3
+                server.install_policy(_policy(
+                    "alpha", retentions[version % len(retentions)]))
+                return rows
+
+            monkeypatch.setattr(server.decisions, "match_rows",
+                                always_racing)
+            result = server.match_all(preference)
+
+            assert server.decisions.repair_races == MATCH_RACE_RETRIES + 1
+            assert [d.name for d in result.decisions] == ["beta"]
+            assert all(d.behavior is not None for d in result.decisions)
+        finally:
+            server.close()
+
     def test_cache_decisions_off_bypasses_the_table(self, corpus, suite):
         server = PolicyServer(cache_decisions=False)
         try:

@@ -1,0 +1,93 @@
+"""HttpClientAgent unit behavior: bounded caches, deadline discipline.
+
+The serving-path invariants the client must hold without a server in
+the loop: its reference cache cannot grow without bound (it lives in
+long-running user agents), and ``wait_until_healthy`` must come back
+by its deadline instead of sleeping one interval past it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.corpus.volga import VOLGA_REFERENCE_XML, VOLGA_POLICY_XML
+from repro.corpus.volga import jane_preference
+from repro.net.aio import serve_async
+from repro.net.client import HttpClientAgent
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bound then released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestReferenceCacheBound:
+    def test_cache_is_bounded_lru(self, tmp_path):
+        """Fetching more sites than the cache holds evicts the oldest
+        instead of growing: the first site's entry is gone, the most
+        recent ones are revalidated with If-None-Match."""
+        server = serve_async(str(tmp_path / "refs.db"))
+        thread = server.run_in_thread()
+        try:
+            sites = [f"site-{i}.example.com" for i in range(6)]
+            with HttpClientAgent(server.base_url) as admin:
+                for site in sites:
+                    admin.install_policy(
+                        VOLGA_POLICY_XML, site=site,
+                        reference_file=VOLGA_REFERENCE_XML)
+            agent = HttpClientAgent(server.base_url,
+                                    reference_cache_size=4)
+            try:
+                for site in sites:
+                    agent.fetch_reference_file(site)
+                assert len(agent._reference_cache) == 4
+                # Oldest two evicted, newest four retained.
+                assert agent._reference_cache.get(sites[0]) is None
+                assert agent._reference_cache.get(sites[1]) is None
+                assert agent._reference_cache.get(sites[-1]) is not None
+
+                # A retained entry revalidates (304 path) rather than
+                # refetching; an evicted one refetches without ETag.
+                before = agent.revalidations
+                agent.fetch_reference_file(sites[-1])
+                assert agent.revalidations == before + 1
+            finally:
+                agent.close()
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+    def test_cache_size_is_configurable(self):
+        agent = HttpClientAgent("127.0.0.1:1", reference_cache_size=2)
+        assert agent._reference_cache.maxsize == 2
+
+
+class TestWaitUntilHealthyDeadline:
+    def test_returns_false_within_timeout(self):
+        agent = HttpClientAgent(f"127.0.0.1:{_dead_port()}",
+                                jane_preference(), timeout=0.2)
+        try:
+            start = time.monotonic()
+            assert agent.wait_until_healthy(timeout=0.5,
+                                            interval=0.4) is False
+            elapsed = time.monotonic() - start
+            # The final sleep is clamped to the deadline: even with an
+            # interval of 0.4s the call cannot overshoot 0.5s by more
+            # than scheduling noise (pre-fix it slept a full extra
+            # interval past the deadline).
+            assert elapsed < 0.5 + 0.25
+        finally:
+            agent.close()
+
+    def test_zero_timeout_returns_immediately(self):
+        agent = HttpClientAgent(f"127.0.0.1:{_dead_port()}",
+                                timeout=0.1)
+        try:
+            start = time.monotonic()
+            assert agent.wait_until_healthy(timeout=0.0) is False
+            assert time.monotonic() - start < 0.5
+        finally:
+            agent.close()
