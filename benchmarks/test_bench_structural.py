@@ -1,0 +1,81 @@
+"""E15: structural XQuery compilation — shape assertions.
+
+The acceptance claims of the structural-join compiler, pinned:
+
+* the grid has all three engines (direct SQL, naive XTABLE,
+  structural) over all five levels;
+* the Medium structural cell is *filled* (zero failures) while the
+  Medium XTABLE cell stays unavailable, as in Figure 21;
+* on every level where both XQuery paths run, the structural path is
+  strictly faster than the naive XTABLE emulation (speedup > 1);
+* the export document carries the same facts for regression diffing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    structural_speedups,
+    structural_sql_gap,
+    structural_xquery_experiment,
+)
+from repro.bench.reporting import format_structural
+
+
+@pytest.fixture(scope="module")
+def rows(corpus, suite):
+    return structural_xquery_experiment(corpus[:8], suite)
+
+
+@pytest.fixture(scope="module")
+def cells(rows):
+    return {(row.level, row.engine): row for row in rows}
+
+
+class TestGridShape:
+    def test_all_engines_and_levels_present(self, rows, suite):
+        engines = {row.engine for row in rows}
+        levels = {row.level for row in rows}
+        assert engines == {"sql", "xquery", "xquery-structural"}
+        assert levels == set(suite)
+
+    def test_structural_never_fails(self, rows):
+        for row in rows:
+            if row.engine == "xquery-structural":
+                assert row.failures == 0, row.level
+                assert not row.unavailable, row.level
+
+
+class TestMediumCell:
+    def test_xtable_medium_still_blank(self, cells):
+        assert cells[("Medium", "xquery")].unavailable
+
+    def test_structural_medium_filled(self, cells):
+        cell = cells[("Medium", "xquery-structural")]
+        assert not cell.unavailable
+        assert cell.total.average > 0
+
+
+class TestSpeedups:
+    def test_structural_strictly_faster_than_xtable(self, rows):
+        speedups = structural_speedups(rows)
+        # Medium is excluded (no XTABLE number); everything else compares.
+        assert set(speedups) == {"Very High", "High", "Low", "Very Low"}
+        for level, speedup in speedups.items():
+            assert speedup > 1.0, (level, speedup)
+
+    def test_sql_gap_defined_for_every_level(self, rows, suite):
+        gap = structural_sql_gap(rows)
+        assert set(gap) == set(suite)
+        for level, ratio in gap.items():
+            assert ratio > 0, level
+
+
+class TestReporting:
+    def test_formatter_mentions_the_filled_cell(self, rows):
+        report = format_structural(rows, structural_speedups(rows),
+                                   structural_sql_gap(rows))
+        assert "Medium" in report
+        assert "blank XQuery cell is filled" in report
+        assert "Structural" in report

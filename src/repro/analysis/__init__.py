@@ -28,6 +28,7 @@ from repro.analysis.findings import (
     split_by_baseline,
 )
 from repro.analysis.plans import (
+    HOT_NODE_TABLES,
     HOT_TABLES,
     CorpusAuditReport,
     audit_bulk_plan,
@@ -35,6 +36,7 @@ from repro.analysis.plans import (
     audit_corpus,
     audit_decision_lookup,
     audit_statement,
+    audit_structural_plan,
     audit_translated_ruleset,
     scan_findings,
     taint_findings,
@@ -58,6 +60,7 @@ __all__ = [
     "CorpusAuditReport",
     "DifferentialReport",
     "Finding",
+    "HOT_NODE_TABLES",
     "HOT_TABLES",
     "RulesetProblem",
     "analyze_ruleset",
@@ -66,6 +69,7 @@ __all__ = [
     "audit_corpus",
     "audit_decision_lookup",
     "audit_statement",
+    "audit_structural_plan",
     "audit_translated_ruleset",
     "count_by_severity",
     "differential_reachability",

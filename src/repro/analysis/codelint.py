@@ -17,6 +17,15 @@ review, and invisible to pytest until they become incidents:
     ``.format``, or ``+`` concatenation — may be handed to an
     ``execute*``/``query*`` call.  Use a ``?`` bind.
 
+    Inside the SQL-composer layers themselves (``translate/``,
+    ``storage/``, ``xquery/``) the rule takes a complementary form: an
+    f-string whose static text is SQL (contains SQL keywords) must not
+    interpolate a bare attribute or subscript expression.  A value like
+    ``comparison.value`` sitting in SQL text is exactly the "f-string
+    literal where a bind is possible" pattern — route it through a
+    ``?`` bind, or through ``sql_literal``/``quote_ident`` (call
+    interpolations are allowed: neutralizers and prebuilt fragments).
+
 ``unbounded-cache`` (warning)
     On serving paths (``server/``, ``net/``, ``cluster/``) a bare
     ``{}`` — or a plain-dict idiom hiding behind a constructor:
@@ -34,6 +43,7 @@ see :mod:`repro.analysis.findings`); only *new* findings gate the build.
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -52,6 +62,20 @@ CONNECT_ALLOWED = ("storage",)
 #: Directories whose job is SQL text generation; dynamic construction
 #: is the point there, and the helpers live within arm's reach.
 DYNAMIC_SQL_ALLOWED = ("translate", "storage")
+
+#: Directories whose modules *compose* SQL text (the allowance above
+#: plus the XQuery compilers): there the dynamic-sql rule flips from
+#: "no dynamic strings at execute()" to "no raw value interpolation in
+#: SQL-building f-strings".
+SQL_COMPOSER_PATHS = ("translate", "storage", "xquery")
+
+#: Static f-string text that marks the string as SQL.  Keyword match on
+#: purpose: error messages and log lines in the same modules contain
+#: none of these as standalone words.
+_SQL_TEXT = re.compile(
+    r"\b(SELECT|FROM|WHERE|JOIN|UNION|INTERSECT|EXCEPT|"
+    r"INSERT|UPDATE|DELETE|CREATE)\b"
+)
 
 #: Serving-path directories where unbounded caches outlive requests.
 SERVER_PATHS = ("server", "net", "cluster")
@@ -194,6 +218,38 @@ class _Linter(ast.NodeVisitor):
                 "through sql_literal/quote_ident or a ? bind",
                 node,
             )
+        self.generic_visit(node)
+
+    # -- dynamic-sql inside the composer layers -----------------------------
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        """SQL-building f-strings must bind values, not interpolate them.
+
+        Scoped to the SQL-composer layers.  ``{name}`` and ``{call(...)}``
+        interpolations pass (prebuilt fragments and the neutralizers
+        ``sql_literal``/``quote_ident`` arrive that way); a bare
+        ``{obj.attr}`` or ``{obj[key]}`` in SQL text is flagged — that is
+        a value which should be a ``?`` bind or pass a neutralizer.
+        """
+        if any(part in SQL_COMPOSER_PATHS for part in self.parts):
+            static = "".join(
+                part.value for part in node.values
+                if isinstance(part, ast.Constant)
+                and isinstance(part.value, str)
+            )
+            if _SQL_TEXT.search(static):
+                for part in node.values:
+                    if (isinstance(part, ast.FormattedValue)
+                            and isinstance(part.value,
+                                           (ast.Attribute, ast.Subscript))):
+                        self._report(
+                            "error", "dynamic-sql",
+                            "raw value interpolated into a SQL-building "
+                            "f-string in a SQL-composer module: use a ? "
+                            "bind where the value is data, or route it "
+                            "through sql_literal/quote_ident",
+                            part.value,
+                        )
         self.generic_visit(node)
 
     # -- unbounded-cache ----------------------------------------------------

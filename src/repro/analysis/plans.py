@@ -56,6 +56,17 @@ HOT_TABLES = frozenset(
     {"statement", "purpose", "recipient", "data", "category"}
 )
 
+#: Generic (Figure 8) node tables on the structural XQuery compiler's
+#: critical path.  Same reasoning as :data:`HOT_TABLES`, different
+#: schema: the pedagogical decomposition names them per element, and the
+#: structural plan probes them through the per-table ``policy_id``
+#: indexes of ``create_structural_indexes`` — a SCAN here means those
+#: indexes are missing or the compiler stopped emitting the probe.
+HOT_NODE_TABLES = frozenset(
+    {"statement", "purpose", "recipient", "data_group", "data",
+     "categories"}
+)
+
 #: Tables whose whole point is O(1) access: a cache that the planner
 #: reads by scanning is slower than not having the cache at all.  Any
 #: access to these that is not an index probe is an error finding.
@@ -180,6 +191,39 @@ def audit_compiled_plan(db: Database, plan: CompiledPlan,
     return findings
 
 
+def audit_structural_plan(db: Database, plan,
+                          where: str = "<structural>",
+                          untrusted: Iterable[str] = (),
+                          probe_policy_id: int = 1) -> list[Finding]:
+    """Audit one structural XQuery plan: index usage, taint, bind arity.
+
+    *db* must carry the generic (Figure 8) schema plus the structural
+    ``policy_id`` indexes; the scan audit runs against
+    :data:`HOT_NODE_TABLES` since the structural compiler only ever
+    touches the pedagogical node tables.  Bind arity is checked against
+    the plan's full bind tuple (policy-id sentinels *and* attribute
+    values), catching both a dropped placeholder and a value that leaked
+    into the SQL text instead of a ``?``.
+    """
+    findings: list[Finding] = []
+    placeholders = strip_quoted(plan.sql).count("?")
+    if placeholders != plan.parameter_count:
+        findings.append(Finding(
+            "error", "bind-arity",
+            f"structural plan declares {plan.parameter_count} "
+            f"parameter(s) but its SQL carries {placeholders} '?' "
+            "placeholder(s): execute() would mis-bind",
+            where=where,
+        ))
+        return findings  # the EXPLAIN probe below could not bind either
+    if plan.rules:
+        findings.extend(scan_findings(
+            db, plan.sql, plan.parameters(probe_policy_id), where,
+            hot_tables=HOT_NODE_TABLES))
+    findings.extend(taint_findings(plan.sql, untrusted, where))
+    return findings
+
+
 def audit_bulk_plan(db: Database, plan: BulkPlan,
                     where: str = "<bulk>",
                     untrusted: Iterable[str] = ()) -> list[Finding]:
@@ -263,6 +307,7 @@ class CorpusAuditReport:
         default_factory=tuple)
     bulk_plans_explained: int = 0
     cache_lookups_explained: int = 0
+    structural_plans_explained: int = 0
 
     @property
     def ok(self) -> bool:
@@ -296,11 +341,24 @@ def audit_corpus(policies: Sequence[Policy],
     cache = DecisionCache()
     cache.ensure_schema(store.db)
 
+    # The structural XQuery plans run against the generic schema, so
+    # they get their own (empty) database to EXPLAIN against — the
+    # planner's choice of index does not depend on the row counts.
+    from repro.storage.generic_schema import (
+        create_generic_schema,
+        create_structural_indexes,
+    )
+    from repro.xquery.structural import compile_ruleset as compile_structural
+    generic_db = Database()
+    create_generic_schema(generic_db)
+    create_structural_indexes(generic_db)
+
     findings: list[Finding] = []
     reachability: list[Finding] = []
     violations: list[tuple[str, str, int]] = []
     plans = 0
     bulk_plans = 0
+    structural_plans = 0
     statements = 0
 
     #: The cache's own statements are static SQL — audit them once
@@ -332,6 +390,13 @@ def audit_corpus(policies: Sequence[Policy],
                 untrusted=untrusted))
             bulk_plans += 1
             statements += 1
+
+        structural = compile_structural(ruleset)
+        findings.extend(audit_structural_plan(
+            generic_db, structural, where=f"{name}/structural",
+            untrusted=untrusted))
+        structural_plans += 1
+        statements += 1
 
         if audit_literal:
             from repro.translate.appel_to_sql import (
@@ -366,4 +431,5 @@ def audit_corpus(policies: Sequence[Policy],
         differential_violations=tuple(violations),
         bulk_plans_explained=bulk_plans,
         cache_lookups_explained=cache_lookups,
+        structural_plans_explained=structural_plans,
     )

@@ -304,3 +304,68 @@ def save_async_results(path: str, **options: Any) -> dict[str, Any]:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return results
+
+
+def structural_results(seed: int = 2003,
+                       corpus_size: int | None = 12,
+                       repeat: int = 3) -> dict[str, Any]:
+    """Run E15 and return its JSON document (``BENCH_E15.json``).
+
+    Kept out of :func:`run_all` like E13/E14: the XTABLE column re-runs
+    the slowest engine of the grid, and the document's headline facts —
+    the filled Medium cell and the per-level speedups — deserve a file
+    regression tracking can diff on its own.  ``corpus_size`` defaults
+    to a 12-policy slice to keep CI runtime tolerable; pass ``None``
+    for the full corpus.
+    """
+    from repro.corpus.policies import fortune_corpus
+    from repro.corpus.preferences import jrc_suite
+
+    policies = fortune_corpus(seed)
+    if corpus_size is not None:
+        policies = policies[:corpus_size]
+    rows = harness.structural_xquery_experiment(policies, jrc_suite(),
+                                                repeat=repeat)
+    speedups = harness.structural_speedups(rows)
+    sql_gap = harness.structural_sql_gap(rows)
+    medium = next(
+        (row for row in rows
+         if row.level == "Medium" and row.engine == "xquery-structural"),
+        None,
+    )
+    return {
+        "meta": {
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "corpus_size": len(policies),
+            "repeat": repeat,
+        },
+        "e15_structural": {
+            "rows": [
+                {
+                    "level": row.level,
+                    "engine": row.engine,
+                    "unavailable": row.unavailable,
+                    "failures": row.failures,
+                    "convert": _aggregate(row.convert),
+                    "query": _aggregate(row.query),
+                    "total": _aggregate(row.total),
+                }
+                for row in rows
+            ],
+            "speedup_vs_xtable": speedups,
+            "gap_vs_sql": sql_gap,
+            "medium_cell_filled": (medium is not None
+                                   and not medium.unavailable),
+        },
+    }
+
+
+def save_structural_results(path: str, **options: Any) -> dict[str, Any]:
+    """Run E15 and write ``BENCH_E15.json``-style output to *path*."""
+    results = structural_results(**options)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return results

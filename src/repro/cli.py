@@ -85,10 +85,29 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     if args.dialect == "xquery":
         from repro.translate.appel_to_xquery import XQueryTranslator
 
+        if args.show_sql:
+            from repro.errors import TranslationTooComplexError
+            from repro.translate.plan import APPLICABLE_POLICY_PARAM
+            from repro.xquery.parser import parse_query
+            from repro.xquery.structural import StructuralCompiler
+            from repro.xquery.to_sql import XTableCompiler
+
         for index, rule in enumerate(
                 XQueryTranslator().translate_ruleset(preference).rules):
             print(f"-- rule {index} (behavior: {rule.behavior})")
             print(rule.xquery)
+            if args.show_sql:
+                query = parse_query(rule.xquery)
+                try:
+                    xtable_sql = XTableCompiler().compile_query(
+                        query, APPLICABLE_POLICY_PARAM)
+                    print("-- XTABLE SQL:")
+                    print(xtable_sql + ";")
+                except TranslationTooComplexError as exc:
+                    print(f"-- XTABLE SQL: unavailable ({exc})")
+                structural = StructuralCompiler().compile_rule(query, index)
+                print(f"-- structural SQL ({len(structural.binds)} bind(s)):")
+                print(structural.sql + ";")
             print()
         return 0
 
@@ -120,6 +139,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         NativeAppelMatchEngine,
         SqlMatchEngine,
         XQueryNativeMatchEngine,
+        XQueryStructuralMatchEngine,
         XTableMatchEngine,
     )
 
@@ -129,6 +149,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         "sql-generic": GenericSqlMatchEngine,
         "xquery": XTableMatchEngine,
         "xquery-native": XQueryNativeMatchEngine,
+        "xquery-structural": XQueryStructuralMatchEngine,
     }
     policy = parse_policy(_read(args.policy))
     preference = _load_preference(args.preference)
@@ -261,7 +282,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _BENCH_EXPERIMENTS = ("dataset-stats", "preference-stats", "shredding",
                       "figure20", "figure21", "warm-cold", "ablation",
                       "concurrency", "http-load", "fault-tolerance",
-                      "plans", "bulk", "cluster", "async")
+                      "plans", "bulk", "cluster", "async", "structural")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -283,6 +304,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = results["e14_async"]["batching"]
         print(f"wrote E14 async results ({len(rows)} batching rows) "
               f"to {args.async_json}")
+        return 0
+    if args.structural_json:
+        results = bench.save_structural_results(args.structural_json)
+        rows = results["e15_structural"]["rows"]
+        print(f"wrote E15 structural XQuery results ({len(rows)} "
+              f"level/engine cells) to {args.structural_json}")
         return 0
 
     wanted = args.experiments or list(_BENCH_EXPERIMENTS)
@@ -329,6 +356,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(bench.format_async(
                 bench.connection_scaling_experiment(),
                 bench.batching_load_experiment()))
+        elif experiment == "structural":
+            rows15 = bench.structural_xquery_experiment()
+            print(bench.format_structural(
+                rows15,
+                bench.structural_speedups(rows15),
+                bench.structural_sql_gap(rows15)))
         else:
             print(f"unknown experiment: {experiment}", file=sys.stderr)
             return 2
@@ -500,6 +533,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                       if f.code == "unreachable-rule")
     print(f"audited {report.preferences} preference(s) against "
           f"{report.policies} policies: {report.plans_explained} plan(s), "
+          f"{report.structural_plans_explained} structural plan(s), "
           f"{report.statements_explained} statement(s) explained")
     print(f"full scans of hot tables: {scans}; tainted SQL: {taints}; "
           f"unreachable rules: {unreachable} "
@@ -533,6 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=("sql", "sql-generic", "xquery"))
     p_translate.add_argument("--applicable-policy-sql", default=None,
                              help="override the ApplicablePolicy subquery")
+    p_translate.add_argument("--show-sql", action="store_true",
+                             dest="show_sql",
+                             help="with --dialect xquery: also print each "
+                                  "rule's compiled SQL (naive XTABLE and "
+                                  "structural-join forms)")
     p_translate.set_defaults(func=_cmd_translate)
 
     p_match = sub.add_parser("match",
@@ -544,7 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("preference", nargs="?", default=None)
     p_match.add_argument("--engine", default="sql",
                          choices=("appel", "sql", "sql-generic", "xquery",
-                                  "xquery-native"))
+                                  "xquery-native", "xquery-structural"))
     p_match.add_argument("--all", action="store_true",
                          help="set-at-a-time: match the preference "
                               "against every policy of the synthetic "
@@ -605,6 +644,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run only E13 (spawns worker processes) "
                               "and write its JSON document, e.g. "
                               "BENCH_E13.json")
+    p_bench.add_argument("--structural-json", metavar="FILE", default=None,
+                         dest="structural_json",
+                         help="run only E15 (structural XQuery vs naive "
+                              "XTABLE vs direct SQL) and write its JSON "
+                              "document, e.g. BENCH_E15.json")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_serve = sub.add_parser("serve",

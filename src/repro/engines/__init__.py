@@ -10,6 +10,7 @@ from repro.engines.xquery_native import (
     NativeXmlStore,
     XQueryNativeMatchEngine,
 )
+from repro.engines.xquery_structural import XQueryStructuralMatchEngine
 from repro.engines.xquery_xtable import XTableMatchEngine
 
 
@@ -20,14 +21,15 @@ def standard_engines() -> list[MatchEngine]:
 
 
 def all_engines() -> list[MatchEngine]:
-    """Fresh instances of every engine (adds generic-SQL and
-    XQuery-native, used by ablations and differential tests)."""
+    """Fresh instances of every engine (adds generic-SQL, XQuery-native
+    and structural XQuery, used by ablations and differential tests)."""
     return [
         NativeAppelMatchEngine(),
         SqlMatchEngine(),
         GenericSqlMatchEngine(),
         XQueryNativeMatchEngine(),
         XTableMatchEngine(),
+        XQueryStructuralMatchEngine(),
     ]
 
 
@@ -40,6 +42,7 @@ __all__ = [
     "NativeXmlStore",
     "XQueryNativeMatchEngine",
     "XTableMatchEngine",
+    "XQueryStructuralMatchEngine",
     "standard_engines",
     "all_engines",
 ]

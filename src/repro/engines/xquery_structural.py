@@ -1,0 +1,77 @@
+"""XQuery through the structural-join compiler (beyond the paper).
+
+Same front half as :class:`~repro.engines.xquery_xtable.XTableMatchEngine`
+(APPEL -> XQuery -> SQL over the generic Figure 8 schema), but the back
+half is :mod:`repro.xquery.structural`: one flat, parameterized statement
+per ruleset instead of per-rule nested ``EXISTS`` chains.  Consequences:
+
+* no complexity guard — the Medium preference's blank Figure 21 cell
+  fills in;
+* a check is **one** round trip (first-rule-wins folded with
+  ``MIN(rule_index) OVER ()``), like the direct-SQL engines;
+* the plan is policy-independent (``?`` binds), so it joins the PR 4-6
+  plan architecture: the same bounded :class:`TranslationCache` LRU,
+  keyed by the serialized preference, shares one compiled plan across
+  every installed policy.
+
+``cache_translations`` defaults to False like :class:`SqlMatchEngine`,
+matching the paper's protocol of reporting conversion time per match.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appel.model import Ruleset
+from repro.appel.serializer import serialize_ruleset
+from repro.engines.base import MatchEngine, MatchOutcome
+from repro.p3p.model import Policy
+from repro.storage.database import Database
+from repro.storage.generic_schema import create_structural_indexes
+from repro.storage.generic_shredder import GenericPolicyStore
+from repro.translate.plan import TranslationCache
+from repro.xquery import structural
+
+
+class XQueryStructuralMatchEngine(MatchEngine):
+    """APPEL -> XQuery -> structural-join SQL -> generic schema."""
+
+    name = "xquery-structural"
+
+    def __init__(self, db: Database | None = None,
+                 cache_translations: bool = False,
+                 cache_size: int = 256):
+        self.store = GenericPolicyStore(db)
+        self.db = self.store.db
+        # The Figure 8 primary keys cannot serve `policy_id = ?` probes;
+        # the structural path adds its own per-table policy_id indexes.
+        create_structural_indexes(self.db)
+        self.cache_translations = cache_translations
+        self._cache = TranslationCache(cache_size)
+
+    def install(self, policy: Policy) -> int:
+        return self.store.install_policy(policy)
+
+    def match(self, handle: int, ruleset: Ruleset) -> MatchOutcome:
+        self.store.require_policy(handle)
+        start = time.perf_counter()
+        plan = self._plan(ruleset)
+        converted = time.perf_counter()
+        behavior, rule_index = plan.execute(self.db, handle)
+        end = time.perf_counter()
+        return MatchOutcome(
+            behavior=behavior,
+            rule_index=rule_index,
+            convert_seconds=converted - start,
+            query_seconds=end - converted,
+        )
+
+    def _plan(self, ruleset: Ruleset) -> structural.StructuralPlan:
+        if not self.cache_translations:
+            return structural.compile_ruleset(ruleset)
+        key = serialize_ruleset(ruleset, indent=False)
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = structural.compile_ruleset(ruleset)
+            self._cache.put(key, plan)
+        return plan

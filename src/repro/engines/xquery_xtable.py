@@ -21,8 +21,8 @@ from repro.errors import TranslationTooComplexError
 from repro.p3p.model import Policy
 from repro.storage.database import Database
 from repro.storage.generic_shredder import GenericPolicyStore
-from repro.translate.appel_to_sql import applicable_policy_literal
 from repro.translate.appel_to_xquery import XQueryTranslator
+from repro.translate.plan import APPLICABLE_POLICY_PARAM
 from repro.xquery.parser import parse_query
 from repro.xquery.to_sql import DEFAULT_COMPLEXITY_LIMIT, XTableCompiler
 
@@ -46,7 +46,7 @@ class XTableMatchEngine(MatchEngine):
         self.store.require_policy(handle)
         start = time.perf_counter()
         try:
-            compiled = self._compile(ruleset, handle)
+            compiled = self._compile(ruleset)
         except TranslationTooComplexError as exc:
             return MatchOutcome(
                 behavior=None,
@@ -60,7 +60,7 @@ class XTableMatchEngine(MatchEngine):
         behavior: str | None = None
         rule_index: int | None = None
         for index, (rule_behavior, sql) in enumerate(compiled):
-            row = self.db.query_one(sql)
+            row = self.db.query_one(sql, (handle,))
             if row is not None:
                 behavior = rule_behavior
                 rule_index = index
@@ -73,10 +73,11 @@ class XTableMatchEngine(MatchEngine):
             query_seconds=end - converted,
         )
 
-    def _compile(self, ruleset: Ruleset,
-                 policy_id: int) -> list[tuple[str, str]]:
+    def _compile(self, ruleset: Ruleset) -> list[tuple[str, str]]:
+        """Policy-independent per-rule SQL: the applicable policy is a
+        ``?`` bind (``APPLICABLE_POLICY_PARAM``), not interpolated text,
+        so the compiled list is reusable across installed policies."""
         translated = self.translator.translate_ruleset(ruleset)
-        applicable = applicable_policy_literal(policy_id)
         compiled: list[tuple[str, str]] = []
         for rule in translated.rules:
             query = parse_query(rule.xquery)
@@ -84,6 +85,7 @@ class XTableMatchEngine(MatchEngine):
                 complexity_limit=self.complexity_limit
             )
             compiled.append(
-                (rule.behavior, compiler.compile_query(query, applicable))
+                (rule.behavior,
+                 compiler.compile_query(query, APPLICABLE_POLICY_PARAM))
             )
         return compiled

@@ -74,6 +74,40 @@ class TestDynamicSql:
         assert lint_source(src, "src/repro/storage/x.py") == []
 
 
+class TestComposerDynamicSql:
+    """The complementary rule inside the SQL-composer layers: f-strings
+    that *build* SQL must not interpolate bare values."""
+
+    def test_bare_attribute_in_sql_fstring_flagged(self):
+        src = 'sql = f"SELECT * FROM t WHERE col = {c.value}"\n'
+        findings = lint_source(src, "src/repro/xquery/structural.py")
+        assert codes(findings) == ["dynamic-sql"]
+        assert "sql_literal" in findings[0].message
+
+    def test_subscript_interpolation_flagged(self):
+        src = 'sql = f"SELECT {cols[0]} FROM t"\n'
+        assert codes(lint_source(src, "src/repro/translate/x.py")) \
+            == ["dynamic-sql"]
+
+    def test_neutralizer_call_allowed(self):
+        src = 'sql = f"SELECT * FROM t WHERE col = {sql_literal(c.value)}"\n'
+        assert lint_source(src, "src/repro/xquery/structural.py") == []
+
+    def test_name_interpolation_allowed(self):
+        """Prebuilt fragments arrive as plain names — those pass."""
+        src = 'sql = f"SELECT {columns} FROM ({inner}) AS nested"\n'
+        assert lint_source(src, "src/repro/xquery/structural.py") == []
+
+    def test_error_message_fstring_allowed(self):
+        """No SQL keywords in the static text — not a SQL f-string."""
+        src = 'raise ValueError(f"unknown element {node.name}")\n'
+        assert lint_source(src, "src/repro/xquery/structural.py") == []
+
+    def test_outside_composer_paths_left_to_the_execute_rule(self):
+        src = 'sql = f"SELECT * FROM t WHERE col = {c.value}"\n'
+        assert lint_source(src, "src/repro/server/x.py") == []
+
+
 class TestUnboundedCache:
     def test_bare_dict_cache_on_serving_path(self):
         src = ("class S:\n"

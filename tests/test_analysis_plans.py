@@ -214,11 +214,12 @@ class TestCorpusGate:
         report = audit_corpus(small_corpus, suite, audit_literal=False)
         assert report.ok
         # Per preference: one compiled plan + two bulk forms (full
-        # corpus and a micro-batch); plus the two static cache
-        # statements audited once.
+        # corpus and a micro-batch) + one structural XQuery plan; plus
+        # the two static cache statements audited once.
         assert report.bulk_plans_explained == 2 * len(suite)
+        assert report.structural_plans_explained == len(suite)
         assert report.cache_lookups_explained == 2
-        assert report.statements_explained == 3 * len(suite) + 2
+        assert report.statements_explained == 4 * len(suite) + 2
 
     def test_unreachable_rule_surfaces_in_report(self, small_corpus,
                                                  suite):

@@ -105,7 +105,7 @@ class TestFactories:
     def test_all_engines(self):
         names = [engine.name for engine in all_engines()]
         assert names == ["appel", "sql", "sql-generic", "xquery-native",
-                         "xquery"]
+                         "xquery", "xquery-structural"]
 
 
 class TestNativeXmlStore:

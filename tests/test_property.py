@@ -19,6 +19,7 @@ from repro.engines import (
     NativeAppelMatchEngine,
     SqlMatchEngine,
     XQueryNativeMatchEngine,
+    XQueryStructuralMatchEngine,
     XTableMatchEngine,
 )
 from repro.p3p.compact import decode_compact, encode_compact
@@ -221,13 +222,14 @@ class TestEngineAgreement:
 
     @_SETTINGS
     @given(policy=policies(), preference=rulesets())
-    def test_five_way_agreement(self, policy, preference):
+    def test_six_way_agreement(self, policy, preference):
         engines = [
             NativeAppelMatchEngine(),
             SqlMatchEngine(),
             GenericSqlMatchEngine(),
             XQueryNativeMatchEngine(),
             XTableMatchEngine(complexity_limit=1_000_000),
+            XQueryStructuralMatchEngine(),
         ]
         outcomes = {}
         for engine in engines:

@@ -1,0 +1,211 @@
+"""The structural-join XQuery compiler (ROADMAP item 5, beyond the paper).
+
+Three claims under test:
+
+* correctness — on every (preference level, policy) pair of the full
+  corpus, the structural engine agrees with the native XQuery evaluator
+  *and* with the literal SQL pipeline (the paper's reference semantics);
+* no complexity guard — the Medium preference that reproduces the blank
+  Figure 21 cell through :class:`XTableMatchEngine` compiles and runs
+  structurally, returning the same decision as the native evaluator;
+* plan architecture — one flat parameterized statement per ruleset
+  (single round trip per check, verified through the statement
+  counters), policy-independent binds, LRU plan-cache reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import (
+    SqlMatchEngine,
+    XQueryNativeMatchEngine,
+    XQueryStructuralMatchEngine,
+    XTableMatchEngine,
+)
+from repro.storage.database import Database
+from repro.storage.generic_schema import (
+    create_generic_schema,
+    create_structural_indexes,
+)
+from repro.xquery.structural import (
+    POLICY_ID_BIND,
+    combine_structural_rules,
+    compile_ruleset,
+)
+
+
+@pytest.fixture(scope="module")
+def engines(corpus):
+    """One instance of each compared engine with the corpus installed.
+
+    Handles align index-for-index across engines, so tests can zip them.
+    """
+    structural = XQueryStructuralMatchEngine(cache_translations=True)
+    native = XQueryNativeMatchEngine()
+    sql = SqlMatchEngine()
+    handles = [
+        (structural.install(p), native.install(p), sql.install(p))
+        for p in corpus
+    ]
+    return structural, native, sql, handles
+
+
+class TestDifferential:
+    def test_full_corpus_all_levels(self, engines, suite):
+        """structural == native evaluator == direct SQL, every pair."""
+        structural, native, sql, handles = engines
+        for level, preference in suite.items():
+            for hs, hn, hq in handles:
+                a = structural.match(hs, preference)
+                b = native.match(hn, preference)
+                c = sql.match(hq, preference)
+                assert not a.failed and not b.failed and not c.failed
+                assert (a.behavior, a.rule_index) == \
+                    (b.behavior, b.rule_index), (level, hs)
+                assert (a.behavior, a.rule_index) == \
+                    (c.behavior, c.rule_index), (level, hs)
+
+    def test_medium_succeeds_structurally_but_not_via_xtable(
+            self, engines, suite, corpus):
+        """The Figure 21 blank cell: still blank for XTABLE, filled here."""
+        structural, native, _, handles = engines
+        medium = suite["Medium"]
+
+        xtable = XTableMatchEngine()
+        handle = xtable.install(corpus[0])
+        outcome = xtable.match(handle, medium)
+        assert outcome.failed
+        assert outcome.behavior is None
+        assert "subqueries" in outcome.error
+
+        hs, hn, _ = handles[0]
+        filled = structural.match(hs, medium)
+        reference = native.match(hn, medium)
+        assert not filled.failed
+        assert filled.behavior is not None
+        assert (filled.behavior, filled.rule_index) == \
+            (reference.behavior, reference.rule_index)
+
+
+class TestPlanShape:
+    def test_single_statement_per_check(self, engines, suite):
+        """A plan executes as exactly one statement, every level."""
+        structural, _, _, handles = engines
+        db = structural.db
+        handle = handles[0][0]
+        for level, preference in suite.items():
+            plan = compile_ruleset(preference)
+            before = db.stats.statements
+            plan.execute(db, handle)
+            assert db.stats.statements - before == 1, level
+
+    def test_engine_match_is_probe_plus_one_statement(self, engines, suite):
+        structural, _, _, handles = engines
+        db = structural.db
+        handle = handles[0][0]
+        structural.match(handle, suite["High"])  # warm the plan cache
+        before = db.stats.statements
+        structural.match(handle, suite["High"])
+        # require_policy probe + the plan statement, nothing else.
+        assert db.stats.statements - before == 2
+
+    def test_medium_compiles_without_guard(self, suite):
+        plan = compile_ruleset(suite["Medium"])
+        assert len(plan.rules) == 4
+        assert plan.sql.count("UNION ALL") == 3
+        assert "MIN(rule_index) OVER ()" in plan.sql
+
+    def test_single_rule_plan_skips_window(self, suite):
+        plan = compile_ruleset(suite["Very Low"])
+        assert len(plan.rules) == 1
+        assert "OVER" not in plan.sql
+
+    def test_empty_ruleset(self):
+        assert combine_structural_rules(()) == ""
+
+    def test_bind_arity_matches_placeholders(self, suite):
+        from repro.analysis.plans import strip_quoted
+
+        for level, preference in suite.items():
+            plan = compile_ruleset(preference)
+            assert strip_quoted(plan.sql).count("?") == \
+                plan.parameter_count, level
+
+    def test_parameters_substitute_policy_id(self, suite):
+        plan = compile_ruleset(suite["Low"])
+        assert POLICY_ID_BIND in {
+            bind for rule in plan.rules for bind in rule.binds
+        }
+        values = plan.parameters(7)
+        assert POLICY_ID_BIND not in values
+        assert 7 in values
+        assert len(values) == plan.parameter_count
+
+    def test_plan_is_policy_independent(self, engines, suite):
+        """One compiled plan, different bound handles, right answers."""
+        structural, native, _, handles = engines
+        plan = compile_ruleset(suite["High"])
+        for hs, hn, _ in handles[:5]:
+            got = plan.execute(structural.db, hs)
+            want = native.match(hn, suite["High"])
+            assert got == (want.behavior, want.rule_index)
+
+
+class TestPlanCache:
+    def test_cache_reuse(self, corpus, suite):
+        engine = XQueryStructuralMatchEngine(cache_translations=True)
+        handle = engine.install(corpus[0])
+        engine.match(handle, suite["High"])
+        assert engine._cache.misses == 1
+        engine.match(handle, suite["High"])
+        assert engine._cache.hits == 1
+
+    def test_cache_off_by_default(self, corpus, suite):
+        engine = XQueryStructuralMatchEngine()
+        handle = engine.install(corpus[0])
+        engine.match(handle, suite["High"])
+        engine.match(handle, suite["High"])
+        assert engine._cache.hits == 0
+
+
+class TestAudit:
+    def test_structural_plans_pass_explain_audit(self, suite):
+        from repro.analysis.plans import (
+            audit_structural_plan,
+            plan_untrusted_strings,
+        )
+
+        db = Database()
+        create_generic_schema(db)
+        create_structural_indexes(db)
+        for level, preference in suite.items():
+            plan = compile_ruleset(preference)
+            findings = audit_structural_plan(
+                db, plan, where=level,
+                untrusted=plan_untrusted_strings(preference))
+            assert findings == [], level
+
+    def test_audit_flags_missing_indexes(self, suite):
+        """Without the structural indexes the hot node tables scan."""
+        from repro.analysis.plans import audit_structural_plan
+
+        db = Database()
+        create_generic_schema(db)  # no create_structural_indexes
+        # Medium touches purpose/recipient/statement/categories directly.
+        plan = compile_ruleset(suite["Medium"])
+        findings = audit_structural_plan(db, plan)
+        assert any(f.code == "full-scan" for f in findings)
+
+    def test_audit_flags_bind_arity_drift(self, suite):
+        from dataclasses import replace
+
+        from repro.analysis.plans import audit_structural_plan
+
+        db = Database()
+        create_generic_schema(db)
+        create_structural_indexes(db)
+        plan = compile_ruleset(suite["Low"])
+        doctored = replace(plan, sql=plan.sql.replace("?", "1", 1))
+        findings = audit_structural_plan(db, doctored)
+        assert [f.code for f in findings] == ["bind-arity"]
