@@ -1,6 +1,6 @@
 """Static analysis of the repo's generated artifacts and its own code.
 
-Three analyzers over the things nobody reads until they fail:
+Five analyzers over the things nobody reads until they fail:
 
 * :mod:`repro.analysis.rules` — APPEL rule reachability under
   first-rule-wins, with differential confirmation against the native
@@ -10,7 +10,13 @@ Three analyzers over the things nobody reads until they fail:
   SQL taint, bind arity);
 * :mod:`repro.analysis.codelint` — project-invariant lint over the
   Python sources (connection discipline, SQL construction discipline,
-  cache boundedness), gated by a checked-in baseline.
+  cache boundedness), gated by a checked-in baseline;
+* :mod:`repro.analysis.concurrency` — concurrency-safety lint: blocking
+  calls inside async bodies, lock discipline, lock-guarded attributes
+  written unguarded, spawn-safety of worker configs;
+* :mod:`repro.analysis.sqlcheck` — schema-aware SQL contract checking:
+  every statement the six engines can emit, prepared (never run)
+  against a schema catalog with write-set and index-coverage rules.
 
 The expression-level vocabulary checks of
 :func:`repro.appel.analysis.validate_ruleset` are re-exported here so
@@ -18,10 +24,18 @@ callers get every ruleset-facing diagnostic from one module.
 """
 
 from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.concurrency import (
+    concurrency_file,
+    concurrency_paths,
+    concurrency_source,
+)
 from repro.analysis.findings import (
+    RULE_DOCS,
     Finding,
     count_by_severity,
+    explain_rule,
     format_findings,
+    known_rule_ids,
     load_baseline,
     save_baseline,
     sort_findings,
@@ -40,6 +54,17 @@ from repro.analysis.plans import (
     audit_translated_ruleset,
     scan_findings,
     taint_findings,
+)
+from repro.analysis.sqlcheck import (
+    SqlContractReport,
+    StatementContract,
+    check_contracts,
+    check_statement,
+    contract_report,
+    engine_contracts,
+    generic_catalog,
+    optimized_catalog,
+    static_contracts,
 )
 from repro.analysis.rules import (
     DifferentialReport,
@@ -62,7 +87,10 @@ __all__ = [
     "Finding",
     "HOT_NODE_TABLES",
     "HOT_TABLES",
+    "RULE_DOCS",
     "RulesetProblem",
+    "SqlContractReport",
+    "StatementContract",
     "analyze_ruleset",
     "audit_bulk_plan",
     "audit_compiled_plan",
@@ -71,12 +99,23 @@ __all__ = [
     "audit_statement",
     "audit_structural_plan",
     "audit_translated_ruleset",
+    "check_contracts",
+    "check_statement",
+    "concurrency_file",
+    "concurrency_paths",
+    "concurrency_source",
+    "contract_report",
     "count_by_severity",
     "differential_reachability",
+    "engine_contracts",
+    "explain_rule",
     "format_findings",
+    "generic_catalog",
+    "known_rule_ids",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "optimized_catalog",
     "rule_always_fires",
     "rule_can_fire",
     "rule_subsumes",
@@ -85,6 +124,7 @@ __all__ = [
     "scan_findings",
     "sort_findings",
     "split_by_baseline",
+    "static_contracts",
     "taint_findings",
     "unreachable_rule_indexes",
     "validate_ruleset",

@@ -318,7 +318,8 @@ class CorpusAuditReport:
 def audit_corpus(policies: Sequence[Policy],
                  preferences: Mapping[str, Ruleset],
                  translator=None,
-                 audit_literal: bool = True) -> CorpusAuditReport:
+                 audit_literal: bool = True,
+                 db: Database | None = None) -> CorpusAuditReport:
     """Shred *policies* into a fresh optimized store and audit every
     preference's generated SQL against it.
 
@@ -330,16 +331,28 @@ def audit_corpus(policies: Sequence[Policy],
     Reachability findings for each ruleset are differentially confirmed
     over the whole corpus — see
     :func:`repro.analysis.rules.differential_reachability`.
+
+    With *db* the audit runs against an existing optimized store — a
+    cluster replica refreshed from a primary backup, say — instead of
+    shredding a fresh one.  Nothing is installed or migrated: policy
+    ids are read from the store's own ``policy`` table, and every
+    EXPLAIN probe is a pure read, so the audit is safe on a database
+    the tier treats as read-only.
     """
+    from repro.storage.decision_cache import DecisionCache
+
     if translator is None:
         translator = OptimizedSqlTranslator()
-    store = PolicyStore(Database())
-    policy_ids = [store.install_policy(policy).policy_id
-                  for policy in policies]
-
-    from repro.storage.decision_cache import DecisionCache
-    cache = DecisionCache()
-    cache.ensure_schema(store.db)
+    if db is None:
+        store = PolicyStore(Database())
+        policy_ids = [store.install_policy(policy).policy_id
+                      for policy in policies]
+        audit_db = store.db
+        DecisionCache().ensure_schema(audit_db)
+    else:
+        audit_db = db
+        policy_ids = [int(row["policy_id"]) for row in audit_db.query(
+            "SELECT policy_id FROM policy ORDER BY policy_id")]
 
     # The structural XQuery plans run against the generic schema, so
     # they get their own (empty) database to EXPLAIN against — the
@@ -369,7 +382,7 @@ def audit_corpus(policies: Sequence[Policy],
     )
     for label, sql, parameters in cache_statements:
         findings.extend(audit_decision_lookup(
-            store.db, sql, parameters, where=label))
+            audit_db, sql, parameters, where=label))
     cache_lookups = len(cache_statements)
     statements += cache_lookups
 
@@ -378,14 +391,14 @@ def audit_corpus(policies: Sequence[Policy],
 
         plan = translator.compile_ruleset(ruleset)
         findings.extend(audit_compiled_plan(
-            store.db, plan, where=f"{name}/plan", untrusted=untrusted))
+            audit_db, plan, where=f"{name}/plan", untrusted=untrusted))
         plans += 1
         statements += 1
 
         for batch_size in (0, 2):
             bulk = translator.compile_bulk(ruleset, batch_size)
             findings.extend(audit_bulk_plan(
-                store.db, bulk,
+                audit_db, bulk,
                 where=f"{name}/bulk[batch={batch_size}]",
                 untrusted=untrusted))
             bulk_plans += 1
@@ -406,7 +419,7 @@ def audit_corpus(policies: Sequence[Policy],
                 translated = translator.translate_ruleset(
                     ruleset, applicable_policy_literal(policy_id))
                 findings.extend(audit_translated_ruleset(
-                    store.db, translated,
+                    audit_db, translated,
                     where=f"{name}/literal/policy[{policy_id}]",
                     untrusted=untrusted))
                 statements += len(translated.rules)

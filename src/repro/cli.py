@@ -382,7 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.httpd import P3PHttpServer
     from repro.server.policy_server import PolicyServer
 
-    policy_server = PolicyServer(args.db)
+    policy_server = PolicyServer(args.db, engine=args.engine)
     server_class = AsyncP3PServer if args.async_frontend else P3PHttpServer
     httpd = server_class(policy_server, (args.host, args.port),
                          max_inflight=args.max_inflight,
@@ -391,7 +391,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = httpd.host, httpd.port
     frontend = "async" if args.async_frontend else "threaded"
     print(f"p3pdb: serving on http://{host}:{port} "
-          f"(db={args.db or ':memory:'}, frontend={frontend}, "
+          f"(db={args.db or ':memory:'}, engine={args.engine}, "
+          f"frontend={frontend}, "
           f"max-inflight={args.max_inflight}); Ctrl-C to stop")
     if args.ready_file:
         Path(args.ready_file).write_text(f"{host} {port}\n",
@@ -476,7 +477,10 @@ LINT_BASELINE = "lint-baseline.json"
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
+        concurrency_paths,
         count_by_severity,
+        explain_rule,
+        known_rule_ids,
         lint_paths,
         load_baseline,
         save_baseline,
@@ -484,7 +488,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         split_by_baseline,
     )
 
-    findings = lint_paths(args.paths or ["src"])
+    if args.explain:
+        try:
+            print(explain_rule(args.explain))
+        except KeyError:
+            print(f"error: unknown rule id {args.explain!r}; known ids:",
+                  file=sys.stderr)
+            for rule_id in known_rule_ids():
+                print(f"  {rule_id}", file=sys.stderr)
+            return 1
+        return 0
+
+    targets = args.paths or ["src"]
+    findings = lint_paths(targets)
+    if args.concurrency:
+        findings = findings + concurrency_paths(targets)
     if args.update_baseline:
         save_baseline(args.baseline, findings)
         print(f"wrote {len(findings)} finding(s) to {args.baseline}")
@@ -500,6 +518,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     counts = count_by_severity(new)
     print(f"{len(new)} new finding(s): {counts['error']} error(s), "
           f"{counts['warning']} warning(s)")
+    if new:
+        print("(p3pdb lint --explain <rule-id> documents any rule)")
     return 1 if new else 0
 
 
@@ -538,7 +558,22 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     print(f"full scans of hot tables: {scans}; tainted SQL: {taints}; "
           f"unreachable rules: {unreachable} "
           f"(differential {'OK' if report.differential_ok else 'FAILED'})")
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.sql_contracts:
+        from repro.analysis import contract_report
+
+        contracts = contract_report(policies, preferences)
+        for finding in sort_findings(contracts.findings):
+            print(finding)
+        per_source = ", ".join(f"{source}={count}" for source, count
+                               in contracts.per_source)
+        print(f"sql contracts: {contracts.statements_checked} "
+              f"statement(s) validated ({per_source}; "
+              f"{contracts.xtable_over_budget} xtable rule(s) over the "
+              f"default complexity budget) — "
+              f"{'OK' if contracts.ok else 'FAILED'}")
+        ok = ok and contracts.ok
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -662,6 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8080,
                          help="port to bind; 0 picks an ephemeral port "
                               "(default 8080)")
+    p_serve.add_argument("--engine", default="sql",
+                         choices=("sql", "structural"),
+                         help="per-check plan compiler: the optimized-"
+                              "schema SQL plans (default) or the "
+                              "structural XQuery compiler against a "
+                              "generic-schema sidecar")
     p_serve.add_argument("--async", action="store_true",
                          dest="async_frontend",
                          help="serve through the asyncio front end with "
@@ -724,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current "
                              "findings instead of gating on it")
+    p_lint.add_argument("--concurrency", action="store_true",
+                        help="also run the concurrency-safety analyzer "
+                             "(async blocking calls, lock discipline, "
+                             "guarded attributes, spawn safety)")
+    p_lint.add_argument("--explain", metavar="RULE-ID", default=None,
+                        help="print the catalog entry for one rule id "
+                             "(e.g. async-blocking) and exit")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_audit = sub.add_parser("audit",
@@ -741,6 +789,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--no-literal", action="store_true",
                          help="audit only compiled plans, skipping the "
                               "per-policy literal translations (faster)")
+    p_audit.add_argument("--sql-contracts", action="store_true",
+                         dest="sql_contracts",
+                         help="also validate every statement the six "
+                              "engines can emit against the schema "
+                              "catalog (names, bind arity, write-sets, "
+                              "index coverage)")
     p_audit.set_defaults(func=_cmd_audit)
 
     return parser

@@ -65,6 +65,7 @@ from repro.net.httpd import (
 from repro.p3p.parser import parse_policy
 from repro.server.policy_server import (
     MATCH_BATCH_SIZE,
+    POLICY_VERSION_SQL,
     CheckResult,
     PolicyServer,
 )
@@ -278,9 +279,7 @@ class BatchingExecutor:
             if missing and server.cache_decisions:
                 stamp = utc_now_iso()
                 for policy_id in missing:
-                    version = db.scalar(
-                        "SELECT version FROM policy WHERE policy_id = ?",
-                        (policy_id,))
+                    version = db.scalar(POLICY_VERSION_SQL, (policy_id,))
                     if version is not None:
                         behavior, rule_index = decided[policy_id]
                         write_back.append((key, int(policy_id),

@@ -73,6 +73,7 @@ from typing import Iterable, Sequence
 from repro.analysis.plans import (
     audit_bulk_plan,
     audit_compiled_plan,
+    audit_structural_plan,
     plan_untrusted_strings,
 )
 from repro.appel.model import Ruleset
@@ -86,12 +87,17 @@ from repro.storage.decision_cache import (
     decision_rows,
     utc_now_iso,
 )
+from repro.storage.generic_schema import create_structural_indexes
+from repro.storage.generic_shredder import GenericPolicyStore
 from repro.storage.pool import ConnectionPool
+from repro.storage.reconstruct import reconstruct_policy
 from repro.storage.refstore import ReferenceStore
 from repro.storage.shredder import PolicyStore, ShredReport
 from repro.storage.versioning import VersionedPolicyStore
 from repro.translate.appel_to_sql import OptimizedSqlTranslator
 from repro.translate.plan import BulkPlan, CompiledPlan, TranslationCache
+from repro.xquery.structural import StructuralPlan
+from repro.xquery.structural import compile_ruleset as compile_structural
 
 __all__ = [
     "CheckLogWriter",
@@ -138,6 +144,23 @@ _CHECK_LOG_KEY_INDEX = (
     "CREATE UNIQUE INDEX IF NOT EXISTS check_log_check_key "
     "ON check_log (check_key) WHERE check_key IS NOT NULL"
 )
+
+#: Serving-path SQL as named constants: the sqlcheck contract gate
+#: imports these and validates each against the schema catalog (tables
+#: and columns exist, bind arity, tier write-sets), so a schema change
+#: that breaks one fails `p3pdb audit --sql-contracts` instead of the
+#: first live request.
+RETARGET_POLICYREF_SQL = (
+    "UPDATE policyref SET policy_id = ? "
+    "WHERE (about = ? OR about LIKE ? ESCAPE '\\') "
+    "  AND meta_id IN (SELECT meta_id FROM meta WHERE site IS ?)"
+)
+POLICY_VERSION_SQL = "SELECT version FROM policy WHERE policy_id = ?"
+ACTIVE_POLICIES_SQL = (
+    "SELECT policy_id, version FROM policy WHERE active = 1"
+)
+POLICY_ACTIVE_SQL = "SELECT active FROM policy WHERE policy_id = ?"
+CHECK_COUNT_SQL = "SELECT COUNT(*) FROM check_log"
 
 
 def _migrate_check_log(db: Database) -> None:
@@ -333,7 +356,23 @@ class PolicyServer:
     WAL mode: the concurrent serving configuration), or None for an
     in-memory server.  A pre-built :class:`ConnectionPool` can be passed
     instead via *pool*.
+
+    *engine* selects the plan compiler serving the per-check miss path:
+    ``"sql"`` (the default — the paper's optimized-schema compiled
+    plans) or ``"structural"``, which matches through the structural
+    XQuery compiler against a generic-schema (Figure 8) sidecar.  The
+    sidecar lives in its own in-memory database because the generic
+    node tables share names with the optimized tables (``statement``,
+    ``purpose``...) and cannot coexist in one file; installed policies
+    are shredded into both, and a policy that pre-dates the sidecar (a
+    server opened on an existing file) is reconstructed from the
+    optimized store on first check.  Set-at-a-time paths
+    (:meth:`register_preference`, :meth:`match_all`) stay on the SQL
+    bulk plans for either engine — the structural compiler has no bulk
+    form yet.
     """
+
+    ENGINES = ("sql", "structural")
 
     def __init__(self, db: Database | str | None = None, *,
                  pool: ConnectionPool | None = None,
@@ -342,7 +381,12 @@ class PolicyServer:
                  log_flush_interval: float = 1.0,
                  audit_plans: bool = False,
                  cache_decisions: bool = True,
-                 log_checks: bool = True):
+                 log_checks: bool = True,
+                 engine: str = "sql"):
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}: expected one of "
+                f"{', '.join(self.ENGINES)}")
         if pool is None:
             pool = ConnectionPool(db if db is not None else ":memory:")
         self.pool = pool
@@ -377,6 +421,18 @@ class PolicyServer:
                                   flush_interval=log_flush_interval)
         # Reader connections need the reference store's SQL functions.
         self.pool.add_connect_hook(self.references.register_sql_functions)
+        self.engine = engine
+        if engine == "structural":
+            # One in-memory sidecar connection shared by every checking
+            # thread: structural plan executions serialize on this lock
+            # (the read itself is an indexed point probe — the compiled
+            # SQL plan, not the connection, is the paper's fast path
+            # here).
+            self._structural_store = GenericPolicyStore(Database())
+            self._structural_db = self._structural_store.db
+            create_structural_indexes(self._structural_db)
+            self._structural_ids: dict[int, int] = {}
+            self._structural_lock = threading.Lock()
 
     # -- installation (Figure 5) ------------------------------------------------
 
@@ -399,10 +455,7 @@ class PolicyServer:
                 escaped = (policy.name.replace("\\", "\\\\")
                            .replace("%", "\\%").replace("_", "\\_"))
                 self.db.execute(
-                    "UPDATE policyref SET policy_id = ? "
-                    "WHERE (about = ? OR about LIKE ? ESCAPE '\\') "
-                    "  AND meta_id IN (SELECT meta_id FROM meta "
-                    "                  WHERE site IS ?)",
+                    RETARGET_POLICYREF_SQL,
                     (report.policy_id, f"#{policy.name}",
                      f"%#{escaped}", site),
                 )
@@ -418,6 +471,10 @@ class PolicyServer:
                 self.db.commit()
             else:
                 report = self.policies.install_policy(policy, site=site)
+        if self.engine == "structural":
+            with self._structural_lock:
+                self._structural_ids[report.policy_id] = (
+                    self._structural_store.install_policy(policy))
         # No plan-cache invalidation: compiled plans are policy-
         # independent (the policy id is a bind parameter), so a
         # superseded version only changes what the reference lookup
@@ -470,12 +527,15 @@ class PolicyServer:
                 if cached is not None:
                     behavior, rule_index = cached
                 else:
-                    plan = self.translate(preference)
-                    behavior, rule_index = plan.execute(db, policy_id)
+                    if self.engine == "structural":
+                        behavior, rule_index = self._structural_check(
+                            preference, int(policy_id), db)
+                    else:
+                        plan = self.translate(preference)
+                        behavior, rule_index = plan.execute(db, policy_id)
                     if self.cache_decisions:
-                        version = db.scalar(
-                            "SELECT version FROM policy "
-                            "WHERE policy_id = ?", (policy_id,))
+                        version = db.scalar(POLICY_VERSION_SQL,
+                                            (policy_id,))
                         if version is not None:
                             write_back = (key, int(policy_id),
                                           int(version), behavior,
@@ -547,9 +607,7 @@ class PolicyServer:
         with self.pool.write() as db:
             with db.transaction():
                 actives = [(int(row["policy_id"]), int(row["version"]))
-                           for row in db.query(
-                               "SELECT policy_id, version FROM policy "
-                               "WHERE active = 1")]
+                           for row in db.query(ACTIVE_POLICIES_SQL)]
                 fired = plan.execute(db, ())
                 rows = decision_rows(key, actives, fired)
                 self.decisions.store_rows(db, rows)
@@ -596,8 +654,7 @@ class PolicyServer:
                 stale = {
                     policy_id for policy_id, _ in missing
                     if policy_id not in fired and db.scalar(
-                        "SELECT active FROM policy WHERE policy_id = ?",
-                        (policy_id,)) != 1
+                        POLICY_ACTIVE_SQL, (policy_id,)) != 1
                 }
             if not stale:
                 break
@@ -706,6 +763,56 @@ class PolicyServer:
             self._translation_cache.put(key, plan)
         return plan
 
+    def translate_structural(self, preference: Ruleset) -> StructuralPlan:
+        """The cached structural XQuery plan for *preference*.
+
+        Shares the translation cache with :meth:`translate` under a
+        distinct key; structural plans bind the (sidecar) policy id at
+        execution, so installs invalidate nothing here either.
+        """
+        key = (_ruleset_hash(preference), "structural")
+        plan = self._translation_cache.get(key)
+        if plan is None:
+            plan = compile_structural(preference)
+            if self.audit_plans:
+                self._audit_structural(key, preference, plan)
+            self._translation_cache.put(key, plan)
+        return plan
+
+    def _structural_check(self, preference: Ruleset, policy_id: int,
+                          db: Database) -> tuple[str | None, int | None]:
+        """Execute the structural plan against the generic sidecar.
+
+        *policy_id* is the optimized store's id; the sidecar handle is
+        looked up (or, for a policy installed before this server
+        process existed, reconstructed from *db* — the caller's pooled
+        reader — and shredded on first use).
+        """
+        plan = self.translate_structural(preference)
+        with self._structural_lock:
+            handle = self._structural_ids.get(policy_id)
+            if handle is None:
+                policy = reconstruct_policy(db, policy_id)
+                handle = self._structural_store.install_policy(policy)
+                self._structural_ids[policy_id] = handle
+            return plan.execute(self._structural_db, handle)
+
+    def _audit_structural(self, key, preference: Ruleset,
+                          plan: StructuralPlan) -> None:
+        """EXPLAIN-audit a freshly compiled structural plan (flag-gated).
+
+        Runs against the sidecar — the only database carrying the
+        generic node tables and their structural indexes.
+        """
+        findings = audit_structural_plan(
+            self._structural_db, plan, where=f"structural:{key[0][:12]}",
+            untrusted=plan_untrusted_strings(preference),
+        )
+        self._structural_db.stats.record_audit(len(findings))
+        self.last_audit_findings = tuple(findings)
+        for finding in findings:
+            logger.warning("structural plan audit: %s", finding)
+
     def _audit_plan(self, key: str, preference: Ruleset,
                     plan: CompiledPlan) -> None:
         """EXPLAIN-audit a freshly compiled plan (flag-gated).
@@ -758,7 +865,7 @@ class PolicyServer:
     def check_count(self) -> int:
         self.flush_log()
         with self.pool.read() as db:
-            return int(db.scalar("SELECT COUNT(*) FROM check_log"))
+            return int(db.scalar(CHECK_COUNT_SQL))
 
     def cache_size(self) -> int:
         return len(self._translation_cache)
@@ -769,6 +876,8 @@ class PolicyServer:
         """Flush the check log and close every pooled connection."""
         self.log.close()
         self.pool.close()
+        if self.engine == "structural":
+            self._structural_db.close()
 
     def __enter__(self) -> "PolicyServer":
         return self

@@ -314,6 +314,47 @@ class Database:
             for row in cursor.fetchall()
         ]
 
+    def statement_actions(self, sql: str,
+                          parameters: Sequence[Any] | None = None
+                          ) -> list[tuple[int, str | None, str | None]]:
+        """Prepare *sql* (without running it) and report what it touches.
+
+        SQLite consults the connection's authorizer while *compiling* a
+        statement, naming every table it would read or write — which
+        makes the authorizer a schema-aware static analyzer: no rows
+        move, yet ``INSERT``/``UPDATE``/``DELETE`` targets and every
+        ``(table, column)`` read are known exactly, derived-table
+        aliases already resolved to base tables.  The statement is
+        wrapped in ``EXPLAIN`` so only bytecode is produced; *parameters*
+        defaults to a null bind per ``?`` (the compiled program does not
+        depend on bound values).  Returns ``(action, arg1, arg2)``
+        tuples using the ``sqlite3.SQLITE_*`` action codes
+        (``SQLITE_READ`` carries table+column, the write actions carry
+        the table).  Raises :class:`StorageError` when the statement
+        does not compile — the caller's cue that the statement
+        references schema that does not exist.
+        """
+        if parameters is None:
+            # Null bind per live placeholder (quoted regions carry no
+            # binds; sqlite3 insists the count match even for EXPLAIN).
+            live = re.sub(r"'(?:[^']|'')*'|\"(?:[^\"]|\"\")*\"", " ", sql)
+            parameters = (None,) * live.count("?")
+        actions: list[tuple[int, str | None, str | None]] = []
+
+        def authorizer(action: int, arg1, arg2, dbname, trigger) -> int:
+            actions.append((action, arg1, arg2))
+            return sqlite3.SQLITE_OK
+
+        self._connection.set_authorizer(authorizer)
+        try:
+            self._connection.execute("EXPLAIN " + sql,
+                                     parameters).fetchall()
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL failed: {exc}\n{sql}") from exc
+        finally:
+            self._connection.set_authorizer(None)
+        return actions
+
     # -- transactions ----------------------------------------------------------
 
     @contextmanager

@@ -21,6 +21,39 @@ from repro.storage.shredder import PolicyStore
 
 _LIKE_ESCAPE = "\\"
 
+#: Shredding statements as named constants: the sqlcheck contract gate
+#: imports these and validates each against the reference schema, so a
+#: Figure 16 column rename fails `p3pdb audit --sql-contracts` instead
+#: of the next reference-file install.
+INSERT_META_SQL = "INSERT INTO meta (site, expiry) VALUES (?, ?)"
+INSERT_POLICYREF_SQL = (
+    "INSERT INTO policyref (policyref_id, meta_id, about, policy_id) "
+    "VALUES (?, ?, ?, ?)"
+)
+
+#: Per-pattern-table id column: the cookie tables reuse the base
+#: tables' column names (Figure 16 keeps one shape for all four).
+PATTERN_ID_COLUMNS = {
+    "include": "include_id",
+    "exclude": "exclude_id",
+    "cookie_include": "include_id",
+    "cookie_exclude": "exclude_id",
+}
+PATTERN_INSERT_SQL = {
+    table: (f"INSERT INTO {table} ({column}, policyref_id, meta_id, "
+            "pattern) VALUES (?, ?, ?, ?)")
+    for table, column in PATTERN_ID_COLUMNS.items()
+}
+
+#: Deletion order respects child-before-parent (patterns and policyref
+#: rows reference meta).
+REFERENCE_DELETE_ORDER = ("include", "exclude", "cookie_include",
+                          "cookie_exclude", "policyref", "meta")
+REFERENCE_DELETE_SQL = {
+    table: f"DELETE FROM {table} WHERE meta_id = ?"
+    for table in REFERENCE_DELETE_ORDER
+}
+
 
 def pattern_to_like(pattern: str) -> str:
     """Convert a P3P ``*`` wildcard pattern to a LIKE pattern with escapes."""
@@ -65,8 +98,7 @@ class ReferenceStore:
             if replace:
                 self._remove_site(site)
             cursor = self.db.execute(
-                "INSERT INTO meta (site, expiry) VALUES (?, ?)",
-                (site, reference.expiry),
+                INSERT_META_SQL, (site, reference.expiry),
             )
             meta_id = cursor.lastrowid
 
@@ -74,8 +106,7 @@ class ReferenceStore:
                 policy_id = self._resolve(ref.policy_name, policy_store,
                                           policy_ids)
                 self.db.execute(
-                    "INSERT INTO policyref (policyref_id, meta_id, about, "
-                    "policy_id) VALUES (?, ?, ?, ?)",
+                    INSERT_POLICYREF_SQL,
                     (policyref_id, meta_id, ref.about, policy_id),
                 )
                 self._insert_patterns("include", meta_id, policyref_id,
@@ -83,11 +114,9 @@ class ReferenceStore:
                 self._insert_patterns("exclude", meta_id, policyref_id,
                                       ref.excludes)
                 self._insert_patterns("cookie_include", meta_id,
-                                      policyref_id, ref.cookie_includes,
-                                      id_column="include_id")
+                                      policyref_id, ref.cookie_includes)
                 self._insert_patterns("cookie_exclude", meta_id,
-                                      policyref_id, ref.cookie_excludes,
-                                      id_column="exclude_id")
+                                      policyref_id, ref.cookie_excludes)
         return meta_id
 
     def _remove_site(self, site: str) -> None:
@@ -98,11 +127,8 @@ class ReferenceStore:
             )
         ]
         for meta_id in meta_ids:
-            for table in ("include", "exclude", "cookie_include",
-                          "cookie_exclude", "policyref", "meta"):
-                self.db.execute(
-                    f"DELETE FROM {table} WHERE meta_id = ?", (meta_id,)
-                )
+            for table in REFERENCE_DELETE_ORDER:
+                self.db.execute(REFERENCE_DELETE_SQL[table], (meta_id,))
 
     def _resolve(self, name: str, policy_store: PolicyStore | None,
                  policy_ids: dict[str, int] | None) -> int:
@@ -117,13 +143,10 @@ class ReferenceStore:
         )
 
     def _insert_patterns(self, table: str, meta_id: int, policyref_id: int,
-                         patterns: tuple[str, ...],
-                         id_column: str | None = None) -> None:
-        column = id_column or f"{table}_id"
+                         patterns: tuple[str, ...]) -> None:
         for pattern_id, pattern in enumerate(patterns, start=1):
             self.db.execute(
-                f"INSERT INTO {table} ({column}, policyref_id, meta_id, "
-                f"pattern) VALUES (?, ?, ?, ?)",
+                PATTERN_INSERT_SQL[table],
                 (pattern_id, policyref_id, meta_id, pattern),
             )
 

@@ -1,0 +1,330 @@
+"""The concurrency-safety lint: each rule fires on its known-bad
+fixture, passes its known-good twin, and finds nothing in the shipped
+tree."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    RULE_DOCS,
+    concurrency_paths,
+    concurrency_source,
+    explain_rule,
+    known_rule_ids,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint(src, rel_path="src/repro/net/aio.py"):
+    return concurrency_source(textwrap.dedent(src), rel_path)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_flagged(self):
+        findings = lint("""\
+            import time
+            async def handle():
+                time.sleep(1)
+        """)
+        assert codes(findings) == ["async-blocking"]
+        assert findings[0].line == 3
+
+    def test_db_query_flagged(self):
+        assert codes(lint("""\
+            async def handle(self):
+                rows = self.db.query("SELECT 1")
+        """)) == ["async-blocking"]
+
+    def test_pool_read_flagged(self):
+        assert codes(lint("""\
+            async def handle(self):
+                with self.pool.read() as db:
+                    pass
+        """)) == ["async-blocking"]
+
+    def test_open_flagged(self):
+        assert codes(lint("""\
+            async def handle():
+                data = open("f").read()
+        """)) == ["async-blocking"]
+
+    def test_server_call_flagged(self):
+        assert codes(lint("""\
+            async def handle(self):
+                self.server.match_all(pref)
+        """)) == ["async-blocking"]
+
+    def test_executor_nested_def_passes(self):
+        assert lint("""\
+            async def handle(self):
+                def work():
+                    with self.pool.read() as db:
+                        return db.query("SELECT 1")
+                return await self._in_executor(work)
+        """) == []
+
+    def test_executor_lambda_passes(self):
+        assert lint("""\
+            async def handle(self, loop):
+                return await loop.run_in_executor(
+                    None, lambda: self.db.query("SELECT 1"))
+        """) == []
+
+    def test_awaited_call_assumed_coroutine(self):
+        assert lint("""\
+            async def handle(self):
+                return await self.batching.check(site, uri)
+        """) == []
+
+    def test_awaited_call_arguments_still_checked(self):
+        assert codes(lint("""\
+            import time
+            async def handle(self):
+                return await self.send(time.sleep(1))
+        """)) == ["async-blocking"]
+
+    def test_asyncio_stream_read_write_pass(self):
+        assert lint("""\
+            async def handle(reader, writer):
+                data = await reader.read(1024)
+                writer.write(data)
+                await writer.drain()
+        """) == []
+
+    def test_sync_def_not_flagged(self):
+        assert lint("""\
+            import time
+            def handle():
+                time.sleep(1)
+        """) == []
+
+
+class TestBareAcquire:
+    def test_bare_acquire_flagged(self):
+        findings = lint("""\
+            def work(self):
+                self._lock.acquire()
+                self.counter += 1
+                self._lock.release()
+        """)
+        assert codes(findings) == ["bare-acquire"]
+
+    def test_try_finally_release_passes(self):
+        assert lint("""\
+            def work(self):
+                self._lock.acquire()
+                try:
+                    self.counter += 1
+                finally:
+                    self._lock.release()
+        """) == []
+
+    def test_with_statement_passes(self):
+        assert lint("""\
+            def work(self):
+                with self._lock:
+                    self.counter += 1
+        """) == []
+
+
+class TestDoubleAcquire:
+    def test_self_call_under_lock_flagged(self):
+        findings = lint("""\
+            import threading
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def bump(self):
+                    with self._lock:
+                        self.snapshot()
+                def snapshot(self):
+                    with self._lock:
+                        return 1
+        """)
+        assert "double-acquire" in codes(findings)
+
+    def test_nested_with_flagged(self):
+        findings = lint("""\
+            import threading
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """)
+        assert "double-acquire" in codes(findings)
+
+    def test_rlock_reentry_passes(self):
+        assert lint("""\
+            import threading
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                def bump(self):
+                    with self._lock:
+                        self.snapshot()
+                def snapshot(self):
+                    with self._lock:
+                        return 1
+        """) == []
+
+    def test_sequential_acquires_pass(self):
+        assert lint("""\
+            import threading
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def bump(self):
+                    with self._lock:
+                        pass
+                    with self._lock:
+                        pass
+        """) == []
+
+
+class TestUnguardedAttribute:
+    def test_mixed_guarding_flagged(self):
+        findings = lint("""\
+            import threading
+            class Metrics:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+                def reset(self):
+                    self.count = 0
+        """)
+        assert codes(findings) == ["unguarded-attribute"]
+        assert findings[0].severity == "warning"
+
+    def test_init_writes_exempt(self):
+        assert lint("""\
+            import threading
+            class Metrics:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+        """) == []
+
+    def test_consistently_guarded_passes(self):
+        assert lint("""\
+            import threading
+            class Metrics:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+                def reset(self):
+                    with self._lock:
+                        self.count = 0
+        """) == []
+
+
+class TestSpawnTarget:
+    def test_lambda_target_flagged(self):
+        assert codes(lint("""\
+            def start(ctx):
+                ctx.Process(target=lambda: 1).start()
+        """)) == ["spawn-target"]
+
+    def test_bound_method_target_flagged(self):
+        assert codes(lint("""\
+            def start(self):
+                self._context.Process(target=self._run).start()
+        """)) == ["spawn-target"]
+
+    def test_module_level_name_passes(self):
+        assert lint("""\
+            def start(self, config, channel):
+                self._context.Process(
+                    target=worker_main, args=(config, channel)).start()
+        """) == []
+
+    def test_thread_target_not_checked(self):
+        assert lint("""\
+            import threading
+            def stop(self, httpd):
+                threading.Thread(target=httpd.shutdown).start()
+        """) == []
+
+
+class TestSpawnConfigMutable:
+    def test_unfrozen_dataclass_flagged(self):
+        assert codes(lint("""\
+            from dataclasses import dataclass
+            @dataclass
+            class WorkerConfig:
+                shard: int
+        """)) == ["spawn-config-mutable"]
+
+    def test_mutable_field_flagged(self):
+        assert codes(lint("""\
+            from dataclasses import dataclass
+            @dataclass(frozen=True)
+            class WorkerConfig:
+                hooks: list
+        """)) == ["spawn-config-mutable"]
+
+    def test_frozen_immutable_fields_pass(self):
+        assert lint("""\
+            from dataclasses import dataclass
+            @dataclass(frozen=True)
+            class WorkerConfig:
+                shard: int
+                db_path: str | None
+                replicas: tuple
+        """) == []
+
+    def test_non_config_class_not_checked(self):
+        assert lint("""\
+            from dataclasses import dataclass
+            @dataclass
+            class Snapshot:
+                rows: list
+        """) == []
+
+
+class TestSyntaxError:
+    def test_unparseable_source_reported(self):
+        findings = concurrency_source("def broken(:\n", "src/x.py")
+        assert codes(findings) == ["syntax-error"]
+
+
+class TestShippedTree:
+    def test_src_is_clean(self):
+        """Acceptance: no false positives on the shipped sources."""
+        findings = concurrency_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert findings == []
+
+
+class TestRuleCatalog:
+    CONCURRENCY_RULES = (
+        "async-blocking", "bare-acquire", "double-acquire",
+        "unguarded-attribute", "spawn-target", "spawn-config-mutable",
+    )
+
+    def test_every_rule_documented(self):
+        for code in self.CONCURRENCY_RULES:
+            assert code in RULE_DOCS
+            text = explain_rule(code)
+            assert code in text
+
+    def test_known_rule_ids_sorted(self):
+        ids = known_rule_ids()
+        assert list(ids) == sorted(ids)
+        for code in self.CONCURRENCY_RULES:
+            assert code in ids

@@ -1,0 +1,139 @@
+"""The structural PolicyServer backend (`p3pdb serve --engine
+structural`): decision parity with the SQL engine, lazy reconstruction
+from a pre-existing store, and contract checks over its served plans."""
+
+import pytest
+
+from repro.analysis import (
+    StatementContract,
+    check_contracts,
+    generic_catalog,
+)
+from repro.analysis.plans import HOT_NODE_TABLES
+from repro.corpus.volga import (
+    VOLGA_POLICY_NO_OPTIN_XML,
+    VOLGA_POLICY_UNRELATED_XML,
+    VOLGA_REFERENCE_XML,
+)
+from repro.p3p.parser import parse_policy
+from repro.server.policy_server import PolicyServer
+
+
+def deploy(server, volga):
+    scenarios = {
+        "good.example.com": volga,
+        "no-optin.example.com": parse_policy(VOLGA_POLICY_NO_OPTIN_XML),
+        "oversharing.example.com":
+            parse_policy(VOLGA_POLICY_UNRELATED_XML),
+    }
+    for host, policy in scenarios.items():
+        server.install_policy(policy, site=host)
+        server.install_reference_file(
+            VOLGA_REFERENCE_XML.replace("volga.example.com", host), host)
+    return scenarios
+
+
+class TestEngineSelection:
+    def test_default_engine_is_sql(self):
+        with PolicyServer() as server:
+            assert server.engine == "sql"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            PolicyServer(engine="pedagogical")
+
+
+class TestStructuralParity:
+    def test_checks_match_sql_engine(self, volga, jane, suite):
+        with PolicyServer() as sql_server, \
+                PolicyServer(engine="structural") as st_server:
+            deploy(sql_server, volga)
+            deploy(st_server, volga)
+            hosts = ("good.example.com", "no-optin.example.com",
+                     "oversharing.example.com")
+            preferences = {"jane": jane, **suite}
+            for name, preference in preferences.items():
+                for host in hosts:
+                    a = sql_server.check(host, "/cart", preference)
+                    b = st_server.check(host, "/cart", preference)
+                    assert (a.behavior, a.rule_index) == \
+                        (b.behavior, b.rule_index), (name, host)
+
+    def test_structural_plan_cached_separately(self, volga, jane):
+        with PolicyServer(engine="structural",
+                          cache_decisions=False) as server:
+            deploy(server, volga)
+            server.check("good.example.com", "/cart", jane)
+            server.check("good.example.com", "/cart", jane)
+            # one structural plan, not one per check
+            assert server.cache_size() == 1
+
+    def test_decision_cache_warm_path_still_serves(self, volga, jane):
+        with PolicyServer(engine="structural") as server:
+            deploy(server, volga)
+            first = server.check("good.example.com", "/cart", jane)
+            second = server.check("good.example.com", "/cart", jane)
+            assert first.behavior == second.behavior
+            assert server.decisions.hits >= 1
+
+
+class TestLazyReconstruction:
+    def test_policy_predating_the_sidecar_is_reconstructed(
+            self, tmp_path, volga, jane):
+        db_path = str(tmp_path / "server.db")
+        with PolicyServer(db_path) as old:
+            deploy(old, volga)
+            baseline = old.check("good.example.com", "/cart", jane)
+        # Reopen the same file with the structural engine: the sidecar
+        # starts empty, so the first check reconstructs the policy from
+        # the optimized store.
+        with PolicyServer(db_path, engine="structural",
+                          cache_decisions=False) as server:
+            assert server._structural_ids == {}
+            result = server.check("good.example.com", "/cart", jane)
+            assert (result.behavior, result.rule_index) == \
+                (baseline.behavior, baseline.rule_index)
+            assert server._structural_ids
+
+
+class TestServedPlanContracts:
+    def test_sqlcheck_over_served_structural_plans(self, volga, jane,
+                                                   suite):
+        """Every plan the structural backend serves passes the schema
+        contract: names resolve, arity matches, read-only, indexed."""
+        with PolicyServer(engine="structural") as server:
+            deploy(server, volga)
+            contracts = []
+            for name, preference in {"jane": jane, **suite}.items():
+                plan = server.translate_structural(preference)
+                contracts.append(StatementContract(
+                    where=f"served/{name}", sql=plan.sql,
+                    catalog="generic", binds=plan.parameter_count,
+                    probe=(plan.parameters(1) if plan.rules else ()),
+                    hot_tables=HOT_NODE_TABLES))
+            assert len(contracts) == 6
+            assert check_contracts(
+                contracts, {"generic": generic_catalog()}) == []
+
+    def test_audit_plans_flag_audits_structural_compilations(
+            self, volga, jane):
+        with PolicyServer(engine="structural",
+                          audit_plans=True) as server:
+            deploy(server, volga)
+            server.check("good.example.com", "/cart", jane)
+            assert server.last_audit_findings == ()
+
+
+class TestCliWiring:
+    def test_serve_parser_accepts_engine(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--engine", "structural", "--port", "0"])
+        assert args.engine == "structural"
+
+    def test_serve_parser_rejects_unknown_engine(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "appel"])
